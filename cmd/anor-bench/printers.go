@@ -1,0 +1,294 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/experiments"
+	"repro/internal/trace"
+)
+
+func trials(full int) int {
+	if *quick {
+		if full > 2 {
+			return 2
+		}
+	}
+	return full
+}
+
+func horizon(full time.Duration) time.Duration {
+	if *quick {
+		return full / 6
+	}
+	return full
+}
+
+func fig3() {
+	series, err := experiments.Fig3(experiments.Fig3Config{Runs: trials(10), Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 3 — execution time vs power cap, relative to 280 W (mean ± std over runs)")
+	fmt.Printf("%-10s", "cap (W)")
+	for _, s := range series {
+		fmt.Printf("  %-14s", s.Name)
+	}
+	fmt.Println()
+	for i := range series[0].X {
+		fmt.Printf("%-10.0f", series[0].X[i])
+		for _, s := range series {
+			fmt.Printf("  %5.3f ± %5.3f", s.Y[i], s.Spread[i])
+		}
+		fmt.Println()
+	}
+}
+
+func fit() {
+	rows, err := experiments.FitTable(experiments.FitTableConfig{Runs: trials(10), Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("§5.1 — precharacterization fit quality (T = A·P² + B·P + C)")
+	fmt.Printf("%-10s  %-6s  %s\n", "type", "R²", "model")
+	for _, r := range rows {
+		fmt.Printf("%-10s  %.3f  %v\n", r.TypeName, r.R2, r.Model)
+	}
+}
+
+func fig4() {
+	res := experiments.Fig4(experiments.Fig4Config{})
+	fmt.Println("Fig. 4 — estimated job slowdown under shared cluster budgets")
+	for _, name := range []string{"even-slowdown", "even-power"} {
+		series := res.PerBudgeter[name]
+		fmt.Printf("\nBudgeter: %s\n%-12s", name, "budget (W)")
+		for _, s := range series {
+			fmt.Printf("  %-8s", s.Name[:minInt(8, len(s.Name))])
+		}
+		fmt.Println()
+		for i := 0; i < len(series[0].X); i += 2 {
+			fmt.Printf("%-12.0f", series[0].X[i])
+			for _, s := range series {
+				fmt.Printf("  %6.1f%%", 100*s.Y[i])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func fig5() {
+	results := experiments.Fig5(experiments.Fig5Config{})
+	fmt.Println("Fig. 5 — misclassification cost (slowdown %, per policy)")
+	for _, scr := range results {
+		fmt.Printf("\nScenario: %s (unknown job assumed %s; %d vs %d nodes)\n",
+			scr.Scenario.Name, scr.Scenario.AssumedType, scr.Scenario.UnknownNodes, scr.Scenario.KnownNodes)
+		for _, line := range scr.Lines {
+			fmt.Printf("  policy %-18s", line.Policy)
+			for _, s := range line.PerType {
+				mid := len(s.Y) / 2
+				fmt.Printf("  %s @mid-budget %5.1f%%", s.Name, 100*s.Y[mid])
+			}
+			fmt.Println()
+		}
+	}
+}
+
+func sharedCap(title string, rows []experiments.SharedCapRow, err error) {
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println(title)
+	for _, row := range rows {
+		fmt.Printf("  %-34s", row.Policy)
+		var ids []string
+		for id := range row.MeanSlowdown {
+			ids = append(ids, id)
+		}
+		sort.Strings(ids)
+		for _, id := range ids {
+			fmt.Printf("  %s %5.1f%% ± %4.1f%%", id, 100*row.MeanSlowdown[id], 100*row.StdDev[id])
+		}
+		fmt.Println()
+	}
+}
+
+func fig6() {
+	rows, err := experiments.Fig6(experiments.Fig6Config{Trials: trials(3), Seed: *seed})
+	sharedCap("Fig. 6 — BT + SP under a shared 840 W budget (slowdown vs no cap)", rows, err)
+}
+
+func fig7() {
+	rows, err := experiments.Fig7(experiments.Fig6Config{Trials: trials(3), Seed: *seed})
+	sharedCap("Fig. 7 — two BT instances, one possibly misclassified as IS", rows, err)
+}
+
+func fig8() {
+	rows, err := experiments.Fig8(experiments.Fig6Config{Trials: trials(6), Seed: *seed})
+	sharedCap("Fig. 8 — two SP instances, one possibly misclassified as EP", rows, err)
+}
+
+func fig9() {
+	res, err := experiments.Fig9(experiments.Fig9Config{Horizon: horizon(time.Hour), Seed: *seed})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 9 — hour-long moving-target tracking (16 nodes, 2.3–4.5 kW)")
+	fmt.Printf("  jobs completed: %d\n", res.Jobs)
+	fmt.Printf("  mean |target − measured|: %s\n", res.Summary.MeanAbsErr)
+	fmt.Printf("  90th percentile error: %.1f%% of reserve (paper: <17%% typical, <24%% worst)\n", 100*res.P90Err)
+	fmt.Printf("  ≤30%% error ≥90%% of time: %v\n", res.Summary.WithinConstraint)
+	step := len(res.Tracking) / 20
+	if step < 1 {
+		step = 1
+	}
+	fmt.Printf("  %-8s  %-10s  %-10s\n", "t (s)", "target", "measured")
+	for i := 0; i < len(res.Tracking); i += step {
+		p := res.Tracking[i]
+		fmt.Printf("  %-8.0f  %-10s  %-10s\n",
+			p.Time.Sub(res.Tracking[0].Time).Seconds(), p.Target, p.Measured)
+	}
+	if *csvPath != "" {
+		f, err := os.Create(*csvPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, res.Tracking); err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("  full series written to %s\n", *csvPath)
+	}
+}
+
+func fig10() {
+	rows, err := experiments.Fig10(experiments.Fig10Config{Seed: *seed, Horizon: horizon(time.Hour)})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 10 — mean slowdown per type under time-varying caps (± 95% CI)")
+	var names []string
+	for n := range rows[0].MeanSlowdown {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("  %-16s", "policy")
+	for _, n := range names {
+		fmt.Printf("  %-16s", n)
+	}
+	fmt.Println("  P90 track err")
+	for _, row := range rows {
+		fmt.Printf("  %-16s", row.Policy)
+		for _, n := range names {
+			fmt.Printf("  %6.1f%% ± %4.1f%%", 100*row.MeanSlowdown[n], 100*row.CI95[n])
+		}
+		fmt.Printf("  %5.1f%%\n", 100*row.P90Err)
+	}
+}
+
+func fig11() {
+	cfg := experiments.Fig11Config{Seed: *seed}
+	if *quick {
+		cfg.Nodes = 200
+		cfg.Trials = 2
+		cfg.Horizon = 15 * time.Minute
+		cfg.NodeScale = 5
+	}
+	levels, err := experiments.Fig11(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("Fig. 11 — 90th percentile QoS degradation vs performance variation")
+	fmt.Println("(1000 nodes, 6 types × 25 nodes, 75% utilization, 10 trials; QoS target 5)")
+	var names []string
+	for n := range levels[0].P90QoSByType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	fmt.Printf("  %-10s", "level")
+	for _, n := range names {
+		fmt.Printf("  %-14s", n)
+	}
+	fmt.Println("  track ok")
+	for _, lvl := range levels {
+		fmt.Printf("  ±%-8.1f%%", 100*lvl.Level)
+		for _, n := range names {
+			fmt.Printf("  %5.2f ± %4.2f ", lvl.P90QoSByType[n], lvl.CI90ByType[n])
+		}
+		fmt.Printf("  %3.0f%%\n", 100*lvl.TrackOKFraction)
+	}
+}
+
+func qos() {
+	r := experiments.QueueTraceStat(*seed)
+	fmt.Println("§5.2 — synthetic month-long queue trace")
+	fmt.Printf("  90th percentile wait/exec ratio: %.1f (paper: > 22)\n", r)
+	fmt.Println("  ⇒ the experiments' Q = 5 at 90% target is more aggressive than the trace")
+}
+
+func train() {
+	iters := 30
+	nodes := 100
+	if *quick {
+		iters, nodes = 10, 50
+	}
+	res, err := experiments.TrainBid(*seed, nodes, iters)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("§4.4 — AQA bid training against the tabular simulator")
+	fmt.Printf("  chosen bid: average %s, reserve %s\n", res.Bid.AvgPower, res.Bid.Reserve)
+	fmt.Printf("  evaluation: QoS90 %.2f (≤5), tracking ok=%v, cost $%.2f\n",
+		res.Eval.QoS90, res.Eval.TrackOK, res.Eval.Cost)
+	var names []string
+	for n := range res.Weights {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		fmt.Printf("  queue weight %-10s %.2f\n", n, res.Weights[n])
+	}
+}
+
+func ablate() {
+	fmt.Println("Ablation — default-model policy risk allocation (even-slowdown, 2000 W, EP/FT?/IS)")
+	for _, o := range experiments.AblateDefaultPolicy(2000) {
+		fmt.Printf("  %-24s unknown job %5.1f%%   sensitive co-job %5.1f%%\n",
+			o.Policy, 100*o.UnknownSlowdown, 100*o.SensitiveSlowdown)
+	}
+	fmt.Println("\nAblation — modeler retrain threshold (BT-as-IS recovery scenario)")
+	thresholds := []int{5, 10, 50}
+	if *quick {
+		thresholds = []int{10, 10000}
+	}
+	points, err := experiments.AblateRetrainThreshold(*seed, thresholds)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("  threshold %-6.0f misclassified-job slowdown %5.1f%%  trained=%v\n",
+			p.Setting, 100*p.MisclassifiedSlowdown, p.Trained)
+	}
+}
+
+func hierTable() {
+	points, err := experiments.HierFidelity(*seed, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("§8 — hierarchical allocation fidelity vs rack count (catalog job mix)")
+	fmt.Printf("  %-8s  %-22s  %-22s  %s\n", "racks", "quadratic-scheme err", "exact-scheme err", "msgs/rebudget")
+	for _, p := range points {
+		fmt.Printf("  %-8d  %-22.4f  %-22.6f  %d\n", p.Racks, p.QuadraticErr, p.ExactErr, p.Messages)
+	}
+	fmt.Println("  (err = worst per-job slowdown deviation from the flat allocation)")
+}
+
+func minInt(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}

@@ -1,0 +1,144 @@
+// Command anor-endpoint is the ANOR job-tier endpoint process (§4): one
+// runs per job. It stands up the job's GEOPM runtime over simulated
+// node hardware, runs the selected synthetic benchmark with epoch
+// instrumentation, connects to the cluster manager (anord) over TCP,
+// relays power budgets down to the agents, and streams the online-fitted
+// power-performance model back up.
+//
+// Usage:
+//
+//	anor-endpoint -cluster localhost:9700 -job j1 -bench bt.D.81 \
+//	              -claim is.D.32 -nodes 2
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/endpointd"
+	"repro/internal/geopm"
+	"repro/internal/modeler"
+	"repro/internal/nodesim"
+	"repro/internal/proto"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	cluster := flag.String("cluster", "localhost:9700", "cluster manager address")
+	jobID := flag.String("job", "", "job ID (required)")
+	benchName := flag.String("bench", "is.D.32", "benchmark type to run")
+	claim := flag.String("claim", "", "type announced to the cluster (default: the true type; set for misclassification experiments)")
+	nodes := flag.Int("nodes", 0, "node count (default: the type's)")
+	variation := flag.Float64("variation", 1.0, "performance-variation multiplier")
+	noise := flag.Float64("noise", 0.01, "per-epoch noise standard deviation")
+	seed := flag.Uint64("seed", 1, "noise seed")
+	flag.Parse()
+
+	if *jobID == "" {
+		log.Fatal("anor-endpoint: -job is required")
+	}
+	typ, err := workload.ByName(*benchName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	nNodes := *nodes
+	if nNodes <= 0 {
+		nNodes = typ.Nodes
+	}
+	claimed := *claim
+	if claimed == "" {
+		claimed = typ.Name
+	}
+
+	clk := clock.Real{}
+	pios := make([]*geopm.PlatformIO, nNodes)
+	for i := range pios {
+		node := nodesim.NewNode(i, nodesim.Config{Clock: clk, NoiseStd: 0.01, Seed: *seed})
+		node.SetDemand(typ.PMax)
+		pios[i] = geopm.NewPlatformIO(node)
+	}
+	ep := geopm.NewEndpoint()
+	rt, err := geopm.NewRuntime(geopm.RuntimeConfig{
+		JobID: *jobID, PIOs: pios, Endpoint: ep, Clock: clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	mdl, err := modeler.New(modeler.Config{Default: typ.Model()})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	raw, err := net.Dial("tcp", *cluster)
+	if err != nil {
+		log.Fatalf("anor-endpoint: connecting to cluster: %v", err)
+	}
+	epd, err := endpointd.New(endpointd.Config{
+		JobID:    *jobID,
+		TypeName: claimed,
+		Nodes:    nNodes,
+		Conn:     proto.NewConn(raw),
+		GEOPM:    ep,
+		Modeler:  mdl,
+		Clock:    clk,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	jobCtx, cancel := context.WithCancel(ctx)
+	var wg sync.WaitGroup
+	wg.Add(2)
+	go func() {
+		defer wg.Done()
+		if err := rt.Run(jobCtx); err != nil {
+			log.Printf("anor-endpoint: runtime: %v", err)
+		}
+	}()
+	go func() {
+		defer wg.Done()
+		if err := epd.Run(jobCtx); err != nil && jobCtx.Err() == nil {
+			log.Printf("anor-endpoint: endpoint: %v", err)
+			cancel()
+		}
+	}()
+
+	log.Printf("anor-endpoint: job %s running %s (claimed %s) on %d nodes (uncapped ≈%s)",
+		*jobID, typ.Name, claimed, nNodes, time.Duration(typ.BaseSeconds*float64(time.Second)))
+	exec := &workload.Executor{
+		Type:      typ,
+		Clock:     clk,
+		Cap:       rt.Cap,
+		OnEpoch:   func(int) { rt.ProfEpoch() },
+		Variation: *variation,
+		Noise:     stats.NewRNG(*seed),
+		NoiseStd:  *noise,
+	}
+	res, err := exec.Run(ctx)
+	rt.RecordAppTotals(res.AppSeconds, res.Epochs)
+	cancel()
+	wg.Wait()
+	if err != nil {
+		log.Printf("anor-endpoint: benchmark: %v", err)
+	}
+
+	fmt.Print(rt.Report())
+	base := typ.BaseSeconds * *variation
+	if base > 0 && res.AppSeconds > 0 {
+		fmt.Printf("Slowdown vs uncapped: %.1f%%\n", 100*(res.AppSeconds/base-1))
+	}
+	_ = units.Power(0)
+}

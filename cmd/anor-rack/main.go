@@ -1,0 +1,75 @@
+// Command anor-rack is the optional mid-tier proxy of the §8 scalability
+// extension: it connects upstream to anord as if it were one large job,
+// accepts downstream anor-endpoint connections on its own listen port,
+// aggregates their power-performance models into a single rack curve, and
+// re-balances each granted budget across its members with local
+// even-slowdown allocation. The cluster manager's connection count drops
+// from per-job to per-rack.
+//
+// Usage:
+//
+//	anor-rack -cluster localhost:9700 -listen :9800 -id rack-0 -jobs 4
+//
+// then point endpoints at the rack instead of the cluster:
+//
+//	anor-endpoint -cluster localhost:9800 -job j1 -bench bt.D.81
+package main
+
+import (
+	"context"
+	"flag"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro/internal/clock"
+	"repro/internal/hier"
+	"repro/internal/proto"
+)
+
+func main() {
+	cluster := flag.String("cluster", "localhost:9700", "upstream cluster manager address")
+	listen := flag.String("listen", ":9800", "address to accept job-tier connections on")
+	id := flag.String("id", "rack-0", "rack identity toward the cluster manager")
+	jobs := flag.Int("jobs", 1, "member jobs to wait for before announcing the rack upstream")
+	flag.Parse()
+
+	raw, err := net.Dial("tcp", *cluster)
+	if err != nil {
+		log.Fatalf("anor-rack: connecting upstream: %v", err)
+	}
+	proxy, err := hier.NewProxy(hier.ProxyConfig{
+		ID:           *id,
+		Upstream:     proto.NewConn(raw),
+		ExpectedJobs: *jobs,
+		Clock:        clock.Real{},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("anor-rack: %s accepting members on %s, upstream %s, waiting for %d jobs",
+		*id, ln.Addr(), *cluster, *jobs)
+	go func() {
+		for {
+			c, err := ln.Accept()
+			if err != nil {
+				return
+			}
+			proxy.AttachJob(proto.NewConn(c))
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	if err := proxy.Run(ctx); err != nil && ctx.Err() == nil {
+		log.Printf("anor-rack: %v", err)
+	}
+	ln.Close()
+}

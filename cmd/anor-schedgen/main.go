@@ -1,0 +1,132 @@
+// Command anor-schedgen generates the input files the anord daemon and
+// the experiments consume: Poisson job-submission schedules (§5.3) and
+// moving power-target schedules (§4.4.1).
+//
+// Usage:
+//
+//	anor-schedgen jobs -nodes 16 -util 0.95 -minutes 60 -seed 1 \
+//	              -misclassify bt.D.81=is.D.32 -out schedule.jsonl
+//	anor-schedgen targets -avg 3400 -reserve 1100 -minutes 60 -seed 1 \
+//	              -out targets.jsonl
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/dr"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	switch os.Args[1] {
+	case "jobs":
+		genJobs(os.Args[2:])
+	case "targets":
+		genTargets(os.Args[2:])
+	default:
+		usage()
+	}
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: anor-schedgen {jobs|targets} [flags]")
+	os.Exit(2)
+}
+
+func genJobs(args []string) {
+	fs := flag.NewFlagSet("jobs", flag.ExitOnError)
+	nodes := fs.Int("nodes", 16, "cluster node count")
+	util := fs.Float64("util", 0.95, "target utilization")
+	minutes := fs.Float64("minutes", 60, "schedule length in minutes")
+	seed := fs.Uint64("seed", 1, "generation seed")
+	all := fs.Bool("all-types", false, "include the short-running IS and EP types")
+	misclassify := fs.String("misclassify", "", "comma-separated true=claimed type pairs")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	types := workload.LongRunning()
+	if *all {
+		types = workload.Catalog()
+	}
+	mis := map[string]string{}
+	if *misclassify != "" {
+		for _, pair := range strings.Split(*misclassify, ",") {
+			kv := strings.SplitN(pair, "=", 2)
+			if len(kv) != 2 {
+				log.Fatalf("anor-schedgen: bad -misclassify entry %q", pair)
+			}
+			mis[kv[0]] = kv[1]
+		}
+	}
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG:         stats.NewRNG(*seed),
+		Types:       types,
+		Utilization: *util,
+		TotalNodes:  *nodes,
+		Horizon:     time.Duration(*minutes * float64(time.Minute)),
+		Misclassify: mis,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := schedule.Write(w, arrivals); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("anor-schedgen: %d arrivals over %.0f minutes", len(arrivals), *minutes)
+}
+
+func genTargets(args []string) {
+	fs := flag.NewFlagSet("targets", flag.ExitOnError)
+	avg := fs.Float64("avg", 3400, "bid average power in watts")
+	reserve := fs.Float64("reserve", 1100, "bid reserve in watts")
+	minutes := fs.Float64("minutes", 60, "schedule length in minutes")
+	step := fs.Duration("step", 4*time.Second, "target update interval")
+	seed := fs.Uint64("seed", 1, "signal seed")
+	out := fs.String("out", "", "output file (default stdout)")
+	fs.Parse(args)
+
+	horizon := time.Duration(*minutes * float64(time.Minute))
+	bid := dr.Bid{AvgPower: units.Power(*avg), Reserve: units.Power(*reserve)}
+	if !bid.Valid() {
+		log.Fatal("anor-schedgen: invalid bid")
+	}
+	signal := dr.NewRandomWalk(*seed, *step, 0.25, horizon)
+	var pts []schedule.TargetPoint
+	for at := time.Duration(0); at <= horizon; at += *step {
+		pts = append(pts, schedule.TargetPoint{At: at, Target: bid.Target(signal.At(at))})
+	}
+	w := os.Stdout
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		w = f
+	}
+	if err := schedule.WriteTargets(w, pts); err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("anor-schedgen: %d target points (%s to %s)", len(pts),
+		bid.AvgPower-bid.Reserve, bid.AvgPower+bid.Reserve)
+}

@@ -1,0 +1,136 @@
+// Command anor-sim runs the tabular cluster simulator of §5.6: a
+// 1000-node-class cluster under a demand-response power target, with
+// optional per-node performance variation, reporting QoS degradation and
+// power-tracking metrics.
+//
+// Usage:
+//
+//	anor-sim -nodes 1000 -hours 1 -util 0.75 -variation 0.15 -seed 1 \
+//	         -scale 25 -table state.csv
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dr"
+	"repro/internal/perfmodel"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	nodes := flag.Int("nodes", 1000, "simulated node count")
+	hours := flag.Float64("hours", 1, "arrival-window length in hours")
+	util := flag.Float64("util", 0.75, "target node utilization")
+	variation := flag.Float64("variation", 0, "performance-variation level (99% of nodes within ±X, e.g. 0.15)")
+	seed := flag.Uint64("seed", 1, "simulation seed")
+	scale := flag.Int("scale", 25, "node-count multiplier applied to each job type")
+	avg := flag.Float64("avg", 0, "bid average power in watts (0 = 80% of probed natural draw)")
+	reserve := flag.Float64("reserve", 0, "bid reserve in watts (0 = 15% of probed natural draw)")
+	policy := flag.String("budgeter", "", "per-job budgeter (even-slowdown, even-power); empty = AQA uniform caps")
+	feedback := flag.Bool("feedback", false, "exempt at-risk jobs from capping (§6.4 mitigation)")
+	table := flag.String("table", "", "write per-second cluster state CSV here")
+	flag.Parse()
+
+	var types []workload.Type
+	weights := map[string]float64{}
+	for _, t := range workload.LongRunning() {
+		st := t.Scale(*scale)
+		types = append(types, st)
+		weights[st.Name] = 1
+	}
+	horizon := time.Duration(*hours * float64(time.Hour))
+
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(*seed), Types: types,
+		Utilization: *util, TotalNodes: *nodes, Horizon: horizon,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	bid := dr.Bid{AvgPower: units.Power(*avg), Reserve: units.Power(*reserve)}
+	if bid.AvgPower == 0 || bid.Reserve == 0 {
+		probe, err := sim.Run(sim.Config{
+			Nodes: *nodes, Types: types, Weights: weights, Arrivals: arrivals,
+			Bid:    dr.Bid{AvgPower: units.Power(*nodes) * workload.NodeTDP, Reserve: 0},
+			Signal: dr.Constant(0), Horizon: horizon, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		if bid.AvgPower == 0 {
+			bid.AvgPower = units.Power(0.80 * probe.AvgPower.Watts())
+		}
+		if bid.Reserve == 0 {
+			bid.Reserve = units.Power(0.15 * probe.AvgPower.Watts())
+		}
+		log.Printf("anor-sim: probed natural draw %s → bid avg %s reserve %s",
+			probe.AvgPower, bid.AvgPower, bid.Reserve)
+	}
+
+	cfg := sim.Config{
+		Nodes: *nodes, Types: types, Weights: weights, Arrivals: arrivals,
+		Bid:               bid,
+		Signal:            dr.NewRandomWalk(*seed^0x5eed, 4*time.Second, 0.25, 8*horizon),
+		Horizon:           horizon,
+		Seed:              *seed,
+		VariationStd:      *variation / 2.576, // 99% within ±level
+		FeedbackQoSExempt: *feedback,
+		TrackWarmup:       2 * time.Minute,
+	}
+	switch *policy {
+	case "":
+	case "even-slowdown":
+		cfg.Budgeter = budget.EvenSlowdown{}
+	case "even-power":
+		cfg.Budgeter = budget.EvenPower{}
+	default:
+		log.Fatalf("anor-sim: unknown budgeter %q", *policy)
+	}
+	if cfg.Budgeter != nil {
+		cfg.TypeModels = map[string]perfmodel.Model{}
+		for _, t := range types {
+			cfg.TypeModels[t.Name] = t.RelativeModel()
+		}
+		cfg.DefaultModel = workload.LeastSensitive().RelativeModel()
+	}
+	if *table != "" {
+		f, err := os.Create(*table)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		cfg.TableLog = f
+	}
+
+	res, err := sim.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("jobs completed: %d (unfinished %d)\n", len(res.Jobs), res.Unfinished)
+	fmt.Printf("mean utilization: %.1f%%\n", 100*res.MeanUtilization)
+	fmt.Printf("average power: %s\n", res.AvgPower)
+	fmt.Printf("tracking: P90 err %.1f%% of reserve, constraint(≤30%% @90%%) ok=%v\n",
+		100*res.TrackSummary.P90Err, res.TrackSummary.WithinConstraint)
+	fmt.Printf("QoS degradation: P90 %.2f (target ≤ 5)\n", res.QoS90)
+	var names []string
+	for n := range res.QoSByType {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		qs := res.QoSByType[n]
+		fmt.Printf("  %-10s n=%3d  P90 QoS %.2f\n", n, len(qs), stats.Percentile(qs, 90))
+	}
+}

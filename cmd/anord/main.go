@@ -1,0 +1,172 @@
+// Command anord is the ANOR cluster-tier power manager daemon (§4.1): it
+// listens for job-tier endpoint connections, periodically re-reads a
+// power-target schedule from a file (for experimental repeatability, as
+// in the paper), distributes the available power across connected jobs
+// with the selected budgeter policy, and logs power-tracking state.
+//
+// Usage:
+//
+//	anord -listen :9700 -nodes 16 -targets targets.jsonl \
+//	      -budgeter even-slowdown -feedback
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/clock"
+	"repro/internal/clustermgr"
+	"repro/internal/perfmodel"
+	"repro/internal/schedule"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func main() {
+	listen := flag.String("listen", ":9700", "address to accept job-tier connections on")
+	nodes := flag.Int("nodes", 16, "total cluster node count (for idle accounting)")
+	targetsPath := flag.String("targets", "", "power-target schedule file (JSON lines; required)")
+	budgeterName := flag.String("budgeter", "even-slowdown", "power budgeter: even-slowdown, even-power, or uniform")
+	period := flag.Duration("period", 2*time.Second, "rebudget period")
+	feedback := flag.Bool("feedback", false, "let trained job-tier models override precharacterized curves")
+	defaultPolicy := flag.String("default", "least", "model for unknown job types: least or most sensitive")
+	reserve := flag.Float64("reserve", 1100, "demand-response reserve in watts (for error reporting)")
+	traceOut := flag.String("trace", "", "write the tracking series to this CSV file on exit")
+	flag.Parse()
+
+	if *targetsPath == "" {
+		log.Fatal("anord: -targets is required")
+	}
+	budgeter, err := budgeterByName(*budgeterName)
+	if err != nil {
+		log.Fatal(err)
+	}
+	defModel, err := defaultModel(*defaultPolicy)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	typeModels := map[string]perfmodel.Model{}
+	for _, t := range workload.Catalog() {
+		typeModels[t.Name] = t.RelativeModel()
+	}
+
+	start := time.Now()
+	var mu sync.Mutex
+	var points []schedule.TargetPoint
+	reload := func() error {
+		f, err := os.Open(*targetsPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		pts, err := schedule.ReadTargets(f)
+		if err != nil {
+			return err
+		}
+		mu.Lock()
+		points = pts
+		mu.Unlock()
+		return nil
+	}
+	if err := reload(); err != nil {
+		log.Fatalf("anord: loading targets: %v", err)
+	}
+	go func() {
+		// The paper's manager re-reads its target file periodically so
+		// operators can steer a live run.
+		for range time.Tick(5 * time.Second) {
+			if err := reload(); err != nil {
+				log.Printf("anord: reloading targets: %v", err)
+			}
+		}
+	}()
+
+	mgr, err := clustermgr.NewManager(clustermgr.Config{
+		Clock:    clock.Real{},
+		Budgeter: budgeter,
+		Target: func(now time.Time) units.Power {
+			mu.Lock()
+			pts := points
+			mu.Unlock()
+			return schedule.TargetFunc(start, pts)(now)
+		},
+		Period:       *period,
+		TotalNodes:   *nodes,
+		IdlePower:    workload.NodeIdlePower,
+		TypeModels:   typeModels,
+		DefaultModel: defModel,
+		UseFeedback:  *feedback,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ln, err := net.Listen("tcp", *listen)
+	if err != nil {
+		log.Fatal(err)
+	}
+	log.Printf("anord: listening on %s, %d nodes, %s budgeter, feedback=%v",
+		ln.Addr(), *nodes, budgeter.Name(), *feedback)
+	go func() {
+		if err := mgr.Serve(ln); err != nil {
+			log.Printf("anord: accept loop ended: %v", err)
+		}
+	}()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	go mgr.Run(ctx)
+	<-ctx.Done()
+	ln.Close()
+
+	pts := mgr.Tracking().Points()
+	sum := trace.Summarize(pts, units.Power(*reserve))
+	log.Printf("anord: %d tracking points, mean |err| %s, P90 err %.1f%%, constraint ok=%v",
+		sum.Points, sum.MeanAbsErr, 100*sum.P90Err, sum.WithinConstraint)
+	if *traceOut != "" {
+		f, err := os.Create(*traceOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		if err := trace.WriteCSV(f, pts); err != nil {
+			log.Fatal(err)
+		}
+		log.Printf("anord: wrote %s", *traceOut)
+	}
+}
+
+func budgeterByName(name string) (budget.Budgeter, error) {
+	switch name {
+	case "even-slowdown":
+		return budget.EvenSlowdown{}, nil
+	case "even-power":
+		return budget.EvenPower{}, nil
+	case "uniform":
+		return budget.Uniform{}, nil
+	default:
+		return nil, fmt.Errorf("anord: unknown budgeter %q", name)
+	}
+}
+
+func defaultModel(policy string) (perfmodel.Model, error) {
+	switch policy {
+	case "least":
+		return workload.LeastSensitive().RelativeModel(), nil
+	case "most":
+		return workload.MostSensitive().RelativeModel(), nil
+	default:
+		return perfmodel.Model{}, fmt.Errorf("anord: unknown default policy %q", policy)
+	}
+}

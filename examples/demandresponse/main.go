@@ -1,0 +1,77 @@
+// Demand response: a ten-minute slice of the paper's Fig. 9 scenario. The
+// cluster bids an average power and a reserve, the grid sends a new
+// regulation target every four seconds, and the ANOR stack steers job
+// power caps to follow it while a Poisson stream of NPB-style jobs flows
+// through the AQA scheduler.
+//
+//	go run ./examples/demandresponse
+package main
+
+import (
+	"fmt"
+	"log"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	res, err := experiments.Fig9(experiments.Fig9Config{
+		Horizon: 10 * time.Minute,
+		Seed:    7,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("demand response on a 16-node emulated cluster (targets 2.3–4.5 kW)")
+	fmt.Printf("jobs completed: %d\n", res.Jobs)
+	fmt.Printf("mean |target − measured|: %s\n", res.Summary.MeanAbsErr)
+	fmt.Printf("90th percentile tracking error: %.1f%% of reserve\n", 100*res.P90Err)
+	fmt.Printf("constraint (≤30%% error ≥90%% of time): %v\n\n", res.Summary.WithinConstraint)
+
+	// ASCII strip chart: one column per ~15 s, targets ▲ vs measured ●.
+	fmt.Println("power over time (each row 250 W, T = target, M = measured, * = both):")
+	const rows = 10
+	const lo, hi = 2000.0, 4500.0
+	cols := 72
+	if len(res.Tracking) < cols {
+		cols = len(res.Tracking)
+	}
+	grid := make([][]byte, rows)
+	for r := range grid {
+		grid[r] = []byte(strings.Repeat(" ", cols))
+	}
+	bucket := func(w float64) int {
+		r := int((hi - w) / (hi - lo) * float64(rows))
+		if r < 0 {
+			r = 0
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		return r
+	}
+	for c := 0; c < cols; c++ {
+		p := res.Tracking[c*len(res.Tracking)/cols]
+		tr, mr := bucket(p.Target.Watts()), bucket(p.Measured.Watts())
+		grid[tr][c] = 'T'
+		if mr == tr {
+			grid[tr][c] = '*'
+		} else {
+			grid[mr][c] = 'M'
+		}
+	}
+	for r, row := range grid {
+		fmt.Printf("%6.1f kW |%s|\n", (hi-(float64(r)+0.5)*(hi-lo)/rows)/1000, row)
+	}
+	fmt.Println("\nper-type mean slowdown under the moving cap:")
+	for name, xs := range res.SlowdownByType {
+		sum := 0.0
+		for _, x := range xs {
+			sum += x
+		}
+		fmt.Printf("  %-10s %5.1f%%  (%d jobs)\n", name, 100*sum/float64(len(xs)), len(xs))
+	}
+}

@@ -1,0 +1,53 @@
+// Facility coordination (§8 future work): a data center bringing up a
+// next-generation cluster while the previous generation still runs, under
+// shared power infrastructure that cannot feed both at peak. The facility
+// coordinator water-fills the available capacity across the clusters'
+// advertised ranges; each cluster's ANOR manager would then treat its
+// grant as the ceiling for its own demand-response target.
+//
+//	go run ./examples/facility
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/internal/facility"
+	"repro/internal/units"
+)
+
+func main() {
+	// gen1: 16 old nodes; gen2: 32 new nodes. Combined peak 13.4 kW, but
+	// the feed is provisioned for 10 kW.
+	members := []facility.Member{
+		{Name: "gen1", MinPower: 16 * 140, MaxPower: 16 * 280, Demand: 16 * 250, Priority: 1},
+		{Name: "gen2", MinPower: 32 * 140, MaxPower: 32 * 280, Demand: 32 * 260, Priority: 2},
+	}
+	coord := facility.Coordinator{Capacity: 10000}
+
+	fmt.Println("facility capacity: 10.0 kW; combined demand:",
+		units.Power(members[0].Demand+members[1].Demand))
+	alloc, err := coord.Allocate(members)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, r := range facility.Summarize(members, alloc) {
+		fmt.Printf("  %-5s granted %-9s demand %-9s satisfied=%v\n",
+			r.Name, r.Granted, r.Demand, r.Satisfied)
+	}
+	fmt.Printf("  total granted: %s (capacity fully used, floors respected)\n\n", alloc.Total())
+
+	// Overnight, gen1 drains for maintenance: its demand collapses and
+	// gen2 can burst toward its peak.
+	members[0].Demand = 16 * 150
+	alloc, err = coord.Allocate(members)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("after gen1 drains to 2.4 kW demand:")
+	for _, r := range facility.Summarize(members, alloc) {
+		fmt.Printf("  %-5s granted %-9s demand %-9s satisfied=%v\n",
+			r.Name, r.Granted, r.Demand, r.Satisfied)
+	}
+	fmt.Printf("  total granted: %s\n", alloc.Total())
+}

@@ -1,0 +1,263 @@
+package budget
+
+import (
+	"fmt"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// catalogJobs builds one budgeter Job per catalog type, one instance each,
+// as in Fig. 4.
+func catalogJobs() []Job {
+	var jobs []Job
+	for _, t := range workload.Catalog() {
+		jobs = append(jobs, Job{ID: t.Name, Nodes: t.Nodes, Model: t.RelativeModel()})
+	}
+	return jobs
+}
+
+func totalRange(jobs []Job) (min, max units.Power) {
+	for _, j := range jobs {
+		min += j.Model.PMin * units.Power(j.Nodes)
+		max += j.Model.PMax * units.Power(j.Nodes)
+	}
+	return min, max
+}
+
+func TestEvenPowerMeetsBudget(t *testing.T) {
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	for budget := min; budget <= max; budget += 100 {
+		alloc := EvenPower{}.Allocate(jobs, budget)
+		got := alloc.TotalPower(jobs)
+		if math.Abs(got.Watts()-budget.Watts()) > 1 {
+			t.Errorf("even-power at %v used %v", budget, got)
+		}
+	}
+}
+
+func TestEvenPowerEqualGamma(t *testing.T) {
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	budget := (min + max) / 2
+	alloc := EvenPower{}.Allocate(jobs, budget)
+	var gammas []float64
+	for _, j := range jobs {
+		g := (alloc[j.ID] - j.Model.PMin).Watts() / (j.Model.PMax - j.Model.PMin).Watts()
+		gammas = append(gammas, g)
+	}
+	for _, g := range gammas[1:] {
+		if math.Abs(g-gammas[0]) > 1e-9 {
+			t.Fatalf("gammas differ: %v", gammas)
+		}
+	}
+}
+
+func TestEvenPowerSaturation(t *testing.T) {
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	low := EvenPower{}.Allocate(jobs, min-500)
+	for _, j := range jobs {
+		if low[j.ID] != j.Model.PMin {
+			t.Errorf("below-min budget: %s capped at %v, want PMin", j.ID, low[j.ID])
+		}
+	}
+	high := EvenPower{}.Allocate(jobs, max+500)
+	for _, j := range jobs {
+		if high[j.ID] != j.Model.PMax {
+			t.Errorf("above-max budget: %s capped at %v, want PMax", j.ID, high[j.ID])
+		}
+	}
+}
+
+func TestEvenSlowdownMeetsBudget(t *testing.T) {
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	for budget := min + 50; budget < max; budget += 100 {
+		alloc := EvenSlowdown{}.Allocate(jobs, budget)
+		got := alloc.TotalPower(jobs)
+		if math.Abs(got.Watts()-budget.Watts()) > 2 {
+			t.Errorf("even-slowdown at %v used %v", budget, got)
+		}
+	}
+}
+
+func TestEvenSlowdownEqualizesUnsaturatedJobs(t *testing.T) {
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	budget := min + (max-min)*6/10
+	alloc := EvenSlowdown{}.Allocate(jobs, budget)
+	truth := map[string]perfmodel.Model{}
+	for _, j := range jobs {
+		truth[j.ID] = j.Model
+	}
+	slows := ExpectedSlowdowns(jobs, truth, alloc)
+	// Jobs not pinned at PMin should share one slowdown value.
+	var shared []float64
+	for _, j := range jobs {
+		if alloc[j.ID] > j.Model.PMin+1e-6 {
+			shared = append(shared, slows[j.ID])
+		}
+	}
+	if len(shared) < 2 {
+		t.Fatalf("too few unsaturated jobs to compare: %v", shared)
+	}
+	for _, s := range shared[1:] {
+		if math.Abs(s-shared[0]) > 1e-3 {
+			t.Fatalf("unsaturated slowdowns differ: %v", shared)
+		}
+	}
+}
+
+func TestEvenSlowdownBeatsEvenPowerOnWorstJob(t *testing.T) {
+	// §6.1.1: in mid-range budgets the even-slowdown policy reduces the
+	// worst job's slowdown.
+	jobs := catalogJobs()
+	truth := map[string]perfmodel.Model{}
+	for _, j := range jobs {
+		truth[j.ID] = j.Model
+	}
+	min, max := totalRange(jobs)
+	improved := 0
+	for _, frac := range []float64{0.3, 0.5, 0.7} {
+		budget := min + units.Power(frac)*(max-min)
+		evenP := WorstSlowdown(ExpectedSlowdowns(jobs, truth, EvenPower{}.Allocate(jobs, budget)))
+		evenS := WorstSlowdown(ExpectedSlowdowns(jobs, truth, EvenSlowdown{}.Allocate(jobs, budget)))
+		if evenS > evenP+1e-9 {
+			t.Errorf("at %.0f%% budget: even-slowdown worst %.4f > even-power worst %.4f", frac*100, evenS, evenP)
+		}
+		if evenS < evenP-1e-3 {
+			improved++
+		}
+	}
+	if improved == 0 {
+		t.Error("even-slowdown never improved the worst job in mid-range budgets")
+	}
+}
+
+func TestEvenSlowdownExtremes(t *testing.T) {
+	// §6.1.1: no opportunity at the extremes — both policies pin caps.
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	lo := EvenSlowdown{}.Allocate(jobs, min)
+	hi := EvenSlowdown{}.Allocate(jobs, max+10)
+	for _, j := range jobs {
+		if lo[j.ID] != j.Model.PMin {
+			t.Errorf("min budget: %s at %v, want PMin", j.ID, lo[j.ID])
+		}
+		if hi[j.ID] != j.Model.PMax {
+			t.Errorf("max budget: %s at %v, want PMax", j.ID, hi[j.ID])
+		}
+	}
+}
+
+func TestUniformBudgeter(t *testing.T) {
+	jobs := catalogJobs()
+	nodes := 0
+	for _, j := range jobs {
+		nodes += j.Nodes
+	}
+	alloc := Uniform{}.Allocate(jobs, units.Power(nodes)*200)
+	for _, j := range jobs {
+		want := units.Power(200).Clamp(j.Model.PMin, j.Model.PMax)
+		if alloc[j.ID] != want {
+			t.Errorf("uniform cap for %s = %v, want %v", j.ID, alloc[j.ID], want)
+		}
+	}
+}
+
+func TestAllocateEmptyJobs(t *testing.T) {
+	for _, b := range []Budgeter{EvenPower{}, EvenSlowdown{}, Uniform{}} {
+		if alloc := b.Allocate(nil, 1000); len(alloc) != 0 {
+			t.Errorf("%s: non-empty allocation for no jobs", b.Name())
+		}
+	}
+}
+
+func TestAllocationsWithinModelRange(t *testing.T) {
+	jobs := catalogJobs()
+	min, max := totalRange(jobs)
+	for _, b := range []Budgeter{EvenPower{}, EvenSlowdown{}, Uniform{}} {
+		for budget := min - 200; budget <= max+200; budget += 150 {
+			alloc := b.Allocate(jobs, budget)
+			if len(alloc) != len(jobs) {
+				t.Fatalf("%s: allocation missing jobs", b.Name())
+			}
+			for _, j := range jobs {
+				cap := alloc[j.ID]
+				if cap < j.Model.PMin-1e-9 || cap > j.Model.PMax+1e-9 {
+					t.Errorf("%s at %v: %s cap %v outside [%v, %v]",
+						b.Name(), budget, j.ID, cap, j.Model.PMin, j.Model.PMax)
+				}
+			}
+		}
+	}
+}
+
+func TestAllocationNeverExceedsBudgetProperty(t *testing.T) {
+	jobs := catalogJobs()
+	min, _ := totalRange(jobs)
+	f := func(raw uint16) bool {
+		budget := min + units.Power(raw%2500)
+		for _, b := range []Budgeter{EvenPower{}, EvenSlowdown{}} {
+			if b.Allocate(jobs, budget).TotalPower(jobs) > budget+2 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 50}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestMisclassificationShiftsSlowdowns(t *testing.T) {
+	// Fig. 5 mechanics: misclassifying FT as IS (underprediction) starves
+	// the unknown job; the budgeter believes FT tolerates low power.
+	ep := workload.MustByName("ep")
+	ft := workload.MustByName("ft")
+	is := workload.MustByName("is")
+
+	truth := map[string]perfmodel.Model{
+		"ep": ep.RelativeModel(), "ft": ft.RelativeModel(), "is": is.RelativeModel(),
+	}
+	mk := func(ftModel perfmodel.Model) []Job {
+		return []Job{
+			{ID: "ep", Nodes: 4, Model: ep.RelativeModel()},
+			{ID: "ft", Nodes: 2, Model: ftModel},
+			{ID: "is", Nodes: 4, Model: is.RelativeModel()},
+		}
+	}
+	budget := units.Power(10 * 200) // 10 nodes, mid-range
+	ideal := ExpectedSlowdowns(mk(ft.RelativeModel()), truth, EvenSlowdown{}.Allocate(mk(ft.RelativeModel()), budget))
+	under := ExpectedSlowdowns(mk(is.RelativeModel()), truth, EvenSlowdown{}.Allocate(mk(is.RelativeModel()), budget))
+	if under["ft"] <= ideal["ft"]+1e-6 {
+		t.Errorf("underprediction did not slow the unknown job: ideal %.4f vs under %.4f", ideal["ft"], under["ft"])
+	}
+	over := ExpectedSlowdowns(mk(ep.RelativeModel()), truth, EvenSlowdown{}.Allocate(mk(ep.RelativeModel()), budget))
+	if over["ep"] <= ideal["ep"]+1e-6 {
+		t.Errorf("overprediction did not slow the sensitive co-scheduled job: ideal %.4f vs over %.4f", ideal["ep"], over["ep"])
+	}
+}
+
+func TestWorstSlowdown(t *testing.T) {
+	if got := WorstSlowdown(nil); got != 1 {
+		t.Errorf("WorstSlowdown(nil) = %v", got)
+	}
+	if got := WorstSlowdown(map[string]float64{"a": 1.2, "b": 1.7, "c": 1.1}); got != 1.7 {
+		t.Errorf("WorstSlowdown = %v", got)
+	}
+}
+
+func TestSortedIDs(t *testing.T) {
+	m := map[string]int{"b": 1, "a": 2, "c": 3}
+	ids := SortedIDs(m)
+	if fmt.Sprint(ids) != "[a b c]" {
+		t.Errorf("SortedIDs = %v", ids)
+	}
+}

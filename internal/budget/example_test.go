@@ -1,0 +1,47 @@
+package budget_test
+
+import (
+	"fmt"
+
+	"repro/internal/budget"
+	"repro/internal/workload"
+)
+
+// ExampleEvenSlowdown_Allocate splits an 840 W budget between a
+// power-sensitive BT job and an insensitive SP job: the even-slowdown
+// policy steers power toward BT so both degrade equally.
+func ExampleEvenSlowdown_Allocate() {
+	bt := workload.MustByName("bt")
+	sp := workload.MustByName("sp")
+	jobs := []budget.Job{
+		{ID: "bt-0", Nodes: 2, Model: bt.RelativeModel()},
+		{ID: "sp-0", Nodes: 2, Model: sp.RelativeModel()},
+	}
+	alloc := budget.EvenSlowdown{}.Allocate(jobs, 840)
+	fmt.Printf("bt cap: %.0f W/node\n", alloc["bt-0"].Watts())
+	fmt.Printf("sp cap: %.0f W/node\n", alloc["sp-0"].Watts())
+	fmt.Printf("bt slowdown: %.3f\n", bt.RelativeModel().SlowdownAt(alloc["bt-0"]))
+	fmt.Printf("sp slowdown: %.3f\n", sp.RelativeModel().SlowdownAt(alloc["sp-0"]))
+	// Output:
+	// bt cap: 246 W/node
+	// sp cap: 174 W/node
+	// bt slowdown: 1.100
+	// sp slowdown: 1.100
+}
+
+// ExampleEvenPower_Allocate shows the performance-unaware baseline on the
+// same jobs: equal γ across power ranges, unequal slowdowns.
+func ExampleEvenPower_Allocate() {
+	bt := workload.MustByName("bt")
+	sp := workload.MustByName("sp")
+	jobs := []budget.Job{
+		{ID: "bt-0", Nodes: 2, Model: bt.RelativeModel()},
+		{ID: "sp-0", Nodes: 2, Model: sp.RelativeModel()},
+	}
+	alloc := budget.EvenPower{}.Allocate(jobs, 840)
+	fmt.Printf("bt slowdown: %.3f\n", bt.RelativeModel().SlowdownAt(alloc["bt-0"]))
+	fmt.Printf("sp slowdown: %.3f\n", sp.RelativeModel().SlowdownAt(alloc["sp-0"]))
+	// Output:
+	// bt slowdown: 1.219
+	// sp slowdown: 1.060
+}

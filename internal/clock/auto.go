@@ -1,0 +1,53 @@
+package clock
+
+import (
+	"sync"
+	"time"
+)
+
+// Auto is a self-advancing clock: every After or Sleep immediately jumps
+// the clock forward by the requested duration and fires. It turns a
+// single-goroutine simulation (one benchmark executor characterizing a
+// curve, for example) into a pure computation that runs at memory speed —
+// no driver goroutine needed.
+//
+// Auto is only exact when at most one goroutine waits at a time; with
+// concurrent waiters their durations interleave arbitrarily (each waiter
+// advances the shared clock by its own full duration). Use Virtual with a
+// driver for multi-component experiments.
+type Auto struct {
+	mu  sync.Mutex
+	now time.Time
+}
+
+// NewAuto returns an auto-advancing clock starting at the given time.
+func NewAuto(start time.Time) *Auto { return &Auto{now: start} }
+
+// Now returns the current auto-advanced time.
+func (a *Auto) Now() time.Time {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	return a.now
+}
+
+// After advances the clock by d and fires immediately.
+func (a *Auto) After(d time.Duration) <-chan time.Time {
+	a.mu.Lock()
+	if d > 0 {
+		a.now = a.now.Add(d)
+	}
+	now := a.now
+	a.mu.Unlock()
+	ch := make(chan time.Time, 1)
+	ch <- now
+	return ch
+}
+
+// Sleep advances the clock by d and returns immediately.
+func (a *Auto) Sleep(d time.Duration) {
+	a.mu.Lock()
+	defer a.mu.Unlock()
+	if d > 0 {
+		a.now = a.now.Add(d)
+	}
+}

@@ -1,0 +1,48 @@
+package clock
+
+import (
+	"testing"
+	"time"
+)
+
+func TestAutoAdvancesOnSleep(t *testing.T) {
+	a := NewAuto(epoch)
+	a.Sleep(90 * time.Second)
+	if want := epoch.Add(90 * time.Second); !a.Now().Equal(want) {
+		t.Errorf("Now = %v, want %v", a.Now(), want)
+	}
+	a.Sleep(-time.Second) // no-op
+	if want := epoch.Add(90 * time.Second); !a.Now().Equal(want) {
+		t.Errorf("negative Sleep moved clock: %v", a.Now())
+	}
+}
+
+func TestAutoAfterFiresImmediately(t *testing.T) {
+	a := NewAuto(epoch)
+	select {
+	case got := <-a.After(time.Hour):
+		if want := epoch.Add(time.Hour); !got.Equal(want) {
+			t.Errorf("fired at %v, want %v", got, want)
+		}
+	case <-time.After(time.Second):
+		t.Fatal("Auto.After did not fire immediately")
+	}
+	if !a.Now().Equal(epoch.Add(time.Hour)) {
+		t.Errorf("Now = %v", a.Now())
+	}
+}
+
+func TestAutoRunsExecutorFast(t *testing.T) {
+	// An hour of virtual waits completes in real microseconds.
+	a := NewAuto(epoch)
+	start := time.Now()
+	for i := 0; i < 3600; i++ {
+		a.Sleep(time.Second)
+	}
+	if real := time.Since(start); real > time.Second {
+		t.Errorf("3600 auto sleeps took %v of real time", real)
+	}
+	if got := a.Now().Sub(epoch); got != time.Hour {
+		t.Errorf("virtual elapsed = %v, want 1h", got)
+	}
+}

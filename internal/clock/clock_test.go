@@ -1,0 +1,171 @@
+package clock
+
+import (
+	"sync"
+	"testing"
+	"time"
+)
+
+var epoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func TestVirtualNowAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	if !v.Now().Equal(epoch) {
+		t.Fatalf("Now = %v", v.Now())
+	}
+	v.Advance(90 * time.Second)
+	if want := epoch.Add(90 * time.Second); !v.Now().Equal(want) {
+		t.Fatalf("after Advance, Now = %v, want %v", v.Now(), want)
+	}
+}
+
+func TestVirtualAfterFiresAtDeadline(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch := v.After(10 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired before Advance")
+	default:
+	}
+	v.Advance(9 * time.Second)
+	select {
+	case <-ch:
+		t.Fatal("timer fired 1 s early")
+	default:
+	}
+	v.Advance(time.Second)
+	got := <-ch
+	if want := epoch.Add(10 * time.Second); !got.Equal(want) {
+		t.Fatalf("fired at %v, want %v", got, want)
+	}
+}
+
+func TestVirtualAfterNonPositive(t *testing.T) {
+	v := NewVirtual(epoch)
+	select {
+	case <-v.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("After(0) did not fire immediately")
+	}
+	select {
+	case <-v.After(-time.Second):
+	case <-time.After(time.Second):
+		t.Fatal("After(-1s) did not fire immediately")
+	}
+}
+
+func TestVirtualAdvanceFiresInOrder(t *testing.T) {
+	v := NewVirtual(epoch)
+	ch3 := v.After(3 * time.Second)
+	ch1 := v.After(1 * time.Second)
+	ch2 := v.After(2 * time.Second)
+	if fired := v.Advance(5 * time.Second); fired != 3 {
+		t.Fatalf("fired %d waiters, want 3", fired)
+	}
+	t1, t2, t3 := <-ch1, <-ch2, <-ch3
+	if !t1.Before(t2) || !t2.Before(t3) {
+		t.Fatalf("timestamps out of order: %v %v %v", t1, t2, t3)
+	}
+}
+
+func TestVirtualStep(t *testing.T) {
+	v := NewVirtual(epoch)
+	if v.Step() {
+		t.Fatal("Step with no waiters returned true")
+	}
+	a := v.After(5 * time.Second)
+	b := v.After(5 * time.Second)
+	c := v.After(7 * time.Second)
+	if !v.Step() {
+		t.Fatal("Step returned false")
+	}
+	<-a
+	<-b
+	select {
+	case <-c:
+		t.Fatal("later waiter fired on first Step")
+	default:
+	}
+	if !v.Now().Equal(epoch.Add(5 * time.Second)) {
+		t.Fatalf("Now = %v after Step", v.Now())
+	}
+	v.Step()
+	<-c
+}
+
+func TestVirtualSleepBlocksUntilAdvance(t *testing.T) {
+	v := NewVirtual(epoch)
+	done := make(chan struct{})
+	go func() {
+		v.Sleep(time.Minute)
+		close(done)
+	}()
+	v.WaitForWaiters(1)
+	select {
+	case <-done:
+		t.Fatal("Sleep returned before Advance")
+	default:
+	}
+	v.Advance(time.Minute)
+	select {
+	case <-done:
+	case <-time.After(2 * time.Second):
+		t.Fatal("Sleep did not return after Advance")
+	}
+}
+
+func TestVirtualSleepZeroReturnsImmediately(t *testing.T) {
+	v := NewVirtual(epoch)
+	doneCh := make(chan struct{})
+	go func() {
+		v.Sleep(0)
+		v.Sleep(-time.Hour)
+		close(doneCh)
+	}()
+	select {
+	case <-doneCh:
+	case <-time.After(time.Second):
+		t.Fatal("Sleep(0) blocked")
+	}
+}
+
+func TestVirtualManyConcurrentSleepers(t *testing.T) {
+	v := NewVirtual(epoch)
+	const n = 50
+	var wg sync.WaitGroup
+	for i := 0; i < n; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			v.Sleep(time.Duration(i+1) * time.Second)
+		}(i)
+	}
+	v.WaitForWaiters(n)
+	if got := v.PendingWaiters(); got != n {
+		t.Fatalf("PendingWaiters = %d, want %d", got, n)
+	}
+	v.Advance(time.Duration(n) * time.Second)
+	wg.Wait()
+	if got := v.PendingWaiters(); got != 0 {
+		t.Fatalf("PendingWaiters after drain = %d", got)
+	}
+}
+
+func TestRealClockBasics(t *testing.T) {
+	var c Real
+	before := time.Now()
+	now := c.Now()
+	if now.Before(before.Add(-time.Second)) {
+		t.Fatalf("Real.Now = %v far before time.Now", now)
+	}
+	select {
+	case <-c.After(0):
+	case <-time.After(time.Second):
+		t.Fatal("Real.After(0) did not fire immediately")
+	}
+	start := time.Now()
+	c.Sleep(10 * time.Millisecond)
+	if time.Since(start) < 10*time.Millisecond {
+		t.Fatal("Real.Sleep returned early")
+	}
+}

@@ -1,0 +1,275 @@
+// Package clustermgr implements the ANOR cluster-tier manager (§4, §4.1):
+// a single process on the head node that accepts one connection per job
+// from job-tier endpoint processes, periodically reads the time-varying
+// cluster power target, distributes the available power across running
+// jobs with a pluggable budgeter policy, and pushes each job's new
+// per-node cap down over the wire. Model updates flowing up from the job
+// tier (online-fitted power-performance models, measured power) feed both
+// budgeting and power-tracking measurement.
+package clustermgr
+
+import (
+	"context"
+	"errors"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/clock"
+	"repro/internal/perfmodel"
+	"repro/internal/proto"
+	"repro/internal/trace"
+	"repro/internal/units"
+)
+
+// DefaultPeriod is the cluster-tier rebudget period. The paper's targets
+// move every few seconds (§4.4.1); a 2 s control loop keeps the cluster
+// tier slower than the job tier but fast against the target.
+const DefaultPeriod = 2 * time.Second
+
+// Config parameterizes a Manager.
+type Config struct {
+	// Clock paces the control loop. Required.
+	Clock clock.Clock
+	// Budgeter distributes available power across jobs. Required.
+	Budgeter budget.Budgeter
+	// Target yields the cluster's total power target at a given time
+	// (demand response signal, file-fed schedule, ...). Required.
+	Target func(time.Time) units.Power
+	// Period overrides DefaultPeriod when positive.
+	Period time.Duration
+	// TotalNodes is the cluster's node count, for idle-power accounting.
+	TotalNodes int
+	// IdlePower is each idle node's draw (default 70 W).
+	IdlePower units.Power
+	// TypeModels maps job-type names to precharacterized per-node
+	// power-performance curves. A job whose Hello claims a known type is
+	// budgeted with that curve until feedback replaces it.
+	TypeModels map[string]perfmodel.Model
+	// DefaultModel is used for jobs with unknown or unrecognized types —
+	// the §6.1.2 policy knob (assume-least vs assume-most sensitive).
+	DefaultModel perfmodel.Model
+	// UseFeedback lets trained online models from the job tier override
+	// the precharacterized curve — the "adjusted" policy of Fig. 10.
+	UseFeedback bool
+}
+
+type jobState struct {
+	id        string
+	nodes     int
+	conn      *proto.Conn
+	believed  perfmodel.Model
+	online    perfmodel.Model
+	trained   bool
+	lastPower units.Power
+	lastCap   units.Power
+}
+
+// Manager is the cluster-tier power manager.
+type Manager struct {
+	cfg Config
+
+	mu   sync.Mutex
+	jobs map[string]*jobState
+
+	rec trace.Recorder
+	wg  sync.WaitGroup
+}
+
+// NewManager validates the configuration and constructs a manager.
+func NewManager(cfg Config) (*Manager, error) {
+	if cfg.Clock == nil {
+		return nil, errors.New("clustermgr: config requires a clock")
+	}
+	if cfg.Budgeter == nil {
+		return nil, errors.New("clustermgr: config requires a budgeter")
+	}
+	if cfg.Target == nil {
+		return nil, errors.New("clustermgr: config requires a target source")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultPeriod
+	}
+	if cfg.IdlePower == 0 {
+		cfg.IdlePower = 70
+	}
+	if err := cfg.DefaultModel.Validate(); err != nil {
+		return nil, errors.New("clustermgr: config requires a valid default model")
+	}
+	return &Manager{cfg: cfg, jobs: make(map[string]*jobState)}, nil
+}
+
+// Tracking returns the recorder holding the manager's (time, target,
+// measured) series.
+func (m *Manager) Tracking() *trace.Recorder { return &m.rec }
+
+// ActiveJobs returns the number of registered jobs.
+func (m *Manager) ActiveJobs() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.jobs)
+}
+
+// JobCap returns the cap last sent to a job, and whether the job is known.
+func (m *Manager) JobCap(id string) (units.Power, bool) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	j, ok := m.jobs[id]
+	if !ok {
+		return 0, false
+	}
+	return j.lastCap, true
+}
+
+// Serve accepts connections until the listener closes, registering each as
+// a job-tier endpoint. It is the TCP entry point; in-process experiments
+// can call AttachConn directly with net.Pipe ends.
+func (m *Manager) Serve(ln net.Listener) error {
+	for {
+		c, err := ln.Accept()
+		if err != nil {
+			return err
+		}
+		m.AttachConn(proto.NewConn(c))
+	}
+}
+
+// AttachConn registers one job-tier connection. The first message must be
+// a Hello; the connection is serviced on its own goroutine until Goodbye
+// or transport error.
+func (m *Manager) AttachConn(c *proto.Conn) {
+	m.wg.Add(1)
+	go func() {
+		defer m.wg.Done()
+		m.handleConn(c)
+	}()
+}
+
+func (m *Manager) handleConn(c *proto.Conn) {
+	defer c.Close()
+	first, err := c.Recv()
+	if err != nil || first.Kind != proto.KindHello {
+		return
+	}
+	hello := *first.Hello
+	believed := m.cfg.DefaultModel
+	if mdl, ok := m.cfg.TypeModels[hello.TypeName]; ok {
+		believed = mdl
+	}
+	j := &jobState{
+		id:        hello.JobID,
+		nodes:     hello.Nodes,
+		conn:      c,
+		believed:  believed,
+		lastPower: m.cfg.IdlePower * units.Power(hello.Nodes),
+	}
+	m.mu.Lock()
+	m.jobs[hello.JobID] = j
+	m.mu.Unlock()
+
+	defer func() {
+		m.mu.Lock()
+		delete(m.jobs, hello.JobID)
+		m.mu.Unlock()
+	}()
+
+	for {
+		env, err := c.Recv()
+		if err != nil {
+			return
+		}
+		switch env.Kind {
+		case proto.KindModelUpdate:
+			u := env.ModelUpdate
+			m.mu.Lock()
+			j.lastPower = units.Power(u.PowerWatts)
+			if u.Trained {
+				mdl := u.Model()
+				if mdl.Validate() == nil {
+					j.online = mdl
+					j.trained = true
+				}
+			}
+			m.mu.Unlock()
+		case proto.KindGoodbye:
+			return
+		}
+	}
+}
+
+// snapshot builds the budgeter's view of running jobs.
+func (m *Manager) snapshot() (jobs []budget.Job, conns map[string]*proto.Conn, busyNodes int, measured units.Power) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	conns = make(map[string]*proto.Conn, len(m.jobs))
+	for _, j := range m.jobs {
+		mdl := j.believed
+		if m.cfg.UseFeedback && j.trained {
+			mdl = j.online
+		}
+		jobs = append(jobs, budget.Job{ID: j.id, Nodes: j.nodes, Model: mdl})
+		conns[j.id] = j.conn
+		busyNodes += j.nodes
+		measured += j.lastPower
+	}
+	return jobs, conns, busyNodes, measured
+}
+
+// Tick runs one control iteration: rebudget against the current target and
+// record the tracking point. Exposed for deterministic drivers; Run calls
+// it on the configured period.
+func (m *Manager) Tick() {
+	now := m.cfg.Clock.Now()
+	target := m.cfg.Target(now)
+
+	jobs, conns, busyNodes, measuredJobs := m.snapshot()
+	idleNodes := m.cfg.TotalNodes - busyNodes
+	if idleNodes < 0 {
+		idleNodes = 0
+	}
+	idleDraw := m.cfg.IdlePower * units.Power(idleNodes)
+
+	jobBudget := target - idleDraw
+	alloc := m.cfg.Budgeter.Allocate(jobs, jobBudget)
+
+	for _, j := range jobs {
+		cap, ok := alloc[j.ID]
+		if !ok {
+			continue
+		}
+		conn := conns[j.ID]
+		env := proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
+			JobID: j.ID, PowerCapWatts: cap.Watts(),
+		}}
+		if err := conn.Send(env); err != nil {
+			// The connection handler will deregister the job on its own
+			// Recv error; nothing to do here.
+			continue
+		}
+		m.mu.Lock()
+		if js, ok := m.jobs[j.ID]; ok {
+			js.lastCap = cap
+		}
+		m.mu.Unlock()
+	}
+
+	m.rec.Record(trace.Point{Time: now, Target: target, Measured: measuredJobs + idleDraw})
+}
+
+// Run executes the control loop until ctx is cancelled, then waits for all
+// connection handlers to finish (their connections must be closed by the
+// peers or the listener owner).
+func (m *Manager) Run(ctx context.Context) error {
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case <-m.cfg.Clock.After(m.cfg.Period):
+			m.Tick()
+		}
+	}
+}
+
+// Wait blocks until all connection handlers have exited.
+func (m *Manager) Wait() { m.wg.Wait() }

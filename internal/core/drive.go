@@ -1,0 +1,79 @@
+package core
+
+import (
+	"runtime"
+	"time"
+
+	"repro/internal/clock"
+)
+
+// Drive runs fn while advancing the virtual clock v, firing each pending
+// deadline in order until fn returns. Between firings it yields the
+// processor until the set of parked waiters stabilizes, which keeps
+// virtual-time experiments honest: a component that wakes at virtual time
+// T gets to schedule its next wait before the clock moves past it.
+//
+// Drive is how hour-long cluster experiments (§6.3) run in seconds of
+// wall time.
+func Drive(v *clock.Virtual, fn func()) {
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		fn()
+	}()
+	idle := 0
+	for {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		if v.PendingWaiters() > 0 {
+			v.Step()
+			quiesce(v, done)
+			idle = 0
+		} else {
+			// No waiters yet: let other goroutines run; back off to a
+			// real sleep only if the system stays quiet.
+			idle++
+			if idle < 100 {
+				runtime.Gosched()
+			} else {
+				time.Sleep(50 * time.Microsecond)
+			}
+		}
+	}
+}
+
+// quiesce yields until the set of parked waiters stops changing (all
+// goroutines woken by the last Step have re-parked or finished), bounded
+// by a generous yield budget. On a loaded box a bounded slice of real
+// sleeps backs the yields up so blocked-on-I/O goroutines still get CPU.
+func quiesce(v *clock.Virtual, done <-chan struct{}) {
+	last := -1
+	stable := 0
+	for i := 0; i < 4000; i++ {
+		select {
+		case <-done:
+			return
+		default:
+		}
+		n := v.PendingWaiters()
+		if n == last {
+			stable++
+			// A run of unchanged counts across yields means every
+			// runnable goroutine has had a chance to park.
+			if stable >= 40 {
+				return
+			}
+		} else {
+			stable = 0
+			last = n
+		}
+		if i%500 == 499 {
+			time.Sleep(20 * time.Microsecond)
+		} else {
+			runtime.Gosched()
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package core
+
+import (
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+)
+
+func TestDriveCompletesSleepingWork(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	var ticks atomic.Int64
+	start := time.Now()
+	Drive(v, func() {
+		for i := 0; i < 500; i++ {
+			v.Sleep(time.Second)
+			ticks.Add(1)
+		}
+	})
+	if got := ticks.Load(); got != 500 {
+		t.Errorf("ticks = %d, want 500", got)
+	}
+	if elapsed := v.Now().Sub(t0); elapsed != 500*time.Second {
+		t.Errorf("virtual elapsed = %v", elapsed)
+	}
+	if real := time.Since(start); real > 30*time.Second {
+		t.Errorf("Drive took %v of real time for 500 virtual seconds", real)
+	}
+}
+
+func TestDriveHandlesConcurrentSleepers(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	var done atomic.Int64
+	Drive(v, func() {
+		ch := make(chan struct{})
+		for g := 0; g < 10; g++ {
+			go func(g int) {
+				for i := 0; i < 50; i++ {
+					v.Sleep(time.Duration(g+1) * 100 * time.Millisecond)
+				}
+				done.Add(1)
+				ch <- struct{}{}
+			}(g)
+		}
+		for g := 0; g < 10; g++ {
+			<-ch
+		}
+	})
+	if got := done.Load(); got != 10 {
+		t.Errorf("finished sleepers = %d, want 10", got)
+	}
+}
+
+func TestDriveReturnsImmediatelyForFastFn(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	ran := false
+	Drive(v, func() { ran = true })
+	if !ran {
+		t.Error("fn did not run")
+	}
+}

@@ -1,0 +1,64 @@
+package core
+
+import (
+	"context"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/clock"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// TestPhasedJobEndToEnd runs a two-phase job (a BT-like compute phase
+// followed by a slower phase with the same curve shape) through the full
+// stack with phase detection enabled: the modeler should notice the
+// regime change and re-learn, and the job completes normally.
+func TestPhasedJobEndToEnd(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	c, err := NewCluster(Config{
+		Nodes:             2,
+		Clock:             v,
+		Budgeter:          budget.EvenSlowdown{},
+		Target:            func(time.Time) units.Power { return 2 * 190 },
+		Seed:              4,
+		RetrainThreshold:  8,
+		DetectPhaseChange: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer c.Close()
+
+	bt := workload.MustByName("bt")
+	slow := bt
+	slow.BaseSeconds = bt.BaseSeconds * 2.2 // same curve shape, much slower epochs
+	var res JobResult
+	Drive(v, func() {
+		res, err = c.RunJob(context.Background(), JobSpec{
+			ID:   "phased",
+			Type: bt,
+			Phases: []workload.PhaseSpec{
+				{Type: bt, Epochs: 60},
+				{Type: slow, Epochs: 60},
+			},
+		})
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Report.Epochs != 120 {
+		t.Errorf("epochs = %d, want 120", res.Report.Epochs)
+	}
+	if !res.ModelerTrained {
+		t.Error("modeler never trained on phased job")
+	}
+	if res.PhaseResets == 0 {
+		t.Error("phase change not detected through the full stack")
+	}
+	// Slowdown is relative to the phased base time and must be sane.
+	if res.Slowdown < 1.0 || res.Slowdown > bt.MaxSlowdown+0.1 {
+		t.Errorf("phased slowdown = %v", res.Slowdown)
+	}
+}

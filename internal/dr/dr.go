@@ -1,0 +1,264 @@
+// Package dr implements the demand-response side of the ANOR cluster tier
+// (§4.4.1): the hourly bid of average power and reserve, the regulation
+// signal that moves the power target every few seconds, the electricity
+// cost model, and the AQA-style training search that picks bids and queue
+// weights under QoS and power-tracking constraints.
+package dr
+
+import (
+	"errors"
+	"math"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Bid is the cluster's demand-response offer for one bidding period: it
+// commits to consume AvgPower on average while tracking targets anywhere
+// in [AvgPower − Reserve, AvgPower + Reserve].
+type Bid struct {
+	// AvgPower is P̄, the requested average power.
+	AvgPower units.Power
+	// Reserve is R, the offered flexibility around P̄.
+	Reserve units.Power
+}
+
+// Target returns the power target P̄ + R·y for a regulation value y,
+// clamping y to [−1, 1].
+func (b Bid) Target(y float64) units.Power {
+	y = math.Max(-1, math.Min(1, y))
+	return b.AvgPower + units.Power(y)*b.Reserve
+}
+
+// Valid reports whether the bid is physically meaningful (positive average,
+// non-negative reserve not exceeding the average).
+func (b Bid) Valid() bool {
+	return b.AvgPower > 0 && b.Reserve >= 0 && b.Reserve <= b.AvgPower
+}
+
+// Signal is a regulation signal y(t) ∈ [−1, 1] indexed by time since the
+// bidding period began.
+type Signal interface {
+	At(t time.Duration) float64
+}
+
+// DefaultSignalStep is how often a new regulation value arrives: the paper
+// receives new power targets once every 4 seconds (§6.3).
+const DefaultSignalStep = 4 * time.Second
+
+// RandomWalk is a bounded random-walk regulation signal: every Step it
+// moves by a uniform delta in [−MaxDelta, MaxDelta], reflecting at ±1.
+// Values are precomputed over the horizon so lookups are O(1) and the
+// signal is deterministic for a seed.
+type RandomWalk struct {
+	step   time.Duration
+	values []float64
+}
+
+// NewRandomWalk builds a random-walk signal covering the given horizon.
+func NewRandomWalk(seed uint64, step time.Duration, maxDelta float64, horizon time.Duration) *RandomWalk {
+	if step <= 0 {
+		step = DefaultSignalStep
+	}
+	if maxDelta <= 0 {
+		maxDelta = 0.25
+	}
+	n := int(horizon/step) + 2
+	rng := stats.NewRNG(seed)
+	values := make([]float64, n)
+	y := rng.Uniform(-0.5, 0.5)
+	for i := range values {
+		values[i] = y
+		y += rng.Uniform(-maxDelta, maxDelta)
+		if y > 1 {
+			y = 2 - y
+		}
+		if y < -1 {
+			y = -2 - y
+		}
+	}
+	return &RandomWalk{step: step, values: values}
+}
+
+// At implements Signal. Times beyond the horizon hold the final value;
+// negative times hold the first.
+func (r *RandomWalk) At(t time.Duration) float64 {
+	if t < 0 {
+		return r.values[0]
+	}
+	i := int(t / r.step)
+	if i >= len(r.values) {
+		i = len(r.values) - 1
+	}
+	return r.values[i]
+}
+
+// Step returns the signal's update interval.
+func (r *RandomWalk) Step() time.Duration { return r.step }
+
+// Sine is a deterministic sinusoidal signal with the given period, useful
+// for tests and examples.
+type Sine struct {
+	// Period is the oscillation period. Required positive.
+	Period time.Duration
+	// Amplitude scales the wave (clamped to 1 in At).
+	Amplitude float64
+}
+
+// At implements Signal.
+func (s Sine) At(t time.Duration) float64 {
+	a := s.Amplitude
+	if a == 0 {
+		a = 1
+	}
+	y := a * math.Sin(2*math.Pi*t.Seconds()/s.Period.Seconds())
+	return math.Max(-1, math.Min(1, y))
+}
+
+// Constant is a fixed regulation value.
+type Constant float64
+
+// At implements Signal.
+func (c Constant) At(time.Duration) float64 {
+	return math.Max(-1, math.Min(1, float64(c)))
+}
+
+// Tariff prices a bidding period: energy consumed costs money, offered
+// reserve earns a credit (the incentive for demand-response participation),
+// so larger reserves lower cost as long as constraints hold.
+type Tariff struct {
+	// EnergyPerKWh is the consumption price in $/kWh.
+	EnergyPerKWh float64
+	// ReserveCreditPerKWh is the reserve credit in $/(kW·h of offered
+	// reserve).
+	ReserveCreditPerKWh float64
+}
+
+// Cost returns the net electricity cost of running at average power avg
+// with the given offered reserve for duration d.
+func (t Tariff) Cost(avg, reserve units.Power, d time.Duration) float64 {
+	hours := d.Hours()
+	return t.EnergyPerKWh*avg.Kilowatts()*hours - t.ReserveCreditPerKWh*reserve.Kilowatts()*hours
+}
+
+// Evaluation is what the training search learns about one candidate: the
+// constraint metrics and the cost to minimize.
+type Evaluation struct {
+	// QoS90 is the 90th percentile QoS degradation across jobs (§5.2).
+	QoS90 float64
+	// TrackOK reports whether tracking error stayed within the
+	// constraint (≤30% error at least 90% of the time, §4.4.2).
+	TrackOK bool
+	// Cost is the net electricity cost.
+	Cost float64
+}
+
+// Feasible reports whether the evaluation satisfies the constraints for a
+// QoS limit.
+func (e Evaluation) Feasible(qosLimit float64) bool {
+	return e.TrackOK && e.QoS90 <= qosLimit
+}
+
+// Evaluator scores a candidate bid with per-queue weights, typically by
+// running the tabular cluster simulator.
+type Evaluator func(Bid, []float64) Evaluation
+
+// TrainConfig parameterizes the AQA-style search.
+type TrainConfig struct {
+	// RNG drives the random search. Required.
+	RNG *stats.RNG
+	// Queues is the number of job-type queues to weight.
+	Queues int
+	// AvgRange and ReserveRange bound candidate bids.
+	AvgMin, AvgMax         units.Power
+	ReserveMin, ReserveMax units.Power
+	// QoSLimit is the degradation constraint (the paper uses Q = 5 at
+	// 90% probability, §5.2).
+	QoSLimit float64
+	// Iterations is the candidate budget.
+	Iterations int
+	// Evaluate scores candidates. Required.
+	Evaluate Evaluator
+}
+
+// TrainResult is the best candidate found.
+type TrainResult struct {
+	Bid     Bid
+	Weights []float64
+	Eval    Evaluation
+}
+
+// ErrNoFeasible is returned when no candidate met the constraints.
+var ErrNoFeasible = errors.New("dr: no feasible bid found")
+
+// Train searches bids and queue weights minimizing cost under the QoS and
+// tracking constraints — the AQA training loop the paper reuses (§4.4.2).
+// It is a random search with local refinement around the incumbent.
+func Train(cfg TrainConfig) (TrainResult, error) {
+	if cfg.RNG == nil || cfg.Evaluate == nil {
+		return TrainResult{}, errors.New("dr: TrainConfig requires RNG and Evaluate")
+	}
+	if cfg.Queues < 1 {
+		return TrainResult{}, errors.New("dr: TrainConfig requires at least one queue")
+	}
+	if cfg.Iterations < 1 {
+		cfg.Iterations = 50
+	}
+
+	randomBid := func() Bid {
+		avg := units.Power(cfg.RNG.Uniform(cfg.AvgMin.Watts(), cfg.AvgMax.Watts()))
+		res := units.Power(cfg.RNG.Uniform(cfg.ReserveMin.Watts(), cfg.ReserveMax.Watts()))
+		if res > avg {
+			res = avg
+		}
+		return Bid{AvgPower: avg, Reserve: res}
+	}
+	randomWeights := func() []float64 {
+		w := make([]float64, cfg.Queues)
+		for i := range w {
+			w[i] = cfg.RNG.Uniform(0.1, 1)
+		}
+		return w
+	}
+	perturb := func(b Bid, w []float64) (Bid, []float64) {
+		nb := Bid{
+			AvgPower: b.AvgPower + units.Power(cfg.RNG.Normal(0, 0.05*(cfg.AvgMax-cfg.AvgMin).Watts())),
+			Reserve:  b.Reserve + units.Power(cfg.RNG.Normal(0, 0.05*(cfg.ReserveMax-cfg.ReserveMin+1).Watts())),
+		}
+		nb.AvgPower = nb.AvgPower.Clamp(cfg.AvgMin, cfg.AvgMax)
+		nb.Reserve = nb.Reserve.Clamp(cfg.ReserveMin, cfg.ReserveMax)
+		if nb.Reserve > nb.AvgPower {
+			nb.Reserve = nb.AvgPower
+		}
+		nw := make([]float64, len(w))
+		for i := range w {
+			nw[i] = math.Max(0.05, w[i]+cfg.RNG.Normal(0, 0.1))
+		}
+		return nb, nw
+	}
+
+	var best TrainResult
+	found := false
+	for i := 0; i < cfg.Iterations; i++ {
+		var cand Bid
+		var weights []float64
+		if found && i%2 == 1 {
+			cand, weights = perturb(best.Bid, best.Weights)
+		} else {
+			cand, weights = randomBid(), randomWeights()
+		}
+		eval := cfg.Evaluate(cand, weights)
+		if !eval.Feasible(cfg.QoSLimit) {
+			continue
+		}
+		if !found || eval.Cost < best.Eval.Cost {
+			best = TrainResult{Bid: cand, Weights: weights, Eval: eval}
+			found = true
+		}
+	}
+	if !found {
+		return TrainResult{}, ErrNoFeasible
+	}
+	return best, nil
+}

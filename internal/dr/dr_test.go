@@ -1,0 +1,238 @@
+package dr
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+func TestBidTarget(t *testing.T) {
+	b := Bid{AvgPower: 3400, Reserve: 1100}
+	cases := []struct {
+		y    float64
+		want units.Power
+	}{
+		{0, 3400},
+		{1, 4500},
+		{-1, 2300},
+		{0.5, 3950},
+		{2, 4500},  // clamped
+		{-3, 2300}, // clamped
+	}
+	for _, c := range cases {
+		if got := b.Target(c.y); got != c.want {
+			t.Errorf("Target(%v) = %v, want %v", c.y, got, c.want)
+		}
+	}
+}
+
+func TestBidValid(t *testing.T) {
+	if !(Bid{AvgPower: 3000, Reserve: 1000}).Valid() {
+		t.Error("sane bid invalid")
+	}
+	if (Bid{AvgPower: 0, Reserve: 0}).Valid() {
+		t.Error("zero average valid")
+	}
+	if (Bid{AvgPower: 1000, Reserve: 2000}).Valid() {
+		t.Error("reserve exceeding average valid")
+	}
+}
+
+func TestRandomWalkBoundsAndDeterminism(t *testing.T) {
+	s := NewRandomWalk(42, 4*time.Second, 0.25, time.Hour)
+	for tt := time.Duration(0); tt <= time.Hour; tt += time.Second {
+		y := s.At(tt)
+		if y < -1 || y > 1 {
+			t.Fatalf("y(%v) = %v out of [-1,1]", tt, y)
+		}
+	}
+	s2 := NewRandomWalk(42, 4*time.Second, 0.25, time.Hour)
+	for tt := time.Duration(0); tt < time.Hour; tt += 7 * time.Second {
+		if s.At(tt) != s2.At(tt) {
+			t.Fatal("same seed differs")
+		}
+	}
+	s3 := NewRandomWalk(43, 4*time.Second, 0.25, time.Hour)
+	same := true
+	for tt := time.Duration(0); tt < time.Hour; tt += 40 * time.Second {
+		if s.At(tt) != s3.At(tt) {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical walks")
+	}
+}
+
+func TestRandomWalkStepGranularity(t *testing.T) {
+	s := NewRandomWalk(1, 4*time.Second, 0.25, time.Minute)
+	// Constant within a step.
+	if s.At(0) != s.At(3*time.Second) {
+		t.Error("value changed within one step")
+	}
+	// Edges: negative and beyond-horizon times are defined.
+	if y := s.At(-time.Second); y < -1 || y > 1 {
+		t.Errorf("negative time y = %v", y)
+	}
+	if y := s.At(2 * time.Hour); y < -1 || y > 1 {
+		t.Errorf("beyond-horizon y = %v", y)
+	}
+	if s.Step() != 4*time.Second {
+		t.Errorf("Step = %v", s.Step())
+	}
+}
+
+func TestRandomWalkActuallyMoves(t *testing.T) {
+	s := NewRandomWalk(7, 4*time.Second, 0.25, time.Hour)
+	distinct := map[float64]bool{}
+	for tt := time.Duration(0); tt < time.Hour; tt += 4 * time.Second {
+		distinct[s.At(tt)] = true
+	}
+	if len(distinct) < 100 {
+		t.Errorf("walk visited only %d distinct values over an hour", len(distinct))
+	}
+}
+
+func TestSineSignal(t *testing.T) {
+	s := Sine{Period: time.Minute}
+	if y := s.At(0); math.Abs(y) > 1e-9 {
+		t.Errorf("sine(0) = %v", y)
+	}
+	if y := s.At(15 * time.Second); math.Abs(y-1) > 1e-9 {
+		t.Errorf("sine(T/4) = %v, want 1", y)
+	}
+	big := Sine{Period: time.Minute, Amplitude: 5}
+	if y := big.At(15 * time.Second); y != 1 {
+		t.Errorf("clamped sine = %v", y)
+	}
+}
+
+func TestConstantSignal(t *testing.T) {
+	if Constant(0.3).At(time.Hour) != 0.3 {
+		t.Error("constant value")
+	}
+	if Constant(7).At(0) != 1 {
+		t.Error("constant clamps high")
+	}
+	if Constant(-7).At(0) != -1 {
+		t.Error("constant clamps low")
+	}
+}
+
+func TestTariffCost(t *testing.T) {
+	tar := Tariff{EnergyPerKWh: 0.10, ReserveCreditPerKWh: 0.05}
+	// 100 kW average, 20 kW reserve, 2 hours: 0.10·100·2 − 0.05·20·2 = 18.
+	got := tar.Cost(100*units.Kilowatt, 20*units.Kilowatt, 2*time.Hour)
+	if math.Abs(got-18) > 1e-9 {
+		t.Errorf("Cost = %v, want 18", got)
+	}
+	// More reserve is cheaper.
+	less := tar.Cost(100*units.Kilowatt, 40*units.Kilowatt, 2*time.Hour)
+	if less >= got {
+		t.Errorf("more reserve did not reduce cost: %v vs %v", less, got)
+	}
+}
+
+func TestEvaluationFeasible(t *testing.T) {
+	if !(Evaluation{QoS90: 4, TrackOK: true}).Feasible(5) {
+		t.Error("feasible evaluation rejected")
+	}
+	if (Evaluation{QoS90: 6, TrackOK: true}).Feasible(5) {
+		t.Error("QoS violation accepted")
+	}
+	if (Evaluation{QoS90: 1, TrackOK: false}).Feasible(5) {
+		t.Error("tracking violation accepted")
+	}
+}
+
+func TestTrainFindsLowCostFeasibleBid(t *testing.T) {
+	// Synthetic evaluator: cost decreases with reserve; QoS degrades when
+	// average power is too low; tracking fails when reserve is too large.
+	tar := Tariff{EnergyPerKWh: 0.10, ReserveCreditPerKWh: 0.08}
+	eval := func(b Bid, w []float64) Evaluation {
+		qos := 10 * (1 - b.AvgPower.Watts()/3000)
+		if qos < 0 {
+			qos = 0
+		}
+		return Evaluation{
+			QoS90:   qos,
+			TrackOK: b.Reserve <= b.AvgPower/2,
+			Cost:    tar.Cost(b.AvgPower, b.Reserve, time.Hour),
+		}
+	}
+	res, err := Train(TrainConfig{
+		RNG:    stats.NewRNG(5),
+		Queues: 6,
+		AvgMin: 1000, AvgMax: 3000,
+		ReserveMin: 0, ReserveMax: 2000,
+		QoSLimit:   5,
+		Iterations: 300,
+		Evaluate:   eval,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Eval.Feasible(5) {
+		t.Fatalf("returned infeasible result: %+v", res.Eval)
+	}
+	if len(res.Weights) != 6 {
+		t.Errorf("weights len = %d", len(res.Weights))
+	}
+	// The optimum pushes reserve toward AvgPower/2 at an average high
+	// enough for QoS; the search should land near the constraint surface.
+	if res.Bid.Reserve < res.Bid.AvgPower/4 {
+		t.Errorf("search left reserve credit on the table: %+v", res.Bid)
+	}
+}
+
+func TestTrainNoFeasible(t *testing.T) {
+	eval := func(Bid, []float64) Evaluation {
+		return Evaluation{QoS90: 100, TrackOK: false, Cost: 0}
+	}
+	_, err := Train(TrainConfig{
+		RNG:    stats.NewRNG(1),
+		Queues: 2,
+		AvgMin: 100, AvgMax: 200,
+		QoSLimit:   5,
+		Iterations: 20,
+		Evaluate:   eval,
+	})
+	if !errors.Is(err, ErrNoFeasible) {
+		t.Errorf("err = %v, want ErrNoFeasible", err)
+	}
+}
+
+func TestTrainValidation(t *testing.T) {
+	if _, err := Train(TrainConfig{}); err == nil {
+		t.Error("empty config accepted")
+	}
+	if _, err := Train(TrainConfig{RNG: stats.NewRNG(0), Evaluate: func(Bid, []float64) Evaluation { return Evaluation{} }}); err == nil {
+		t.Error("zero queues accepted")
+	}
+}
+
+func TestTrainDeterministic(t *testing.T) {
+	eval := func(b Bid, w []float64) Evaluation {
+		return Evaluation{QoS90: 1, TrackOK: true, Cost: -b.Reserve.Watts()}
+	}
+	run := func() TrainResult {
+		res, err := Train(TrainConfig{
+			RNG: stats.NewRNG(9), Queues: 3,
+			AvgMin: 1000, AvgMax: 2000, ReserveMin: 0, ReserveMax: 1000,
+			QoSLimit: 5, Iterations: 100, Evaluate: eval,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	a, b := run(), run()
+	if a.Bid != b.Bid {
+		t.Errorf("same seed produced different bids: %+v vs %+v", a.Bid, b.Bid)
+	}
+}

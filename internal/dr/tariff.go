@@ -1,0 +1,110 @@
+package dr
+
+import (
+	"errors"
+	"sort"
+	"time"
+
+	"repro/internal/units"
+)
+
+// TOUWindow is one window of a time-of-use tariff.
+type TOUWindow struct {
+	// Start is the window's start as an offset into the day.
+	Start time.Duration
+	// EnergyPerKWh is the consumption price within the window.
+	EnergyPerKWh float64
+}
+
+// TOUTariff is a time-of-day electricity tariff — the "different energy
+// pricing based on time of day and peak consumption" the paper's
+// introduction motivates demand management with. Windows wrap at
+// midnight: the last window of the day extends into the first.
+type TOUTariff struct {
+	// Windows must be sorted by Start and non-empty; NewTOUTariff
+	// enforces this.
+	Windows []TOUWindow
+	// ReserveCreditPerKWh credits offered demand-response reserve, as in
+	// the flat Tariff.
+	ReserveCreditPerKWh float64
+	// PeakDemandPerKW charges the billing period's highest power draw
+	// (demand charge), if non-zero.
+	PeakDemandPerKW float64
+}
+
+// NewTOUTariff validates and sorts the windows.
+func NewTOUTariff(windows []TOUWindow, reserveCredit, peakCharge float64) (TOUTariff, error) {
+	if len(windows) == 0 {
+		return TOUTariff{}, errors.New("dr: TOU tariff requires windows")
+	}
+	ws := make([]TOUWindow, len(windows))
+	copy(ws, windows)
+	sort.Slice(ws, func(i, j int) bool { return ws[i].Start < ws[j].Start })
+	for i, w := range ws {
+		if w.Start < 0 || w.Start >= 24*time.Hour {
+			return TOUTariff{}, errors.New("dr: TOU window start outside the day")
+		}
+		if i > 0 && w.Start == ws[i-1].Start {
+			return TOUTariff{}, errors.New("dr: duplicate TOU window start")
+		}
+	}
+	return TOUTariff{Windows: ws, ReserveCreditPerKWh: reserveCredit, PeakDemandPerKW: peakCharge}, nil
+}
+
+// PriceAt returns the energy price in force at a time of day.
+func (t TOUTariff) PriceAt(tod time.Duration) float64 {
+	tod %= 24 * time.Hour
+	if tod < 0 {
+		tod += 24 * time.Hour
+	}
+	// The last window whose start ≤ tod; before the first window, the
+	// last window of the previous day is still in force.
+	price := t.Windows[len(t.Windows)-1].EnergyPerKWh
+	for _, w := range t.Windows {
+		if w.Start > tod {
+			break
+		}
+		price = w.EnergyPerKWh
+	}
+	return price
+}
+
+// UsagePoint is one interval of consumption for billing.
+type UsagePoint struct {
+	// At is the interval's start as an offset into the day.
+	At time.Duration
+	// Duration is the interval length.
+	Duration time.Duration
+	// Power is the average draw over the interval.
+	Power units.Power
+}
+
+// Cost bills a sequence of usage intervals plus an offered reserve held
+// for the total duration.
+func (t TOUTariff) Cost(usage []UsagePoint, reserve units.Power) float64 {
+	var total float64
+	var peak units.Power
+	var span time.Duration
+	for _, u := range usage {
+		total += t.PriceAt(u.At) * u.Power.Kilowatts() * u.Duration.Hours()
+		if u.Power > peak {
+			peak = u.Power
+		}
+		span += u.Duration
+	}
+	total += t.PeakDemandPerKW * peak.Kilowatts()
+	total -= t.ReserveCreditPerKWh * reserve.Kilowatts() * span.Hours()
+	return total
+}
+
+// CheapestWindow returns the start of the lowest-priced window, a helper
+// for load-shifting policies that move deferrable work to cheap hours.
+func (t TOUTariff) CheapestWindow() TOUWindow {
+	best := t.Windows[0]
+	for _, w := range t.Windows[1:] {
+		if w.EnergyPerKWh < best.EnergyPerKWh {
+			best = w
+		}
+	}
+	return best
+}

@@ -1,0 +1,96 @@
+package dr
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/units"
+)
+
+func threeWindowTariff(t *testing.T) TOUTariff {
+	t.Helper()
+	tar, err := NewTOUTariff([]TOUWindow{
+		{Start: 22 * time.Hour, EnergyPerKWh: 0.06}, // night (wraps)
+		{Start: 7 * time.Hour, EnergyPerKWh: 0.12},  // day
+		{Start: 17 * time.Hour, EnergyPerKWh: 0.25}, // evening peak
+	}, 0.05, 2.0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return tar
+}
+
+func TestNewTOUTariffValidation(t *testing.T) {
+	if _, err := NewTOUTariff(nil, 0, 0); err == nil {
+		t.Error("empty windows accepted")
+	}
+	if _, err := NewTOUTariff([]TOUWindow{{Start: 25 * time.Hour}}, 0, 0); err == nil {
+		t.Error("start beyond a day accepted")
+	}
+	if _, err := NewTOUTariff([]TOUWindow{
+		{Start: time.Hour}, {Start: time.Hour},
+	}, 0, 0); err == nil {
+		t.Error("duplicate starts accepted")
+	}
+}
+
+func TestPriceAtWindows(t *testing.T) {
+	tar := threeWindowTariff(t)
+	cases := []struct {
+		tod   time.Duration
+		price float64
+	}{
+		{8 * time.Hour, 0.12},
+		{18 * time.Hour, 0.25},
+		{23 * time.Hour, 0.06},
+		{3 * time.Hour, 0.06}, // night window wraps past midnight
+		{7 * time.Hour, 0.12}, // boundary inclusive
+		{31 * time.Hour, 0.12},
+		{-time.Hour, 0.06},
+	}
+	for _, c := range cases {
+		if got := tar.PriceAt(c.tod); got != c.price {
+			t.Errorf("PriceAt(%v) = %v, want %v", c.tod, got, c.price)
+		}
+	}
+}
+
+func TestTOUCost(t *testing.T) {
+	tar := threeWindowTariff(t)
+	usage := []UsagePoint{
+		{At: 8 * time.Hour, Duration: time.Hour, Power: 100 * units.Kilowatt},
+		{At: 18 * time.Hour, Duration: time.Hour, Power: 50 * units.Kilowatt},
+	}
+	// 0.12·100 + 0.25·50 + peak 2.0·100 − reserve 0.05·20·2h = 222.5.
+	got := tar.Cost(usage, 20*units.Kilowatt)
+	want := 12.0 + 12.5 + 200 - 2
+	if math.Abs(got-want) > 1e-9 {
+		t.Errorf("Cost = %v, want %v", got, want)
+	}
+}
+
+func TestTOUCostEmptyUsage(t *testing.T) {
+	tar := threeWindowTariff(t)
+	if got := tar.Cost(nil, 100); got != 0 {
+		t.Errorf("empty usage cost = %v", got)
+	}
+}
+
+func TestCheapestWindow(t *testing.T) {
+	tar := threeWindowTariff(t)
+	if w := tar.CheapestWindow(); w.EnergyPerKWh != 0.06 {
+		t.Errorf("CheapestWindow = %+v", w)
+	}
+}
+
+func TestShiftingLoadToCheapWindowReducesCost(t *testing.T) {
+	// The motivation in one assertion: the same energy is cheaper at
+	// night.
+	tar := threeWindowTariff(t)
+	day := tar.Cost([]UsagePoint{{At: 18 * time.Hour, Duration: 2 * time.Hour, Power: 100 * units.Kilowatt}}, 0)
+	night := tar.Cost([]UsagePoint{{At: 23 * time.Hour, Duration: 2 * time.Hour, Power: 100 * units.Kilowatt}}, 0)
+	if night >= day {
+		t.Errorf("night %v not cheaper than peak %v", night, day)
+	}
+}

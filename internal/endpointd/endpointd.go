@@ -1,0 +1,139 @@
+// Package endpointd implements the ANOR job-tier endpoint process (§4):
+// the software layer that bridges a job's GEOPM endpoint to the cluster
+// manager over the wire protocol. One endpoint daemon runs per job (on one
+// of the job's compute nodes in the paper's deployment).
+//
+// Downward, it receives SetBudget messages and writes them as GEOPM
+// policies for the job's agent tree to enforce. Upward, it polls the GEOPM
+// endpoint for samples, feeds them to the job's power modeler, and
+// periodically sends the current power-performance model and measured
+// power to the cluster tier.
+package endpointd
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/geopm"
+	"repro/internal/modeler"
+	"repro/internal/proto"
+	"repro/internal/units"
+)
+
+// DefaultPeriod is the endpoint's sampling/reporting period: faster than
+// the cluster tier's rebudget loop, slower than the GEOPM agent's control
+// loop, matching the tiered cadence of §4.
+const DefaultPeriod = time.Second
+
+// Config parameterizes an endpoint daemon.
+type Config struct {
+	// JobID identifies the job to the cluster manager. Required.
+	JobID string
+	// TypeName is the job type claimed at Hello (the scheduler's
+	// classification — possibly wrong, possibly empty for unknown).
+	TypeName string
+	// Nodes is the job's node count.
+	Nodes int
+	// Conn is the connection to the cluster manager. Required.
+	Conn *proto.Conn
+	// GEOPM is the shared mailbox with the job's root agent. Required.
+	GEOPM *geopm.Endpoint
+	// Modeler learns the job's power-performance model. Required.
+	Modeler *modeler.Modeler
+	// Clock paces the report loop. Required.
+	Clock clock.Clock
+	// Period overrides DefaultPeriod when positive.
+	Period time.Duration
+}
+
+// Endpoint is the job-tier daemon.
+type Endpoint struct {
+	cfg           Config
+	lastSampleSeq uint64
+}
+
+// New validates the configuration and constructs an endpoint daemon.
+func New(cfg Config) (*Endpoint, error) {
+	switch {
+	case cfg.JobID == "":
+		return nil, errors.New("endpointd: config requires a job ID")
+	case cfg.Conn == nil:
+		return nil, errors.New("endpointd: config requires a connection")
+	case cfg.GEOPM == nil:
+		return nil, errors.New("endpointd: config requires a GEOPM endpoint")
+	case cfg.Modeler == nil:
+		return nil, errors.New("endpointd: config requires a modeler")
+	case cfg.Clock == nil:
+		return nil, errors.New("endpointd: config requires a clock")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultPeriod
+	}
+	return &Endpoint{cfg: cfg}, nil
+}
+
+// Run sends Hello, services the connection until ctx is cancelled, then
+// sends Goodbye and closes the connection. Budget messages apply
+// immediately on receipt; model updates flow on the configured period.
+func (e *Endpoint) Run(ctx context.Context) error {
+	c := e.cfg.Conn
+	if err := c.Send(proto.Envelope{Kind: proto.KindHello, Hello: &proto.Hello{
+		JobID: e.cfg.JobID, TypeName: e.cfg.TypeName, Nodes: e.cfg.Nodes,
+	}}); err != nil {
+		return err
+	}
+
+	recvErr := make(chan error, 1)
+	go func() {
+		for {
+			env, err := c.Recv()
+			if err != nil {
+				recvErr <- err
+				return
+			}
+			if env.Kind == proto.KindSetBudget {
+				e.cfg.GEOPM.WritePolicy(geopm.Policy{
+					PowerCap: units.Power(env.SetBudget.PowerCapWatts),
+				})
+			}
+		}
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			_ = c.Send(proto.Envelope{Kind: proto.KindGoodbye, Goodbye: &proto.Goodbye{JobID: e.cfg.JobID}})
+			err := c.Close()
+			<-recvErr // receiver exits once the transport closes
+			return err
+		case err := <-recvErr:
+			c.Close()
+			return err
+		case <-e.cfg.Clock.After(e.cfg.Period):
+			if err := e.tick(); err != nil {
+				c.Close()
+				<-recvErr
+				return err
+			}
+		}
+	}
+}
+
+// tick folds any fresh GEOPM sample into the modeler and reports the
+// current model to the cluster tier.
+func (e *Endpoint) tick() error {
+	sample, seq := e.cfg.GEOPM.ReadSample()
+	if seq != 0 && seq != e.lastSampleSeq {
+		e.lastSampleSeq = seq
+		e.cfg.Modeler.Observe(sample)
+	}
+
+	mdl := e.cfg.Modeler.Model()
+	update := proto.ModelUpdateFor(e.cfg.JobID, mdl, e.cfg.Modeler.Trained())
+	update.Epochs = sample.EpochCount
+	update.PowerWatts = sample.Power.Watts()
+	update.TimestampUnixNano = sample.Time.UnixNano()
+	return e.cfg.Conn.Send(proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update})
+}

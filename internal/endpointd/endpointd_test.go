@@ -1,0 +1,246 @@
+package endpointd
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/geopm"
+	"repro/internal/modeler"
+	"repro/internal/proto"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func newTestModeler(t *testing.T) *modeler.Modeler {
+	t.Helper()
+	m, err := modeler.New(modeler.Config{Default: workload.MustByName("is").Model()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return m
+}
+
+func testConfig(t *testing.T, conn *proto.Conn) Config {
+	t.Helper()
+	return Config{
+		JobID:    "job-1",
+		TypeName: "is.D.32",
+		Nodes:    2,
+		Conn:     conn,
+		GEOPM:    geopm.NewEndpoint(),
+		Modeler:  newTestModeler(t),
+		Clock:    clock.Real{},
+		Period:   5 * time.Millisecond,
+	}
+}
+
+func TestNewValidation(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	good := testConfig(t, proto.NewConn(a))
+	if _, err := New(good); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	for name, mutate := range map[string]func(*Config){
+		"job id":  func(c *Config) { c.JobID = "" },
+		"conn":    func(c *Config) { c.Conn = nil },
+		"geopm":   func(c *Config) { c.GEOPM = nil },
+		"modeler": func(c *Config) { c.Modeler = nil },
+		"clock":   func(c *Config) { c.Clock = nil },
+	} {
+		cfg := testConfig(t, proto.NewConn(a))
+		mutate(&cfg)
+		if _, err := New(cfg); err == nil {
+			t.Errorf("config without %s accepted", name)
+		}
+	}
+}
+
+func TestHelloAndModelUpdatesFlow(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+	defer cluster.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	first, err := cluster.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if first.Kind != proto.KindHello || first.Hello.JobID != "job-1" || first.Hello.TypeName != "is.D.32" || first.Hello.Nodes != 2 {
+		t.Fatalf("first message = %+v", first)
+	}
+
+	// Publish a GEOPM sample, then expect a model update carrying its
+	// power and epoch count.
+	cfg.GEOPM.WriteSample(geopm.Sample{EpochCount: 3, Power: 333, PowerCap: 280, Time: time.Now()})
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		env, err := cluster.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Kind == proto.KindModelUpdate && env.ModelUpdate.Epochs == 3 {
+			if env.ModelUpdate.PowerWatts != 333 {
+				t.Errorf("power = %v", env.ModelUpdate.PowerWatts)
+			}
+			if env.ModelUpdate.Trained {
+				t.Error("untrained modeler reported trained")
+			}
+			if env.ModelUpdate.Model() != cfg.Modeler.Model() {
+				t.Error("update model differs from modeler's")
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("no model update with sample data")
+		}
+	}
+
+	cancel()
+	// Drain until Goodbye.
+	for {
+		env, err := cluster.Recv()
+		if err != nil {
+			t.Fatalf("connection errored before goodbye: %v", err)
+		}
+		if env.Kind == proto.KindGoodbye {
+			if env.Goodbye.JobID != "job-1" {
+				t.Errorf("goodbye = %+v", env.Goodbye)
+			}
+			break
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+func TestSetBudgetWritesGEOPMPolicy(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+	defer cluster.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ep.Run(ctx)
+
+	// Consume Hello and keep draining updates.
+	go func() {
+		for {
+			if _, err := cluster.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	if err := cluster.Send(proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
+		JobID: "job-1", PowerCapWatts: 171,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, seq := cfg.GEOPM.ReadPolicy()
+		if seq > 0 && p.PowerCap == 171 {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("policy not written: %+v seq %d", p, seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestRunReturnsOnPeerClose(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(context.Background()) }()
+	if _, err := cluster.Recv(); err != nil { // Hello
+		t.Fatal(err)
+	}
+	cluster.Close()
+	select {
+	case err := <-done:
+		if err == nil {
+			t.Error("Run returned nil after peer close")
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after peer close")
+	}
+}
+
+func TestModelerTrainsThroughEndpoint(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	cfg.Modeler = func() *modeler.Modeler {
+		m, err := modeler.New(modeler.Config{Default: workload.MustByName("is").Model(), RetrainThreshold: 5})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}()
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+	defer cluster.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ep.Run(ctx)
+	go func() {
+		for {
+			if _, err := cluster.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	// Stream epoch-bearing samples following the BT curve; the endpoint
+	// should feed the modeler until it trains. Each epoch runs under the
+	// cap echoed by the previous sample.
+	truth := workload.MustByName("bt").Model()
+	caps := []units.Power{140, 140, 140, 200, 200, 200, 260, 260, 260, 280, 280, 280}
+	now := time.Now()
+	cfg.GEOPM.WriteSample(geopm.Sample{EpochCount: 0, PowerCap: caps[0], Time: now})
+	time.Sleep(8 * time.Millisecond)
+	prev := caps[0]
+	for i, c := range caps {
+		now = now.Add(time.Duration(truth.TimeAt(prev) * float64(time.Second)))
+		cfg.GEOPM.WriteSample(geopm.Sample{EpochCount: int64(i + 1), PowerCap: c, Time: now})
+		prev = c
+		time.Sleep(8 * time.Millisecond) // let a tick observe each sample
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for !cfg.Modeler.Trained() {
+		if time.Now().After(deadline) {
+			t.Fatal("modeler never trained through endpoint flow")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}

@@ -1,0 +1,143 @@
+// Package epochdetect implements the automatic epoch detection the paper
+// proposes as future work (§8): instead of requiring jobs to call
+// geopm_prof_epoch() from instrumented source, the runtime can infer the
+// main-loop period from periodic structure in system signals (power draw,
+// memory traffic). A detected period lets the modeler attribute
+// seconds-per-epoch to power caps for entirely uninstrumented jobs.
+//
+// The detector is autocorrelation-based: it z-normalizes a uniformly
+// sampled signal, computes the autocorrelation over a lag window, and
+// reports the dominant peak with a confidence score. A streaming wrapper
+// accumulates samples and re-detects on demand.
+package epochdetect
+
+import (
+	"errors"
+	"math"
+	"time"
+)
+
+// Result is one detection outcome.
+type Result struct {
+	// Lag is the detected period in samples.
+	Lag int
+	// Period is the detected period in time units (Lag × sample
+	// interval).
+	Period time.Duration
+	// Confidence is the autocorrelation value at the peak, in [−1, 1];
+	// values near 1 indicate strong periodicity. Detections below ~0.3
+	// should be treated as noise.
+	Confidence float64
+}
+
+// ErrTooShort is returned when the signal cannot cover the lag window.
+var ErrTooShort = errors.New("epochdetect: signal shorter than twice the maximum lag")
+
+// Detect finds the dominant period of a uniformly sampled signal within
+// [minLag, maxLag] samples. The signal should hold at least 2×maxLag
+// samples; more improves the estimate.
+func Detect(samples []float64, minLag, maxLag int, dt time.Duration) (Result, error) {
+	if minLag < 1 {
+		minLag = 1
+	}
+	if maxLag <= minLag {
+		return Result{}, errors.New("epochdetect: maxLag must exceed minLag")
+	}
+	if len(samples) < 2*maxLag {
+		return Result{}, ErrTooShort
+	}
+
+	// Z-normalize.
+	n := len(samples)
+	mean := 0.0
+	for _, x := range samples {
+		mean += x
+	}
+	mean /= float64(n)
+	variance := 0.0
+	norm := make([]float64, n)
+	for i, x := range samples {
+		d := x - mean
+		norm[i] = d
+		variance += d * d
+	}
+	if variance == 0 {
+		// Flat signal: no periodicity.
+		return Result{Lag: minLag, Period: time.Duration(minLag) * dt, Confidence: 0}, nil
+	}
+
+	best := Result{Confidence: math.Inf(-1)}
+	for lag := minLag; lag <= maxLag; lag++ {
+		var acc float64
+		for i := 0; i+lag < n; i++ {
+			acc += norm[i] * norm[i+lag]
+		}
+		r := acc / variance * float64(n) / float64(n-lag) // length-corrected
+		if r > best.Confidence {
+			best = Result{Lag: lag, Confidence: r}
+		}
+	}
+	// Prefer the fundamental over harmonics: if a divisor of the best lag
+	// scores nearly as well, take it.
+	for div := 2; div <= best.Lag/minLag; div++ {
+		if best.Lag%div != 0 {
+			continue
+		}
+		cand := best.Lag / div
+		if cand < minLag {
+			break
+		}
+		var acc float64
+		for i := 0; i+cand < n; i++ {
+			acc += norm[i] * norm[i+cand]
+		}
+		r := acc / variance * float64(n) / float64(n-cand)
+		if r >= 0.9*best.Confidence {
+			best = Result{Lag: cand, Confidence: r}
+		}
+	}
+	if best.Confidence > 1 {
+		best.Confidence = 1
+	}
+	best.Period = time.Duration(best.Lag) * dt
+	return best, nil
+}
+
+// Stream accumulates fixed-interval samples and detects on demand,
+// bounding memory to the most recent window.
+type Stream struct {
+	dt      time.Duration
+	maxKeep int
+	samples []float64
+}
+
+// NewStream builds a streaming detector sampling every dt, keeping at
+// most maxKeep samples (≥ 4, default 4096 when 0).
+func NewStream(dt time.Duration, maxKeep int) *Stream {
+	if maxKeep <= 0 {
+		maxKeep = 4096
+	}
+	if maxKeep < 4 {
+		maxKeep = 4
+	}
+	return &Stream{dt: dt, maxKeep: maxKeep}
+}
+
+// Add appends one sample, evicting the oldest beyond the window.
+func (s *Stream) Add(x float64) {
+	s.samples = append(s.samples, x)
+	if len(s.samples) > s.maxKeep {
+		s.samples = s.samples[len(s.samples)-s.maxKeep:]
+	}
+}
+
+// Len returns the number of buffered samples.
+func (s *Stream) Len() int { return len(s.samples) }
+
+// Detect runs detection over the buffered window for periods in
+// [minPeriod, maxPeriod].
+func (s *Stream) Detect(minPeriod, maxPeriod time.Duration) (Result, error) {
+	minLag := int(minPeriod / s.dt)
+	maxLag := int(maxPeriod / s.dt)
+	return Detect(s.samples, minLag, maxLag, s.dt)
+}

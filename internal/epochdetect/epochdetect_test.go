@@ -1,0 +1,146 @@
+package epochdetect
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+// sine generates n samples of a sinusoid with the given period (in
+// samples) plus optional noise.
+func sine(n int, period float64, noiseStd float64, seed uint64) []float64 {
+	rng := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		out[i] = math.Sin(2 * math.Pi * float64(i) / period)
+		if noiseStd > 0 {
+			out[i] += rng.Normal(0, noiseStd)
+		}
+	}
+	return out
+}
+
+// square generates a 50% duty-cycle square wave, the shape a compute/
+// communicate loop leaves in a power trace.
+func square(n, period int, lo, hi float64, noiseStd float64, seed uint64) []float64 {
+	rng := stats.NewRNG(seed)
+	out := make([]float64, n)
+	for i := range out {
+		v := lo
+		if i%period < period/2 {
+			v = hi
+		}
+		if noiseStd > 0 {
+			v += rng.Normal(0, noiseStd)
+		}
+		out[i] = v
+	}
+	return out
+}
+
+func TestDetectSinePeriod(t *testing.T) {
+	res, err := Detect(sine(1000, 25, 0, 0), 5, 100, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lag != 25 {
+		t.Errorf("Lag = %d, want 25", res.Lag)
+	}
+	if res.Confidence < 0.9 {
+		t.Errorf("Confidence = %v on a clean sine", res.Confidence)
+	}
+	if res.Period != 25*time.Second {
+		t.Errorf("Period = %v", res.Period)
+	}
+}
+
+func TestDetectSquareWaveNoisy(t *testing.T) {
+	// A noisy power trace of a 40-sample loop: high compute, low sync.
+	res, err := Detect(square(2000, 40, 180, 260, 8, 3), 5, 200, 100*time.Millisecond)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lag != 40 {
+		t.Errorf("Lag = %d, want 40", res.Lag)
+	}
+	if res.Confidence < 0.5 {
+		t.Errorf("Confidence = %v", res.Confidence)
+	}
+}
+
+func TestDetectPrefersFundamentalOverHarmonic(t *testing.T) {
+	// Autocorrelation peaks repeat at multiples of the period; the
+	// detector must return the fundamental even when the window admits
+	// harmonics.
+	res, err := Detect(sine(2000, 20, 0.05, 1), 5, 199, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lag != 20 {
+		t.Errorf("Lag = %d, want fundamental 20", res.Lag)
+	}
+}
+
+func TestDetectNoiseHasLowConfidence(t *testing.T) {
+	rng := stats.NewRNG(9)
+	noise := make([]float64, 2000)
+	for i := range noise {
+		noise[i] = rng.Normal(0, 1)
+	}
+	res, err := Detect(noise, 5, 200, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence > 0.3 {
+		t.Errorf("Confidence = %v on white noise, want < 0.3", res.Confidence)
+	}
+}
+
+func TestDetectFlatSignal(t *testing.T) {
+	flat := make([]float64, 500)
+	for i := range flat {
+		flat[i] = 200
+	}
+	res, err := Detect(flat, 5, 100, time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Confidence != 0 {
+		t.Errorf("flat signal confidence = %v", res.Confidence)
+	}
+}
+
+func TestDetectErrors(t *testing.T) {
+	if _, err := Detect(sine(50, 10, 0, 0), 5, 100, time.Second); err != ErrTooShort {
+		t.Errorf("short signal: %v", err)
+	}
+	if _, err := Detect(sine(500, 10, 0, 0), 50, 50, time.Second); err == nil {
+		t.Error("maxLag == minLag accepted")
+	}
+}
+
+func TestStreamDetection(t *testing.T) {
+	s := NewStream(time.Second, 0)
+	for _, x := range square(1500, 30, 150, 250, 5, 4) {
+		s.Add(x)
+	}
+	res, err := s.Detect(10*time.Second, 100*time.Second)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Lag != 30 {
+		t.Errorf("stream Lag = %d, want 30", res.Lag)
+	}
+}
+
+func TestStreamEviction(t *testing.T) {
+	s := NewStream(time.Second, 100)
+	for i := 0; i < 500; i++ {
+		s.Add(float64(i))
+	}
+	if s.Len() != 100 {
+		t.Errorf("Len = %d, want 100", s.Len())
+	}
+}

@@ -1,0 +1,56 @@
+package experiments
+
+import (
+	"testing"
+)
+
+func TestAblateDefaultPolicyRiskAllocation(t *testing.T) {
+	// §6.1.2's core takeaway: underprediction puts the risk on the
+	// unknown job, overprediction on the sensitive co-scheduled jobs.
+	outcomes := AblateDefaultPolicy(10 * 200)
+	if len(outcomes) != 2 {
+		t.Fatalf("outcomes = %d", len(outcomes))
+	}
+	var least, most DefaultPolicyOutcome
+	for _, o := range outcomes {
+		switch o.Policy {
+		case "assume-least-sensitive":
+			least = o
+		case "assume-most-sensitive":
+			most = o
+		}
+	}
+	if least.UnknownSlowdown <= most.UnknownSlowdown {
+		t.Errorf("underprediction should hurt the unknown job more: %v vs %v",
+			least.UnknownSlowdown, most.UnknownSlowdown)
+	}
+	if most.SensitiveSlowdown <= least.SensitiveSlowdown {
+		t.Errorf("overprediction should hurt the sensitive job more: %v vs %v",
+			most.SensitiveSlowdown, least.SensitiveSlowdown)
+	}
+}
+
+func TestAblateRetrainThreshold(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full-stack ablation in -short mode")
+	}
+	points, err := AblateRetrainThreshold(4, []int{10, 10000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 2 {
+		t.Fatalf("points = %d", len(points))
+	}
+	// Threshold 10 trains and recovers; an absurd threshold never
+	// retrains, so the job stays starved.
+	if !points[0].Trained {
+		t.Error("threshold 10 never trained")
+	}
+	if points[1].Trained {
+		t.Error("threshold 10000 trained within a ~400-epoch job")
+	}
+	if points[0].MisclassifiedSlowdown >= points[1].MisclassifiedSlowdown {
+		t.Errorf("feedback at threshold 10 (%v) should beat no-retrain (%v)",
+			points[0].MisclassifiedSlowdown, points[1].MisclassifiedSlowdown)
+	}
+}

@@ -1,0 +1,110 @@
+package experiments
+
+import (
+	"context"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig3Config parameterizes the job-type characterization sweep of Fig. 3:
+// execution time under varied power caps, relative to a 280 W cap, with
+// error bars over repeated runs.
+type Fig3Config struct {
+	// Caps are the per-node power caps to sweep (default 140…280 in
+	// 20 W steps).
+	Caps []units.Power
+	// Runs is the trial count per point (the paper uses 10).
+	Runs int
+	// NoiseStd is per-epoch runtime noise giving the error bars.
+	NoiseStd float64
+	// Seed drives the noise.
+	Seed uint64
+	// Types overrides the job mix (default: full catalog).
+	Types []workload.Type
+}
+
+// Fig3 runs the characterization sweep: every benchmark type is executed
+// to completion under each cap on an auto-advancing clock, and its mean
+// relative execution time (and standard deviation) is reported. One
+// series per job type, matching the figure's lines.
+func Fig3(cfg Fig3Config) ([]Series, error) {
+	if len(cfg.Caps) == 0 {
+		for c := units.Power(140); c <= 280; c += 20 {
+			cfg.Caps = append(cfg.Caps, c)
+		}
+	}
+	if cfg.Runs <= 0 {
+		cfg.Runs = 10
+	}
+	if cfg.NoiseStd == 0 {
+		cfg.NoiseStd = 0.015
+	}
+	types := cfg.Types
+	if len(types) == 0 {
+		types = workload.Catalog()
+	}
+
+	var out []Series
+	for ti, typ := range types {
+		s := Series{Name: typ.Name}
+		// Reference: mean uncapped time over the same trial count.
+		ref := 0.0
+		for r := 0; r < cfg.Runs; r++ {
+			app, err := runOnce(typ, typ.PMax, cfg.seed(ti, -1, r), cfg.NoiseStd)
+			if err != nil {
+				return nil, err
+			}
+			ref += app
+		}
+		ref /= float64(cfg.Runs)
+
+		for ci, cap := range cfg.Caps {
+			times := make([]float64, cfg.Runs)
+			for r := 0; r < cfg.Runs; r++ {
+				app, err := runOnce(typ, cap, cfg.seed(ti, ci, r), cfg.NoiseStd)
+				if err != nil {
+					return nil, err
+				}
+				times[r] = app / ref
+			}
+			s.X = append(s.X, cap.Watts())
+			s.Y = append(s.Y, stats.Mean(times))
+			s.Spread = append(s.Spread, stats.StdDev(times))
+		}
+		out = append(out, s)
+	}
+	return out, nil
+}
+
+func (cfg Fig3Config) seed(ti, ci, r int) uint64 {
+	return cfg.Seed ^ uint64(ti)*1000003 ^ uint64(ci+1)*10007 ^ uint64(r)*101
+}
+
+// runOnce executes one benchmark at a fixed cap on an auto clock and
+// returns its application seconds.
+func runOnce(typ workload.Type, cap units.Power, seed uint64, noiseStd float64) (float64, error) {
+	return runOnceVaried(typ, cap, seed, noiseStd, 1)
+}
+
+// runOnceVaried is runOnce with an additional whole-run performance
+// multiplier (run-to-run variation).
+func runOnceVaried(typ workload.Type, cap units.Power, seed uint64, noiseStd, variation float64) (float64, error) {
+	auto := clock.NewAuto(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	exec := &workload.Executor{
+		Type:      typ,
+		Clock:     auto,
+		Cap:       func() units.Power { return cap },
+		Noise:     stats.NewRNG(seed),
+		NoiseStd:  noiseStd,
+		Variation: variation,
+	}
+	res, err := exec.Run(context.Background())
+	if err != nil {
+		return 0, err
+	}
+	return res.AppSeconds, nil
+}

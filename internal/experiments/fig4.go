@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/budget"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig4Config parameterizes the budgeter-comparison analysis of Fig. 4:
+// one instance of each job type under a shared cluster budget, comparing
+// the even-slowdown (ideal) and even-power-caps budgeters.
+type Fig4Config struct {
+	// Budgets are the cluster budgets to sweep (watts across all job
+	// nodes). Default 1400…3200 in 100 W steps, spanning all-min to
+	// all-max for the catalog mix.
+	Budgets []units.Power
+	// Types overrides the job mix (default: full catalog, one instance
+	// each, at each type's default node count).
+	Types []workload.Type
+}
+
+// Fig4Result holds, for each budgeter, one slowdown series per job type.
+type Fig4Result struct {
+	// PerBudgeter maps budgeter name to per-type slowdown series over
+	// the budget sweep.
+	PerBudgeter map[string][]Series
+}
+
+// Fig4 evaluates estimated job slowdown under shared budgets, as in
+// §6.1.1: the even-slowdown policy equalizes slowdowns until insensitive
+// jobs saturate at the platform minimum cap, while even power caps spread
+// slowdowns widely at low budgets.
+func Fig4(cfg Fig4Config) Fig4Result {
+	types := cfg.Types
+	if len(types) == 0 {
+		types = workload.Catalog()
+	}
+	var jobs []budget.Job
+	truth := map[string]perfmodel.Model{}
+	var minSum, maxSum units.Power
+	for _, t := range types {
+		m := t.RelativeModel()
+		jobs = append(jobs, budget.Job{ID: t.Name, Nodes: t.Nodes, Model: m})
+		truth[t.Name] = m
+		minSum += m.PMin * units.Power(t.Nodes)
+		maxSum += m.PMax * units.Power(t.Nodes)
+	}
+	budgets := cfg.Budgets
+	if len(budgets) == 0 {
+		for b := minSum - 100; b <= maxSum+100; b += 100 {
+			budgets = append(budgets, b)
+		}
+	}
+
+	res := Fig4Result{PerBudgeter: map[string][]Series{}}
+	for _, b := range []budget.Budgeter{budget.EvenSlowdown{}, budget.EvenPower{}} {
+		series := make([]Series, len(types))
+		for i, t := range types {
+			series[i].Name = t.Name
+		}
+		for _, bud := range budgets {
+			alloc := b.Allocate(jobs, bud)
+			slows := budget.ExpectedSlowdowns(jobs, truth, alloc)
+			for i, t := range types {
+				series[i].X = append(series[i].X, bud.Watts())
+				series[i].Y = append(series[i].Y, slows[t.Name]-1) // fractional slowdown
+			}
+		}
+		res.PerBudgeter[b.Name()] = series
+	}
+	return res
+}

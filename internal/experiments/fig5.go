@@ -1,0 +1,120 @@
+package experiments
+
+import (
+	"repro/internal/budget"
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Fig5Scenario is one of the four misclassification subplots of Fig. 5.
+type Fig5Scenario struct {
+	// Name labels the subplot (e.g. "underpredict-small").
+	Name string
+	// AssumedType is the default curve the budgeter uses for the unknown
+	// job: the least-sensitive type (IS) under the underprediction
+	// policy, the most sensitive (EP) under overprediction.
+	AssumedType string
+	// UnknownNodes and KnownNodes size the unknown job against the two
+	// known jobs (2 vs 4/4 for the small case, 8 vs 1/1 for the large).
+	UnknownNodes, KnownNodes int
+}
+
+// Fig5Line is one policy's per-type slowdown series within a scenario.
+type Fig5Line struct {
+	// Policy is "ideal", "even-power", or "mischaracterized".
+	Policy string
+	// PerType holds one series per job, keyed like "ft.D.64 (unknown)".
+	PerType []Series
+}
+
+// Fig5ScenarioResult bundles a scenario's lines.
+type Fig5ScenarioResult struct {
+	Scenario Fig5Scenario
+	Lines    []Fig5Line
+}
+
+// Fig5Scenarios returns the paper's four subplots.
+func Fig5Scenarios() []Fig5Scenario {
+	return []Fig5Scenario{
+		{Name: "underpredict-small", AssumedType: "is.D.32", UnknownNodes: 2, KnownNodes: 4},
+		{Name: "overpredict-small", AssumedType: "ep.D.43", UnknownNodes: 2, KnownNodes: 4},
+		{Name: "underpredict-large", AssumedType: "is.D.32", UnknownNodes: 8, KnownNodes: 1},
+		{Name: "overpredict-large", AssumedType: "ep.D.43", UnknownNodes: 8, KnownNodes: 1},
+	}
+}
+
+// Fig5Config parameterizes the misclassification analysis.
+type Fig5Config struct {
+	// Budgets sweeps the cluster budget; defaults to 1400…2800 W in
+	// 100 W steps as in the figure.
+	Budgets []units.Power
+}
+
+// Fig5 reproduces §6.1.2: EP (high sensitivity) and IS (low) are known;
+// FT (medium) is unknown and budgeted with a default curve. Three
+// policies are compared per scenario: the ideal budgeter that knows FT's
+// true curve, the performance-agnostic even-power budgeter, and the
+// mischaracterized even-slowdown budgeter using the scenario's assumed
+// curve. Slowdowns are always evaluated against the true curves.
+func Fig5(cfg Fig5Config) []Fig5ScenarioResult {
+	budgets := cfg.Budgets
+	if len(budgets) == 0 {
+		for b := units.Power(1400); b <= 2800; b += 100 {
+			budgets = append(budgets, b)
+		}
+	}
+	ep := workload.MustByName("ep")
+	ft := workload.MustByName("ft")
+	is := workload.MustByName("is")
+
+	var out []Fig5ScenarioResult
+	for _, sc := range Fig5Scenarios() {
+		truth := map[string]perfmodel.Model{
+			"ep": ep.RelativeModel(),
+			"ft": ft.RelativeModel(),
+			"is": is.RelativeModel(),
+		}
+		mkJobs := func(ftModel perfmodel.Model) []budget.Job {
+			return []budget.Job{
+				{ID: "ep", Nodes: sc.KnownNodes, Model: ep.RelativeModel()},
+				{ID: "ft", Nodes: sc.UnknownNodes, Model: ftModel},
+				{ID: "is", Nodes: sc.KnownNodes, Model: is.RelativeModel()},
+			}
+		}
+		assumed := workload.MustByName(sc.AssumedType).RelativeModel()
+		policies := []struct {
+			name    string
+			budget  budget.Budgeter
+			ftModel perfmodel.Model
+		}{
+			{"ideal", budget.EvenSlowdown{}, ft.RelativeModel()},
+			{"even-power", budget.EvenPower{}, ft.RelativeModel()},
+			{"mischaracterized", budget.EvenSlowdown{}, assumed},
+		}
+		scr := Fig5ScenarioResult{Scenario: sc}
+		for _, p := range policies {
+			jobs := mkJobs(p.ftModel)
+			line := Fig5Line{Policy: p.name}
+			labels := map[string]string{"ep": "ep.D.x", "ft": "ft.D.x (unknown)", "is": "is.D.x"}
+			series := map[string]*Series{}
+			for _, id := range []string{"ep", "ft", "is"} {
+				series[id] = &Series{Name: labels[id]}
+			}
+			for _, bud := range budgets {
+				alloc := p.budget.Allocate(jobs, bud)
+				slows := budget.ExpectedSlowdowns(jobs, truth, alloc)
+				for _, id := range []string{"ep", "ft", "is"} {
+					series[id].X = append(series[id].X, bud.Watts())
+					series[id].Y = append(series[id].Y, slows[id]-1)
+				}
+			}
+			for _, id := range []string{"ep", "ft", "is"} {
+				line.PerType = append(line.PerType, *series[id])
+			}
+			scr.Lines = append(scr.Lines, line)
+		}
+		out = append(out, scr)
+	}
+	return out
+}

@@ -1,0 +1,220 @@
+package experiments
+
+import (
+	"context"
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// SharedCapPolicy names one bar group of Figs. 6–8: a budgeter choice,
+// optional misclassification, and optional online feedback.
+type SharedCapPolicy struct {
+	// Name labels the row ("Performance Aware", ...).
+	Name string
+	// Budgeter is the cluster policy.
+	Budgeter budget.Budgeter
+	// Claims maps job ID to the type it announces; IDs not present claim
+	// their true type.
+	Claims map[string]string
+	// UseFeedback enables the adjusted policy (online models override).
+	UseFeedback bool
+}
+
+// SharedCapJob is one co-scheduled job in a shared-cap experiment.
+type SharedCapJob struct {
+	ID   string
+	Type workload.Type
+}
+
+// SharedCapConfig parameterizes a Figs. 6–8 style experiment: a fixed set
+// of co-scheduled jobs under a static shared budget on the emulated
+// cluster, across several policies and repeated trials.
+type SharedCapConfig struct {
+	// Nodes is the cluster size (4 in §6.2).
+	Nodes int
+	// Target is the static cluster power target (840 W = 75% of TDP for
+	// 4 nodes in §6.2).
+	Target units.Power
+	// Jobs are the co-scheduled jobs.
+	Jobs []SharedCapJob
+	// Policies are the rows to evaluate.
+	Policies []SharedCapPolicy
+	// Trials repeats each policy with different noise seeds.
+	Trials int
+	// Seed is the base seed.
+	Seed uint64
+	// EpochNoiseStd adds run-to-run variance (error bars).
+	EpochNoiseStd float64
+}
+
+// SharedCapRow is one policy's outcome.
+type SharedCapRow struct {
+	Policy string
+	// MeanSlowdown and StdDev are fractional slowdowns (0.08 = 8%) per
+	// job ID.
+	MeanSlowdown map[string]float64
+	StdDev       map[string]float64
+}
+
+// RunSharedCap executes the experiment: for each policy and trial it
+// stands up a fresh emulated cluster (nodesim + GEOPM + modeler +
+// endpoint + manager over the wire protocol), co-schedules the jobs, and
+// measures each job's execution-time slowdown against its uncapped base.
+func RunSharedCap(cfg SharedCapConfig) ([]SharedCapRow, error) {
+	if cfg.Trials <= 0 {
+		cfg.Trials = 3
+	}
+	if cfg.EpochNoiseStd == 0 {
+		cfg.EpochNoiseStd = 0.01
+	}
+	var rows []SharedCapRow
+	for pi, pol := range cfg.Policies {
+		slowdowns := map[string][]float64{}
+		for trial := 0; trial < cfg.Trials; trial++ {
+			seed := cfg.Seed ^ uint64(pi)*7919 ^ uint64(trial)*104729
+			res, err := runSharedCapTrial(cfg, pol, seed)
+			if err != nil {
+				return nil, fmt.Errorf("policy %q trial %d: %w", pol.Name, trial, err)
+			}
+			for id, r := range res {
+				slowdowns[id] = append(slowdowns[id], r.Slowdown-1)
+			}
+		}
+		row := SharedCapRow{
+			Policy:       pol.Name,
+			MeanSlowdown: map[string]float64{},
+			StdDev:       map[string]float64{},
+		}
+		for id, xs := range slowdowns {
+			row.MeanSlowdown[id] = stats.Mean(xs)
+			row.StdDev[id] = stats.StdDev(xs)
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+func runSharedCapTrial(cfg SharedCapConfig, pol SharedCapPolicy, seed uint64) (map[string]core.JobResult, error) {
+	v := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	cluster, err := core.NewCluster(core.Config{
+		Nodes:       cfg.Nodes,
+		Clock:       v,
+		Budgeter:    pol.Budgeter,
+		Target:      func(time.Time) units.Power { return cfg.Target },
+		UseFeedback: pol.UseFeedback,
+		Seed:        seed,
+	})
+	if err != nil {
+		return nil, err
+	}
+	defer cluster.Close()
+
+	var specs []core.JobSpec
+	for _, j := range cfg.Jobs {
+		specs = append(specs, core.JobSpec{
+			ID:            j.ID,
+			Type:          j.Type,
+			ClaimedType:   pol.Claims[j.ID],
+			EpochNoiseStd: cfg.EpochNoiseStd,
+		})
+	}
+	var results map[string]core.JobResult
+	var runErr error
+	core.Drive(v, func() {
+		results, runErr = cluster.RunJobs(context.Background(), specs)
+	})
+	return results, runErr
+}
+
+// Fig6Config tunes Fig. 6 (BT + SP under a shared 75%-of-TDP budget).
+type Fig6Config struct {
+	Trials int
+	Seed   uint64
+}
+
+// Fig6 runs the six policies of Fig. 6 on the BT + SP mix.
+func Fig6(cfg Fig6Config) ([]SharedCapRow, error) {
+	bt := workload.MustByName("bt")
+	sp := workload.MustByName("sp")
+	return RunSharedCap(SharedCapConfig{
+		Nodes:  4,
+		Target: 840,
+		Jobs: []SharedCapJob{
+			{ID: "bt.D.x", Type: bt},
+			{ID: "sp.D.x", Type: sp},
+		},
+		Policies: []SharedCapPolicy{
+			{Name: "Performance Agnostic", Budgeter: budget.EvenPower{}},
+			{Name: "Performance Aware", Budgeter: budget.EvenSlowdown{}},
+			{Name: "Under-estimate bt", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"bt.D.x": "is.D.32"}},
+			{Name: "Under-estimate bt, with feedback", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"bt.D.x": "is.D.32"}, UseFeedback: true},
+			{Name: "Over-estimate sp", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"sp.D.x": "ep.D.43"}},
+			{Name: "Over-estimate sp, with feedback", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"sp.D.x": "ep.D.43"}, UseFeedback: true},
+		},
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
+	})
+}
+
+// Fig7 runs the four policies of Fig. 7 on two BT instances, one possibly
+// misclassified as IS.
+func Fig7(cfg Fig6Config) ([]SharedCapRow, error) {
+	bt := workload.MustByName("bt")
+	return RunSharedCap(SharedCapConfig{
+		Nodes:  4,
+		Target: 840,
+		Jobs: []SharedCapJob{
+			{ID: "bt.D.x", Type: bt},
+			{ID: "bt.D.x=is.D.x", Type: bt},
+		},
+		Policies: []SharedCapPolicy{
+			{Name: "Performance Agnostic", Budgeter: budget.EvenPower{}},
+			{Name: "Performance Aware", Budgeter: budget.EvenSlowdown{}},
+			{Name: "Under-estimate bt", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"bt.D.x=is.D.x": "is.D.32"}},
+			{Name: "Under-estimate bt, with feedback", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"bt.D.x=is.D.x": "is.D.32"}, UseFeedback: true},
+		},
+		Trials: cfg.Trials,
+		Seed:   cfg.Seed,
+	})
+}
+
+// Fig8 runs the four policies of Fig. 8 on two SP instances, one possibly
+// misclassified as EP.
+func Fig8(cfg Fig6Config) ([]SharedCapRow, error) {
+	sp := workload.MustByName("sp")
+	trials := cfg.Trials
+	if trials <= 0 {
+		trials = 6 // the paper runs 6 back-to-back SP trials
+	}
+	return RunSharedCap(SharedCapConfig{
+		Nodes:  4,
+		Target: 840,
+		Jobs: []SharedCapJob{
+			{ID: "sp.D.x", Type: sp},
+			{ID: "sp.D.x=ep.D.x", Type: sp},
+		},
+		Policies: []SharedCapPolicy{
+			{Name: "Performance Agnostic", Budgeter: budget.EvenPower{}},
+			{Name: "Performance Aware", Budgeter: budget.EvenSlowdown{}},
+			{Name: "Over-estimate sp", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"sp.D.x=ep.D.x": "ep.D.43"}},
+			{Name: "Over-estimate sp, with feedback", Budgeter: budget.EvenSlowdown{},
+				Claims: map[string]string{"sp.D.x=ep.D.x": "ep.D.43"}, UseFeedback: true},
+		},
+		Trials: trials,
+		Seed:   cfg.Seed,
+	})
+}

@@ -1,0 +1,68 @@
+package experiments
+
+import (
+	"repro/internal/budget"
+	"repro/internal/hier"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// HierPoint is one rack-count setting in the hierarchy-fidelity sweep.
+type HierPoint struct {
+	// Racks is the number of racks the jobs were partitioned into.
+	Racks int
+	// QuadraticErr is the worst per-job slowdown deviation of the
+	// wire-faithful two-level allocation (fitted quadratic rack curves)
+	// from the flat allocation, over several budgets.
+	QuadraticErr float64
+	// ExactErr is the same for the exact query-based scheme.
+	ExactErr float64
+	// Messages counts cluster-tier SetBudget messages per rebudget
+	// (equals rack count — the fan-out the hierarchy buys down from the
+	// flat scheme's job count).
+	Messages int
+}
+
+// HierFidelity sweeps rack counts over the catalog job mix and measures
+// how far each hierarchical scheme deviates from flat even-slowdown
+// allocation — the §8 communication/accuracy trade-off in one table.
+func HierFidelity(seed uint64, rackCounts []int) ([]HierPoint, error) {
+	if len(rackCounts) == 0 {
+		rackCounts = []int{1, 2, 3, 4, 6}
+	}
+	var jobs []budget.Job
+	for _, t := range workload.Catalog() {
+		jobs = append(jobs, budget.Job{ID: t.Name, Nodes: t.Nodes, Model: t.RelativeModel()})
+	}
+	var minSum, maxSum units.Power
+	for _, j := range jobs {
+		minSum += j.Model.PMin * units.Power(j.Nodes)
+		maxSum += j.Model.PMax * units.Power(j.Nodes)
+	}
+
+	var out []HierPoint
+	for _, k := range rackCounts {
+		racks := hier.RandomRacks(jobs, k, seed+uint64(k))
+		p := HierPoint{Racks: len(racks), Messages: len(racks)}
+		for _, frac := range []float64{0.25, 0.4, 0.55, 0.7, 0.85} {
+			total := minSum + units.Power(frac)*(maxSum-minSum)
+			flat := budget.EvenSlowdown{}.Allocate(jobs, total)
+			quad, err := hier.TwoLevelAllocate(racks, budget.EvenSlowdown{}, total)
+			if err != nil {
+				return nil, err
+			}
+			exact, err := hier.TwoLevelAllocateExact(racks, total)
+			if err != nil {
+				return nil, err
+			}
+			if e := hier.MaxSlowdownError(jobs, flat, quad); e > p.QuadraticErr {
+				p.QuadraticErr = e
+			}
+			if e := hier.MaxSlowdownError(jobs, flat, exact); e > p.ExactErr {
+				p.ExactErr = e
+			}
+		}
+		out = append(out, p)
+	}
+	return out, nil
+}

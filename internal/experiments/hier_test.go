@@ -1,0 +1,30 @@
+package experiments
+
+import "testing"
+
+func TestHierFidelitySweep(t *testing.T) {
+	points, err := HierFidelity(3, []int{1, 2, 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(points) != 3 {
+		t.Fatalf("points = %d", len(points))
+	}
+	for _, p := range points {
+		if p.ExactErr > 1e-3 {
+			t.Errorf("racks=%d: exact scheme err = %v", p.Racks, p.ExactErr)
+		}
+		if p.QuadraticErr > 0.35 {
+			t.Errorf("racks=%d: quadratic scheme err = %v beyond documented bound", p.Racks, p.QuadraticErr)
+		}
+		if p.Messages != p.Racks {
+			t.Errorf("messages = %d, want %d", p.Messages, p.Racks)
+		}
+	}
+	// One rack (local balancing only) should be near-exact for the
+	// quadratic scheme too: the cluster tier's single grant is the whole
+	// budget regardless of the fitted curve.
+	if points[0].Racks == 1 && points[0].QuadraticErr > 0.02 {
+		t.Errorf("single-rack quadratic err = %v", points[0].QuadraticErr)
+	}
+}

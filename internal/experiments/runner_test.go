@@ -1,0 +1,105 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/clock"
+	"repro/internal/core"
+	"repro/internal/schedule"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func TestRunScheduledRequiresCluster(t *testing.T) {
+	if _, err := RunScheduled(ScheduledRunConfig{}); err == nil {
+		t.Error("nil cluster accepted")
+	}
+}
+
+func TestRunScheduledUnknownTypeErrors(t *testing.T) {
+	v := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	cluster, err := core.NewCluster(core.Config{
+		Nodes:    2,
+		Clock:    v,
+		Budgeter: budget.EvenPower{},
+		Target:   func(time.Time) units.Power { return 600 },
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+	var runErr error
+	core.Drive(v, func() {
+		_, runErr = RunScheduled(ScheduledRunConfig{
+			Cluster:  cluster,
+			Arrivals: []schedule.Arrival{{JobID: "x", TypeName: "ghost"}},
+			Types:    map[string]workload.Type{},
+			Nodes:    2,
+		})
+	})
+	if runErr == nil {
+		t.Error("unknown arrival type accepted")
+	}
+}
+
+func TestRunScheduledSmallSchedule(t *testing.T) {
+	v := clock.NewVirtual(time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC))
+	cluster, err := core.NewCluster(core.Config{
+		Nodes:    2,
+		Clock:    v,
+		Budgeter: budget.EvenSlowdown{},
+		Target:   func(time.Time) units.Power { return 2 * 280 },
+		Seed:     1,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer cluster.Close()
+
+	is := workload.MustByName("is")
+	mg := workload.MustByName("mg")
+	arrivals := []schedule.Arrival{
+		{At: 0, JobID: "a", TypeName: is.Name, ClaimedType: is.Name},
+		{At: 5 * time.Second, JobID: "b", TypeName: mg.Name, ClaimedType: mg.Name},
+		{At: 10 * time.Second, JobID: "c", TypeName: is.Name, ClaimedType: is.Name},
+	}
+	var res ScheduledRunResult
+	var runErr error
+	core.Drive(v, func() {
+		res, runErr = RunScheduled(ScheduledRunConfig{
+			Cluster:  cluster,
+			Arrivals: arrivals,
+			Types: map[string]workload.Type{
+				is.Name: is,
+				mg.Name: mg,
+			},
+			Nodes: 2,
+		})
+	})
+	if runErr != nil {
+		t.Fatal(runErr)
+	}
+	if len(res.Results) != 3 {
+		t.Fatalf("completed = %d, want 3", len(res.Results))
+	}
+	for _, name := range []string{is.Name, mg.Name} {
+		if len(res.QoSByType[name]) == 0 {
+			t.Errorf("no QoS for %s", name)
+		}
+	}
+	// Jobs a and c both need 1 node of 2, mg needs 1: all can't run at
+	// once if overlapping — queueing gives some job QoS > 0 or all
+	// finish promptly; either way no negative values.
+	for name, qs := range res.QoSByType {
+		for _, q := range qs {
+			if q < 0 {
+				t.Errorf("%s: negative QoS %v", name, q)
+			}
+		}
+	}
+	if len(res.Tracking) == 0 {
+		t.Error("no tracking points")
+	}
+}

@@ -1,0 +1,188 @@
+// Package facility implements the multi-cluster coordination the paper
+// sketches as future work (§8): a facility with shared power
+// infrastructure acts as a power provider to each member of the cluster
+// tier, dividing a facility-wide capacity among clusters whose combined
+// peak demand may exceed it — the "bringing up a next-generation cluster
+// while the previous generation still runs" scenario.
+//
+// The coordinator mirrors the intra-cluster budgeter one level up: each
+// cluster advertises its achievable power range, its current demand, and
+// a priority weight; the facility allocates with a water-filling policy
+// that is work-conserving (no capacity stranded while demand is unmet)
+// and respects every cluster's minimum.
+package facility
+
+import (
+	"errors"
+	"sort"
+
+	"repro/internal/units"
+)
+
+// Member is one cluster's advertisement to the facility.
+type Member struct {
+	// Name identifies the cluster.
+	Name string
+	// MinPower is the floor the cluster cannot operate below (idle draw
+	// plus minimum caps).
+	MinPower units.Power
+	// MaxPower is the cluster's peak achievable draw.
+	MaxPower units.Power
+	// Demand is the cluster's current desired power (between MinPower
+	// and MaxPower; clamped otherwise).
+	Demand units.Power
+	// Priority weights scarce capacity (higher = served first); zero
+	// means 1.
+	Priority float64
+}
+
+func (m Member) clampedDemand() units.Power {
+	return m.Demand.Clamp(m.MinPower, m.MaxPower)
+}
+
+// Allocation maps cluster name to granted power ceiling.
+type Allocation map[string]units.Power
+
+// Total returns the allocation's sum.
+func (a Allocation) Total() units.Power {
+	var sum units.Power
+	for _, p := range a {
+		sum += p
+	}
+	return sum
+}
+
+// ErrInfeasible is returned when even the members' minimum floors exceed
+// the facility capacity.
+var ErrInfeasible = errors.New("facility: capacity below sum of member minimums")
+
+// Coordinator divides facility capacity among member clusters.
+type Coordinator struct {
+	// Capacity is the facility-wide power limit.
+	Capacity units.Power
+}
+
+// Allocate grants each member a power ceiling:
+//
+//  1. Every member gets its minimum floor (error if that alone exceeds
+//     capacity).
+//  2. Remaining capacity water-fills toward each member's demand in
+//     priority-weighted rounds.
+//  3. Any capacity left after all demands are met is granted
+//     proportionally up to MaxPower, so clusters can opportunistically
+//     burst (a member that doesn't want it simply won't use it).
+func (c Coordinator) Allocate(members []Member) (Allocation, error) {
+	alloc := make(Allocation, len(members))
+	if len(members) == 0 {
+		return alloc, nil
+	}
+	var floor units.Power
+	for _, m := range members {
+		floor += m.MinPower
+	}
+	if floor > c.Capacity {
+		return nil, ErrInfeasible
+	}
+	for _, m := range members {
+		alloc[m.Name] = m.MinPower
+	}
+	remaining := c.Capacity - floor
+
+	// Water-fill toward demand, priority-weighted. Each round splits the
+	// remaining capacity across unsatisfied members by weight; members
+	// that hit their demand drop out and the rest re-split.
+	unsat := make([]Member, len(members))
+	copy(unsat, members)
+	for remaining > 1e-9 && len(unsat) > 0 {
+		var weightSum float64
+		for _, m := range unsat {
+			weightSum += weight(m)
+		}
+		var next []Member
+		granted := units.Power(0)
+		for _, m := range unsat {
+			share := units.Power(weight(m) / weightSum * remaining.Watts())
+			need := m.clampedDemand() - alloc[m.Name]
+			if share >= need {
+				alloc[m.Name] += need
+				granted += need
+			} else {
+				alloc[m.Name] += share
+				granted += share
+				next = append(next, m)
+			}
+		}
+		remaining -= granted
+		if granted <= 1e-9 {
+			break
+		}
+		unsat = next
+	}
+
+	// Burst phase: distribute any leftover toward MaxPower.
+	if remaining > 1e-9 {
+		headroom := make([]Member, 0, len(members))
+		for _, m := range members {
+			if alloc[m.Name] < m.MaxPower {
+				headroom = append(headroom, m)
+			}
+		}
+		for remaining > 1e-9 && len(headroom) > 0 {
+			var weightSum float64
+			for _, m := range headroom {
+				weightSum += weight(m)
+			}
+			var next []Member
+			granted := units.Power(0)
+			for _, m := range headroom {
+				share := units.Power(weight(m) / weightSum * remaining.Watts())
+				need := m.MaxPower - alloc[m.Name]
+				if share >= need {
+					alloc[m.Name] += need
+					granted += need
+				} else {
+					alloc[m.Name] += share
+					granted += share
+					next = append(next, m)
+				}
+			}
+			remaining -= granted
+			headroom = next
+			if granted <= 1e-9 {
+				break
+			}
+		}
+	}
+	return alloc, nil
+}
+
+func weight(m Member) float64 {
+	if m.Priority <= 0 {
+		return 1
+	}
+	return m.Priority
+}
+
+// Report summarizes an allocation against demands, for operator logs.
+type Report struct {
+	Name      string
+	Granted   units.Power
+	Demand    units.Power
+	Satisfied bool
+}
+
+// Summarize produces per-member reports sorted by name.
+func Summarize(members []Member, alloc Allocation) []Report {
+	out := make([]Report, 0, len(members))
+	for _, m := range members {
+		g := alloc[m.Name]
+		out = append(out, Report{
+			Name:      m.Name,
+			Granted:   g,
+			Demand:    m.clampedDemand(),
+			Satisfied: g >= m.clampedDemand()-1e-9,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out
+}

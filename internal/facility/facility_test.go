@@ -1,0 +1,168 @@
+package facility
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/units"
+)
+
+func twoClusters() []Member {
+	return []Member{
+		{Name: "gen1", MinPower: 2000, MaxPower: 10000, Demand: 8000},
+		{Name: "gen2", MinPower: 3000, MaxPower: 20000, Demand: 15000},
+	}
+}
+
+func TestAllocateMeetsAllDemandWhenAmple(t *testing.T) {
+	c := Coordinator{Capacity: 30000}
+	alloc, err := c.Allocate(twoClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc["gen1"] < 8000 || alloc["gen2"] < 15000 {
+		t.Errorf("demands unmet: %v", alloc)
+	}
+	if alloc.Total() > 30000+1 {
+		t.Errorf("over capacity: %v", alloc.Total())
+	}
+}
+
+func TestAllocateScarcityRespectsFloors(t *testing.T) {
+	// Capacity only a little above the floors: everyone keeps their
+	// minimum, remainder splits by weight.
+	c := Coordinator{Capacity: 6000}
+	alloc, err := c.Allocate(twoClusters())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc["gen1"] < 2000 || alloc["gen2"] < 3000 {
+		t.Errorf("floors violated: %v", alloc)
+	}
+	if math.Abs(alloc.Total().Watts()-6000) > 1 {
+		t.Errorf("capacity not fully used under scarcity: %v", alloc.Total())
+	}
+}
+
+func TestAllocateInfeasible(t *testing.T) {
+	c := Coordinator{Capacity: 4000}
+	if _, err := c.Allocate(twoClusters()); !errors.Is(err, ErrInfeasible) {
+		t.Errorf("err = %v, want ErrInfeasible", err)
+	}
+}
+
+func TestAllocatePriorityFavorsWeighted(t *testing.T) {
+	members := []Member{
+		{Name: "low", MinPower: 1000, MaxPower: 10000, Demand: 10000, Priority: 1},
+		{Name: "high", MinPower: 1000, MaxPower: 10000, Demand: 10000, Priority: 3},
+	}
+	alloc, err := Coordinator{Capacity: 10000}.Allocate(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// 8000 W beyond floors split 1:3 → low gets 2000+1000, high 6000+1000.
+	if math.Abs(alloc["high"].Watts()-7000) > 1 || math.Abs(alloc["low"].Watts()-3000) > 1 {
+		t.Errorf("weighted split wrong: %v", alloc)
+	}
+}
+
+func TestAllocateWorkConserving(t *testing.T) {
+	// One cluster's demand saturates quickly; the other absorbs the rest.
+	members := []Member{
+		{Name: "small", MinPower: 500, MaxPower: 2000, Demand: 1000},
+		{Name: "big", MinPower: 500, MaxPower: 50000, Demand: 40000},
+	}
+	alloc, err := Coordinator{Capacity: 20000}.Allocate(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alloc["small"] < 1000 {
+		t.Errorf("small demand unmet: %v", alloc["small"])
+	}
+	if math.Abs(alloc.Total().Watts()-20000) > 1 {
+		t.Errorf("capacity stranded with unmet demand: total %v", alloc.Total())
+	}
+}
+
+func TestAllocateBurstPhaseUsesLeftover(t *testing.T) {
+	// All demands met with room to spare: leftover flows toward MaxPower.
+	members := []Member{
+		{Name: "a", MinPower: 1000, MaxPower: 6000, Demand: 2000},
+		{Name: "b", MinPower: 1000, MaxPower: 6000, Demand: 2000},
+	}
+	alloc, err := Coordinator{Capacity: 10000}.Allocate(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(alloc.Total().Watts()-10000) > 1 {
+		t.Errorf("burst leftover stranded: %v", alloc.Total())
+	}
+	if alloc["a"] > 6000+1 || alloc["b"] > 6000+1 {
+		t.Errorf("burst exceeded MaxPower: %v", alloc)
+	}
+}
+
+func TestAllocateEmptyMembers(t *testing.T) {
+	alloc, err := Coordinator{Capacity: 1000}.Allocate(nil)
+	if err != nil || len(alloc) != 0 {
+		t.Errorf("empty allocate: %v %v", alloc, err)
+	}
+}
+
+func TestAllocateInvariantsProperty(t *testing.T) {
+	f := func(capRaw uint16, d1, d2, p1, p2 uint8) bool {
+		members := []Member{
+			{Name: "a", MinPower: 1000, MaxPower: 8000,
+				Demand: units.Power(1000 + int(d1)*30), Priority: float64(p1%4) + 1},
+			{Name: "b", MinPower: 2000, MaxPower: 12000,
+				Demand: units.Power(2000 + int(d2)*40), Priority: float64(p2%4) + 1},
+		}
+		capacity := units.Power(3000 + int(capRaw)%20000)
+		alloc, err := Coordinator{Capacity: capacity}.Allocate(members)
+		if err != nil {
+			return errors.Is(err, ErrInfeasible) && capacity < 3000
+		}
+		// Invariants: floors respected, max respected, total ≤ capacity,
+		// and work conservation (either all clamped demands met or the
+		// capacity is fully used).
+		if alloc.Total() > capacity+1 {
+			return false
+		}
+		allMet := true
+		for _, m := range members {
+			g := alloc[m.Name]
+			if g < m.MinPower-1e-6 || g > m.MaxPower+1e-6 {
+				return false
+			}
+			if g < m.clampedDemand()-1e-6 {
+				allMet = false
+			}
+		}
+		if !allMet && capacity.Watts()-alloc.Total().Watts() > 1 {
+			return false
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSummarize(t *testing.T) {
+	members := twoClusters()
+	alloc, err := Coordinator{Capacity: 30000}.Allocate(members)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reports := Summarize(members, alloc)
+	if len(reports) != 2 || reports[0].Name != "gen1" {
+		t.Fatalf("reports: %+v", reports)
+	}
+	for _, r := range reports {
+		if !r.Satisfied {
+			t.Errorf("%s unsatisfied with ample capacity", r.Name)
+		}
+	}
+}

@@ -1,0 +1,63 @@
+package geopm
+
+import (
+	"time"
+
+	"repro/internal/units"
+)
+
+// NodeSample is one agent's per-control-period measurement.
+type NodeSample struct {
+	// Energy is the node's monotonic CPU energy.
+	Energy units.Energy
+	// Power is the node's average power since the previous sample (0 on
+	// the first sample).
+	Power units.Power
+	// Time stamps the sample.
+	Time time.Time
+}
+
+// Agent is one per-node instance of the modified power_governor agent
+// (§4.3): it enforces the power cap it is handed through the communication
+// tree and samples node energy each control period. One Agent runs per
+// node of a job.
+type Agent struct {
+	pio        *PlatformIO
+	lastEnergy float64
+	lastTime   time.Time
+	hasLast    bool
+}
+
+// NewAgent attaches an agent to a node's platform I/O.
+func NewAgent(pio *PlatformIO) *Agent { return &Agent{pio: pio} }
+
+// Enforce writes the per-node power cap to hardware.
+func (a *Agent) Enforce(cap units.Power) error {
+	return a.pio.WriteControl(ControlCPUPowerLimit, cap.Watts())
+}
+
+// EnforcedCap reads back the cap currently applied on the node.
+func (a *Agent) EnforcedCap() (units.Power, error) {
+	w, err := a.pio.ReadSignal(SignalCPUPowerLimit)
+	return units.Power(w), err
+}
+
+// Sample reads the node's energy signal and derives average power over the
+// interval since the previous Sample call.
+func (a *Agent) Sample(now time.Time) (NodeSample, error) {
+	joules, err := a.pio.ReadSignal(SignalCPUEnergy)
+	if err != nil {
+		return NodeSample{}, err
+	}
+	s := NodeSample{Energy: units.Energy(joules), Time: now}
+	if a.hasLast {
+		dt := now.Sub(a.lastTime).Seconds()
+		if dt > 0 {
+			s.Power = units.Power((joules - a.lastEnergy) / dt)
+		}
+	}
+	a.lastEnergy = joules
+	a.lastTime = now
+	a.hasLast = true
+	return s, nil
+}

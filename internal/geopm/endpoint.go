@@ -1,0 +1,85 @@
+package geopm
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/units"
+)
+
+// Policy is the objective the job tier writes down to a job's root agent
+// through the endpoint: the per-node power cap to enforce across the job.
+type Policy struct {
+	// PowerCap is the per-node cap in watts.
+	PowerCap units.Power
+}
+
+// Sample is the summarized state a job's root agent writes up through the
+// endpoint: the feedback the job-tier power modeler consumes (§4.2).
+type Sample struct {
+	// EpochCount is the job-wide count of completed epochs: incremented
+	// once each time every process in the job has reached the
+	// geopm_prof_epoch() call.
+	EpochCount int64
+	// Energy is monotonic CPU energy summed over the job's nodes.
+	Energy units.Energy
+	// Power is the average power over the last agent control period,
+	// summed over the job's nodes.
+	Power units.Power
+	// PowerCap echoes the per-node cap the agents currently enforce, so
+	// the modeler can attribute observed epoch timing to the applied cap
+	// even when tiers run control loops at different rates (§7.2).
+	PowerCap units.Power
+	// Time stamps when the sample was taken on the agent's clock; the
+	// paper added timestamps to map asynchronous tiers onto each other
+	// (§7.2).
+	Time time.Time
+}
+
+// Endpoint is the GEOPM endpoint interface (§4.3): a small shared-memory
+// mailbox between the job-tier power modeler and the job's root agent. The
+// modeler writes policies and reads samples; the root agent does the
+// reverse. Sequence numbers let both sides detect fresh values without
+// blocking, matching shared-memory polling semantics.
+type Endpoint struct {
+	mu        sync.Mutex
+	policy    Policy
+	policySeq uint64
+	sample    Sample
+	sampleSeq uint64
+}
+
+// NewEndpoint returns an empty endpoint.
+func NewEndpoint() *Endpoint { return &Endpoint{} }
+
+// WritePolicy publishes a new policy for the agent side.
+func (e *Endpoint) WritePolicy(p Policy) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.policy = p
+	e.policySeq++
+}
+
+// ReadPolicy returns the latest policy and its sequence number; sequence 0
+// means no policy has been written yet.
+func (e *Endpoint) ReadPolicy() (Policy, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.policy, e.policySeq
+}
+
+// WriteSample publishes a new sample for the modeler side.
+func (e *Endpoint) WriteSample(s Sample) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	e.sample = s
+	e.sampleSeq++
+}
+
+// ReadSample returns the latest sample and its sequence number; sequence 0
+// means no sample has been written yet.
+func (e *Endpoint) ReadSample() (Sample, uint64) {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.sample, e.sampleSeq
+}

@@ -1,0 +1,52 @@
+package geopm
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/units"
+)
+
+// Report is the per-job summary a GEOPM run emits. The paper's hardware
+// experiments read job execution time from the Application Totals section
+// of these reports (§5.4).
+type Report struct {
+	// JobID labels the job.
+	JobID string
+	// Nodes is the job's node count.
+	Nodes int
+	// Elapsed is wall time between runtime attach and detach, seconds.
+	Elapsed float64
+	// AppSeconds is time spent in the instrumented compute loop — the
+	// Application Totals runtime.
+	AppSeconds float64
+	// AppEpochs is the epoch count the application itself reported on
+	// completion.
+	AppEpochs int
+	// Epochs is the runtime's own job-wide epoch count.
+	Epochs int64
+	// Energy is total CPU energy over the run.
+	Energy units.Energy
+	// AvgPower is Energy over Elapsed.
+	AvgPower units.Power
+	// FinalCap is the per-node cap enforced when the report was taken.
+	FinalCap units.Power
+}
+
+// String renders the report in the sectioned style of a GEOPM report file.
+func (r Report) String() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "GEOPM Report: %s\n", r.JobID)
+	fmt.Fprintf(&b, "Hosts: %d\n", r.Nodes)
+	fmt.Fprintf(&b, "Application Totals:\n")
+	fmt.Fprintf(&b, "    runtime (s): %.3f\n", r.AppSeconds)
+	fmt.Fprintf(&b, "    count: %d\n", r.AppEpochs)
+	fmt.Fprintf(&b, "Epoch Totals:\n")
+	fmt.Fprintf(&b, "    epoch-count: %d\n", r.Epochs)
+	fmt.Fprintf(&b, "Energy Totals:\n")
+	fmt.Fprintf(&b, "    cpu-energy (J): %.1f\n", r.Energy.Joules())
+	fmt.Fprintf(&b, "    average-power (W): %.1f\n", r.AvgPower.Watts())
+	fmt.Fprintf(&b, "    elapsed (s): %.3f\n", r.Elapsed)
+	fmt.Fprintf(&b, "    final-power-cap (W): %.1f\n", r.FinalCap.Watts())
+	return b.String()
+}

@@ -1,0 +1,258 @@
+package geopm
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/units"
+)
+
+// DefaultControlPeriod is how often agents run their control loop. GEOPM
+// agents typically sample at millisecond to second granularity; the paper's
+// cluster tier updates every few seconds, so a sub-second job tier keeps
+// the job tier strictly faster, as the design requires.
+const DefaultControlPeriod = 500 * time.Millisecond
+
+// RuntimeConfig parameterizes a per-job GEOPM runtime.
+type RuntimeConfig struct {
+	// JobID labels reports and diagnostics.
+	JobID string
+	// PIOs are the platform I/O handles of the job's nodes, one per node.
+	// Must be non-empty.
+	PIOs []*PlatformIO
+	// Endpoint is the mailbox shared with the job-tier modeler. Required.
+	Endpoint *Endpoint
+	// Clock paces the control loop. Required.
+	Clock clock.Clock
+	// Period overrides DefaultControlPeriod when positive.
+	Period time.Duration
+	// Fanout sets the communication tree arity (default 2).
+	Fanout int
+	// InitialCap is enforced on attach before any policy arrives; zero
+	// means leave hardware at TDP.
+	InitialCap units.Power
+}
+
+// Runtime is the per-job GEOPM instance: one agent per node arranged in a
+// communication tree, a job-wide epoch counter fed by the instrumented
+// application, and a control loop that applies endpoint policies to every
+// node and publishes aggregated samples back (§4.3).
+type Runtime struct {
+	cfg    RuntimeConfig
+	tree   Tree
+	agents []*Agent
+
+	epochs atomic.Int64
+
+	mu         sync.Mutex
+	currentCap units.Power
+	lastPolicy uint64
+	started    time.Time
+	ended      time.Time
+	running    bool
+	appSeconds float64
+	appEpochs  int
+	firstOK    bool
+	baseEnergy units.Energy
+	lastSample Sample
+}
+
+// ErrNoNodes is returned when a runtime is constructed without platform
+// handles.
+var ErrNoNodes = errors.New("geopm: runtime requires at least one node")
+
+// NewRuntime builds a runtime for one job.
+func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
+	if len(cfg.PIOs) == 0 {
+		return nil, ErrNoNodes
+	}
+	if cfg.Endpoint == nil {
+		return nil, errors.New("geopm: runtime requires an endpoint")
+	}
+	if cfg.Clock == nil {
+		return nil, errors.New("geopm: runtime requires a clock")
+	}
+	if cfg.Period <= 0 {
+		cfg.Period = DefaultControlPeriod
+	}
+	r := &Runtime{
+		cfg:  cfg,
+		tree: NewTree(len(cfg.PIOs), cfg.Fanout),
+	}
+	for _, pio := range cfg.PIOs {
+		r.agents = append(r.agents, NewAgent(pio))
+	}
+	_, capMax := CapRange()
+	r.currentCap = capMax
+	if cfg.InitialCap > 0 {
+		r.currentCap = cfg.InitialCap
+	}
+	return r, nil
+}
+
+// ProfEpoch records that every process in the job reached the
+// geopm_prof_epoch() instrumentation point once more. It is the hook the
+// synthetic benchmarks call from their main loop (§5.1).
+func (r *Runtime) ProfEpoch() { r.epochs.Add(1) }
+
+// EpochCount returns the job-wide epoch count.
+func (r *Runtime) EpochCount() int64 { return r.epochs.Load() }
+
+// Cap returns the per-node cap the agents currently enforce. Benchmarks
+// read it to pace their epoch loops.
+func (r *Runtime) Cap() units.Power {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.currentCap
+}
+
+// Nodes returns the number of nodes the runtime manages.
+func (r *Runtime) Nodes() int { return len(r.agents) }
+
+// RecordAppTotals stores the application's own timing summary (the
+// executor's result) for inclusion in the job report's Application Totals
+// section (§5.4).
+func (r *Runtime) RecordAppTotals(appSeconds float64, epochs int) {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.appSeconds = appSeconds
+	r.appEpochs = epochs
+}
+
+// enforceAll fans a per-node cap out through the communication tree, level
+// by level, as the root agent does when a new policy arrives.
+func (r *Runtime) enforceAll(cap units.Power) error {
+	for _, level := range r.tree.Levels() {
+		for _, idx := range level {
+			if err := r.agents[idx].Enforce(cap); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// tick runs one control-loop iteration: apply any fresh policy, sample all
+// nodes, and publish the aggregate to the endpoint.
+func (r *Runtime) tick(now time.Time) error {
+	policy, seq := r.cfg.Endpoint.ReadPolicy()
+
+	r.mu.Lock()
+	fresh := seq != 0 && seq != r.lastPolicy
+	if fresh {
+		r.lastPolicy = seq
+		r.currentCap = policy.PowerCap
+	}
+	cap := r.currentCap
+	r.mu.Unlock()
+
+	if fresh {
+		if err := r.enforceAll(cap); err != nil {
+			return err
+		}
+	}
+
+	var energy units.Energy
+	var power units.Power
+	for _, a := range r.agents {
+		s, err := a.Sample(now)
+		if err != nil {
+			return err
+		}
+		energy += s.Energy
+		power += s.Power
+	}
+
+	r.mu.Lock()
+	if !r.firstOK {
+		r.firstOK = true
+		r.baseEnergy = energy
+	}
+	sample := Sample{
+		EpochCount: r.epochs.Load(),
+		Energy:     energy - r.baseEnergy,
+		Power:      power,
+		PowerCap:   cap,
+		Time:       now,
+	}
+	r.lastSample = sample
+	r.mu.Unlock()
+
+	r.cfg.Endpoint.WriteSample(sample)
+	return nil
+}
+
+// LastSample returns the most recently published sample.
+func (r *Runtime) LastSample() Sample {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.lastSample
+}
+
+// Run attaches the runtime and executes its control loop until ctx is
+// cancelled, then restores the nodes to TDP caps. It returns ctx.Err()
+// causes as nil (cancellation is the normal shutdown path).
+func (r *Runtime) Run(ctx context.Context) error {
+	r.mu.Lock()
+	r.started = r.cfg.Clock.Now()
+	r.running = true
+	initial := r.currentCap
+	r.mu.Unlock()
+
+	if err := r.enforceAll(initial); err != nil {
+		return err
+	}
+	if err := r.tick(r.cfg.Clock.Now()); err != nil {
+		return err
+	}
+
+	defer func() {
+		r.mu.Lock()
+		r.ended = r.cfg.Clock.Now()
+		r.running = false
+		r.mu.Unlock()
+		_, capMax := CapRange()
+		_ = r.enforceAll(capMax)
+	}()
+
+	for {
+		select {
+		case <-ctx.Done():
+			return nil
+		case now := <-r.cfg.Clock.After(r.cfg.Period):
+			if err := r.tick(now); err != nil {
+				return err
+			}
+		}
+	}
+}
+
+// Report summarizes the run so far (or the whole run once Run has
+// returned).
+func (r *Runtime) Report() Report {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	end := r.ended
+	if r.running || end.IsZero() {
+		end = r.cfg.Clock.Now()
+	}
+	elapsed := end.Sub(r.started).Seconds()
+	rep := Report{
+		JobID:      r.cfg.JobID,
+		Nodes:      len(r.agents),
+		Elapsed:    elapsed,
+		AppSeconds: r.appSeconds,
+		AppEpochs:  r.appEpochs,
+		Epochs:     r.epochs.Load(),
+		Energy:     r.lastSample.Energy,
+		FinalCap:   r.currentCap,
+	}
+	if elapsed > 0 {
+		rep.AvgPower = units.Power(rep.Energy.Joules() / elapsed)
+	}
+	return rep
+}

@@ -1,0 +1,75 @@
+package geopm
+
+// Tree arranges a job's per-node agents into a balanced k-ary
+// communication tree, the hierarchical layer GEOPM uses to let multi-node
+// jobs share one root (§4.3): policies written at the root fan out level by
+// level, and node samples aggregate upward. Agents are identified by their
+// index in [0, N); index 0 is the root, which attaches to the endpoint.
+type Tree struct {
+	n      int
+	fanout int
+}
+
+// NewTree builds a tree over n agents with the given fanout. Fanout values
+// below 2 are raised to 2; n below 1 is raised to 1.
+func NewTree(n, fanout int) Tree {
+	if n < 1 {
+		n = 1
+	}
+	if fanout < 2 {
+		fanout = 2
+	}
+	return Tree{n: n, fanout: fanout}
+}
+
+// Size returns the number of agents.
+func (t Tree) Size() int { return t.n }
+
+// Fanout returns the tree's arity.
+func (t Tree) Fanout() int { return t.fanout }
+
+// Parent returns the parent index of agent i, or -1 for the root.
+func (t Tree) Parent(i int) int {
+	if i <= 0 {
+		return -1
+	}
+	return (i - 1) / t.fanout
+}
+
+// Children returns the child indices of agent i, in order.
+func (t Tree) Children(i int) []int {
+	var out []int
+	for c := i*t.fanout + 1; c <= i*t.fanout+t.fanout && c < t.n; c++ {
+		out = append(out, c)
+	}
+	return out
+}
+
+// Depth returns the number of levels in the tree (1 for a single agent).
+func (t Tree) Depth() int {
+	depth := 0
+	for i := t.n - 1; i >= 0; i = t.Parent(i) {
+		depth++
+		if i == 0 {
+			break
+		}
+	}
+	return depth
+}
+
+// Levels returns agent indices grouped by distance from the root, in BFS
+// order. A policy fan-out walks these groups in order; an aggregation walks
+// them in reverse.
+func (t Tree) Levels() [][]int {
+	var levels [][]int
+	frontier := []int{0}
+	for len(frontier) > 0 {
+		levels = append(levels, frontier)
+		var next []int
+		for _, i := range frontier {
+			next = append(next, t.Children(i)...)
+		}
+		frontier = next
+	}
+	return levels
+}

@@ -1,0 +1,231 @@
+package hier
+
+import (
+	"math"
+	"testing"
+
+	"repro/internal/budget"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+func catalogJobs() []budget.Job {
+	var jobs []budget.Job
+	for _, t := range workload.Catalog() {
+		jobs = append(jobs, budget.Job{ID: t.Name, Nodes: t.Nodes, Model: t.RelativeModel()})
+	}
+	return jobs
+}
+
+// rackFidelity returns the largest |predicted − actual| slowdown of a
+// rack's fitted quadratic against true local balancing, over a sweep.
+func rackFidelity(t *testing.T, jobs []budget.Job) float64 {
+	t.Helper()
+	m, err := RackModel(jobs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := m.Validate(); err != nil {
+		t.Fatalf("rack model invalid: %v", err)
+	}
+	nodes := 0
+	for _, j := range jobs {
+		nodes += j.Nodes
+	}
+	worstErr := 0.0
+	for i := 0; i <= 10; i++ {
+		per := m.PMin + units.Power(float64(i)/10)*(m.PMax-m.PMin)
+		total := per * units.Power(nodes)
+		alloc := budget.EvenSlowdown{}.Allocate(jobs, total)
+		worst := 1.0
+		for _, j := range jobs {
+			if s := j.Model.SlowdownAt(alloc[j.ID]); s > worst {
+				worst = s
+			}
+		}
+		predicted := m.TimeAt(per) // rack curve is normalized: time == slowdown
+		if d := math.Abs(predicted - worst); d > worstErr {
+			worstErr = d
+		}
+	}
+	return worstErr
+}
+
+func TestRackModelFidelityHomogeneousRack(t *testing.T) {
+	// Racks of similar-sensitivity jobs — how deployments group them —
+	// fit the quadratic well.
+	var jobs []budget.Job
+	for _, name := range []string{"bt", "ep", "lu"} {
+		typ := workload.MustByName(name)
+		jobs = append(jobs, budget.Job{ID: typ.Name, Nodes: typ.Nodes, Model: typ.RelativeModel()})
+	}
+	if err := rackFidelity(t, jobs); err > 0.06 {
+		t.Errorf("homogeneous rack fidelity error = %.3f, want ≤ 0.06", err)
+	}
+}
+
+func TestRackModelFidelityHeterogeneousRackDegrades(t *testing.T) {
+	// A rack mixing every sensitivity has a kinked frontier no quadratic
+	// captures: the error is real and bounded, and motivates either
+	// grouping similar jobs per rack or the exact query scheme.
+	err := rackFidelity(t, catalogJobs())
+	if err > 0.45 {
+		t.Errorf("heterogeneous rack fidelity error = %.3f, want ≤ 0.45", err)
+	}
+	if err < 0.05 {
+		t.Errorf("heterogeneous error = %.3f — unexpectedly good; tighten the homogeneous bound", err)
+	}
+}
+
+func TestRackModelFlatMembers(t *testing.T) {
+	is := workload.MustByName("is")
+	flat := budget.Job{ID: "flat", Nodes: 2, Model: is.RelativeModel()}
+	m, err := RackModel([]budget.Job{flat, flat})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !m.Monotone(20) {
+		t.Error("flat rack model not monotone")
+	}
+}
+
+func TestRackModelErrors(t *testing.T) {
+	if _, err := RackModel(nil); err == nil {
+		t.Error("empty rack accepted")
+	}
+	if _, err := RackModel([]budget.Job{{ID: "x", Nodes: 0}}); err == nil {
+		t.Error("zero-node job accepted")
+	}
+}
+
+func TestTwoLevelApproximatesFlatAllocation(t *testing.T) {
+	// Wire-faithful scheme: hierarchical even-slowdown over fitted rack
+	// quadratics approximates the flat allocation; deviations are bounded
+	// by the documented quadratic-frontier approximation error.
+	jobs := catalogJobs()
+	var minSum, maxSum units.Power
+	for _, j := range jobs {
+		minSum += j.Model.PMin * units.Power(j.Nodes)
+		maxSum += j.Model.PMax * units.Power(j.Nodes)
+	}
+	for _, k := range []int{2, 3, 4} {
+		racks := RandomRacks(jobs, k, uint64(k))
+		for _, frac := range []float64{0.3, 0.5, 0.7} {
+			total := minSum + units.Power(frac)*(maxSum-minSum)
+			flat := budget.EvenSlowdown{}.Allocate(jobs, total)
+			twoLevel, err := TwoLevelAllocate(racks, budget.EvenSlowdown{}, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if len(twoLevel) != len(jobs) {
+				t.Fatalf("k=%d: allocation covers %d jobs, want %d", k, len(twoLevel), len(jobs))
+			}
+			if errWorst := MaxSlowdownError(jobs, flat, twoLevel); errWorst > 0.16 {
+				t.Errorf("k=%d frac=%.1f: two-level deviates from flat by %.3f slowdown",
+					k, frac, errWorst)
+			}
+		}
+	}
+}
+
+func TestTwoLevelExactMatchesFlatAllocation(t *testing.T) {
+	// Exact scheme: querying rack frontiers reproduces the flat
+	// allocation's slowdowns to numerical tolerance.
+	jobs := catalogJobs()
+	var minSum, maxSum units.Power
+	for _, j := range jobs {
+		minSum += j.Model.PMin * units.Power(j.Nodes)
+		maxSum += j.Model.PMax * units.Power(j.Nodes)
+	}
+	for _, k := range []int{2, 3, 4} {
+		racks := RandomRacks(jobs, k, uint64(k))
+		for _, frac := range []float64{0.3, 0.5, 0.7} {
+			total := minSum + units.Power(frac)*(maxSum-minSum)
+			flat := budget.EvenSlowdown{}.Allocate(jobs, total)
+			exact, err := TwoLevelAllocateExact(racks, total)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if errWorst := MaxSlowdownError(jobs, flat, exact); errWorst > 1e-3 {
+				t.Errorf("k=%d frac=%.1f: exact scheme deviates by %.5f slowdown",
+					k, frac, errWorst)
+			}
+		}
+	}
+}
+
+func TestTwoLevelExactEdges(t *testing.T) {
+	if alloc, err := TwoLevelAllocateExact(nil, 1000); err != nil || len(alloc) != 0 {
+		t.Errorf("empty racks: %v %v", alloc, err)
+	}
+	if _, err := TwoLevelAllocateExact([]Rack{{ID: "r"}}, 1000); err == nil {
+		t.Error("empty rack accepted")
+	}
+	jobs := catalogJobs()
+	racks := RandomRacks(jobs, 2, 1)
+	hi, err := TwoLevelAllocateExact(racks, 1e9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, j := range jobs {
+		if hi[j.ID] != j.Model.PMax {
+			t.Errorf("huge budget: %s at %v, want PMax", j.ID, hi[j.ID])
+		}
+	}
+}
+
+func TestTwoLevelRespectsBudget(t *testing.T) {
+	jobs := catalogJobs()
+	racks := RandomRacks(jobs, 3, 7)
+	var minSum, maxSum units.Power
+	for _, j := range jobs {
+		minSum += j.Model.PMin * units.Power(j.Nodes)
+		maxSum += j.Model.PMax * units.Power(j.Nodes)
+	}
+	total := (minSum + maxSum) / 2
+	alloc, err := TwoLevelAllocate(racks, budget.EvenSlowdown{}, total)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if used := alloc.TotalPower(jobs); used > total*1.02 {
+		t.Errorf("two-level used %v of %v budget", used, total)
+	}
+}
+
+func TestRandomRacksPartition(t *testing.T) {
+	jobs := catalogJobs()
+	racks := RandomRacks(jobs, 3, 1)
+	seen := map[string]bool{}
+	for _, r := range racks {
+		for _, j := range r.Jobs {
+			if seen[j.ID] {
+				t.Fatalf("job %s in two racks", j.ID)
+			}
+			seen[j.ID] = true
+		}
+	}
+	if len(seen) != len(jobs) {
+		t.Errorf("partition covers %d jobs, want %d", len(seen), len(jobs))
+	}
+	// Degenerate k.
+	one := RandomRacks(jobs, 0, 1)
+	if len(one) != 1 {
+		t.Errorf("k=0 racks = %d, want 1", len(one))
+	}
+}
+
+func TestRackAsJobNodes(t *testing.T) {
+	jobs := catalogJobs()[:3]
+	r := Rack{ID: "r0", Jobs: jobs}
+	j, err := r.AsJob()
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := jobs[0].Nodes + jobs[1].Nodes + jobs[2].Nodes
+	if j.Nodes != want {
+		t.Errorf("rack job nodes = %d, want %d", j.Nodes, want)
+	}
+	if j.ID != "r0" {
+		t.Errorf("rack job ID = %s", j.ID)
+	}
+}

@@ -1,0 +1,250 @@
+package nodesim
+
+import (
+	"errors"
+	"math"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/units"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func newTestNode(v *clock.Virtual) *Node {
+	return NewNode(0, Config{Clock: v})
+}
+
+func TestIdleNodeDrawsIdlePower(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	if got := n.Achieved(); got != 70 {
+		t.Errorf("idle Achieved = %v, want 70 W", got)
+	}
+	v.Advance(10 * time.Second)
+	if got := n.EnergyJoules(); math.Abs(got-700) > 1e-9 {
+		t.Errorf("idle energy over 10 s = %v J, want 700", got)
+	}
+}
+
+func TestDemandUncapped(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetDemand(240)
+	if got := n.Achieved(); got != 240 {
+		t.Errorf("Achieved = %v, want 240 W", got)
+	}
+	v.Advance(5 * time.Second)
+	if got := n.EnergyJoules(); math.Abs(got-1200) > 1e-9 {
+		t.Errorf("energy = %v J, want 1200", got)
+	}
+}
+
+func TestCapLimitsAchievedPower(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetDemand(280)
+	n.SetPowerLimit(180)
+	if got := n.Achieved(); got != 180 {
+		t.Errorf("capped Achieved = %v, want 180 W", got)
+	}
+	// Cap above demand does not raise power.
+	n.SetDemand(150)
+	n.SetPowerLimit(260)
+	if got := n.Achieved(); got != 150 {
+		t.Errorf("Achieved = %v, want demand 150 W", got)
+	}
+}
+
+func TestCapClampedToHardwareRange(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetPowerLimit(50) // below 2×70 minimum
+	if got := n.PowerLimit(); got != 140 {
+		t.Errorf("PowerLimit after low write = %v, want 140", got)
+	}
+	n.SetPowerLimit(1000)
+	if got := n.PowerLimit(); got != 280 {
+		t.Errorf("PowerLimit after high write = %v, want 280", got)
+	}
+}
+
+func TestCapCannotForceBelowIdle(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := NewNode(0, Config{Clock: v, IdlePower: 160})
+	n.SetDemand(280)
+	n.SetPowerLimit(140)
+	if got := n.Achieved(); got != 160 {
+		t.Errorf("Achieved = %v, want idle floor 160", got)
+	}
+}
+
+func TestEnergyIntegratesAcrossTransitions(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetDemand(200)
+	v.Advance(10 * time.Second) // 2000 J
+	n.SetPowerLimit(160)
+	v.Advance(10 * time.Second) // 1600 J
+	n.SetDemand(70)             // idle
+	v.Advance(10 * time.Second) // 700 J
+	want := 2000.0 + 1600 + 700
+	if got := n.EnergyJoules(); math.Abs(got-want) > 1e-6 {
+		t.Errorf("energy = %v J, want %v", got, want)
+	}
+}
+
+func TestMSRReadEnergyAndLimit(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetDemand(280)
+	v.Advance(time.Second)
+	var total float64
+	for _, p := range n.Packages {
+		raw, err := p.ReadMSR(MSRPkgEnergyStatus)
+		if err != nil {
+			t.Fatal(err)
+		}
+		total += float64(raw) * EnergyUnit
+	}
+	if math.Abs(total-280) > 0.01 {
+		t.Errorf("MSR energy after 1 s at 280 W = %v J", total)
+	}
+	raw, err := n.Packages[0].ReadMSR(MSRPkgPowerLimit)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := float64(raw) * PowerUnit; got != 140 {
+		t.Errorf("PKG_POWER_LIMIT raw decodes to %v W, want 140", got)
+	}
+}
+
+func TestMSRWriteLimit(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	if err := n.Packages[0].WriteMSR(MSRPkgPowerLimit, uint64(100/PowerUnit)); err != nil {
+		t.Fatal(err)
+	}
+	if got := n.Packages[0].Limit(); got != 100 {
+		t.Errorf("limit after MSR write = %v, want 100", got)
+	}
+}
+
+func TestMSRAllowlist(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	if _, err := n.Packages[0].ReadMSR(0x1a0); err == nil {
+		t.Error("read of non-allowlisted MSR succeeded")
+	} else {
+		var unknown ErrUnknownMSR
+		if !errors.As(err, &unknown) || unknown.Addr != 0x1a0 {
+			t.Errorf("err = %v, want ErrUnknownMSR{0x1a0}", err)
+		}
+	}
+	if err := n.Packages[0].WriteMSR(0x1a0, 0); err == nil {
+		t.Error("write of non-allowlisted MSR succeeded")
+	}
+	if err := n.Packages[0].WriteMSR(MSRPkgEnergyStatus, 0); err == nil {
+		t.Error("write to read-only energy MSR succeeded")
+	}
+}
+
+func TestEnergyCounterUnwrapsWraparound(t *testing.T) {
+	var c EnergyCounter
+	if got := c.Update(0xffff0000); got != 0 {
+		t.Errorf("first update = %v, want 0 (baseline)", got)
+	}
+	// Counter wraps past zero: delta should be 0x20000 LSBs.
+	got := c.Update(0x00010000)
+	want := float64(0x20000) * EnergyUnit
+	if math.Abs(got.Joules()-want) > 1e-9 {
+		t.Errorf("post-wrap total = %v J, want %v", got.Joules(), want)
+	}
+	if c.Total() != got {
+		t.Errorf("Total = %v, want %v", c.Total(), got)
+	}
+}
+
+func TestEnergyCounterAgainstNodeOverWrap(t *testing.T) {
+	// Run a node hot long enough for the 32-bit counter to wrap
+	// (262144 J / 280 W ≈ 936 s) and confirm unwrapped totals track the
+	// node's internal energy.
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetDemand(280)
+	var counters [PackagesPerNode]EnergyCounter
+	for i, p := range n.Packages {
+		raw, _ := p.ReadMSR(MSRPkgEnergyStatus)
+		counters[i].Update(uint32(raw))
+	}
+	const steps = 400
+	for s := 0; s < steps; s++ {
+		v.Advance(5 * time.Second) // 2000 s total: >1 wrap per package
+		for i, p := range n.Packages {
+			raw, _ := p.ReadMSR(MSRPkgEnergyStatus)
+			counters[i].Update(uint32(raw))
+		}
+	}
+	var unwrapped float64
+	for i := range counters {
+		unwrapped += counters[i].Total().Joules()
+	}
+	direct := n.EnergyJoules()
+	if math.Abs(unwrapped-direct) > 0.01*direct {
+		t.Errorf("unwrapped %v J vs direct %v J", unwrapped, direct)
+	}
+	if direct < 500000 {
+		t.Fatalf("test did not cross wrap threshold: %v J", direct)
+	}
+}
+
+func TestNoiseIsZeroMeanAndDeterministic(t *testing.T) {
+	run := func(seed uint64) float64 {
+		v := clock.NewVirtual(t0)
+		n := NewNode(3, Config{Clock: v, NoiseStd: 0.02, Seed: seed})
+		n.SetDemand(280)
+		for i := 0; i < 1000; i++ {
+			v.Advance(time.Second)
+			n.EnergyJoules() // settle each second so noise applies per interval
+		}
+		return n.EnergyJoules()
+	}
+	a := run(7)
+	if b := run(7); b != a {
+		t.Error("same seed produced different energy")
+	}
+	if c := run(8); c == a {
+		t.Error("different seeds produced identical energy")
+	}
+	// 1000 s at 280 W nominal: noisy total should be within ~1%.
+	if math.Abs(a-280000) > 0.01*280000 {
+		t.Errorf("noisy energy = %v J, want ≈280000", a)
+	}
+}
+
+func TestMultiplePackagesIndependent(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.Packages[0].SetLimit(80)
+	n.Packages[1].SetLimit(120)
+	n.SetDemand(280) // 140 per package
+	if got := n.Packages[0].Achieved(); got != 80 {
+		t.Errorf("pkg0 achieved = %v", got)
+	}
+	if got := n.Packages[1].Achieved(); got != 120 {
+		t.Errorf("pkg1 achieved = %v", got)
+	}
+	if got := n.Achieved(); got != 200 {
+		t.Errorf("node achieved = %v, want 200", got)
+	}
+}
+
+func TestDemandBelowIdleClamps(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	n := newTestNode(v)
+	n.SetDemand(units.Power(10))
+	if got := n.Achieved(); got != 70 {
+		t.Errorf("Achieved = %v, want idle 70", got)
+	}
+}

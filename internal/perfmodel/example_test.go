@@ -1,0 +1,41 @@
+package perfmodel_test
+
+import (
+	"fmt"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// ExampleModel_PowerFor inverts a power-performance curve: given a
+// tolerable seconds-per-epoch, find the smallest cap that achieves it —
+// the P_j(T) map the even-slowdown budgeter uses (§4.4.3).
+func ExampleModel_PowerFor() {
+	// 1.8 s/epoch at 140 W, 1.0 s/epoch at 280 W, convex in between.
+	m := perfmodel.FromAnchors(140, 280, 1.8, 1.0, 0.35)
+	fmt.Printf("T(200 W) = %.3f s/epoch\n", m.TimeAt(200))
+	fmt.Printf("P(1.2 s/epoch) = %.1f W\n", m.PowerFor(1.2).Watts())
+	fmt.Printf("cap for ≤40%% slowdown: %.1f W\n", m.PowerForSlowdown(1.4).Watts())
+	// Output:
+	// T(200 W) = 1.340 s/epoch
+	// P(1.2 s/epoch) = 225.0 W
+	// cap for ≤40% slowdown: 190.6 W
+}
+
+// ExampleFit learns a model from observed (cap, seconds-per-epoch)
+// samples, as the online modeler does from GEOPM epoch feedback (§4.2).
+func ExampleFit() {
+	truth := perfmodel.FromAnchors(140, 280, 1.5, 1.0, 0.4)
+	var caps, times []float64
+	for c := 140.0; c <= 280; c += 20 {
+		caps = append(caps, c)
+		times = append(times, truth.TimeAt(units.Power(c)))
+	}
+	m, r2, err := perfmodel.Fit(caps, times, 140, 280)
+	if err != nil {
+		panic(err)
+	}
+	fmt.Printf("R² = %.3f, slowdown at 140 W = %.2f\n", r2, m.SlowdownAt(140))
+	// Output:
+	// R² = 1.000, slowdown at 140 W = 1.50
+}

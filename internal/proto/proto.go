@@ -1,0 +1,210 @@
+// Package proto defines the wire protocol between the ANOR cluster tier
+// and job tier (§4): length-framed JSON messages over a stream transport.
+// The paper uses one TCP connection between the cluster manager on the
+// head node and a job-tier power-modeling process per job; the same
+// framing works over net.Pipe for in-process experiments.
+//
+// The message flow is:
+//
+//	job  → cluster: Hello        (once, on connect: identity, size, claimed type)
+//	job  → cluster: ModelUpdate  (periodic: model coefficients, epochs, power)
+//	cluster → job : SetBudget    (on every rebudget: the job's per-node cap)
+//	job  → cluster: Goodbye      (once, on completion)
+package proto
+
+import (
+	"bufio"
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sync"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+// Kind discriminates message payloads.
+type Kind string
+
+// Message kinds.
+const (
+	KindHello       Kind = "hello"
+	KindModelUpdate Kind = "model_update"
+	KindSetBudget   Kind = "set_budget"
+	KindGoodbye     Kind = "goodbye"
+)
+
+// Hello announces a job to the cluster manager when its endpoint process
+// connects.
+type Hello struct {
+	// JobID uniquely identifies the job.
+	JobID string `json:"job_id"`
+	// TypeName is the job type the scheduler believes this job is
+	// ("bt.D.81", ...). Empty means unknown — the cluster tier applies
+	// its default-model policy (§6.1.2).
+	TypeName string `json:"type_name,omitempty"`
+	// Nodes is the job's node count.
+	Nodes int `json:"nodes"`
+}
+
+// ModelUpdate carries the job tier's current power-performance model and
+// latest measurements up to the cluster tier.
+type ModelUpdate struct {
+	JobID string `json:"job_id"`
+	// A, B, C are the quadratic model coefficients (§4.2).
+	A float64 `json:"a"`
+	B float64 `json:"b"`
+	C float64 `json:"c"`
+	// PMinWatts and PMaxWatts bound the model's validity.
+	PMinWatts float64 `json:"p_min_watts"`
+	PMaxWatts float64 `json:"p_max_watts"`
+	// Trained reports whether the coefficients come from an online fit
+	// (true) or the modeler's default (false).
+	Trained bool `json:"trained"`
+	// Epochs is the job's epoch count at TimestampUnixNano.
+	Epochs int64 `json:"epochs"`
+	// PowerWatts is the job's latest measured power (all nodes).
+	PowerWatts float64 `json:"power_watts"`
+	// TimestampUnixNano stamps the underlying sample; the paper added
+	// timestamps so asynchronous tiers can be mapped onto each other
+	// (§7.2).
+	TimestampUnixNano int64 `json:"timestamp_unix_nano"`
+}
+
+// Model reconstructs the perfmodel from the update's coefficients.
+func (u ModelUpdate) Model() perfmodel.Model {
+	return perfmodel.Model{
+		A: u.A, B: u.B, C: u.C,
+		PMin: units.Power(u.PMinWatts), PMax: units.Power(u.PMaxWatts),
+	}
+}
+
+// ModelUpdateFor builds an update from a model.
+func ModelUpdateFor(jobID string, m perfmodel.Model, trained bool) ModelUpdate {
+	return ModelUpdate{
+		JobID: jobID,
+		A:     m.A, B: m.B, C: m.C,
+		PMinWatts: m.PMin.Watts(), PMaxWatts: m.PMax.Watts(),
+		Trained: trained,
+	}
+}
+
+// SetBudget instructs a job's endpoint to enforce a new per-node cap.
+type SetBudget struct {
+	JobID string `json:"job_id"`
+	// PowerCapWatts is the per-node cap to enforce across the job.
+	PowerCapWatts float64 `json:"power_cap_watts"`
+}
+
+// Goodbye announces orderly job completion.
+type Goodbye struct {
+	JobID string `json:"job_id"`
+}
+
+// Envelope is the framed unit: a kind plus exactly one payload.
+type Envelope struct {
+	Kind        Kind         `json:"kind"`
+	Hello       *Hello       `json:"hello,omitempty"`
+	ModelUpdate *ModelUpdate `json:"model_update,omitempty"`
+	SetBudget   *SetBudget   `json:"set_budget,omitempty"`
+	Goodbye     *Goodbye     `json:"goodbye,omitempty"`
+}
+
+// Validate checks that the envelope's kind matches its payload.
+func (e Envelope) Validate() error {
+	switch e.Kind {
+	case KindHello:
+		if e.Hello == nil {
+			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
+		}
+	case KindModelUpdate:
+		if e.ModelUpdate == nil {
+			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
+		}
+	case KindSetBudget:
+		if e.SetBudget == nil {
+			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
+		}
+	case KindGoodbye:
+		if e.Goodbye == nil {
+			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
+		}
+	default:
+		return fmt.Errorf("proto: unknown message kind %q", e.Kind)
+	}
+	return nil
+}
+
+// MaxFrame bounds accepted frame sizes; all protocol messages are tiny, so
+// anything larger indicates a corrupt or hostile stream.
+const MaxFrame = 1 << 20
+
+// Conn frames envelopes over a reliable byte stream. Send and Recv are
+// individually safe for concurrent use (one writer lock, one reader lock),
+// supporting the usual pattern of a dedicated receive goroutine plus
+// multiple senders.
+type Conn struct {
+	wmu sync.Mutex
+	rmu sync.Mutex
+	rw  io.ReadWriteCloser
+	br  *bufio.Reader
+}
+
+// NewConn wraps a stream (net.Conn, net.Pipe end, ...).
+func NewConn(rw io.ReadWriteCloser) *Conn {
+	return &Conn{rw: rw, br: bufio.NewReader(rw)}
+}
+
+// Send validates, encodes, and writes one envelope.
+func (c *Conn) Send(e Envelope) error {
+	if err := e.Validate(); err != nil {
+		return err
+	}
+	body, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	if len(body) > MaxFrame {
+		return fmt.Errorf("proto: frame too large (%d bytes)", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if _, err := c.rw.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err = c.rw.Write(body)
+	return err
+}
+
+// Recv blocks for the next envelope. It returns io.EOF (or the transport's
+// close error) when the peer disconnects.
+func (c *Conn) Recv() (Envelope, error) {
+	c.rmu.Lock()
+	defer c.rmu.Unlock()
+	var hdr [4]byte
+	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
+		return Envelope{}, err
+	}
+	n := binary.BigEndian.Uint32(hdr[:])
+	if n > MaxFrame {
+		return Envelope{}, fmt.Errorf("proto: frame too large (%d bytes)", n)
+	}
+	body := make([]byte, n)
+	if _, err := io.ReadFull(c.br, body); err != nil {
+		return Envelope{}, err
+	}
+	var e Envelope
+	if err := json.Unmarshal(body, &e); err != nil {
+		return Envelope{}, err
+	}
+	if err := e.Validate(); err != nil {
+		return Envelope{}, err
+	}
+	return e, nil
+}
+
+// Close closes the underlying stream, unblocking any pending Recv.
+func (c *Conn) Close() error { return c.rw.Close() }

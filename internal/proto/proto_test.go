@@ -1,0 +1,210 @@
+package proto
+
+import (
+	"errors"
+	"io"
+	"net"
+	"strings"
+	"sync"
+	"testing"
+
+	"repro/internal/workload"
+)
+
+func pipePair() (*Conn, *Conn) {
+	a, b := net.Pipe()
+	return NewConn(a), NewConn(b)
+}
+
+// exchange sends e on tx and returns what rx receives.
+func exchange(t *testing.T, tx, rx *Conn, e Envelope) Envelope {
+	t.Helper()
+	var (
+		got Envelope
+		err error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		got, err = rx.Recv()
+	}()
+	if serr := tx.Send(e); serr != nil {
+		t.Fatalf("Send: %v", serr)
+	}
+	wg.Wait()
+	if err != nil {
+		t.Fatalf("Recv: %v", err)
+	}
+	return got
+}
+
+func TestHelloRoundTrip(t *testing.T) {
+	tx, rx := pipePair()
+	defer tx.Close()
+	defer rx.Close()
+	got := exchange(t, tx, rx, Envelope{Kind: KindHello, Hello: &Hello{JobID: "j1", TypeName: "bt.D.81", Nodes: 4}})
+	if got.Kind != KindHello || got.Hello == nil {
+		t.Fatalf("got %+v", got)
+	}
+	if *got.Hello != (Hello{JobID: "j1", TypeName: "bt.D.81", Nodes: 4}) {
+		t.Errorf("hello = %+v", *got.Hello)
+	}
+}
+
+func TestModelUpdateRoundTripPreservesModel(t *testing.T) {
+	tx, rx := pipePair()
+	defer tx.Close()
+	defer rx.Close()
+	m := workload.MustByName("ft").Model()
+	u := ModelUpdateFor("j2", m, true)
+	u.Epochs = 17
+	u.PowerWatts = 433.5
+	u.TimestampUnixNano = 12345
+	got := exchange(t, tx, rx, Envelope{Kind: KindModelUpdate, ModelUpdate: &u})
+	if got.ModelUpdate == nil {
+		t.Fatal("missing payload")
+	}
+	back := got.ModelUpdate.Model()
+	if back != m {
+		t.Errorf("model round trip: got %+v want %+v", back, m)
+	}
+	if got.ModelUpdate.Epochs != 17 || !got.ModelUpdate.Trained {
+		t.Errorf("fields lost: %+v", got.ModelUpdate)
+	}
+}
+
+func TestSetBudgetAndGoodbye(t *testing.T) {
+	tx, rx := pipePair()
+	defer tx.Close()
+	defer rx.Close()
+	got := exchange(t, tx, rx, Envelope{Kind: KindSetBudget, SetBudget: &SetBudget{JobID: "j", PowerCapWatts: 212.5}})
+	if got.SetBudget.PowerCapWatts != 212.5 {
+		t.Errorf("cap = %v", got.SetBudget.PowerCapWatts)
+	}
+	got = exchange(t, tx, rx, Envelope{Kind: KindGoodbye, Goodbye: &Goodbye{JobID: "j"}})
+	if got.Kind != KindGoodbye || got.Goodbye.JobID != "j" {
+		t.Errorf("goodbye = %+v", got)
+	}
+}
+
+func TestSendRejectsMismatchedEnvelope(t *testing.T) {
+	tx, rx := pipePair()
+	defer tx.Close()
+	defer rx.Close()
+	if err := tx.Send(Envelope{Kind: KindHello}); err == nil {
+		t.Error("kind without payload accepted")
+	}
+	if err := tx.Send(Envelope{Kind: "bogus", Hello: &Hello{}}); err == nil {
+		t.Error("unknown kind accepted")
+	}
+}
+
+func TestRecvEOFOnClose(t *testing.T) {
+	tx, rx := pipePair()
+	done := make(chan error, 1)
+	go func() {
+		_, err := rx.Recv()
+		done <- err
+	}()
+	tx.Close()
+	if err := <-done; !errors.Is(err, io.EOF) && !strings.Contains(err.Error(), "closed") {
+		t.Errorf("Recv after close: %v", err)
+	}
+	rx.Close()
+}
+
+func TestManySequentialMessages(t *testing.T) {
+	tx, rx := pipePair()
+	defer tx.Close()
+	defer rx.Close()
+	const n = 200
+	var wg sync.WaitGroup
+	wg.Add(1)
+	errs := make(chan error, 1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < n; i++ {
+			e, err := rx.Recv()
+			if err != nil {
+				errs <- err
+				return
+			}
+			if e.SetBudget == nil || int(e.SetBudget.PowerCapWatts) != 140+i {
+				errs <- errors.New("out-of-order or corrupt frame")
+				return
+			}
+		}
+		errs <- nil
+	}()
+	for i := 0; i < n; i++ {
+		if err := tx.Send(Envelope{Kind: KindSetBudget, SetBudget: &SetBudget{JobID: "x", PowerCapWatts: float64(140 + i)}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	wg.Wait()
+	if err := <-errs; err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOverTCP(t *testing.T) {
+	ln, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ln.Close()
+	accepted := make(chan *Conn, 1)
+	go func() {
+		c, err := ln.Accept()
+		if err != nil {
+			return
+		}
+		accepted <- NewConn(c)
+	}()
+	raw, err := net.Dial("tcp", ln.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewConn(raw)
+	defer client.Close()
+	server := <-accepted
+	defer server.Close()
+
+	if err := client.Send(Envelope{Kind: KindHello, Hello: &Hello{JobID: "tcp", Nodes: 2}}); err != nil {
+		t.Fatal(err)
+	}
+	got, err := server.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Hello.JobID != "tcp" {
+		t.Errorf("got %+v", got)
+	}
+}
+
+func TestValidateAllKinds(t *testing.T) {
+	ok := []Envelope{
+		{Kind: KindHello, Hello: &Hello{}},
+		{Kind: KindModelUpdate, ModelUpdate: &ModelUpdate{}},
+		{Kind: KindSetBudget, SetBudget: &SetBudget{}},
+		{Kind: KindGoodbye, Goodbye: &Goodbye{}},
+	}
+	for _, e := range ok {
+		if err := e.Validate(); err != nil {
+			t.Errorf("%s: %v", e.Kind, err)
+		}
+	}
+	bad := []Envelope{
+		{Kind: KindHello},
+		{Kind: KindModelUpdate},
+		{Kind: KindSetBudget},
+		{Kind: KindGoodbye},
+		{},
+	}
+	for _, e := range bad {
+		if err := e.Validate(); err == nil {
+			t.Errorf("kind %q validated without payload", e.Kind)
+		}
+	}
+}

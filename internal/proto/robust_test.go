@@ -1,0 +1,77 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"io"
+	"testing"
+	"testing/quick"
+)
+
+// rwBuffer adapts a bytes.Buffer into an io.ReadWriteCloser for feeding
+// crafted byte streams into Conn.Recv.
+type rwBuffer struct{ bytes.Buffer }
+
+func (b *rwBuffer) Close() error { return nil }
+
+func recvFromBytes(raw []byte) (Envelope, error) {
+	var b rwBuffer
+	b.Write(raw)
+	return NewConn(&b).Recv()
+}
+
+func TestRecvRejectsOversizedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+	if _, err := recvFromBytes(hdr[:]); err == nil {
+		t.Error("oversized frame header accepted")
+	}
+}
+
+func TestRecvRejectsTruncatedFrame(t *testing.T) {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], 100)
+	raw := append(hdr[:], []byte(`{"kind":"hello"`)...) // 15 < 100 bytes
+	if _, err := recvFromBytes(raw); err == nil {
+		t.Error("truncated frame accepted")
+	}
+}
+
+func TestRecvRejectsNonJSONBody(t *testing.T) {
+	body := []byte("this is not json at all...")
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := recvFromBytes(append(hdr[:], body...)); err == nil {
+		t.Error("non-JSON body accepted")
+	}
+}
+
+func TestRecvRejectsValidJSONBadEnvelope(t *testing.T) {
+	body := []byte(`{"kind":"set_budget"}`) // kind without payload
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := recvFromBytes(append(hdr[:], body...)); err == nil {
+		t.Error("mismatched envelope accepted")
+	}
+}
+
+func TestRecvNeverPanicsOnRandomBytes(t *testing.T) {
+	f := func(raw []byte) bool {
+		// Any byte soup must produce an error or a valid envelope —
+		// never a panic.
+		env, err := recvFromBytes(raw)
+		if err != nil {
+			return true
+		}
+		return env.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestRecvEmptyStream(t *testing.T) {
+	if _, err := recvFromBytes(nil); err != io.EOF {
+		t.Errorf("empty stream: err = %v, want io.EOF", err)
+	}
+}

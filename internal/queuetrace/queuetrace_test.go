@@ -1,0 +1,59 @@
+package queuetrace
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	jobs := Generate(Config{RNG: stats.NewRNG(1)})
+	if len(jobs) != 50000 {
+		t.Fatalf("jobs = %d", len(jobs))
+	}
+	for _, j := range jobs[:100] {
+		if j.Exec <= 0 || j.Wait < 0 {
+			t.Fatalf("bad job %+v", j)
+		}
+		if j.Submit < 0 || j.Submit > 30*24*time.Hour {
+			t.Fatalf("submit outside span: %v", j.Submit)
+		}
+	}
+}
+
+func TestP90RatioExceedsPaperThreshold(t *testing.T) {
+	// §5.2: the real trace's 90th percentile wait/exec ratio is > 22.
+	for seed := uint64(0); seed < 5; seed++ {
+		jobs := Generate(Config{RNG: stats.NewRNG(seed)})
+		if r := P90Ratio(jobs); r <= 22 {
+			t.Errorf("seed %d: P90 ratio = %v, want > 22", seed, r)
+		}
+	}
+}
+
+func TestP90RatioDeterministic(t *testing.T) {
+	a := P90Ratio(Generate(Config{RNG: stats.NewRNG(3)}))
+	b := P90Ratio(Generate(Config{RNG: stats.NewRNG(3)}))
+	if a != b {
+		t.Errorf("same seed ratios differ: %v vs %v", a, b)
+	}
+}
+
+func TestRatioEdgeCases(t *testing.T) {
+	if r := (Job{Wait: 100, Exec: 0}).Ratio(); r != 0 {
+		t.Errorf("zero-exec ratio = %v", r)
+	}
+	if r := P90Ratio(nil); r != 0 {
+		t.Errorf("empty trace P90 = %v", r)
+	}
+}
+
+func TestGeneratePanicsWithoutRNG(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Generate without RNG did not panic")
+		}
+	}()
+	Generate(Config{})
+}

@@ -1,0 +1,274 @@
+// Package sched implements the AQA job scheduler the paper's cluster tier
+// builds on (§4.4.2): jobs are classified into per-type work queues, each
+// queue carries a trained weight, and compute nodes are allocated so that
+// queues with greater weight are assigned more nodes. A work-conserving
+// borrowing pass keeps utilization high when some queues are idle.
+//
+// The scheduler also owns QoS accounting (§5.2): each job's degradation is
+// Q = (T_sojourn − T_min) / T_min, where T_min is the job's unconstrained
+// execution time.
+package sched
+
+import (
+	"fmt"
+	"sort"
+	"time"
+)
+
+// Job is one submission tracked by the scheduler.
+type Job struct {
+	// ID uniquely identifies the job.
+	ID string
+	// TypeName is the job's true type.
+	TypeName string
+	// ClaimedType is the type the scheduler believes (equal to TypeName
+	// unless misclassified); queueing uses the claim.
+	ClaimedType string
+	// Nodes is the allocation size.
+	Nodes int
+	// MinTime is the job's execution time with no power cap, the QoS
+	// baseline T_min.
+	MinTime float64
+	// Submit, Start, and End are the lifecycle timestamps; zero until
+	// reached.
+	Submit, Start, End time.Time
+}
+
+// QoS returns the job's QoS degradation Q = (T_so − T_min)/T_min. It is
+// meaningful only for finished jobs; unfinished jobs report their
+// degradation as of `now` (a lower bound).
+func (j Job) QoS(now time.Time) float64 {
+	if j.MinTime <= 0 {
+		return 0
+	}
+	end := j.End
+	if end.IsZero() {
+		end = now
+	}
+	so := end.Sub(j.Submit).Seconds()
+	q := (so - j.MinTime) / j.MinTime
+	if q < 0 {
+		return 0
+	}
+	return q
+}
+
+// Scheduler is the AQA queue-weighted scheduler.
+type Scheduler struct {
+	totalNodes int
+	freeNodes  int
+	weights    map[string]float64
+	queueOrder []string
+	queues     map[string][]*Job
+	runningByQ map[string]int // nodes in use per queue
+	running    map[string]*Job
+	finished   []*Job
+
+	// busyNodeSeconds accumulates node·seconds of running jobs for
+	// utilization reporting.
+	busyNodeSeconds float64
+	lastAccount     time.Time
+}
+
+// New constructs a scheduler over totalNodes nodes with the given queue
+// weights (one entry per job type; types absent from the map get weight
+// 0.1 so they are schedulable but deprioritized).
+func New(totalNodes int, weights map[string]float64) (*Scheduler, error) {
+	if totalNodes < 1 {
+		return nil, fmt.Errorf("sched: totalNodes %d < 1", totalNodes)
+	}
+	s := &Scheduler{
+		totalNodes: totalNodes,
+		freeNodes:  totalNodes,
+		weights:    make(map[string]float64),
+		queues:     make(map[string][]*Job),
+		runningByQ: make(map[string]int),
+		running:    make(map[string]*Job),
+	}
+	for name, w := range weights {
+		if w <= 0 {
+			return nil, fmt.Errorf("sched: non-positive weight for %q", name)
+		}
+		s.weights[name] = w
+		s.queueOrder = append(s.queueOrder, name)
+	}
+	sort.Strings(s.queueOrder)
+	return s, nil
+}
+
+// ensureQueue registers an unseen claimed type with a small default
+// weight, mirroring AQA's handling of job types unknown at training time
+// (§4.4.2).
+func (s *Scheduler) ensureQueue(name string) {
+	if _, ok := s.weights[name]; ok {
+		return
+	}
+	s.weights[name] = 0.1
+	s.queueOrder = append(s.queueOrder, name)
+	sort.Strings(s.queueOrder)
+}
+
+// Submit enqueues a job at time now.
+func (s *Scheduler) Submit(j Job, now time.Time) *Job {
+	s.account(now)
+	if j.ClaimedType == "" {
+		j.ClaimedType = j.TypeName
+	}
+	s.ensureQueue(j.ClaimedType)
+	j.Submit = now
+	job := &j
+	s.queues[j.ClaimedType] = append(s.queues[j.ClaimedType], job)
+	return job
+}
+
+// account integrates busy node·seconds up to now.
+func (s *Scheduler) account(now time.Time) {
+	if !s.lastAccount.IsZero() {
+		dt := now.Sub(s.lastAccount).Seconds()
+		if dt > 0 {
+			s.busyNodeSeconds += dt * float64(s.totalNodes-s.freeNodes)
+		}
+	}
+	s.lastAccount = now
+}
+
+// entitlement returns queue q's node share under the current weights.
+func (s *Scheduler) entitlement(q string) float64 {
+	var total float64
+	for _, w := range s.weights {
+		total += w
+	}
+	if total <= 0 {
+		return 0
+	}
+	return s.weights[q] / total * float64(s.totalNodes)
+}
+
+// StartEligible starts every job that fits under the weighted allocation:
+// first an entitlement pass (each queue may start head jobs while its
+// running nodes stay within its weighted share), then a work-conserving
+// borrowing pass that starts remaining head jobs FIFO by submission while
+// free nodes last. Started jobs are returned with Start stamped.
+func (s *Scheduler) StartEligible(now time.Time) []*Job {
+	s.account(now)
+	var started []*Job
+
+	// Entitlement pass, deterministic queue order.
+	for _, q := range s.queueOrder {
+		ent := s.entitlement(q)
+		for len(s.queues[q]) > 0 {
+			head := s.queues[q][0]
+			if head.Nodes > s.freeNodes {
+				break
+			}
+			if float64(s.runningByQ[q]+head.Nodes) > ent {
+				break
+			}
+			s.startJob(q, head, now)
+			started = append(started, head)
+		}
+	}
+
+	// Borrowing pass: all queue heads, oldest submission first.
+	for {
+		var best *Job
+		var bestQ string
+		for _, q := range s.queueOrder {
+			if len(s.queues[q]) == 0 {
+				continue
+			}
+			head := s.queues[q][0]
+			if head.Nodes > s.freeNodes {
+				continue
+			}
+			if best == nil || head.Submit.Before(best.Submit) {
+				best, bestQ = head, q
+			}
+		}
+		if best == nil {
+			break
+		}
+		s.startJob(bestQ, best, now)
+		started = append(started, best)
+	}
+	return started
+}
+
+func (s *Scheduler) startJob(q string, j *Job, now time.Time) {
+	s.queues[q] = s.queues[q][1:]
+	j.Start = now
+	s.freeNodes -= j.Nodes
+	s.runningByQ[q] += j.Nodes
+	s.running[j.ID] = j
+}
+
+// Complete marks a running job finished at time now and frees its nodes.
+func (s *Scheduler) Complete(id string, now time.Time) (*Job, error) {
+	j, ok := s.running[id]
+	if !ok {
+		return nil, fmt.Errorf("sched: job %q is not running", id)
+	}
+	s.account(now)
+	delete(s.running, id)
+	j.End = now
+	s.freeNodes += j.Nodes
+	s.runningByQ[j.ClaimedType] -= j.Nodes
+	s.finished = append(s.finished, j)
+	return j, nil
+}
+
+// Running returns the currently running jobs, sorted by ID.
+func (s *Scheduler) Running() []*Job {
+	out := make([]*Job, 0, len(s.running))
+	for _, j := range s.running {
+		out = append(out, j)
+	}
+	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
+	return out
+}
+
+// Finished returns completed jobs in completion order.
+func (s *Scheduler) Finished() []*Job { return s.finished }
+
+// QueuedCount returns the number of jobs waiting across all queues.
+func (s *Scheduler) QueuedCount() int {
+	n := 0
+	for _, q := range s.queues {
+		n += len(q)
+	}
+	return n
+}
+
+// FreeNodes returns the number of unallocated nodes.
+func (s *Scheduler) FreeNodes() int { return s.freeNodes }
+
+// BusyNodes returns the number of allocated nodes.
+func (s *Scheduler) BusyNodes() int { return s.totalNodes - s.freeNodes }
+
+// Utilization returns mean node utilization since the first event, as of
+// the last accounted time.
+func (s *Scheduler) Utilization(start time.Time) float64 {
+	elapsed := s.lastAccount.Sub(start).Seconds()
+	if elapsed <= 0 {
+		return 0
+	}
+	return s.busyNodeSeconds / (elapsed * float64(s.totalNodes))
+}
+
+// QoSDegradations returns Q for every finished job.
+func (s *Scheduler) QoSDegradations() []float64 {
+	out := make([]float64, len(s.finished))
+	for i, j := range s.finished {
+		out[i] = j.QoS(j.End)
+	}
+	return out
+}
+
+// QoSByType groups finished jobs' Q values by true type name.
+func (s *Scheduler) QoSByType() map[string][]float64 {
+	out := map[string][]float64{}
+	for _, j := range s.finished {
+		out[j.TypeName] = append(out[j.TypeName], j.QoS(j.End))
+	}
+	return out
+}

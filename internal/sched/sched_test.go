@@ -1,0 +1,221 @@
+package sched
+
+import (
+	"math"
+	"testing"
+	"time"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+func mustNew(t *testing.T, nodes int, weights map[string]float64) *Scheduler {
+	t.Helper()
+	s, err := New(nodes, weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New(0, nil); err == nil {
+		t.Error("zero nodes accepted")
+	}
+	if _, err := New(4, map[string]float64{"a": 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := New(4, map[string]float64{"a": -1}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestSubmitStartComplete(t *testing.T) {
+	s := mustNew(t, 4, map[string]float64{"bt": 1})
+	s.Submit(Job{ID: "j1", TypeName: "bt", Nodes: 2, MinTime: 100}, t0)
+	if s.QueuedCount() != 1 {
+		t.Fatalf("queued = %d", s.QueuedCount())
+	}
+	started := s.StartEligible(t0)
+	if len(started) != 1 || started[0].ID != "j1" {
+		t.Fatalf("started = %v", started)
+	}
+	if s.FreeNodes() != 2 || s.BusyNodes() != 2 {
+		t.Errorf("free/busy = %d/%d", s.FreeNodes(), s.BusyNodes())
+	}
+	if !started[0].Start.Equal(t0) {
+		t.Errorf("start time = %v", started[0].Start)
+	}
+	end := t0.Add(150 * time.Second)
+	j, err := s.Complete("j1", end)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !j.End.Equal(end) || s.FreeNodes() != 4 {
+		t.Errorf("completion state wrong")
+	}
+	if len(s.Finished()) != 1 {
+		t.Errorf("finished = %d", len(s.Finished()))
+	}
+}
+
+func TestCompleteUnknownJob(t *testing.T) {
+	s := mustNew(t, 4, nil)
+	if _, err := s.Complete("ghost", t0); err == nil {
+		t.Error("completing unknown job succeeded")
+	}
+}
+
+func TestInsufficientNodesQueues(t *testing.T) {
+	s := mustNew(t, 4, map[string]float64{"bt": 1})
+	s.Submit(Job{ID: "big", TypeName: "bt", Nodes: 8, MinTime: 10}, t0)
+	if got := s.StartEligible(t0); len(got) != 0 {
+		t.Fatalf("oversized job started: %v", got)
+	}
+	if s.QueuedCount() != 1 {
+		t.Error("oversized job lost from queue")
+	}
+}
+
+func TestFIFOWithinQueue(t *testing.T) {
+	s := mustNew(t, 2, map[string]float64{"bt": 1})
+	s.Submit(Job{ID: "first", TypeName: "bt", Nodes: 2, MinTime: 10}, t0)
+	s.Submit(Job{ID: "second", TypeName: "bt", Nodes: 2, MinTime: 10}, t0.Add(time.Second))
+	started := s.StartEligible(t0.Add(2 * time.Second))
+	if len(started) != 1 || started[0].ID != "first" {
+		t.Fatalf("started %v, want first only", started)
+	}
+	s.Complete("first", t0.Add(time.Minute))
+	started = s.StartEligible(t0.Add(time.Minute))
+	if len(started) != 1 || started[0].ID != "second" {
+		t.Fatalf("second wave = %v", started)
+	}
+}
+
+func TestWeightedEntitlement(t *testing.T) {
+	// Queue "heavy" (weight 3) is entitled to 12 of 16 nodes; "light"
+	// (weight 1) to 4. With both queues saturated, heavy should hold
+	// three times the nodes.
+	s := mustNew(t, 16, map[string]float64{"heavy": 3, "light": 1})
+	for i := 0; i < 10; i++ {
+		s.Submit(Job{ID: id("h", i), TypeName: "heavy", Nodes: 2, MinTime: 10}, t0)
+		s.Submit(Job{ID: id("l", i), TypeName: "light", Nodes: 2, MinTime: 10}, t0)
+	}
+	s.StartEligible(t0)
+	heavy, light := 0, 0
+	for _, j := range s.Running() {
+		switch j.TypeName {
+		case "heavy":
+			heavy += j.Nodes
+		case "light":
+			light += j.Nodes
+		}
+	}
+	if heavy+light != 16 {
+		t.Fatalf("cluster not fully packed: %d + %d", heavy, light)
+	}
+	if heavy != 12 || light != 4 {
+		t.Errorf("node split heavy/light = %d/%d, want 12/4", heavy, light)
+	}
+}
+
+func TestBorrowingKeepsUtilizationHigh(t *testing.T) {
+	// Only the light queue has work; it should be able to borrow the
+	// whole cluster despite a small weight.
+	s := mustNew(t, 8, map[string]float64{"heavy": 9, "light": 1})
+	for i := 0; i < 4; i++ {
+		s.Submit(Job{ID: id("l", i), TypeName: "light", Nodes: 2, MinTime: 10}, t0)
+	}
+	s.StartEligible(t0)
+	if s.BusyNodes() != 8 {
+		t.Errorf("busy = %d, want 8 (work-conserving borrow)", s.BusyNodes())
+	}
+}
+
+func TestUnknownTypeGetsQueue(t *testing.T) {
+	s := mustNew(t, 4, map[string]float64{"bt": 1})
+	s.Submit(Job{ID: "x", TypeName: "mystery", Nodes: 1, MinTime: 10}, t0)
+	started := s.StartEligible(t0)
+	if len(started) != 1 {
+		t.Fatalf("unknown-type job not started: %v", started)
+	}
+}
+
+func TestClaimedTypeQueueing(t *testing.T) {
+	// A misclassified job queues under its claimed type.
+	s := mustNew(t, 4, map[string]float64{"is": 1, "bt": 1})
+	j := s.Submit(Job{ID: "m", TypeName: "bt", ClaimedType: "is", Nodes: 2, MinTime: 10}, t0)
+	if j.ClaimedType != "is" {
+		t.Fatalf("claimed = %q", j.ClaimedType)
+	}
+	s.StartEligible(t0)
+	s.Complete("m", t0.Add(time.Minute))
+	byType := s.QoSByType()
+	if _, ok := byType["bt"]; !ok {
+		t.Error("QoSByType should group by true type")
+	}
+}
+
+func TestQoSComputation(t *testing.T) {
+	// Submitted at t0, MinTime 100 s, finished 350 s after submit:
+	// Q = (350-100)/100 = 2.5.
+	s := mustNew(t, 4, nil)
+	s.Submit(Job{ID: "q", TypeName: "bt", Nodes: 1, MinTime: 100}, t0)
+	s.StartEligible(t0.Add(50 * time.Second))
+	s.Complete("q", t0.Add(350*time.Second))
+	qs := s.QoSDegradations()
+	if len(qs) != 1 || math.Abs(qs[0]-2.5) > 1e-9 {
+		t.Errorf("QoS = %v, want [2.5]", qs)
+	}
+}
+
+func TestQoSNeverNegative(t *testing.T) {
+	j := Job{Submit: t0, End: t0.Add(50 * time.Second), MinTime: 100}
+	if q := j.QoS(t0); q != 0 {
+		t.Errorf("early finish QoS = %v, want clamp to 0", q)
+	}
+	if q := (Job{MinTime: 0}).QoS(t0); q != 0 {
+		t.Errorf("zero MinTime QoS = %v", q)
+	}
+}
+
+func TestQoSUnfinishedLowerBound(t *testing.T) {
+	j := Job{Submit: t0, MinTime: 100}
+	if q := j.QoS(t0.Add(300 * time.Second)); math.Abs(q-2) > 1e-9 {
+		t.Errorf("in-flight QoS = %v, want 2", q)
+	}
+}
+
+func TestUtilizationAccounting(t *testing.T) {
+	s := mustNew(t, 4, nil)
+	s.Submit(Job{ID: "u", TypeName: "bt", Nodes: 4, MinTime: 10}, t0)
+	s.StartEligible(t0)
+	s.Complete("u", t0.Add(100*time.Second))
+	// Fully busy for the whole window.
+	if u := s.Utilization(t0); math.Abs(u-1) > 1e-9 {
+		t.Errorf("utilization = %v, want 1", u)
+	}
+
+	s2 := mustNew(t, 4, nil)
+	s2.Submit(Job{ID: "u", TypeName: "bt", Nodes: 2, MinTime: 10}, t0)
+	s2.StartEligible(t0)
+	s2.Complete("u", t0.Add(100*time.Second))
+	if u := s2.Utilization(t0); math.Abs(u-0.5) > 1e-9 {
+		t.Errorf("utilization = %v, want 0.5", u)
+	}
+}
+
+func TestRunningSorted(t *testing.T) {
+	s := mustNew(t, 8, nil)
+	for _, idStr := range []string{"c", "a", "b"} {
+		s.Submit(Job{ID: idStr, TypeName: "t", Nodes: 1, MinTime: 1}, t0)
+	}
+	s.StartEligible(t0)
+	r := s.Running()
+	if len(r) != 3 || r[0].ID != "a" || r[2].ID != "c" {
+		t.Errorf("running order: %v", []string{r[0].ID, r[1].ID, r[2].ID})
+	}
+}
+
+func id(prefix string, i int) string {
+	return prefix + "-" + string(rune('0'+i))
+}

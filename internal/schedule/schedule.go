@@ -1,0 +1,205 @@
+// Package schedule generates and serializes job submission schedules
+// (§5.3): arrivals are Poisson processes per job type, with rates chosen
+// so the expected node demand matches a target utilization,
+//
+//	Σ_j λ_j · T_j · n_j = η · N,
+//
+// splitting the load evenly across the J job types. The cluster manager
+// reads schedules (and power targets) from files for experimental
+// repeatability (§4.1); this package provides those file formats.
+package schedule
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Arrival is one job submission.
+type Arrival struct {
+	// At is the submission time offset from schedule start.
+	At time.Duration `json:"at_ns"`
+	// JobID uniquely identifies the submission.
+	JobID string `json:"job_id"`
+	// TypeName is the true job type submitted.
+	TypeName string `json:"type_name"`
+	// ClaimedType is the type the scheduler believes; usually equal to
+	// TypeName, different under misclassification experiments (§6.2).
+	ClaimedType string `json:"claimed_type"`
+}
+
+// Config parameterizes schedule generation.
+type Config struct {
+	// RNG drives arrival sampling. Required.
+	RNG *stats.RNG
+	// Types is the job mix. Required non-empty.
+	Types []workload.Type
+	// Utilization is the target node utilization η in (0, 1].
+	Utilization float64
+	// TotalNodes is N.
+	TotalNodes int
+	// Horizon is the schedule length.
+	Horizon time.Duration
+	// Misclassify maps a true type name to the claimed type recorded on
+	// its arrivals (e.g. "bt.D.81" → "is.D.32" for Fig. 10's
+	// misclassified runs). Types not present claim their true name.
+	Misclassify map[string]string
+}
+
+// Rates returns the per-type arrival rates λ_j (jobs/second) that satisfy
+// the utilization equation, splitting node demand evenly across types.
+func Rates(types []workload.Type, utilization float64, totalNodes int) map[string]float64 {
+	out := make(map[string]float64, len(types))
+	if len(types) == 0 {
+		return out
+	}
+	perType := utilization * float64(totalNodes) / float64(len(types))
+	for _, t := range types {
+		demand := t.BaseSeconds * float64(t.Nodes) // node·seconds per instance
+		if demand <= 0 {
+			continue
+		}
+		out[t.Name] = perType / demand
+	}
+	return out
+}
+
+// Generate samples a schedule. Arrivals are sorted by time and numbered
+// deterministically.
+func Generate(cfg Config) ([]Arrival, error) {
+	if cfg.RNG == nil {
+		return nil, fmt.Errorf("schedule: config requires an RNG")
+	}
+	if len(cfg.Types) == 0 {
+		return nil, fmt.Errorf("schedule: config requires job types")
+	}
+	if cfg.Utilization <= 0 || cfg.Utilization > 1 {
+		return nil, fmt.Errorf("schedule: utilization %v outside (0, 1]", cfg.Utilization)
+	}
+	if cfg.TotalNodes < 1 || cfg.Horizon <= 0 {
+		return nil, fmt.Errorf("schedule: need positive nodes and horizon")
+	}
+	rates := Rates(cfg.Types, cfg.Utilization, cfg.TotalNodes)
+	var out []Arrival
+	for _, t := range cfg.Types {
+		rate := rates[t.Name]
+		if rate <= 0 {
+			continue
+		}
+		rng := cfg.RNG.Split()
+		at := time.Duration(0)
+		for {
+			gap := rng.Exponential(rate)
+			at += time.Duration(gap * float64(time.Second))
+			if at > cfg.Horizon {
+				break
+			}
+			claimed := t.Name
+			if c, ok := cfg.Misclassify[t.Name]; ok {
+				claimed = c
+			}
+			out = append(out, Arrival{At: at, TypeName: t.Name, ClaimedType: claimed})
+		}
+	}
+	sort.SliceStable(out, func(i, j int) bool { return out[i].At < out[j].At })
+	for i := range out {
+		out[i].JobID = fmt.Sprintf("job-%04d-%s", i, out[i].TypeName)
+	}
+	return out, nil
+}
+
+// Write emits arrivals as JSON lines.
+func Write(w io.Writer, arrivals []Arrival) error {
+	enc := json.NewEncoder(w)
+	for _, a := range arrivals {
+		if err := enc.Encode(a); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Read parses a JSON-lines schedule.
+func Read(r io.Reader) ([]Arrival, error) {
+	var out []Arrival
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var a Arrival
+		if err := json.Unmarshal(sc.Bytes(), &a); err != nil {
+			return nil, fmt.Errorf("schedule: line %d: %w", line, err)
+		}
+		out = append(out, a)
+	}
+	return out, sc.Err()
+}
+
+// TargetPoint is one entry of a power-target schedule file: the target in
+// force from At until the next point.
+type TargetPoint struct {
+	At     time.Duration `json:"at_ns"`
+	Target units.Power   `json:"target_w"`
+}
+
+// WriteTargets emits a power-target schedule as JSON lines.
+func WriteTargets(w io.Writer, points []TargetPoint) error {
+	enc := json.NewEncoder(w)
+	for _, p := range points {
+		if err := enc.Encode(p); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// ReadTargets parses a JSON-lines power-target schedule.
+func ReadTargets(r io.Reader) ([]TargetPoint, error) {
+	var out []TargetPoint
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1024*1024)
+	line := 0
+	for sc.Scan() {
+		line++
+		if len(sc.Bytes()) == 0 {
+			continue
+		}
+		var p TargetPoint
+		if err := json.Unmarshal(sc.Bytes(), &p); err != nil {
+			return nil, fmt.Errorf("schedule: targets line %d: %w", line, err)
+		}
+		out = append(out, p)
+	}
+	return out, sc.Err()
+}
+
+// TargetFunc turns a sorted target schedule into a step-function lookup
+// relative to a start time; before the first point it returns the first
+// target, and an empty schedule returns 0.
+func TargetFunc(start time.Time, points []TargetPoint) func(time.Time) units.Power {
+	return func(now time.Time) units.Power {
+		if len(points) == 0 {
+			return 0
+		}
+		off := now.Sub(start)
+		cur := points[0].Target
+		for _, p := range points {
+			if p.At > off {
+				break
+			}
+			cur = p.Target
+		}
+		return cur
+	}
+}

@@ -1,0 +1,229 @@
+package schedule
+
+import (
+	"bytes"
+	"math"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+func TestRatesSatisfyUtilizationEquation(t *testing.T) {
+	types := workload.LongRunning()
+	const util = 0.95
+	const nodes = 16
+	rates := Rates(types, util, nodes)
+	// Σ λ_j · T_j · n_j should equal η·N.
+	var sum float64
+	for _, typ := range types {
+		sum += rates[typ.Name] * typ.BaseSeconds * float64(typ.Nodes)
+	}
+	if math.Abs(sum-util*nodes) > 1e-9 {
+		t.Errorf("Σ λT n = %v, want %v", sum, util*nodes)
+	}
+}
+
+func TestGenerateSortedAndWithinHorizon(t *testing.T) {
+	arr, err := Generate(Config{
+		RNG:         stats.NewRNG(1),
+		Types:       workload.LongRunning(),
+		Utilization: 0.95,
+		TotalNodes:  16,
+		Horizon:     time.Hour,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(arr) == 0 {
+		t.Fatal("empty schedule")
+	}
+	if !sort.SliceIsSorted(arr, func(i, j int) bool { return arr[i].At < arr[j].At }) {
+		t.Error("arrivals not sorted")
+	}
+	for _, a := range arr {
+		if a.At < 0 || a.At > time.Hour {
+			t.Errorf("arrival outside horizon: %v", a.At)
+		}
+		if a.ClaimedType != a.TypeName {
+			t.Errorf("claimed %q != true %q without misclassification", a.ClaimedType, a.TypeName)
+		}
+		if a.JobID == "" {
+			t.Error("empty job ID")
+		}
+	}
+	// Job IDs unique.
+	ids := map[string]bool{}
+	for _, a := range arr {
+		if ids[a.JobID] {
+			t.Fatalf("duplicate job ID %s", a.JobID)
+		}
+		ids[a.JobID] = true
+	}
+}
+
+func TestGenerateArrivalCountsNearExpectation(t *testing.T) {
+	types := workload.LongRunning()
+	rates := Rates(types, 0.75, 1000)
+	counts := map[string]int{}
+	// Average over several seeds to smooth Poisson noise.
+	const seeds = 5
+	for s := uint64(0); s < seeds; s++ {
+		arr, err := Generate(Config{
+			RNG: stats.NewRNG(s), Types: types,
+			Utilization: 0.75, TotalNodes: 1000, Horizon: time.Hour,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, a := range arr {
+			counts[a.TypeName]++
+		}
+	}
+	for _, typ := range types {
+		want := rates[typ.Name] * 3600
+		got := float64(counts[typ.Name]) / seeds
+		if math.Abs(got-want) > 0.3*want+2 {
+			t.Errorf("%s: mean arrivals %v, want ≈%v", typ.Name, got, want)
+		}
+	}
+}
+
+func TestGenerateDeterministic(t *testing.T) {
+	gen := func() []Arrival {
+		arr, err := Generate(Config{
+			RNG: stats.NewRNG(99), Types: workload.LongRunning(),
+			Utilization: 0.5, TotalNodes: 16, Horizon: 30 * time.Minute,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return arr
+	}
+	a, b := gen(), gen()
+	if len(a) != len(b) {
+		t.Fatalf("lengths differ: %d vs %d", len(a), len(b))
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("arrival %d differs", i)
+		}
+	}
+}
+
+func TestGenerateMisclassification(t *testing.T) {
+	arr, err := Generate(Config{
+		RNG: stats.NewRNG(2), Types: workload.LongRunning(),
+		Utilization: 0.95, TotalNodes: 16, Horizon: time.Hour,
+		Misclassify: map[string]string{"bt.D.81": "is.D.32"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sawBT := false
+	for _, a := range arr {
+		if a.TypeName == "bt.D.81" {
+			sawBT = true
+			if a.ClaimedType != "is.D.32" {
+				t.Errorf("bt arrival claims %q", a.ClaimedType)
+			}
+		} else if a.ClaimedType != a.TypeName {
+			t.Errorf("%s claims %q", a.TypeName, a.ClaimedType)
+		}
+	}
+	if !sawBT {
+		t.Error("no bt arrivals in an hour at 95% utilization")
+	}
+}
+
+func TestGenerateValidation(t *testing.T) {
+	base := Config{
+		RNG: stats.NewRNG(0), Types: workload.Catalog(),
+		Utilization: 0.9, TotalNodes: 16, Horizon: time.Hour,
+	}
+	cases := map[string]func(Config) Config{
+		"nil rng":    func(c Config) Config { c.RNG = nil; return c },
+		"no types":   func(c Config) Config { c.Types = nil; return c },
+		"zero util":  func(c Config) Config { c.Utilization = 0; return c },
+		"util > 1":   func(c Config) Config { c.Utilization = 1.5; return c },
+		"no nodes":   func(c Config) Config { c.TotalNodes = 0; return c },
+		"no horizon": func(c Config) Config { c.Horizon = 0; return c },
+	}
+	for name, mut := range cases {
+		if _, err := Generate(mut(base)); err == nil {
+			t.Errorf("%s accepted", name)
+		}
+	}
+}
+
+func TestScheduleFileRoundTrip(t *testing.T) {
+	arr, err := Generate(Config{
+		RNG: stats.NewRNG(3), Types: workload.LongRunning(),
+		Utilization: 0.8, TotalNodes: 16, Horizon: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := Write(&buf, arr); err != nil {
+		t.Fatal(err)
+	}
+	back, err := Read(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != len(arr) {
+		t.Fatalf("round trip lost arrivals: %d vs %d", len(back), len(arr))
+	}
+	for i := range arr {
+		if back[i] != arr[i] {
+			t.Fatalf("arrival %d: %+v vs %+v", i, back[i], arr[i])
+		}
+	}
+}
+
+func TestReadRejectsGarbage(t *testing.T) {
+	if _, err := Read(bytes.NewBufferString("not json\n")); err == nil {
+		t.Error("garbage accepted")
+	}
+}
+
+func TestTargetsRoundTripAndFunc(t *testing.T) {
+	pts := []TargetPoint{
+		{At: 0, Target: 2300},
+		{At: 4 * time.Second, Target: 3000},
+		{At: 8 * time.Second, Target: 4500},
+	}
+	var buf bytes.Buffer
+	if err := WriteTargets(&buf, pts); err != nil {
+		t.Fatal(err)
+	}
+	back, err := ReadTargets(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(back) != 3 || back[1] != pts[1] {
+		t.Fatalf("round trip: %+v", back)
+	}
+
+	start := time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+	f := TargetFunc(start, pts)
+	if got := f(start); got != 2300 {
+		t.Errorf("t=0: %v", got)
+	}
+	if got := f(start.Add(5 * time.Second)); got != 3000 {
+		t.Errorf("t=5s: %v", got)
+	}
+	if got := f(start.Add(time.Minute)); got != 4500 {
+		t.Errorf("t=60s: %v", got)
+	}
+	if got := f(start.Add(-time.Second)); got != 2300 {
+		t.Errorf("before start: %v", got)
+	}
+	empty := TargetFunc(start, nil)
+	if got := empty(start); got != 0 {
+		t.Errorf("empty schedule target = %v", got)
+	}
+}

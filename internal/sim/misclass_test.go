@@ -1,0 +1,56 @@
+package sim
+
+import (
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dr"
+	"repro/internal/perfmodel"
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// TestBudgeterModeMisclassification checks that the simulator budgets by
+// the *claimed* type's curve while progressing by the true type's — the
+// mechanism behind running Fig. 5-style studies at scale.
+func TestBudgeterModeMisclassification(t *testing.T) {
+	bt := workload.MustByName("bt")
+	sp := workload.MustByName("sp")
+	types := []workload.Type{bt, sp}
+	models := map[string]perfmodel.Model{
+		bt.Name:   bt.RelativeModel(),
+		sp.Name:   sp.RelativeModel(),
+		"is.D.32": workload.MustByName("is").RelativeModel(),
+	}
+	run := func(claimed string) float64 {
+		arrivals := []schedule.Arrival{
+			{At: 0, JobID: "bt-0", TypeName: bt.Name, ClaimedType: claimed},
+			{At: 0, JobID: "sp-0", TypeName: sp.Name, ClaimedType: sp.Name},
+		}
+		res, err := Run(Config{
+			Nodes: 4, Types: types, Arrivals: arrivals,
+			Bid:          dr.Bid{AvgPower: 840, Reserve: 1},
+			Signal:       dr.Constant(0),
+			Horizon:      time.Hour,
+			Budgeter:     budget.EvenSlowdown{},
+			TypeModels:   models,
+			DefaultModel: workload.LeastSensitive().RelativeModel(),
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, j := range res.Jobs {
+			if j.ID == "bt-0" {
+				return (j.End - j.Start).Seconds()
+			}
+		}
+		t.Fatal("bt job missing")
+		return 0
+	}
+	correct := run(bt.Name)
+	misclassified := run("is.D.32")
+	if misclassified <= correct {
+		t.Errorf("misclassifying BT as IS did not slow it: %v vs %v s", misclassified, correct)
+	}
+}

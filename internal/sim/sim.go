@@ -1,0 +1,425 @@
+// Package sim implements the tabular cluster simulator of §5.6: a
+// table-driven model of a large cluster (the paper simulates 1000 nodes)
+// advanced one second at a time. A node table tracks which job each node
+// runs, its power cap, and its achieved power; a job table tracks queue
+// entry, start, end, and per-node progress. Each simulated second the
+// simulator updates node progress, completes jobs whose nodes all reached
+// 100%, admits arrivals, schedules queued jobs, and re-caps power against
+// the demand-response target P̄ + R·y(t).
+//
+// Progress follows the paper's linear model: each node's rate of progress
+// scales linearly between the job type's slowest rate (at the minimum cap)
+// and fastest rate (at its maximum power), multiplied by a per-node
+// performance-variation coefficient drawn once per simulation (§6.4).
+package sim
+
+import (
+	"encoding/csv"
+	"errors"
+	"fmt"
+	"io"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dr"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// Config parameterizes one simulation run.
+type Config struct {
+	// Nodes is the cluster size. Required.
+	Nodes int
+	// IdlePower is the draw of an idle node (default 70 W).
+	IdlePower units.Power
+	// Types is the job mix; every arrival's true type must be present.
+	Types []workload.Type
+	// Weights are AQA queue weights by claimed type name (missing types
+	// default inside the scheduler).
+	Weights map[string]float64
+	// Arrivals is the submission schedule.
+	Arrivals []schedule.Arrival
+	// Bid and Signal define the demand-response power target.
+	Bid    dr.Bid
+	Signal dr.Signal
+	// Horizon is how long arrivals are admitted; the simulation then
+	// drains running and queued jobs (bounded by 4× horizon).
+	Horizon time.Duration
+	// Seed drives performance-variation sampling.
+	Seed uint64
+	// VariationStd is the standard deviation of the per-node performance
+	// coefficient (normal, mean 1); 0 disables variation (§6.4).
+	VariationStd float64
+	// Budgeter, when set, applies per-job caps using believed models.
+	// When nil, the AQA baseline applies one uniform cap across active
+	// nodes (§4.4.2).
+	Budgeter budget.Budgeter
+	// TypeModels are believed relative curves by claimed type name, used
+	// only with a Budgeter.
+	TypeModels map[string]perfmodel.Model
+	// DefaultModel covers claimed types missing from TypeModels.
+	DefaultModel perfmodel.Model
+	// FeedbackQoSExempt enables the §6.4 mitigation: running jobs whose
+	// in-flight QoS degradation exceeds ExemptFraction of QoSLimit are
+	// exempted from power capping.
+	FeedbackQoSExempt bool
+	// QoSLimit is the degradation constraint (default 5, §5.2).
+	QoSLimit float64
+	// ExemptFraction is the at-risk threshold as a fraction of QoSLimit
+	// (default 0.8).
+	ExemptFraction float64
+	// TableLog, when set, receives one CSV row of cluster state per
+	// simulated second (§5.6 appends table state to a file).
+	TableLog io.Writer
+	// TrackWarmup excludes the first interval from TrackSummary (queue
+	// ramp-up); the summary always ends at Horizon, excluding the drain.
+	// The full series remains in Result.Tracking.
+	TrackWarmup time.Duration
+}
+
+// JobRecord summarizes one job's lifecycle.
+type JobRecord struct {
+	ID          string
+	TypeName    string
+	ClaimedType string
+	Nodes       int
+	Submit      time.Duration
+	Start       time.Duration
+	End         time.Duration
+	QoS         float64
+}
+
+// Result is a simulation outcome.
+type Result struct {
+	// Tracking is the per-second (target, measured) series.
+	Tracking []trace.Point
+	// TrackSummary holds the tracking-error metrics against the bid's
+	// reserve.
+	TrackSummary trace.Summary
+	// Jobs are completed jobs.
+	Jobs []JobRecord
+	// Unfinished counts jobs still queued or running at drain cutoff.
+	Unfinished int
+	// QoS90 is the 90th percentile QoS degradation over completed jobs.
+	QoS90 float64
+	// QoSByType groups completed jobs' QoS by true type.
+	QoSByType map[string][]float64
+	// MeanUtilization is average busy-node fraction over the horizon.
+	MeanUtilization float64
+	// AvgPower is the time-average measured power.
+	AvgPower units.Power
+}
+
+type nodeState struct {
+	jobID    string
+	cap      units.Power
+	power    units.Power
+	coeff    float64
+	progress float64
+}
+
+type runningJob struct {
+	job      *sched.Job
+	typ      workload.Type
+	nodes    []int
+	believed perfmodel.Model
+}
+
+var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// Run executes the simulation to completion.
+func Run(cfg Config) (Result, error) {
+	if cfg.Nodes < 1 {
+		return Result{}, errors.New("sim: config requires nodes")
+	}
+	if cfg.Signal == nil || !cfg.Bid.Valid() {
+		return Result{}, errors.New("sim: config requires a valid bid and signal")
+	}
+	if cfg.Horizon <= 0 {
+		return Result{}, errors.New("sim: config requires a horizon")
+	}
+	if cfg.IdlePower == 0 {
+		cfg.IdlePower = workload.NodeIdlePower
+	}
+	if cfg.QoSLimit == 0 {
+		cfg.QoSLimit = 5
+	}
+	if cfg.ExemptFraction == 0 {
+		cfg.ExemptFraction = 0.8
+	}
+	types := map[string]workload.Type{}
+	for _, t := range cfg.Types {
+		types[t.Name] = t
+	}
+	for _, a := range cfg.Arrivals {
+		if _, ok := types[a.TypeName]; !ok {
+			return Result{}, fmt.Errorf("sim: arrival %s has unknown type %s", a.JobID, a.TypeName)
+		}
+	}
+	if cfg.Budgeter != nil && cfg.DefaultModel.Validate() != nil {
+		return Result{}, errors.New("sim: budgeter mode requires a valid default model")
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	nodes := make([]nodeState, cfg.Nodes)
+	free := make([]int, 0, cfg.Nodes)
+	for i := range nodes {
+		nodes[i].coeff = 1
+		if cfg.VariationStd > 0 {
+			c := rng.Normal(1, cfg.VariationStd)
+			if c < 0.1 {
+				c = 0.1
+			}
+			nodes[i].coeff = c
+		}
+		free = append(free, i)
+	}
+
+	scheduler, err := sched.New(cfg.Nodes, cfg.Weights)
+	if err != nil {
+		return Result{}, err
+	}
+
+	running := map[string]*runningJob{}
+	var res Result
+	var logger *csv.Writer
+	if cfg.TableLog != nil {
+		logger = csv.NewWriter(cfg.TableLog)
+		if err := logger.Write([]string{"t_s", "running", "queued", "busy_nodes", "target_w", "measured_w"}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	horizonS := int(cfg.Horizon / time.Second)
+	maxS := 4 * horizonS
+	nextArrival := 0
+	var busyNodeSeconds float64
+	var powerIntegral float64
+	steps := 0
+
+	believedModel := func(claimed string) perfmodel.Model {
+		if m, ok := cfg.TypeModels[claimed]; ok {
+			return m
+		}
+		return cfg.DefaultModel
+	}
+
+	for t := 0; t <= maxS; t++ {
+		now := simEpoch.Add(time.Duration(t) * time.Second)
+
+		// 1. Node update: advance progress at each node's current cap.
+		// Iterate in sorted order so freed nodes return to the free list
+		// deterministically (map order would reshuffle node assignment
+		// and, with per-node variation coefficients, the whole run).
+		for _, id := range budget.SortedIDs(running) {
+			rj := running[id]
+			done := true
+			for _, ni := range rj.nodes {
+				n := &nodes[ni]
+				if n.progress < 1 {
+					n.progress += n.coeff * progressRate(rj.typ, n.cap)
+				}
+				if n.progress < 1 {
+					done = false
+				}
+			}
+			if done {
+				if _, err := scheduler.Complete(id, now); err != nil {
+					return Result{}, err
+				}
+				for _, ni := range rj.nodes {
+					nodes[ni] = nodeState{coeff: nodes[ni].coeff}
+					free = append(free, ni)
+				}
+				delete(running, id)
+			}
+		}
+
+		// 2. Admit arrivals (only within the horizon).
+		for nextArrival < len(cfg.Arrivals) && cfg.Arrivals[nextArrival].At <= time.Duration(t)*time.Second {
+			a := cfg.Arrivals[nextArrival]
+			if a.At <= cfg.Horizon {
+				typ := types[a.TypeName]
+				scheduler.Submit(sched.Job{
+					ID: a.JobID, TypeName: a.TypeName, ClaimedType: a.ClaimedType,
+					Nodes: typ.Nodes, MinTime: typ.BaseSeconds,
+				}, now)
+			}
+			nextArrival++
+		}
+
+		// 3. Schedule queued jobs onto free nodes.
+		for _, j := range scheduler.StartEligible(now) {
+			rj := &runningJob{job: j, typ: types[j.TypeName], believed: believedModel(j.ClaimedType)}
+			rj.nodes = append([]int(nil), free[:j.Nodes]...)
+			free = free[j.Nodes:]
+			for _, ni := range rj.nodes {
+				nodes[ni].jobID = j.ID
+				nodes[ni].progress = 0
+				nodes[ni].cap = workload.NodeTDP
+			}
+			running[j.ID] = rj
+		}
+
+		// 4. Power manager: pick caps against the current target.
+		target := cfg.Bid.Target(cfg.Signal.At(time.Duration(t) * time.Second))
+		busy := scheduler.BusyNodes()
+		idle := cfg.Nodes - busy
+		jobBudget := target - cfg.IdlePower*units.Power(idle)
+		applyCaps(cfg, scheduler, running, nodes, jobBudget, now)
+
+		// 5. Measure and record.
+		var measured units.Power
+		for i := range nodes {
+			if nodes[i].jobID == "" {
+				nodes[i].power = cfg.IdlePower
+			} else {
+				rj := running[nodes[i].jobID]
+				nodes[i].power = nodes[i].cap
+				if rj != nil && rj.typ.PMax < nodes[i].power {
+					nodes[i].power = rj.typ.PMax
+				}
+			}
+			measured += nodes[i].power
+		}
+		res.Tracking = append(res.Tracking, trace.Point{Time: now, Target: target, Measured: measured})
+		powerIntegral += measured.Watts()
+		steps++
+		if t <= horizonS {
+			busyNodeSeconds += float64(busy)
+		}
+		if logger != nil {
+			rec := []string{
+				fmt.Sprint(t), fmt.Sprint(len(running)), fmt.Sprint(scheduler.QueuedCount()),
+				fmt.Sprint(busy), fmt.Sprintf("%.0f", target.Watts()), fmt.Sprintf("%.0f", measured.Watts()),
+			}
+			if err := logger.Write(rec); err != nil {
+				return Result{}, err
+			}
+		}
+
+		// Stop once drained after the horizon.
+		if t >= horizonS && len(running) == 0 && scheduler.QueuedCount() == 0 &&
+			(nextArrival >= len(cfg.Arrivals) || cfg.Arrivals[nextArrival].At > cfg.Horizon) {
+			break
+		}
+	}
+	if logger != nil {
+		logger.Flush()
+		if err := logger.Error(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res.Unfinished = len(running) + scheduler.QueuedCount()
+	for _, j := range scheduler.Finished() {
+		res.Jobs = append(res.Jobs, JobRecord{
+			ID: j.ID, TypeName: j.TypeName, ClaimedType: j.ClaimedType, Nodes: j.Nodes,
+			Submit: j.Submit.Sub(simEpoch), Start: j.Start.Sub(simEpoch), End: j.End.Sub(simEpoch),
+			QoS: j.QoS(j.End),
+		})
+	}
+	res.QoS90 = stats.Percentile(scheduler.QoSDegradations(), 90)
+	res.QoSByType = scheduler.QoSByType()
+	var window []trace.Point
+	for _, p := range res.Tracking {
+		off := p.Time.Sub(simEpoch)
+		if off >= cfg.TrackWarmup && off <= cfg.Horizon {
+			window = append(window, p)
+		}
+	}
+	res.TrackSummary = trace.Summarize(window, cfg.Bid.Reserve)
+	if horizonS > 0 {
+		res.MeanUtilization = busyNodeSeconds / float64(horizonS) / float64(cfg.Nodes)
+	}
+	if steps > 0 {
+		res.AvgPower = units.Power(powerIntegral / float64(steps))
+	}
+	return res, nil
+}
+
+// progressRate returns fraction-per-second progress for a node of the
+// given type at a cap, per the paper's linear interpolation between the
+// precharacterized fastest and slowest rates.
+func progressRate(t workload.Type, cap units.Power) float64 {
+	fast := 1 / t.BaseSeconds
+	slow := 1 / (t.BaseSeconds * t.MaxSlowdown)
+	switch {
+	case cap >= t.PMax:
+		return fast
+	case cap <= t.PMin:
+		return slow
+	default:
+		f := (cap - t.PMin).Watts() / (t.PMax - t.PMin).Watts()
+		return slow + f*(fast-slow)
+	}
+}
+
+// applyCaps selects and applies per-node caps for all running jobs.
+func applyCaps(cfg Config, scheduler *sched.Scheduler, running map[string]*runningJob, nodes []nodeState, jobBudget units.Power, now time.Time) {
+	if len(running) == 0 {
+		return
+	}
+
+	// Feedback exemption (§6.4): at-risk jobs get full power and their
+	// demand is removed from the shared budget.
+	exempt := map[string]bool{}
+	if cfg.FeedbackQoSExempt {
+		for id, rj := range running {
+			if rj.job.QoS(now) >= cfg.ExemptFraction*cfg.QoSLimit {
+				exempt[id] = true
+				jobBudget -= rj.typ.PMax * units.Power(rj.job.Nodes)
+			}
+		}
+	}
+
+	if cfg.Budgeter == nil {
+		// AQA baseline: one uniform cap across active, non-exempt nodes;
+		// exempt jobs always run at TDP.
+		busy := 0
+		for id, rj := range running {
+			if !exempt[id] {
+				busy += rj.job.Nodes
+			}
+		}
+		per := workload.NodeTDP
+		if busy > 0 {
+			per = (jobBudget / units.Power(busy)).Clamp(workload.NodeMinCap, workload.NodeTDP)
+		}
+		for id, rj := range running {
+			cap := per
+			if exempt[id] {
+				cap = workload.NodeTDP
+			}
+			for _, ni := range rj.nodes {
+				nodes[ni].cap = cap
+			}
+		}
+		return
+	}
+
+	var jobs []budget.Job
+	for id, rj := range running {
+		if exempt[id] {
+			continue
+		}
+		jobs = append(jobs, budget.Job{ID: id, Nodes: rj.job.Nodes, Model: rj.believed})
+	}
+	alloc := cfg.Budgeter.Allocate(jobs, jobBudget)
+	for id, rj := range running {
+		cap := workload.NodeTDP
+		if !exempt[id] {
+			if c, ok := alloc[id]; ok {
+				cap = c
+			}
+		}
+		for _, ni := range rj.nodes {
+			nodes[ni].cap = cap
+		}
+	}
+}

@@ -1,0 +1,145 @@
+// Package stats provides the statistical substrate for the ANOR
+// reproduction: a deterministic seedable random number generator,
+// distribution sampling (uniform, normal, exponential, Poisson),
+// descriptive statistics (mean, standard deviation, percentiles,
+// confidence intervals), and polynomial least-squares fitting with R²
+// scoring used by the power-performance modeler.
+//
+// Everything is deterministic given a seed so that simulated experiments
+// are exactly repeatable, matching the paper's seeded trials (§6.4).
+package stats
+
+import "math"
+
+// RNG is a small, fast, deterministic pseudo-random generator
+// (xoshiro256** seeded through splitmix64). It is not safe for concurrent
+// use; give each goroutine its own RNG, typically via Split.
+type RNG struct {
+	s [4]uint64
+}
+
+// NewRNG returns a generator seeded from the given seed. Distinct seeds
+// give independent-looking streams; the zero seed is valid.
+func NewRNG(seed uint64) *RNG {
+	r := &RNG{}
+	sm := seed
+	for i := range r.s {
+		sm += 0x9e3779b97f4a7c15
+		z := sm
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		r.s[i] = z ^ (z >> 31)
+	}
+	return r
+}
+
+// Split returns a new generator whose stream is independent of r's,
+// derived from r's current state. Use it to hand child components their
+// own deterministic streams.
+func (r *RNG) Split() *RNG {
+	return NewRNG(r.Uint64() ^ 0xd3833e804f4c574b)
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *RNG) Uint64() uint64 {
+	result := rotl(r.s[1]*5, 7) * 9
+	t := r.s[1] << 17
+	r.s[2] ^= r.s[0]
+	r.s[3] ^= r.s[1]
+	r.s[1] ^= r.s[2]
+	r.s[0] ^= r.s[3]
+	r.s[2] ^= t
+	r.s[3] = rotl(r.s[3], 45)
+	return result
+}
+
+// Float64 returns a uniform sample in [0, 1).
+func (r *RNG) Float64() float64 {
+	return float64(r.Uint64()>>11) / (1 << 53)
+}
+
+// Intn returns a uniform sample in [0, n). It panics if n <= 0.
+func (r *RNG) Intn(n int) int {
+	if n <= 0 {
+		panic("stats: Intn with non-positive n")
+	}
+	return int(r.Uint64() % uint64(n))
+}
+
+// Uniform returns a uniform sample in [lo, hi).
+func (r *RNG) Uniform(lo, hi float64) float64 {
+	return lo + (hi-lo)*r.Float64()
+}
+
+// Normal returns a sample from the normal distribution with the given mean
+// and standard deviation, using the Marsaglia polar method.
+func (r *RNG) Normal(mean, stddev float64) float64 {
+	for {
+		u := 2*r.Float64() - 1
+		v := 2*r.Float64() - 1
+		s := u*u + v*v
+		if s > 0 && s < 1 {
+			return mean + stddev*u*math.Sqrt(-2*math.Log(s)/s)
+		}
+	}
+}
+
+// Exponential returns a sample from the exponential distribution with the
+// given rate λ (mean 1/λ). It panics if rate <= 0.
+func (r *RNG) Exponential(rate float64) float64 {
+	if rate <= 0 {
+		panic("stats: Exponential with non-positive rate")
+	}
+	// Avoid log(0): Float64 is in [0,1), so 1-Float64 is in (0,1].
+	return -math.Log(1-r.Float64()) / rate
+}
+
+// Poisson returns a sample from the Poisson distribution with the given
+// mean. For large means it uses a normal approximation; for small means it
+// uses Knuth's product method. It panics if mean < 0.
+func (r *RNG) Poisson(mean float64) int {
+	switch {
+	case mean < 0:
+		panic("stats: Poisson with negative mean")
+	case mean == 0:
+		return 0
+	case mean > 500:
+		// Normal approximation with continuity correction.
+		n := int(math.Round(r.Normal(mean, math.Sqrt(mean))))
+		if n < 0 {
+			n = 0
+		}
+		return n
+	default:
+		l := math.Exp(-mean)
+		k := 0
+		p := 1.0
+		for {
+			p *= r.Float64()
+			if p <= l {
+				return k
+			}
+			k++
+		}
+	}
+}
+
+// Shuffle permutes the first n elements using the Fisher-Yates algorithm,
+// calling swap(i, j) to exchange them.
+func (r *RNG) Shuffle(n int, swap func(i, j int)) {
+	for i := n - 1; i > 0; i-- {
+		swap(i, r.Intn(i+1))
+	}
+}
+
+// Perm returns a random permutation of [0, n).
+func (r *RNG) Perm(n int) []int {
+	p := make([]int, n)
+	for i := range p {
+		p[i] = i
+	}
+	r.Shuffle(n, func(i, j int) { p[i], p[j] = p[j], p[i] })
+	return p
+}

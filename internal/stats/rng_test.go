@@ -1,0 +1,171 @@
+package stats
+
+import (
+	"math"
+	"testing"
+)
+
+func TestRNGDeterminism(t *testing.T) {
+	a := NewRNG(42)
+	b := NewRNG(42)
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatalf("streams diverged at step %d", i)
+		}
+	}
+}
+
+func TestRNGSeedsDiffer(t *testing.T) {
+	a := NewRNG(1)
+	b := NewRNG(2)
+	same := 0
+	for i := 0; i < 100; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("seeds 1 and 2 produced %d identical values out of 100", same)
+	}
+}
+
+func TestRNGSplitIndependence(t *testing.T) {
+	parent := NewRNG(7)
+	child := parent.Split()
+	// The child stream should not track the parent stream.
+	same := 0
+	for i := 0; i < 100; i++ {
+		if parent.Uint64() == child.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Errorf("parent and split child produced %d identical values", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	r := NewRNG(3)
+	for i := 0; i < 10000; i++ {
+		f := r.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64() = %v out of [0,1)", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	r := NewRNG(4)
+	sum := 0.0
+	const n = 100000
+	for i := 0; i < n; i++ {
+		sum += r.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("uniform mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	r := NewRNG(5)
+	seen := make(map[int]bool)
+	for i := 0; i < 1000; i++ {
+		v := r.Intn(7)
+		if v < 0 || v >= 7 {
+			t.Fatalf("Intn(7) = %d", v)
+		}
+		seen[v] = true
+	}
+	if len(seen) != 7 {
+		t.Errorf("Intn(7) hit %d distinct values in 1000 draws, want 7", len(seen))
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Intn(0) did not panic")
+		}
+	}()
+	NewRNG(0).Intn(0)
+}
+
+func TestNormalMoments(t *testing.T) {
+	r := NewRNG(6)
+	const n = 200000
+	xs := make([]float64, n)
+	for i := range xs {
+		xs[i] = r.Normal(10, 3)
+	}
+	if m := Mean(xs); math.Abs(m-10) > 0.05 {
+		t.Errorf("normal mean = %v, want ≈10", m)
+	}
+	if s := StdDev(xs); math.Abs(s-3) > 0.05 {
+		t.Errorf("normal stddev = %v, want ≈3", s)
+	}
+}
+
+func TestExponentialMean(t *testing.T) {
+	r := NewRNG(8)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		x := r.Exponential(2)
+		if x < 0 {
+			t.Fatalf("Exponential produced negative sample %v", x)
+		}
+		sum += x
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("exponential(rate=2) mean = %v, want ≈0.5", mean)
+	}
+}
+
+func TestExponentialPanicsOnBadRate(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Exponential(0) did not panic")
+		}
+	}()
+	NewRNG(0).Exponential(0)
+}
+
+func TestPoissonMoments(t *testing.T) {
+	for _, mean := range []float64{0.5, 4, 40, 800} {
+		r := NewRNG(9)
+		const n = 50000
+		xs := make([]float64, n)
+		for i := range xs {
+			xs[i] = float64(r.Poisson(mean))
+		}
+		m := Mean(xs)
+		if math.Abs(m-mean) > 0.05*mean+0.05 {
+			t.Errorf("Poisson(%v) mean = %v", mean, m)
+		}
+		v := Variance(xs)
+		if math.Abs(v-mean) > 0.1*mean+0.1 {
+			t.Errorf("Poisson(%v) variance = %v, want ≈%v", mean, v, mean)
+		}
+	}
+}
+
+func TestPoissonZero(t *testing.T) {
+	r := NewRNG(10)
+	if got := r.Poisson(0); got != 0 {
+		t.Errorf("Poisson(0) = %d, want 0", got)
+	}
+}
+
+func TestPermIsPermutation(t *testing.T) {
+	r := NewRNG(11)
+	p := r.Perm(50)
+	seen := make([]bool, 50)
+	for _, v := range p {
+		if v < 0 || v >= 50 || seen[v] {
+			t.Fatalf("Perm(50) invalid: %v", p)
+		}
+		seen[v] = true
+	}
+}

@@ -1,0 +1,101 @@
+// Package units defines physical quantities used throughout the ANOR
+// framework: electrical power in watts, energy in joules, and helpers to
+// convert between them over time spans.
+//
+// All quantities are float64 wrappers. They exist to make APIs
+// self-documenting (a budgeter that accepts Power cannot silently be handed
+// joules) while staying free to compute with.
+package units
+
+import (
+	"fmt"
+	"time"
+)
+
+// Power is an electrical power in watts.
+type Power float64
+
+// Common power scales.
+const (
+	Watt     Power = 1
+	Kilowatt Power = 1000
+	Megawatt Power = 1e6
+)
+
+// Watts returns the power as a plain float64 of watts.
+func (p Power) Watts() float64 { return float64(p) }
+
+// Kilowatts returns the power in kilowatts.
+func (p Power) Kilowatts() float64 { return float64(p) / 1000 }
+
+// String formats the power with an adaptive unit suffix.
+func (p Power) String() string {
+	switch {
+	case p >= Megawatt || p <= -Megawatt:
+		return fmt.Sprintf("%.3f MW", float64(p)/1e6)
+	case p >= Kilowatt || p <= -Kilowatt:
+		return fmt.Sprintf("%.3f kW", float64(p)/1e3)
+	default:
+		return fmt.Sprintf("%.1f W", float64(p))
+	}
+}
+
+// Energy is an amount of energy in joules.
+type Energy float64
+
+// Common energy scales.
+const (
+	Joule        Energy = 1
+	Kilojoule    Energy = 1000
+	WattHour     Energy = 3600
+	KilowattHour Energy = 3.6e6
+	MegawattHour Energy = 3.6e9
+)
+
+// Joules returns the energy as a plain float64 of joules.
+func (e Energy) Joules() float64 { return float64(e) }
+
+// KilowattHours returns the energy in kWh, the unit electricity tariffs are
+// quoted in.
+func (e Energy) KilowattHours() float64 { return float64(e) / float64(KilowattHour) }
+
+// String formats the energy with an adaptive unit suffix.
+func (e Energy) String() string {
+	switch {
+	case e >= KilowattHour || e <= -KilowattHour:
+		return fmt.Sprintf("%.3f kWh", e.KilowattHours())
+	case e >= Kilojoule || e <= -Kilojoule:
+		return fmt.Sprintf("%.3f kJ", float64(e)/1e3)
+	default:
+		return fmt.Sprintf("%.1f J", float64(e))
+	}
+}
+
+// Over returns the energy consumed when drawing power p for duration d.
+func (p Power) Over(d time.Duration) Energy {
+	return Energy(float64(p) * d.Seconds())
+}
+
+// Average returns the average power that consumes energy e over duration d.
+// It returns 0 for non-positive durations.
+func (e Energy) Average(d time.Duration) Power {
+	if d <= 0 {
+		return 0
+	}
+	return Power(float64(e) / d.Seconds())
+}
+
+// Clamp limits p to the inclusive range [lo, hi]. If lo > hi the bounds are
+// swapped first, so Clamp is total.
+func (p Power) Clamp(lo, hi Power) Power {
+	if lo > hi {
+		lo, hi = hi, lo
+	}
+	if p < lo {
+		return lo
+	}
+	if p > hi {
+		return hi
+	}
+	return p
+}

@@ -1,0 +1,126 @@
+package units
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestPowerWatts(t *testing.T) {
+	if got := (250 * Watt).Watts(); got != 250 {
+		t.Errorf("Watts() = %v, want 250", got)
+	}
+	if got := (2 * Kilowatt).Watts(); got != 2000 {
+		t.Errorf("Watts() = %v, want 2000", got)
+	}
+	if got := (3 * Megawatt).Kilowatts(); got != 3000 {
+		t.Errorf("Kilowatts() = %v, want 3000", got)
+	}
+}
+
+func TestPowerString(t *testing.T) {
+	cases := []struct {
+		p    Power
+		want string
+	}{
+		{140, "140.0 W"},
+		{2300, "2.300 kW"},
+		{4.5e6, "4.500 MW"},
+		{-1500, "-1.500 kW"},
+		{0, "0.0 W"},
+	}
+	for _, c := range cases {
+		if got := c.p.String(); got != c.want {
+			t.Errorf("Power(%v).String() = %q, want %q", float64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestEnergyString(t *testing.T) {
+	cases := []struct {
+		e    Energy
+		want string
+	}{
+		{500, "500.0 J"},
+		{5000, "5.000 kJ"},
+		{7.2e6, "2.000 kWh"},
+	}
+	for _, c := range cases {
+		if got := c.e.String(); got != c.want {
+			t.Errorf("Energy(%v).String() = %q, want %q", float64(c.e), got, c.want)
+		}
+	}
+}
+
+func TestPowerOver(t *testing.T) {
+	e := (100 * Watt).Over(time.Minute)
+	if e != 6000 {
+		t.Errorf("100 W over 1 min = %v J, want 6000", e.Joules())
+	}
+	if e.KilowattHours() != 6000.0/3.6e6 {
+		t.Errorf("KilowattHours() = %v", e.KilowattHours())
+	}
+}
+
+func TestEnergyAverage(t *testing.T) {
+	if got := Energy(3600).Average(time.Hour); got != 1 {
+		t.Errorf("3600 J over 1h = %v W, want 1", got.Watts())
+	}
+	if got := Energy(100).Average(0); got != 0 {
+		t.Errorf("Average over 0 duration = %v, want 0", got)
+	}
+	if got := Energy(100).Average(-time.Second); got != 0 {
+		t.Errorf("Average over negative duration = %v, want 0", got)
+	}
+}
+
+func TestClamp(t *testing.T) {
+	cases := []struct {
+		p, lo, hi, want Power
+	}{
+		{100, 140, 280, 140},
+		{300, 140, 280, 280},
+		{200, 140, 280, 200},
+		{200, 280, 140, 200}, // swapped bounds
+		{140, 140, 280, 140}, // boundary inclusive
+		{280, 140, 280, 280},
+	}
+	for _, c := range cases {
+		if got := c.p.Clamp(c.lo, c.hi); got != c.want {
+			t.Errorf("Clamp(%v, %v, %v) = %v, want %v", c.p, c.lo, c.hi, got, c.want)
+		}
+	}
+}
+
+func TestClampPropertyInRange(t *testing.T) {
+	f := func(p, a, b float64) bool {
+		if math.IsNaN(p) || math.IsNaN(a) || math.IsNaN(b) {
+			return true
+		}
+		lo, hi := a, b
+		if lo > hi {
+			lo, hi = hi, lo
+		}
+		got := Power(p).Clamp(Power(a), Power(b))
+		return float64(got) >= lo && float64(got) <= hi
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestPowerEnergyRoundTrip(t *testing.T) {
+	f := func(w float64, secs uint16) bool {
+		if math.IsNaN(w) || math.IsInf(w, 0) {
+			return true
+		}
+		d := time.Duration(int64(secs)+1) * time.Second
+		p := Power(math.Mod(w, 1e6))
+		back := p.Over(d).Average(d)
+		return math.Abs(float64(back-p)) <= 1e-9*math.Max(1, math.Abs(float64(p)))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

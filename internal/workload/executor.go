@@ -1,0 +1,113 @@
+package workload
+
+import (
+	"context"
+	"errors"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+// Executor runs a synthetic instrumented benchmark: Type.Epochs iterations
+// of a main loop whose duration follows the type's power-performance curve
+// at the cap reported by Cap, preceded and followed by half of
+// Type.SetupSeconds of near-idle setup/teardown. It is the reproduction's
+// stand-in for an NPB binary with a geopm_prof_epoch() call per outer-loop
+// iteration (§5.1).
+type Executor struct {
+	// Type selects the benchmark's curve, epoch count, and setup time.
+	Type Type
+	// Clock paces the run; a virtual clock compresses experiments.
+	Clock clock.Clock
+	// Cap reports the per-node power cap currently enforced on the job's
+	// nodes. It is read once per epoch, modeling an agent that updates
+	// hardware limits between iterations. A nil Cap means uncapped.
+	Cap func() units.Power
+	// OnEpoch, if non-nil, is invoked after each epoch completes with the
+	// 1-based epoch count — the geopm_prof_epoch() instrumentation point.
+	OnEpoch func(n int)
+	// Variation multiplies every epoch duration, modeling node-to-node
+	// performance variation (§6.4). Zero means 1 (no variation).
+	Variation float64
+	// Noise adds per-epoch multiplicative jitter with standard deviation
+	// NoiseStd when non-nil, modeling run-to-run variance (Fig. 3 error
+	// bars).
+	Noise    *stats.RNG
+	NoiseStd float64
+}
+
+// Result summarizes a completed run.
+type Result struct {
+	// AppSeconds is time spent in the instrumented compute loop — the
+	// "Application Totals" time a GEOPM report shows (§5.4).
+	AppSeconds float64
+	// TotalSeconds includes setup and teardown.
+	TotalSeconds float64
+	// Epochs is how many epochs completed.
+	Epochs int
+}
+
+// ErrInterrupted is returned when the context is cancelled mid-run.
+var ErrInterrupted = errors.New("workload: run interrupted")
+
+// Run executes the benchmark to completion, returning its timing summary.
+// It honors ctx cancellation between (not within) clock waits.
+func (e *Executor) Run(ctx context.Context) (Result, error) {
+	variation := e.Variation
+	if variation == 0 {
+		variation = 1
+	}
+	model := e.Type.Model()
+	var res Result
+
+	half := time.Duration(e.Type.SetupSeconds / 2 * float64(time.Second))
+	if err := e.wait(ctx, half); err != nil {
+		return res, err
+	}
+	res.TotalSeconds += half.Seconds()
+
+	for n := 1; n <= e.Type.Epochs; n++ {
+		cap := e.Type.PMax
+		if e.Cap != nil {
+			cap = e.Cap()
+		}
+		secs := model.TimeAt(cap) * variation
+		if e.Noise != nil && e.NoiseStd > 0 {
+			f := 1 + e.Noise.Normal(0, e.NoiseStd)
+			if f < 0.1 {
+				f = 0.1
+			}
+			secs *= f
+		}
+		d := time.Duration(secs * float64(time.Second))
+		if err := e.wait(ctx, d); err != nil {
+			return res, err
+		}
+		res.AppSeconds += secs
+		res.TotalSeconds += secs
+		res.Epochs = n
+		if e.OnEpoch != nil {
+			e.OnEpoch(n)
+		}
+	}
+
+	if err := e.wait(ctx, half); err != nil {
+		return res, err
+	}
+	res.TotalSeconds += half.Seconds()
+	return res, nil
+}
+
+func (e *Executor) wait(ctx context.Context, d time.Duration) error {
+	if d <= 0 {
+		return ctx.Err()
+	}
+	select {
+	case <-ctx.Done():
+		return ErrInterrupted
+	case <-e.Clock.After(d):
+		return nil
+	}
+}

@@ -1,0 +1,197 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"sync"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/stats"
+	"repro/internal/units"
+)
+
+var epoch0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// runVirtual drives an executor to completion under a virtual clock.
+func runVirtual(t *testing.T, e *Executor, ctx context.Context) (Result, error) {
+	t.Helper()
+	v := e.Clock.(*clock.Virtual)
+	var (
+		res Result
+		err error
+		wg  sync.WaitGroup
+	)
+	wg.Add(1)
+	done := make(chan struct{})
+	go func() {
+		defer wg.Done()
+		res, err = e.Run(ctx)
+		close(done)
+	}()
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		select {
+		case <-done:
+			wg.Wait()
+			return res, err
+		default:
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("runVirtual: executor did not finish")
+		}
+		// Fire the next deadline if one is parked; otherwise yield real
+		// time briefly so the executor can park its next wait.
+		if v.PendingWaiters() > 0 {
+			v.Step()
+		} else {
+			time.Sleep(50 * time.Microsecond)
+		}
+	}
+}
+
+func TestExecutorUncappedDuration(t *testing.T) {
+	typ := MustByName("mg") // 120 s, 100 epochs, 8 s setup
+	v := clock.NewVirtual(epoch0)
+	e := &Executor{Type: typ, Clock: v}
+	res, err := runVirtual(t, e, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != typ.Epochs {
+		t.Errorf("epochs = %d, want %d", res.Epochs, typ.Epochs)
+	}
+	if math.Abs(res.AppSeconds-typ.BaseSeconds) > 1e-6 {
+		t.Errorf("AppSeconds = %v, want %v", res.AppSeconds, typ.BaseSeconds)
+	}
+	if math.Abs(res.TotalSeconds-(typ.BaseSeconds+typ.SetupSeconds)) > 1e-6 {
+		t.Errorf("TotalSeconds = %v, want %v", res.TotalSeconds, typ.BaseSeconds+typ.SetupSeconds)
+	}
+	// Virtual clock advanced by the run's total duration.
+	elapsed := v.Now().Sub(epoch0).Seconds()
+	if math.Abs(elapsed-res.TotalSeconds) > 1e-3 {
+		t.Errorf("virtual elapsed %v s, want %v s", elapsed, res.TotalSeconds)
+	}
+}
+
+func TestExecutorCappedSlowdown(t *testing.T) {
+	typ := MustByName("bt")
+	v := clock.NewVirtual(epoch0)
+	e := &Executor{
+		Type:  typ,
+		Clock: v,
+		Cap:   func() units.Power { return typ.PMin },
+	}
+	res, err := runVirtual(t, e, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := typ.BaseSeconds * typ.MaxSlowdown
+	if math.Abs(res.AppSeconds-want) > 1e-6*want {
+		t.Errorf("capped AppSeconds = %v, want %v", res.AppSeconds, want)
+	}
+}
+
+func TestExecutorVariationMultiplier(t *testing.T) {
+	typ := MustByName("is")
+	v := clock.NewVirtual(epoch0)
+	e := &Executor{Type: typ, Clock: v, Variation: 1.25}
+	res, err := runVirtual(t, e, context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := typ.BaseSeconds * 1.25
+	if math.Abs(res.AppSeconds-want) > 1e-6*want {
+		t.Errorf("varied AppSeconds = %v, want %v", res.AppSeconds, want)
+	}
+}
+
+func TestExecutorOnEpochCounts(t *testing.T) {
+	typ := MustByName("is")
+	v := clock.NewVirtual(epoch0)
+	var calls []int
+	e := &Executor{Type: typ, Clock: v, OnEpoch: func(n int) { calls = append(calls, n) }}
+	if _, err := runVirtual(t, e, context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if len(calls) != typ.Epochs {
+		t.Fatalf("OnEpoch called %d times, want %d", len(calls), typ.Epochs)
+	}
+	for i, n := range calls {
+		if n != i+1 {
+			t.Fatalf("OnEpoch call %d reported count %d", i, n)
+		}
+	}
+}
+
+func TestExecutorNoiseChangesDuration(t *testing.T) {
+	typ := MustByName("is")
+	run := func(seed uint64) float64 {
+		v := clock.NewVirtual(epoch0)
+		e := &Executor{Type: typ, Clock: v, Noise: stats.NewRNG(seed), NoiseStd: 0.05}
+		res, err := runVirtual(t, e, context.Background())
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res.AppSeconds
+	}
+	a, b := run(1), run(2)
+	if a == b {
+		t.Error("different noise seeds produced identical durations")
+	}
+	if math.Abs(a-typ.BaseSeconds) > 0.2*typ.BaseSeconds {
+		t.Errorf("noisy duration %v too far from base %v", a, typ.BaseSeconds)
+	}
+	// Same seed is deterministic.
+	if run(1) != a {
+		t.Error("same seed not deterministic")
+	}
+}
+
+func TestExecutorInterrupted(t *testing.T) {
+	typ := MustByName("bt")
+	v := clock.NewVirtual(epoch0)
+	ctx, cancel := context.WithCancel(context.Background())
+	e := &Executor{Type: typ, Clock: v}
+	done := make(chan error, 1)
+	var res Result
+	go func() {
+		var err error
+		res, err = e.Run(ctx)
+		done <- err
+	}()
+	// Let it get through setup and a few epochs, then cancel.
+	for i := 0; i < 10; i++ {
+		v.WaitForWaiters(1)
+		v.Step()
+	}
+	cancel()
+	v.WaitForWaiters(0)
+	// Unblock the current wait so Run observes cancellation.
+	v.Step()
+	select {
+	case err := <-done:
+		if err != ErrInterrupted {
+			t.Fatalf("err = %v, want ErrInterrupted", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	if res.Epochs >= typ.Epochs {
+		t.Errorf("interrupted run completed all epochs")
+	}
+}
+
+func TestExecutorCapReadPerEpoch(t *testing.T) {
+	typ := MustByName("is")
+	v := clock.NewVirtual(epoch0)
+	reads := 0
+	e := &Executor{Type: typ, Clock: v, Cap: func() units.Power { reads++; return typ.PMax }}
+	if _, err := runVirtual(t, e, context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	if reads != typ.Epochs {
+		t.Errorf("cap read %d times, want once per epoch (%d)", reads, typ.Epochs)
+	}
+}

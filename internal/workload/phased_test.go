@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"context"
+	"math"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/units"
+)
+
+func TestPhasedExecutorRunsAllPhases(t *testing.T) {
+	bt := MustByName("bt")
+	is := MustByName("is")
+	auto := clock.NewAuto(epoch0)
+	var epochs []int
+	pe := &PhasedExecutor{
+		Phases: []PhaseSpec{
+			{Type: bt, Epochs: 20},
+			{Type: is, Epochs: 10},
+		},
+		Clock:   auto,
+		OnEpoch: func(n int) { epochs = append(epochs, n) },
+	}
+	res, err := pe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Epochs != 30 {
+		t.Errorf("combined Result.Epochs = %d, want 30", res.Epochs)
+	}
+	if len(epochs) != 30 || epochs[0] != 1 || epochs[29] != 30 {
+		t.Errorf("epoch callbacks: n=%d first=%d last=%d", len(epochs), epochs[0], epochs[len(epochs)-1])
+	}
+	if math.Abs(res.AppSeconds-pe.BaseSeconds()) > 1e-6 {
+		t.Errorf("uncapped AppSeconds = %v, want %v", res.AppSeconds, pe.BaseSeconds())
+	}
+}
+
+func TestPhasedExecutorPhasesFollowOwnCurves(t *testing.T) {
+	// Under a 140 W cap, the BT phase slows 1.8× while the IS phase
+	// slows only 1.06×: the combined time reflects per-phase curves.
+	bt := MustByName("bt")
+	is := MustByName("is")
+	auto := clock.NewAuto(epoch0)
+	pe := &PhasedExecutor{
+		Phases: []PhaseSpec{
+			{Type: bt, Epochs: 20},
+			{Type: is, Epochs: 10},
+		},
+		Clock: auto,
+		Cap:   func() units.Power { return 140 },
+	}
+	res, err := pe.Run(context.Background())
+	if err != nil {
+		t.Fatal(err)
+	}
+	btPer := bt.BaseSeconds / float64(bt.Epochs)
+	isPer := is.BaseSeconds / float64(is.Epochs)
+	want := btPer*bt.MaxSlowdown*20 + isPer*is.MaxSlowdown*10
+	if math.Abs(res.AppSeconds-want) > 1e-6 {
+		t.Errorf("capped AppSeconds = %v, want %v", res.AppSeconds, want)
+	}
+}
+
+func TestPhasedExecutorRequiresPhases(t *testing.T) {
+	pe := &PhasedExecutor{Clock: clock.NewAuto(epoch0)}
+	if _, err := pe.Run(context.Background()); err == nil {
+		t.Error("empty phases accepted")
+	}
+}
