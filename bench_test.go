@@ -10,6 +10,7 @@
 package repro_test
 
 import (
+	"context"
 	"testing"
 	"time"
 
@@ -18,6 +19,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/workload"
 )
 
@@ -284,6 +286,96 @@ func BenchmarkTabularSimulator1000(b *testing.B) {
 			b.ReportMetric(float64(len(res.Jobs)), "jobs")
 		}
 	}
+}
+
+// sweepBenchRun is one small simulator run for the sweep-engine
+// benchmarks: 32 nodes for 5 simulated minutes, seeded from the flat run
+// index so serial and parallel sweeps compute identical work.
+func sweepBenchRun(baseSeed uint64, run int) error {
+	seed := sweep.DeriveSeed(baseSeed, run)
+	types := workload.LongRunning()
+	weights := map[string]float64{}
+	for _, t := range types {
+		weights[t.Name] = 1
+	}
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(seed), Types: types,
+		Utilization: 0.8, TotalNodes: 32, Horizon: 5 * time.Minute,
+	})
+	if err != nil {
+		return err
+	}
+	_, err = sim.Run(sim.Config{
+		Nodes: 32, Shards: 1, Types: types, Weights: weights, Arrivals: arrivals,
+		Bid:     dr.Bid{AvgPower: 5000, Reserve: 1000},
+		Signal:  dr.NewRandomWalk(seed^0xf16, 4*time.Second, 0.25, time.Hour),
+		Horizon: 5 * time.Minute,
+		Seed:    seed,
+	})
+	return err
+}
+
+// benchmarkSweep drives 8 independent simulator runs through the sweep
+// pool with the given worker bound.
+func benchmarkSweep(b *testing.B, workers int) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		err := sweep.ForEach(context.Background(), 8, sweep.Options{Workers: workers},
+			func(_ context.Context, run int) error {
+				return sweepBenchRun(uint64(i+1), run)
+			})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSweepSerial runs the 8-run sweep on one worker: the baseline
+// for the parallel speedup.
+func BenchmarkSweepSerial(b *testing.B) { benchmarkSweep(b, 1) }
+
+// BenchmarkSweepParallel runs the same 8-run sweep on GOMAXPROCS
+// workers; results are bit-identical to the serial sweep.
+func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
+
+// BenchmarkSimStep measures the per-simulated-second cost of the tabular
+// simulator at the paper's 1000-node scale, reporting simulated steps per
+// wall-clock second (auto-sharding engages above 512 nodes).
+func BenchmarkSimStep(b *testing.B) {
+	const simNodes = 1000
+	horizon := 2 * time.Minute
+	types := make([]workload.Type, 0, 6)
+	for _, t := range workload.LongRunning() {
+		types = append(types, t.Scale(25))
+	}
+	weights := map[string]float64{}
+	for _, t := range types {
+		weights[t.Name] = 1
+	}
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(1), Types: types,
+		Utilization: 0.75, TotalNodes: simNodes, Horizon: horizon,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, err := sim.Run(sim.Config{
+			Nodes: simNodes, Types: types, Weights: weights, Arrivals: arrivals,
+			Bid:          dr.Bid{AvgPower: 150000, Reserve: 30000},
+			Signal:       dr.NewRandomWalk(1, 4*time.Second, 0.25, 2*time.Hour),
+			Horizon:      horizon,
+			Seed:         1,
+			VariationStd: 0.05,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	steps := horizon.Seconds() * float64(b.N)
+	b.ReportMetric(steps/b.Elapsed().Seconds(), "sim-steps/s")
 }
 
 func mean(m map[string]float64) float64 {

@@ -26,9 +26,10 @@ import (
 )
 
 var (
-	seed    = flag.Uint64("seed", 1, "experiment seed")
-	quick   = flag.Bool("quick", false, "reduced trial counts and horizons for a fast pass")
-	csvPath = flag.String("csv", "", "write fig9's tracking series to this CSV file")
+	seed     = flag.Uint64("seed", 1, "experiment seed")
+	quick    = flag.Bool("quick", false, "reduced trial counts and horizons for a fast pass")
+	csvPath  = flag.String("csv", "", "write fig9's tracking series to this CSV file")
+	parallel = flag.Int("parallel", 0, "concurrent trials per experiment (0 = GOMAXPROCS); results are identical at any setting")
 )
 
 func main() {

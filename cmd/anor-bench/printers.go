@@ -116,17 +116,17 @@ func sharedCap(title string, rows []experiments.SharedCapRow, err error) {
 }
 
 func fig6() {
-	rows, err := experiments.Fig6(experiments.Fig6Config{Trials: trials(3), Seed: *seed})
+	rows, err := experiments.Fig6(experiments.Fig6Config{Trials: trials(3), Seed: *seed, Parallel: *parallel})
 	sharedCap("Fig. 6 — BT + SP under a shared 840 W budget (slowdown vs no cap)", rows, err)
 }
 
 func fig7() {
-	rows, err := experiments.Fig7(experiments.Fig6Config{Trials: trials(3), Seed: *seed})
+	rows, err := experiments.Fig7(experiments.Fig6Config{Trials: trials(3), Seed: *seed, Parallel: *parallel})
 	sharedCap("Fig. 7 — two BT instances, one possibly misclassified as IS", rows, err)
 }
 
 func fig8() {
-	rows, err := experiments.Fig8(experiments.Fig6Config{Trials: trials(6), Seed: *seed})
+	rows, err := experiments.Fig8(experiments.Fig6Config{Trials: trials(6), Seed: *seed, Parallel: *parallel})
 	sharedCap("Fig. 8 — two SP instances, one possibly misclassified as EP", rows, err)
 }
 
@@ -164,7 +164,7 @@ func fig9() {
 }
 
 func fig10() {
-	rows, err := experiments.Fig10(experiments.Fig10Config{Seed: *seed, Horizon: horizon(time.Hour)})
+	rows, err := experiments.Fig10(experiments.Fig10Config{Seed: *seed, Horizon: horizon(time.Hour), Parallel: *parallel})
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -189,7 +189,7 @@ func fig10() {
 }
 
 func fig11() {
-	cfg := experiments.Fig11Config{Seed: *seed}
+	cfg := experiments.Fig11Config{Seed: *seed, Parallel: *parallel}
 	if *quick {
 		cfg.Nodes = 200
 		cfg.Trials = 2

@@ -7,12 +7,15 @@
 //
 //	anor-sim -nodes 1000 -hours 1 -util 0.75 -variation 0.15 -seed 1 \
 //	         -scale 25 -table state.csv
+//	anor-sim -nodes 1000 -runs 8 -parallel 4 -seed 1   # multi-seed sweep
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"log"
+	"math"
 	"os"
 	"sort"
 	"time"
@@ -23,6 +26,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -39,7 +43,16 @@ func main() {
 	policy := flag.String("budgeter", "", "per-job budgeter (even-slowdown, even-power); empty = AQA uniform caps")
 	feedback := flag.Bool("feedback", false, "exempt at-risk jobs from capping (§6.4 mitigation)")
 	table := flag.String("table", "", "write per-second cluster state CSV here")
+	runs := flag.Int("runs", 1, "independent runs; >1 reports per-run lines plus mean±std aggregates")
+	parallel := flag.Int("parallel", 0, "concurrent runs when -runs > 1 (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "node-table shards per simulated second (0 = auto; forced to 1 inside a multi-run sweep)")
 	flag.Parse()
+	if *runs < 1 {
+		log.Fatalf("anor-sim: -runs must be ≥ 1 (got %d)", *runs)
+	}
+	if *table != "" && *runs > 1 {
+		log.Fatal("anor-sim: -table writes one run's state; use it with -runs=1")
+	}
 
 	var types []workload.Type
 	weights := map[string]float64{}
@@ -60,10 +73,12 @@ func main() {
 
 	bid := dr.Bid{AvgPower: units.Power(*avg), Reserve: units.Power(*reserve)}
 	if bid.AvgPower == 0 || bid.Reserve == 0 {
+		// The probe always uses the base seed's schedule so the bid — an
+		// input shared by every run — does not depend on -runs.
 		probe, err := sim.Run(sim.Config{
 			Nodes: *nodes, Types: types, Weights: weights, Arrivals: arrivals,
 			Bid:    dr.Bid{AvgPower: units.Power(*nodes) * workload.NodeTDP, Reserve: 0},
-			Signal: dr.Constant(0), Horizon: horizon, Seed: *seed,
+			Signal: dr.Constant(0), Horizon: horizon, Seed: *seed, Shards: *shards,
 		})
 		if err != nil {
 			log.Fatal(err)
@@ -78,46 +93,91 @@ func main() {
 			probe.AvgPower, bid.AvgPower, bid.Reserve)
 	}
 
-	cfg := sim.Config{
-		Nodes: *nodes, Types: types, Weights: weights, Arrivals: arrivals,
-		Bid:               bid,
-		Signal:            dr.NewRandomWalk(*seed^0x5eed, 4*time.Second, 0.25, 8*horizon),
-		Horizon:           horizon,
-		Seed:              *seed,
-		VariationStd:      *variation / 2.576, // 99% within ±level
-		FeedbackQoSExempt: *feedback,
-		TrackWarmup:       2 * time.Minute,
-	}
+	var budgeter budget.Budgeter
 	switch *policy {
 	case "":
 	case "even-slowdown":
-		cfg.Budgeter = budget.EvenSlowdown{}
+		budgeter = budget.EvenSlowdown{}
 	case "even-power":
-		cfg.Budgeter = budget.EvenPower{}
+		budgeter = budget.EvenPower{}
 	default:
 		log.Fatalf("anor-sim: unknown budgeter %q", *policy)
 	}
-	if cfg.Budgeter != nil {
-		cfg.TypeModels = map[string]perfmodel.Model{}
+	// Shared read-only inputs: types, weights, typeModels, and the bid are
+	// built once and shared across all runs (sim.Run never mutates them).
+	var typeModels map[string]perfmodel.Model
+	var defaultModel perfmodel.Model
+	if budgeter != nil {
+		typeModels = map[string]perfmodel.Model{}
 		for _, t := range types {
-			cfg.TypeModels[t.Name] = t.RelativeModel()
+			typeModels[t.Name] = t.RelativeModel()
 		}
-		cfg.DefaultModel = workload.LeastSensitive().RelativeModel()
+		defaultModel = workload.LeastSensitive().RelativeModel()
 	}
-	if *table != "" {
-		f, err := os.Create(*table)
+	mkConfig := func(runSeed uint64, arr []schedule.Arrival, runShards int) sim.Config {
+		return sim.Config{
+			Nodes: *nodes, Types: types, Weights: weights, Arrivals: arr,
+			Bid:               bid,
+			Signal:            dr.NewRandomWalk(runSeed^0x5eed, 4*time.Second, 0.25, 8*horizon),
+			Horizon:           horizon,
+			Seed:              runSeed,
+			Shards:            runShards,
+			VariationStd:      *variation / 2.576, // 99% within ±level
+			FeedbackQoSExempt: *feedback,
+			Budgeter:          budgeter,
+			TypeModels:        typeModels,
+			DefaultModel:      defaultModel,
+			TrackWarmup:       2 * time.Minute,
+		}
+	}
+
+	if *runs == 1 {
+		cfg := mkConfig(*seed, arrivals, *shards)
+		if *table != "" {
+			f, err := os.Create(*table)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			cfg.TableLog = f
+		}
+		res, err := sim.Run(cfg)
 		if err != nil {
 			log.Fatal(err)
 		}
-		defer f.Close()
-		cfg.TableLog = f
+		printRun(res)
+		return
 	}
 
-	res, err := sim.Run(cfg)
+	// Multi-run sweep: each run derives its seed from the flat run index,
+	// so results are deterministic in -seed regardless of -parallel. The
+	// sweep saturates the worker pool, so each simulator keeps its own
+	// node-table sharding off unless -shards was set explicitly.
+	innerShards := *shards
+	if innerShards == 0 {
+		innerShards = 1
+	}
+	results, err := sweep.Map(context.Background(), *runs,
+		sweep.Options{Workers: *parallel},
+		func(_ context.Context, run int) (sim.Result, error) {
+			runSeed := sweep.DeriveSeed(*seed, run)
+			arr, err := schedule.Generate(schedule.Config{
+				RNG: stats.NewRNG(runSeed), Types: types,
+				Utilization: *util, TotalNodes: *nodes, Horizon: horizon,
+			})
+			if err != nil {
+				return sim.Result{}, err
+			}
+			return sim.Run(mkConfig(runSeed, arr, innerShards))
+		})
 	if err != nil {
 		log.Fatal(err)
 	}
+	printAggregate(*seed, results)
+}
 
+// printRun reports one simulation in full detail.
+func printRun(res sim.Result) {
 	fmt.Printf("jobs completed: %d (unfinished %d)\n", len(res.Jobs), res.Unfinished)
 	fmt.Printf("mean utilization: %.1f%%\n", 100*res.MeanUtilization)
 	fmt.Printf("average power: %s\n", res.AvgPower)
@@ -133,4 +193,41 @@ func main() {
 		qs := res.QoSByType[n]
 		fmt.Printf("  %-10s n=%3d  P90 QoS %.2f\n", n, len(qs), stats.Percentile(qs, 90))
 	}
+}
+
+// printAggregate reports a per-run summary line followed by mean±std
+// aggregates across the sweep.
+func printAggregate(baseSeed uint64, results []sim.Result) {
+	var qos90, p90Err, avgPower, utilization []float64
+	trackOK := 0
+	for run, res := range results {
+		fmt.Printf("run %2d (seed %#016x): jobs %4d  util %5.1f%%  avg %s  P90 err %5.1f%%  P90 QoS %.2f  ok=%v\n",
+			run, sweep.DeriveSeed(baseSeed, run), len(res.Jobs), 100*res.MeanUtilization,
+			res.AvgPower, 100*res.TrackSummary.P90Err, res.QoS90,
+			res.TrackSummary.WithinConstraint)
+		qos90 = append(qos90, res.QoS90)
+		p90Err = append(p90Err, res.TrackSummary.P90Err)
+		avgPower = append(avgPower, res.AvgPower.Watts())
+		utilization = append(utilization, res.MeanUtilization)
+		if res.TrackSummary.WithinConstraint {
+			trackOK++
+		}
+	}
+	meanStd := func(xs []float64) (float64, float64) {
+		m := stats.Mean(xs)
+		if len(xs) < 2 {
+			return m, 0
+		}
+		return m, stats.StdDev(xs)
+	}
+	fmt.Printf("\naggregate over %d runs:\n", len(results))
+	m, s := meanStd(qos90)
+	fmt.Printf("  P90 QoS degradation: %.2f ± %.2f (target ≤ 5)\n", m, s)
+	m, s = meanStd(p90Err)
+	fmt.Printf("  P90 tracking error:  %.1f%% ± %.1f%% of reserve\n", 100*m, 100*s)
+	m, s = meanStd(avgPower)
+	fmt.Printf("  average power:       %s ± %s\n", units.Power(m), units.Power(math.Round(s)))
+	m, s = meanStd(utilization)
+	fmt.Printf("  mean utilization:    %.1f%% ± %.1f%%\n", 100*m, 100*s)
+	fmt.Printf("  tracking constraint: %d/%d runs ok\n", trackOK, len(results))
 }

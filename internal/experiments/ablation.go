@@ -7,6 +7,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/clock"
 	"repro/internal/core"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -61,21 +62,22 @@ func misclassifiedRun(seed uint64, retrainThreshold int, useFeedback bool) (Abla
 // AblateRetrainThreshold sweeps the modeler's retrain trigger (the paper
 // fixes it at 10 epochs, §4.2) through the feedback-recovery scenario.
 // Small thresholds react faster but fit on fewer points; large thresholds
-// may never retrain before the job ends.
+// may never retrain before the job ends. The points run concurrently —
+// each stands up its own emulated cluster — and every point reuses the
+// same seed, so the threshold is the only variable across the sweep.
 func AblateRetrainThreshold(seed uint64, thresholds []int) ([]AblationPoint, error) {
 	if len(thresholds) == 0 {
 		thresholds = []int{5, 10, 20, 50, 200}
 	}
-	var out []AblationPoint
-	for _, th := range thresholds {
-		p, err := misclassifiedRun(seed, th, true)
-		if err != nil {
-			return nil, err
-		}
-		p.Setting = float64(th)
-		out = append(out, p)
-	}
-	return out, nil
+	return sweep.Map(context.Background(), len(thresholds), sweep.Options{},
+		func(_ context.Context, run int) (AblationPoint, error) {
+			p, err := misclassifiedRun(seed, thresholds[run], true)
+			if err != nil {
+				return AblationPoint{}, err
+			}
+			p.Setting = float64(thresholds[run])
+			return p, nil
+		})
 }
 
 // DefaultPolicyOutcome compares the two §6.1.2 default-model policies in

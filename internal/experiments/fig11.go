@@ -1,12 +1,14 @@
 package experiments
 
 import (
+	"context"
 	"time"
 
 	"repro/internal/dr"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -29,11 +31,14 @@ type Fig11Config struct {
 	Utilization float64
 	// NodeScale multiplies type node counts (default 25).
 	NodeScale int
-	// Seed is the base seed; trial t uses Seed + t.
+	// Seed is the base seed; every (level, trial) cell derives its own
+	// seed from it.
 	Seed uint64
 	// FeedbackQoSExempt turns on the §6.4 mitigation (exempting at-risk
 	// jobs from capping) to reproduce the reported null result.
 	FeedbackQoSExempt bool
+	// Parallel bounds concurrent trials (0 = GOMAXPROCS).
+	Parallel int
 }
 
 // Fig11Level is one variation level's outcome.
@@ -95,13 +100,21 @@ func Fig11(cfg Fig11Config) ([]Fig11Level, error) {
 		Reserve:  units.Power(0.15 * natural.Watts()),
 	}
 
-	var out []Fig11Level
-	for _, level := range cfg.Levels {
-		std := levelToStd(level)
-		perType := map[string][]float64{}
-		trackOK := 0
-		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed + uint64(trial)*7907 + uint64(level*1e4)
+	// Every (level, trial) cell is one independent simulator run: the
+	// whole grid fans out across a sweep pool, with per-cell seeds
+	// derived from the flat grid index. The shared inputs (types,
+	// weights, bid) are immutable from here on; each cell builds its own
+	// schedule, signal, and simulator state. Cells keep the simulator's
+	// own node-table sharding off — the sweep already saturates the pool.
+	type trialOut struct {
+		p90ByType map[string]float64
+		trackOK   bool
+	}
+	outs, err := sweep.Map(context.Background(), len(cfg.Levels)*cfg.Trials,
+		sweep.Options{Workers: cfg.Parallel},
+		func(_ context.Context, run int) (trialOut, error) {
+			level := cfg.Levels[run/cfg.Trials]
+			seed := sweep.DeriveSeed(cfg.Seed, run)
 			arrivals, err := schedule.Generate(schedule.Config{
 				RNG:         stats.NewRNG(seed),
 				Types:       types,
@@ -110,11 +123,12 @@ func Fig11(cfg Fig11Config) ([]Fig11Level, error) {
 				Horizon:     cfg.Horizon,
 			})
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
 			}
 			arrivals = append(prewarmWave(types, cfg.Utilization, cfg.Nodes, nil), arrivals...)
 			res, err := sim.Run(sim.Config{
 				Nodes:             cfg.Nodes,
+				Shards:            1,
 				Types:             types,
 				Weights:           weights,
 				Arrivals:          arrivals,
@@ -122,17 +136,36 @@ func Fig11(cfg Fig11Config) ([]Fig11Level, error) {
 				Signal:            dr.NewRandomWalk(seed^0xf16, 4*time.Second, 0.25, 8*cfg.Horizon),
 				Horizon:           cfg.Horizon,
 				Seed:              seed,
-				VariationStd:      std,
+				VariationStd:      levelToStd(level),
 				FeedbackQoSExempt: cfg.FeedbackQoSExempt,
 				TrackWarmup:       2 * time.Minute,
 			})
 			if err != nil {
-				return nil, err
+				return trialOut{}, err
+			}
+			to := trialOut{
+				p90ByType: map[string]float64{},
+				trackOK:   res.TrackSummary.WithinConstraint,
 			}
 			for name, qs := range res.QoSByType {
-				perType[name] = append(perType[name], stats.Percentile(qs, 90))
+				to.p90ByType[name] = stats.Percentile(qs, 90)
 			}
-			if res.TrackSummary.WithinConstraint {
+			return to, nil
+		})
+	if err != nil {
+		return nil, err
+	}
+
+	var out []Fig11Level
+	for li, level := range cfg.Levels {
+		perType := map[string][]float64{}
+		trackOK := 0
+		for trial := 0; trial < cfg.Trials; trial++ {
+			to := outs[li*cfg.Trials+trial]
+			for name, p90 := range to.p90ByType {
+				perType[name] = append(perType[name], p90)
+			}
+			if to.trackOK {
 				trackOK++
 			}
 		}

@@ -1,8 +1,11 @@
 package experiments
 
 import (
+	"context"
+
 	"repro/internal/budget"
 	"repro/internal/perfmodel"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -68,53 +71,58 @@ func Fig5(cfg Fig5Config) []Fig5ScenarioResult {
 	ft := workload.MustByName("ft")
 	is := workload.MustByName("is")
 
-	var out []Fig5ScenarioResult
-	for _, sc := range Fig5Scenarios() {
-		truth := map[string]perfmodel.Model{
-			"ep": ep.RelativeModel(),
-			"ft": ft.RelativeModel(),
-			"is": is.RelativeModel(),
-		}
-		mkJobs := func(ftModel perfmodel.Model) []budget.Job {
-			return []budget.Job{
-				{ID: "ep", Nodes: sc.KnownNodes, Model: ep.RelativeModel()},
-				{ID: "ft", Nodes: sc.UnknownNodes, Model: ftModel},
-				{ID: "is", Nodes: sc.KnownNodes, Model: is.RelativeModel()},
+	// The four scenarios are independent budget sweeps over immutable
+	// inputs (the catalog curves and the shared budget list), so they
+	// fan out across a sweep pool; Map returns them in scenario order.
+	scenarios := Fig5Scenarios()
+	out, _ := sweep.Map(context.Background(), len(scenarios), sweep.Options{},
+		func(_ context.Context, run int) (Fig5ScenarioResult, error) {
+			sc := scenarios[run]
+			truth := map[string]perfmodel.Model{
+				"ep": ep.RelativeModel(),
+				"ft": ft.RelativeModel(),
+				"is": is.RelativeModel(),
 			}
-		}
-		assumed := workload.MustByName(sc.AssumedType).RelativeModel()
-		policies := []struct {
-			name    string
-			budget  budget.Budgeter
-			ftModel perfmodel.Model
-		}{
-			{"ideal", budget.EvenSlowdown{}, ft.RelativeModel()},
-			{"even-power", budget.EvenPower{}, ft.RelativeModel()},
-			{"mischaracterized", budget.EvenSlowdown{}, assumed},
-		}
-		scr := Fig5ScenarioResult{Scenario: sc}
-		for _, p := range policies {
-			jobs := mkJobs(p.ftModel)
-			line := Fig5Line{Policy: p.name}
-			labels := map[string]string{"ep": "ep.D.x", "ft": "ft.D.x (unknown)", "is": "is.D.x"}
-			series := map[string]*Series{}
-			for _, id := range []string{"ep", "ft", "is"} {
-				series[id] = &Series{Name: labels[id]}
-			}
-			for _, bud := range budgets {
-				alloc := p.budget.Allocate(jobs, bud)
-				slows := budget.ExpectedSlowdowns(jobs, truth, alloc)
-				for _, id := range []string{"ep", "ft", "is"} {
-					series[id].X = append(series[id].X, bud.Watts())
-					series[id].Y = append(series[id].Y, slows[id]-1)
+			mkJobs := func(ftModel perfmodel.Model) []budget.Job {
+				return []budget.Job{
+					{ID: "ep", Nodes: sc.KnownNodes, Model: ep.RelativeModel()},
+					{ID: "ft", Nodes: sc.UnknownNodes, Model: ftModel},
+					{ID: "is", Nodes: sc.KnownNodes, Model: is.RelativeModel()},
 				}
 			}
-			for _, id := range []string{"ep", "ft", "is"} {
-				line.PerType = append(line.PerType, *series[id])
+			assumed := workload.MustByName(sc.AssumedType).RelativeModel()
+			policies := []struct {
+				name    string
+				budget  budget.Budgeter
+				ftModel perfmodel.Model
+			}{
+				{"ideal", budget.EvenSlowdown{}, ft.RelativeModel()},
+				{"even-power", budget.EvenPower{}, ft.RelativeModel()},
+				{"mischaracterized", budget.EvenSlowdown{}, assumed},
 			}
-			scr.Lines = append(scr.Lines, line)
-		}
-		out = append(out, scr)
-	}
+			scr := Fig5ScenarioResult{Scenario: sc}
+			for _, p := range policies {
+				jobs := mkJobs(p.ftModel)
+				line := Fig5Line{Policy: p.name}
+				labels := map[string]string{"ep": "ep.D.x", "ft": "ft.D.x (unknown)", "is": "is.D.x"}
+				series := map[string]*Series{}
+				for _, id := range []string{"ep", "ft", "is"} {
+					series[id] = &Series{Name: labels[id]}
+				}
+				for _, bud := range budgets {
+					alloc := p.budget.Allocate(jobs, bud)
+					slows := budget.ExpectedSlowdowns(jobs, truth, alloc)
+					for _, id := range []string{"ep", "ft", "is"} {
+						series[id].X = append(series[id].X, bud.Watts())
+						series[id].Y = append(series[id].Y, slows[id]-1)
+					}
+				}
+				for _, id := range []string{"ep", "ft", "is"} {
+					line.PerType = append(line.PerType, *series[id])
+				}
+				scr.Lines = append(scr.Lines, line)
+			}
+			return scr, nil
+		})
 	return out
 }

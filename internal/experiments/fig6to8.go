@@ -9,6 +9,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/core"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -48,10 +49,13 @@ type SharedCapConfig struct {
 	Policies []SharedCapPolicy
 	// Trials repeats each policy with different noise seeds.
 	Trials int
-	// Seed is the base seed.
+	// Seed is the base seed; each (policy, trial) cell derives its own
+	// seed from it, so results are independent of execution order.
 	Seed uint64
 	// EpochNoiseStd adds run-to-run variance (error bars).
 	EpochNoiseStd float64
+	// Parallel bounds concurrent trials (0 = GOMAXPROCS).
+	Parallel int
 }
 
 // SharedCapRow is one policy's outcome.
@@ -67,6 +71,11 @@ type SharedCapRow struct {
 // stands up a fresh emulated cluster (nodesim + GEOPM + modeler +
 // endpoint + manager over the wire protocol), co-schedules the jobs, and
 // measures each job's execution-time slowdown against its uncapped base.
+//
+// The (policy, trial) grid is embarrassingly parallel — every cell builds
+// its own cluster, clock, and RNGs — so it fans out across a sweep pool.
+// Each cell's seed derives from the flat grid index, making the rows
+// deterministic in Seed regardless of worker count.
 func RunSharedCap(cfg SharedCapConfig) ([]SharedCapRow, error) {
 	if cfg.Trials <= 0 {
 		cfg.Trials = 3
@@ -74,16 +83,24 @@ func RunSharedCap(cfg SharedCapConfig) ([]SharedCapRow, error) {
 	if cfg.EpochNoiseStd == 0 {
 		cfg.EpochNoiseStd = 0.01
 	}
+	cells, err := sweep.Map(context.Background(), len(cfg.Policies)*cfg.Trials,
+		sweep.Options{Workers: cfg.Parallel},
+		func(_ context.Context, run int) (map[string]core.JobResult, error) {
+			pol := cfg.Policies[run/cfg.Trials]
+			res, err := runSharedCapTrial(cfg, pol, sweep.DeriveSeed(cfg.Seed, run))
+			if err != nil {
+				return nil, fmt.Errorf("policy %q trial %d: %w", pol.Name, run%cfg.Trials, err)
+			}
+			return res, nil
+		})
+	if err != nil {
+		return nil, err
+	}
 	var rows []SharedCapRow
 	for pi, pol := range cfg.Policies {
 		slowdowns := map[string][]float64{}
 		for trial := 0; trial < cfg.Trials; trial++ {
-			seed := cfg.Seed ^ uint64(pi)*7919 ^ uint64(trial)*104729
-			res, err := runSharedCapTrial(cfg, pol, seed)
-			if err != nil {
-				return nil, fmt.Errorf("policy %q trial %d: %w", pol.Name, trial, err)
-			}
-			for id, r := range res {
+			for id, r := range cells[pi*cfg.Trials+trial] {
 				slowdowns[id] = append(slowdowns[id], r.Slowdown-1)
 			}
 		}
@@ -137,6 +154,8 @@ func runSharedCapTrial(cfg SharedCapConfig, pol SharedCapPolicy, seed uint64) (m
 type Fig6Config struct {
 	Trials int
 	Seed   uint64
+	// Parallel bounds concurrent trials (0 = GOMAXPROCS).
+	Parallel int
 }
 
 // Fig6 runs the six policies of Fig. 6 on the BT + SP mix.
@@ -162,8 +181,9 @@ func Fig6(cfg Fig6Config) ([]SharedCapRow, error) {
 			{Name: "Over-estimate sp, with feedback", Budgeter: budget.EvenSlowdown{},
 				Claims: map[string]string{"sp.D.x": "ep.D.43"}, UseFeedback: true},
 		},
-		Trials: cfg.Trials,
-		Seed:   cfg.Seed,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		Parallel: cfg.Parallel,
 	})
 }
 
@@ -186,8 +206,9 @@ func Fig7(cfg Fig6Config) ([]SharedCapRow, error) {
 			{Name: "Under-estimate bt, with feedback", Budgeter: budget.EvenSlowdown{},
 				Claims: map[string]string{"bt.D.x=is.D.x": "is.D.32"}, UseFeedback: true},
 		},
-		Trials: cfg.Trials,
-		Seed:   cfg.Seed,
+		Trials:   cfg.Trials,
+		Seed:     cfg.Seed,
+		Parallel: cfg.Parallel,
 	})
 }
 
@@ -214,7 +235,8 @@ func Fig8(cfg Fig6Config) ([]SharedCapRow, error) {
 			{Name: "Over-estimate sp, with feedback", Budgeter: budget.EvenSlowdown{},
 				Claims: map[string]string{"sp.D.x=ep.D.x": "ep.D.43"}, UseFeedback: true},
 		},
-		Trials: trials,
-		Seed:   cfg.Seed,
+		Trials:   trials,
+		Seed:     cfg.Seed,
+		Parallel: cfg.Parallel,
 	})
 }

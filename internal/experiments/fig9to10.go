@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -10,6 +11,7 @@ import (
 	"repro/internal/dr"
 	"repro/internal/schedule"
 	"repro/internal/stats"
+	"repro/internal/sweep"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -202,11 +204,16 @@ type Fig10Row struct {
 type Fig10Config struct {
 	Seed    uint64
 	Horizon time.Duration
+	// Parallel bounds concurrent policy runs (0 = GOMAXPROCS).
+	Parallel int
 }
 
 // Fig10 compares the four capping techniques of Fig. 10 — Uniform,
 // Characterized, Misclassified (BT claimed as IS), and Adjusted
-// (misclassified plus feedback) — over the same hour-long schedule.
+// (misclassified plus feedback) — over the same hour-long schedule. All
+// four policies share the seed (same schedule, same signal) so the
+// capping technique is the only variable; each runs its own emulated
+// cluster, so the four fan out across a sweep pool.
 func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
 	mis := map[string]string{"bt.D.81": "is.D.32"}
 	configs := []struct {
@@ -220,29 +227,29 @@ func Fig10(cfg Fig10Config) ([]Fig10Row, error) {
 		{"Misclassified", budget.EvenSlowdown{}, mis, false},
 		{"Adjusted", budget.EvenSlowdown{}, mis, true},
 	}
-	var rows []Fig10Row
-	for _, c := range configs {
-		res, err := Fig9(Fig9Config{
-			Horizon:     cfg.Horizon,
-			Budgeter:    c.budgeter,
-			Misclassify: c.misclassify,
-			UseFeedback: c.feedback,
-			Seed:        cfg.Seed,
+	return sweep.Map(context.Background(), len(configs), sweep.Options{Workers: cfg.Parallel},
+		func(_ context.Context, run int) (Fig10Row, error) {
+			c := configs[run]
+			res, err := Fig9(Fig9Config{
+				Horizon:     cfg.Horizon,
+				Budgeter:    c.budgeter,
+				Misclassify: c.misclassify,
+				UseFeedback: c.feedback,
+				Seed:        cfg.Seed,
+			})
+			if err != nil {
+				return Fig10Row{}, err
+			}
+			row := Fig10Row{
+				Policy:       c.name,
+				MeanSlowdown: map[string]float64{},
+				CI95:         map[string]float64{},
+				P90Err:       res.P90Err,
+			}
+			for name, xs := range res.SlowdownByType {
+				row.MeanSlowdown[name] = stats.Mean(xs)
+				row.CI95[name] = stats.ConfidenceInterval(xs, 0.95)
+			}
+			return row, nil
 		})
-		if err != nil {
-			return nil, err
-		}
-		row := Fig10Row{
-			Policy:       c.name,
-			MeanSlowdown: map[string]float64{},
-			CI95:         map[string]float64{},
-			P90Err:       res.P90Err,
-		}
-		for name, xs := range res.SlowdownByType {
-			row.MeanSlowdown[name] = stats.Mean(xs)
-			row.CI95[name] = stats.ConfidenceInterval(xs, 0.95)
-		}
-		rows = append(rows, row)
-	}
-	return rows, nil
 }

@@ -1,0 +1,63 @@
+package sim
+
+import (
+	"runtime"
+	"sync"
+)
+
+// autoShardMinNodes is the cluster size below which auto-sharding stays
+// serial: under ~half a thousand nodes the per-second node loops cost
+// less than the goroutine fan-out/barrier they would buy.
+const autoShardMinNodes = 512
+
+// resolveShards picks the worker count for the intra-step node loops.
+// An explicit positive request is honored (capped at the node count, so
+// tests can force sharding on small clusters); zero means auto —
+// GOMAXPROCS when the cluster is large enough to pay for the barrier,
+// serial otherwise.
+func resolveShards(requested, nodes int) int {
+	s := requested
+	if s <= 0 {
+		if nodes < autoShardMinNodes {
+			return 1
+		}
+		s = runtime.GOMAXPROCS(0)
+	}
+	if s > nodes {
+		s = nodes
+	}
+	if s < 1 {
+		s = 1
+	}
+	return s
+}
+
+// forShards invokes fn over near-equal subranges of [0, n), concurrently
+// when shards > 1 and serially otherwise, returning only after every
+// shard completes (the per-phase barrier). fn must confine its writes to
+// state owned by indices in [lo, hi); any state it reads outside that
+// range must not be written by other shards during the call. Each index
+// is visited by exactly one shard with identical arithmetic regardless of
+// shard count, so results are bit-identical to the serial loop.
+func forShards(shards, n int, fn func(lo, hi int)) {
+	if shards <= 1 || n <= 1 {
+		fn(0, n)
+		return
+	}
+	if shards > n {
+		shards = n
+	}
+	var wg sync.WaitGroup
+	for s := 0; s < shards; s++ {
+		lo, hi := s*n/shards, (s+1)*n/shards
+		if lo == hi {
+			continue
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			fn(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}

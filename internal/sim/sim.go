@@ -32,9 +32,22 @@ import (
 )
 
 // Config parameterizes one simulation run.
+//
+// Ownership: Run reads but never mutates the reference-typed inputs
+// (Types, Weights, Arrivals, TypeModels, Signal, Budgeter). Callers may
+// therefore share one set of them across many concurrent Runs — the shape
+// of a parallel sweep — provided nothing mutates them after construction.
+// Everything Run mutates (node table, job table, RNG) is private to the
+// call.
 type Config struct {
-	// Nodes is the cluster size. Required.
+	// Nodes is the cluster size. Required positive.
 	Nodes int
+	// Shards bounds the worker count for the per-second node-table
+	// loops (progress advance, power measurement). Zero selects
+	// automatically: GOMAXPROCS for large clusters, serial for small
+	// ones where the fan-out costs more than it buys. One forces
+	// serial. Results are bit-identical for every setting.
+	Shards int
 	// IdlePower is the draw of an idle node (default 70 W).
 	IdlePower units.Power
 	// Types is the job mix; every arrival's true type must be present.
@@ -135,7 +148,7 @@ var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 // Run executes the simulation to completion.
 func Run(cfg Config) (Result, error) {
 	if cfg.Nodes < 1 {
-		return Result{}, errors.New("sim: config requires nodes")
+		return Result{}, fmt.Errorf("sim: config requires a positive node count (got %d)", cfg.Nodes)
 	}
 	if cfg.Signal == nil || !cfg.Bid.Valid() {
 		return Result{}, errors.New("sim: config requires a valid bid and signal")
@@ -156,9 +169,16 @@ func Run(cfg Config) (Result, error) {
 	for _, t := range cfg.Types {
 		types[t.Name] = t
 	}
-	for _, a := range cfg.Arrivals {
+	for i, a := range cfg.Arrivals {
 		if _, ok := types[a.TypeName]; !ok {
 			return Result{}, fmt.Errorf("sim: arrival %s has unknown type %s", a.JobID, a.TypeName)
+		}
+		// The admission loop walks arrivals front to back, so an
+		// out-of-order schedule would silently never admit the
+		// early-timestamped stragglers.
+		if i > 0 && a.At < cfg.Arrivals[i-1].At {
+			return Result{}, fmt.Errorf("sim: arrivals not sorted by At: %s at %v (index %d) precedes %s at %v",
+				a.JobID, a.At, i, cfg.Arrivals[i-1].JobID, cfg.Arrivals[i-1].At)
 		}
 	}
 	if cfg.Budgeter != nil && cfg.DefaultModel.Validate() != nil {
@@ -209,35 +229,55 @@ func Run(cfg Config) (Result, error) {
 		return cfg.DefaultModel
 	}
 
+	shards := resolveShards(cfg.Shards, cfg.Nodes)
+	var doneFlags []bool
+
 	for t := 0; t <= maxS; t++ {
 		now := simEpoch.Add(time.Duration(t) * time.Second)
 
 		// 1. Node update: advance progress at each node's current cap.
-		// Iterate in sorted order so freed nodes return to the free list
-		// deterministically (map order would reshuffle node assignment
-		// and, with per-node variation coefficients, the whole run).
-		for _, id := range budget.SortedIDs(running) {
-			rj := running[id]
-			done := true
-			for _, ni := range rj.nodes {
-				n := &nodes[ni]
-				if n.progress < 1 {
-					n.progress += n.coeff * progressRate(rj.typ, n.cap)
-				}
-				if n.progress < 1 {
-					done = false
-				}
-			}
-			if done {
-				if _, err := scheduler.Complete(id, now); err != nil {
-					return Result{}, err
-				}
+		// The advance is sharded across job-table chunks — every node
+		// belongs to at most one running job, so shards touch disjoint
+		// node ranges, and each node's arithmetic is independent, so the
+		// result is bit-identical to the serial loop. Completion (the
+		// job-table phase) stays serial, in sorted ID order, so freed
+		// nodes return to the free list deterministically (map order
+		// would reshuffle node assignment and, with per-node variation
+		// coefficients, the whole run).
+		ids := budget.SortedIDs(running)
+		if cap(doneFlags) < len(ids) {
+			doneFlags = make([]bool, len(ids))
+		}
+		doneFlags = doneFlags[:len(ids)]
+		forShards(shards, len(ids), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				rj := running[ids[k]]
+				done := true
 				for _, ni := range rj.nodes {
-					nodes[ni] = nodeState{coeff: nodes[ni].coeff}
-					free = append(free, ni)
+					n := &nodes[ni]
+					if n.progress < 1 {
+						n.progress += n.coeff * progressRate(rj.typ, n.cap)
+					}
+					if n.progress < 1 {
+						done = false
+					}
 				}
-				delete(running, id)
+				doneFlags[k] = done
 			}
+		})
+		for k, id := range ids {
+			if !doneFlags[k] {
+				continue
+			}
+			rj := running[id]
+			if _, err := scheduler.Complete(id, now); err != nil {
+				return Result{}, err
+			}
+			for _, ni := range rj.nodes {
+				nodes[ni] = nodeState{coeff: nodes[ni].coeff}
+				free = append(free, ni)
+			}
+			delete(running, id)
 		}
 
 		// 2. Admit arrivals (only within the horizon).
@@ -273,18 +313,25 @@ func Run(cfg Config) (Result, error) {
 		jobBudget := target - cfg.IdlePower*units.Power(idle)
 		applyCaps(cfg, scheduler, running, nodes, jobBudget, now)
 
-		// 5. Measure and record.
-		var measured units.Power
-		for i := range nodes {
-			if nodes[i].jobID == "" {
-				nodes[i].power = cfg.IdlePower
-			} else {
-				rj := running[nodes[i].jobID]
-				nodes[i].power = nodes[i].cap
-				if rj != nil && rj.typ.PMax < nodes[i].power {
-					nodes[i].power = rj.typ.PMax
+		// 5. Measure and record. Settling each node's achieved power is
+		// sharded over node ranges (per-node independent; the running
+		// map is only read); the sum stays serial in index order so the
+		// floating-point total never depends on the shard count.
+		forShards(shards, len(nodes), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if nodes[i].jobID == "" {
+					nodes[i].power = cfg.IdlePower
+				} else {
+					rj := running[nodes[i].jobID]
+					nodes[i].power = nodes[i].cap
+					if rj != nil && rj.typ.PMax < nodes[i].power {
+						nodes[i].power = rj.typ.PMax
+					}
 				}
 			}
+		})
+		var measured units.Power
+		for i := range nodes {
 			measured += nodes[i].power
 		}
 		res.Tracking = append(res.Tracking, trace.Point{Time: now, Target: target, Measured: measured})

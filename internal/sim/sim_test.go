@@ -3,6 +3,7 @@ package sim
 import (
 	"bytes"
 	"math"
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -45,40 +46,110 @@ func smallConfig(t *testing.T, seed uint64, variation float64) Config {
 }
 
 func TestRunValidation(t *testing.T) {
-	good := smallConfig(t, 1, 0)
-	if _, err := Run(good); err != nil {
+	if _, err := Run(smallConfig(t, 1, 0)); err != nil {
 		t.Fatalf("valid config rejected: %v", err)
 	}
-	bad := good
-	bad.Nodes = 0
-	if _, err := Run(bad); err == nil {
-		t.Error("zero nodes accepted")
+	cases := []struct {
+		name    string
+		mutate  func(*Config)
+		wantErr string
+	}{
+		{
+			name:    "zero nodes",
+			mutate:  func(c *Config) { c.Nodes = 0 },
+			wantErr: "positive node count",
+		},
+		{
+			name:    "negative nodes",
+			mutate:  func(c *Config) { c.Nodes = -8 },
+			wantErr: "positive node count",
+		},
+		{
+			name:    "nil signal",
+			mutate:  func(c *Config) { c.Signal = nil },
+			wantErr: "bid and signal",
+		},
+		{
+			name:    "invalid bid",
+			mutate:  func(c *Config) { c.Bid = dr.Bid{} },
+			wantErr: "bid and signal",
+		},
+		{
+			name:    "zero horizon",
+			mutate:  func(c *Config) { c.Horizon = 0 },
+			wantErr: "horizon",
+		},
+		{
+			name: "unknown arrival type",
+			mutate: func(c *Config) {
+				c.Arrivals = []schedule.Arrival{{JobID: "x", TypeName: "nope"}}
+			},
+			wantErr: "unknown type",
+		},
+		{
+			name: "arrivals not sorted by At",
+			mutate: func(c *Config) {
+				c.Arrivals = []schedule.Arrival{
+					{At: 90 * time.Second, JobID: "late", TypeName: c.Types[0].Name},
+					{At: 30 * time.Second, JobID: "early", TypeName: c.Types[0].Name},
+				}
+			},
+			wantErr: "not sorted by At",
+		},
+		{
+			name: "budgeter without default model",
+			mutate: func(c *Config) {
+				c.Budgeter = budget.EvenSlowdown{}
+				c.DefaultModel = perfmodel.Model{}
+			},
+			wantErr: "default model",
+		},
 	}
-	bad = good
-	bad.Signal = nil
-	if _, err := Run(bad); err == nil {
-		t.Error("nil signal accepted")
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			cfg := smallConfig(t, 1, 0)
+			tc.mutate(&cfg)
+			_, err := Run(cfg)
+			if err == nil {
+				t.Fatal("invalid config accepted")
+			}
+			if !strings.Contains(err.Error(), tc.wantErr) {
+				t.Errorf("error %q does not mention %q", err, tc.wantErr)
+			}
+		})
 	}
-	bad = good
-	bad.Bid = dr.Bid{}
-	if _, err := Run(bad); err == nil {
-		t.Error("invalid bid accepted")
+}
+
+// TestShardedRunMatchesSerial forces intra-step sharding on a small
+// cluster and requires results bit-identical to the serial loop for every
+// shard count — the invariant that lets large simulations fan the node
+// table out across cores without changing any published number.
+func TestShardedRunMatchesSerial(t *testing.T) {
+	base := smallConfig(t, 6, 0.15)
+	base.Nodes = 64
+	base.Shards = 1
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(6), Types: base.Types,
+		Utilization: 0.8, TotalNodes: base.Nodes, Horizon: base.Horizon,
+	})
+	if err != nil {
+		t.Fatal(err)
 	}
-	bad = good
-	bad.Horizon = 0
-	if _, err := Run(bad); err == nil {
-		t.Error("zero horizon accepted")
+	base.Arrivals = arrivals
+	serial, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
 	}
-	bad = good
-	bad.Arrivals = []schedule.Arrival{{JobID: "x", TypeName: "nope"}}
-	if _, err := Run(bad); err == nil {
-		t.Error("unknown arrival type accepted")
-	}
-	bad = good
-	bad.Budgeter = budget.EvenSlowdown{}
-	bad.DefaultModel = perfmodel.Model{}
-	if _, err := Run(bad); err == nil {
-		t.Error("budgeter without default model accepted")
+	for _, shards := range []int{2, 4, 7, 64, 1000} {
+		cfg := base
+		cfg.Shards = shards
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, serial) {
+			t.Errorf("shards=%d: result differs from serial run", shards)
+		}
 	}
 }
 

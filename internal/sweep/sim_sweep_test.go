@@ -1,0 +1,97 @@
+package sweep_test
+
+import (
+	"bytes"
+	"context"
+	"fmt"
+	"reflect"
+	"sort"
+	"testing"
+	"time"
+
+	"repro/internal/dr"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/stats"
+	"repro/internal/sweep"
+	"repro/internal/workload"
+)
+
+// simSweepRun executes one 16-node simulator run whose inputs derive only
+// from the run's seed.
+func simSweepRun(baseSeed uint64, run int) (sim.Result, error) {
+	seed := sweep.DeriveSeed(baseSeed, run)
+	types := workload.LongRunning()
+	weights := map[string]float64{}
+	for _, typ := range types {
+		weights[typ.Name] = 1
+	}
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(seed), Types: types,
+		Utilization: 0.75, TotalNodes: 16, Horizon: 10 * time.Minute,
+	})
+	if err != nil {
+		return sim.Result{}, err
+	}
+	return sim.Run(sim.Config{
+		Nodes: 16, Types: types, Weights: weights, Arrivals: arrivals,
+		Bid:          dr.Bid{AvgPower: 16 * 180, Reserve: 16 * 60},
+		Signal:       dr.NewRandomWalk(seed^0x5eed, 4*time.Second, 0.25, time.Hour),
+		Horizon:      10 * time.Minute,
+		Seed:         seed,
+		VariationStd: 0.06,
+	})
+}
+
+// aggregate renders the sweep's headline numbers canonically (sorted map
+// keys) so two sweeps can be compared byte for byte.
+func aggregate(results []sim.Result) []byte {
+	var buf bytes.Buffer
+	for run, r := range results {
+		fmt.Fprintf(&buf, "run=%d jobs=%d unfinished=%d qos90=%x avg=%x util=%x p90err=%x\n",
+			run, len(r.Jobs), r.Unfinished, r.QoS90, float64(r.AvgPower), r.MeanUtilization, r.TrackSummary.P90Err)
+		names := make([]string, 0, len(r.QoSByType))
+		for n := range r.QoSByType {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(&buf, "  %s=%x\n", n, r.QoSByType[n])
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestParallelSimSweepByteIdenticalToSerial is the engine's core
+// guarantee: 8 independent simulator runs produce byte-identical
+// aggregate results whether executed one at a time or across a full-width
+// pool.
+func TestParallelSimSweepByteIdenticalToSerial(t *testing.T) {
+	const runs = 8
+	const baseSeed = 17
+	ctx := context.Background()
+	fn := func(_ context.Context, run int) (sim.Result, error) {
+		return simSweepRun(baseSeed, run)
+	}
+	serial, err := sweep.Map(ctx, runs, sweep.Options{Workers: 1}, fn)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, workers := range []int{2, 8} {
+		parallel, err := sweep.Map(ctx, runs, sweep.Options{Workers: workers}, fn)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(parallel, serial) {
+			t.Errorf("workers=%d: full results differ from serial sweep", workers)
+		}
+		if got, want := aggregate(parallel), aggregate(serial); !bytes.Equal(got, want) {
+			t.Errorf("workers=%d: aggregate not byte-identical:\n%s\nvs\n%s", workers, got, want)
+		}
+	}
+	// Sanity: the runs themselves are distinct (distinct derived seeds
+	// actually flowed into the schedules).
+	if reflect.DeepEqual(serial[0], serial[1]) {
+		t.Error("runs 0 and 1 identical — seed derivation not applied")
+	}
+}

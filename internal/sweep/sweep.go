@@ -1,0 +1,154 @@
+// Package sweep executes N independent experiment runs concurrently on a
+// bounded worker pool. The paper's evaluation (§5.6, §6) is built from
+// exactly this shape of work — misclassification sweeps, ablations over
+// retrain thresholds, ten-trial variation studies, 1000-node tabular
+// simulations — and every run is independent of every other, so the sweep
+// is embarrassingly parallel.
+//
+// Determinism is the design constraint: results must be bit-identical
+// regardless of worker count or goroutine scheduling. Two rules deliver
+// that:
+//
+//  1. Each run's randomness derives only from its index via
+//     DeriveSeed(baseSeed, run) — never from shared RNG state, wall time,
+//     or completion order.
+//  2. Results land in a slice indexed by run, so aggregation happens in
+//     run order no matter which worker finished first.
+//
+// Shared inputs captured by the run function (workload tables, fitted
+// perfmodel.Models, precomputed dr signals) must be immutable once the
+// sweep starts; each run builds its own mutable state (clusters, clocks,
+// RNGs) from its derived seed.
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+)
+
+// Options tune a sweep. The zero value is ready to use.
+type Options struct {
+	// Workers bounds concurrent runs. Zero or negative means
+	// runtime.GOMAXPROCS(0). A sweep never uses more workers than runs.
+	Workers int
+}
+
+func (o Options) workers(n int) int {
+	w := o.Workers
+	if w <= 0 {
+		w = runtime.GOMAXPROCS(0)
+	}
+	if w > n {
+		w = n
+	}
+	return w
+}
+
+// DeriveSeed maps (baseSeed, run) to the run's private seed with a
+// SplitMix64-style finalizer, so neighbouring run indices get
+// independent-looking streams and the mapping never changes with worker
+// count. Run indices must be non-negative.
+func DeriveSeed(baseSeed uint64, run int) uint64 {
+	x := baseSeed + (uint64(run)+1)*0x9e3779b97f4a7c15
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}
+
+// Map runs fn(ctx, run) for every run in [0, n) across the pool and
+// returns the results in run order.
+//
+// Failure is fail-fast: the first error cancels the context passed to
+// in-flight runs and stops queued runs from starting. All errors that do
+// occur are aggregated (wrapped with their run index, ordered by run) into
+// the returned error; errors.Is sees through the aggregate. If the parent
+// context is canceled before every run completes, the returned error
+// additionally matches ctx.Err().
+//
+// On a non-nil error the result slice holds values only for the runs that
+// completed; treat it as valid solely when the error is nil.
+func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Context, run int) (T, error)) ([]T, error) {
+	if n < 0 {
+		return nil, fmt.Errorf("sweep: negative run count %d", n)
+	}
+	results := make([]T, n)
+	if n == 0 {
+		return results, ctx.Err()
+	}
+
+	cctx, cancel := context.WithCancel(ctx)
+	defer cancel()
+
+	type runErr struct {
+		run int
+		err error
+	}
+	var (
+		mu   sync.Mutex
+		errs []runErr
+	)
+	fail := func(run int, err error) {
+		mu.Lock()
+		errs = append(errs, runErr{run, err})
+		mu.Unlock()
+		cancel()
+	}
+
+	jobs := make(chan int)
+	var wg sync.WaitGroup
+	for w := opts.workers(n); w > 0; w-- {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for run := range jobs {
+				// Drop queued runs promptly once the sweep is failing
+				// or the caller gave up.
+				if cctx.Err() != nil {
+					continue
+				}
+				out, err := fn(cctx, run)
+				if err != nil {
+					fail(run, err)
+					continue
+				}
+				results[run] = out
+			}
+		}()
+	}
+
+feed:
+	for run := 0; run < n; run++ {
+		select {
+		case jobs <- run:
+		case <-cctx.Done():
+			break feed
+		}
+	}
+	close(jobs)
+	wg.Wait()
+
+	sort.Slice(errs, func(i, j int) bool { return errs[i].run < errs[j].run })
+	joined := make([]error, 0, len(errs)+1)
+	if err := ctx.Err(); err != nil {
+		joined = append(joined, err)
+	}
+	for _, e := range errs {
+		joined = append(joined, fmt.Errorf("sweep: run %d: %w", e.run, e.err))
+	}
+	return results, errors.Join(joined...)
+}
+
+// ForEach is Map for run functions with no result value.
+func ForEach(ctx context.Context, n int, opts Options, fn func(ctx context.Context, run int) error) error {
+	_, err := Map(ctx, n, opts, func(ctx context.Context, run int) (struct{}, error) {
+		return struct{}{}, fn(ctx, run)
+	})
+	return err
+}

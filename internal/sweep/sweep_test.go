@@ -1,0 +1,226 @@
+package sweep
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestDeriveSeedDeterministic(t *testing.T) {
+	if DeriveSeed(1, 0) != DeriveSeed(1, 0) {
+		t.Error("same inputs gave different seeds")
+	}
+	seen := map[uint64]bool{}
+	for base := uint64(0); base < 4; base++ {
+		for run := 0; run < 64; run++ {
+			s := DeriveSeed(base, run)
+			if s == base {
+				t.Errorf("DeriveSeed(%d, %d) returned the base seed", base, run)
+			}
+			if seen[s] {
+				t.Errorf("DeriveSeed(%d, %d) = %d collides", base, run, s)
+			}
+			seen[s] = true
+		}
+	}
+}
+
+func TestMapResultsInRunOrder(t *testing.T) {
+	for _, workers := range []int{1, 2, 8, 32} {
+		got, err := Map(context.Background(), 16, Options{Workers: workers},
+			func(_ context.Context, run int) (uint64, error) {
+				return DeriveSeed(42, run), nil
+			})
+		if err != nil {
+			t.Fatal(err)
+		}
+		for run, s := range got {
+			if want := DeriveSeed(42, run); s != want {
+				t.Errorf("workers=%d run %d: got %d, want %d", workers, run, s, want)
+			}
+		}
+	}
+}
+
+func TestMapZeroRuns(t *testing.T) {
+	got, err := Map(context.Background(), 0, Options{}, func(context.Context, int) (int, error) {
+		t.Error("fn called for empty sweep")
+		return 0, nil
+	})
+	if err != nil || len(got) != 0 {
+		t.Errorf("empty sweep: %v, %v", got, err)
+	}
+	if _, err := Map(context.Background(), -1, Options{}, func(context.Context, int) (int, error) {
+		return 0, nil
+	}); err == nil {
+		t.Error("negative run count accepted")
+	}
+}
+
+func TestMapFailFastStopsQueuedRuns(t *testing.T) {
+	boom := errors.New("boom")
+	var executed atomic.Int32
+	_, err := Map(context.Background(), 100, Options{Workers: 1},
+		func(_ context.Context, run int) (int, error) {
+			executed.Add(1)
+			if run == 2 {
+				return 0, boom
+			}
+			return run, nil
+		})
+	if !errors.Is(err, boom) {
+		t.Fatalf("error %v does not wrap the run failure", err)
+	}
+	if got := executed.Load(); got != 3 {
+		t.Errorf("executed %d runs after fail-fast, want 3", got)
+	}
+	if want := "sweep: run 2: boom"; err.Error() != want {
+		t.Errorf("error = %q, want %q", err.Error(), want)
+	}
+}
+
+func TestMapAggregatesErrorsInRunOrder(t *testing.T) {
+	errA := errors.New("a")
+	errB := errors.New("b")
+	// Workers == runs, and both runs rendezvous before failing, so both
+	// errors occur despite fail-fast.
+	started := make(chan struct{}, 2)
+	ready := make(chan struct{})
+	go func() {
+		<-started
+		<-started
+		close(ready)
+	}()
+	_, err := Map(context.Background(), 2, Options{Workers: 2},
+		func(_ context.Context, run int) (int, error) {
+			started <- struct{}{}
+			<-ready
+			if run == 0 {
+				return 0, errA
+			}
+			return 0, errB
+		})
+	if !errors.Is(err, errA) || !errors.Is(err, errB) {
+		t.Fatalf("aggregate %v missing a failure", err)
+	}
+	if want := "sweep: run 0: a\nsweep: run 1: b"; err.Error() != want {
+		t.Errorf("aggregate = %q, want %q", err.Error(), want)
+	}
+}
+
+// TestMapContextCancellation covers the satellite requirement: a canceled
+// context stops queued runs promptly, surfaces ctx.Err(), and leaks no
+// goroutines.
+func TestMapContextCancellation(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	var executed atomic.Int32
+	release := make(chan struct{})
+	go func() {
+		// Cancel once the first runs are in flight.
+		time.Sleep(10 * time.Millisecond)
+		cancel()
+		close(release)
+	}()
+	_, err := Map(ctx, 1000, Options{Workers: 2},
+		func(ctx context.Context, run int) (int, error) {
+			executed.Add(1)
+			select {
+			case <-release:
+			case <-ctx.Done():
+			}
+			return run, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got >= 100 {
+		t.Errorf("executed %d of 1000 runs after prompt cancel", got)
+	}
+
+	// All pool goroutines must have exited; allow the runtime a moment to
+	// reap them.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if after := runtime.NumGoroutine(); after <= before {
+			break
+		} else if time.Now().After(deadline) {
+			t.Fatalf("goroutines leaked: %d before, %d after", before, after)
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+}
+
+func TestMapPreCanceledContextRunsNothing(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var executed atomic.Int32
+	_, err := Map(ctx, 50, Options{},
+		func(context.Context, int) (int, error) {
+			executed.Add(1)
+			return 0, nil
+		})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if got := executed.Load(); got != 0 {
+		t.Errorf("executed %d runs under a pre-canceled context", got)
+	}
+}
+
+func TestForEach(t *testing.T) {
+	var sum atomic.Int64
+	if err := ForEach(context.Background(), 10, Options{Workers: 4},
+		func(_ context.Context, run int) error {
+			sum.Add(int64(run))
+			return nil
+		}); err != nil {
+		t.Fatal(err)
+	}
+	if sum.Load() != 45 {
+		t.Errorf("sum = %d, want 45", sum.Load())
+	}
+	boom := errors.New("boom")
+	if err := ForEach(context.Background(), 3, Options{}, func(_ context.Context, run int) error {
+		if run == 1 {
+			return boom
+		}
+		return nil
+	}); !errors.Is(err, boom) {
+		t.Errorf("ForEach error = %v", err)
+	}
+}
+
+func TestOptionsWorkerResolution(t *testing.T) {
+	cases := []struct {
+		opt  Options
+		n    int
+		want int
+	}{
+		{Options{}, 100, runtime.GOMAXPROCS(0)},
+		{Options{Workers: -3}, 100, runtime.GOMAXPROCS(0)},
+		{Options{Workers: 4}, 100, 4},
+		{Options{Workers: 8}, 3, 3},
+	}
+	for _, c := range cases {
+		if got := c.opt.workers(c.n); got != c.want {
+			t.Errorf("workers(%+v, %d) = %d, want %d", c.opt, c.n, got, c.want)
+		}
+	}
+}
+
+func ExampleMap() {
+	// Eight "runs" whose seeds depend only on their index: the aggregate
+	// is identical for any worker count.
+	seeds, _ := Map(context.Background(), 4, Options{Workers: 2},
+		func(_ context.Context, run int) (uint64, error) {
+			return DeriveSeed(7, run) % 1000, nil
+		})
+	fmt.Println(seeds)
+	// Output: [487 804 346 203]
+}
