@@ -5,17 +5,20 @@
 // relays power budgets down to the agents, and streams the online-fitted
 // power-performance model back up.
 //
+// With -metrics it serves /metrics, /healthz, and pprof, exposing epoch
+// rates, cap-application latency, and model-fit residuals; -events
+// streams epoch-batch/model-refit/cap-fan-out events as JSONL.
+//
 // Usage:
 //
 //	anor-endpoint -cluster localhost:9700 -job j1 -bench bt.D.81 \
-//	              -claim is.D.32 -nodes 2
+//	              -claim is.D.32 -nodes 2 -metrics :9791
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -28,6 +31,7 @@ import (
 	"repro/internal/geopm"
 	"repro/internal/modeler"
 	"repro/internal/nodesim"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/units"
@@ -43,14 +47,27 @@ func main() {
 	variation := flag.Float64("variation", 1.0, "performance-variation multiplier")
 	noise := flag.Float64("noise", 0.01, "per-epoch noise standard deviation")
 	seed := flag.Uint64("seed", 1, "noise seed")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address; empty disables")
+	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
+	verbose := flag.Bool("v", false, "enable debug logging")
 	flag.Parse()
 
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level, "anor-endpoint").WithJob(*jobID)
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
+
 	if *jobID == "" {
-		log.Fatal("anor-endpoint: -job is required")
+		fatalf("-job is required")
 	}
 	typ, err := workload.ByName(*benchName)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	nNodes := *nodes
 	if nNodes <= 0 {
@@ -59,6 +76,27 @@ func main() {
 	claimed := *claim
 	if claimed == "" {
 		claimed = typ.Name
+	}
+
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+		admin, err := obs.StartAdmin(*metricsAddr, registry, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer admin.Close()
+		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)", admin.Addr())
+	}
+	var tracer *obs.Tracer
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatalf("creating events file: %v", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, fmt.Sprintf("%s-%d", *jobID, os.Getpid()))
+		defer tracer.Flush()
 	}
 
 	clk := clock.Real{}
@@ -71,18 +109,19 @@ func main() {
 	ep := geopm.NewEndpoint()
 	rt, err := geopm.NewRuntime(geopm.RuntimeConfig{
 		JobID: *jobID, PIOs: pios, Endpoint: ep, Clock: clk,
+		Metrics: registry, Tracer: tracer,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	mdl, err := modeler.New(modeler.Config{Default: typ.Model()})
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 
 	raw, err := net.Dial("tcp", *cluster)
 	if err != nil {
-		log.Fatalf("anor-endpoint: connecting to cluster: %v", err)
+		fatalf("connecting to cluster: %v", err)
 	}
 	epd, err := endpointd.New(endpointd.Config{
 		JobID:    *jobID,
@@ -92,9 +131,12 @@ func main() {
 		GEOPM:    ep,
 		Modeler:  mdl,
 		Clock:    clk,
+		Metrics:  registry,
+		Tracer:   tracer,
+		Log:      logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -105,19 +147,19 @@ func main() {
 	go func() {
 		defer wg.Done()
 		if err := rt.Run(jobCtx); err != nil {
-			log.Printf("anor-endpoint: runtime: %v", err)
+			logger.Errorf("runtime: %v", err)
 		}
 	}()
 	go func() {
 		defer wg.Done()
 		if err := epd.Run(jobCtx); err != nil && jobCtx.Err() == nil {
-			log.Printf("anor-endpoint: endpoint: %v", err)
+			logger.Errorf("endpoint: %v", err)
 			cancel()
 		}
 	}()
 
-	log.Printf("anor-endpoint: job %s running %s (claimed %s) on %d nodes (uncapped ≈%s)",
-		*jobID, typ.Name, claimed, nNodes, time.Duration(typ.BaseSeconds*float64(time.Second)))
+	logger.Infof("running %s (claimed %s) on %d nodes (uncapped ≈%s)",
+		typ.Name, claimed, nNodes, time.Duration(typ.BaseSeconds*float64(time.Second)))
 	exec := &workload.Executor{
 		Type:      typ,
 		Clock:     clk,
@@ -132,7 +174,7 @@ func main() {
 	cancel()
 	wg.Wait()
 	if err != nil {
-		log.Printf("anor-endpoint: benchmark: %v", err)
+		logger.Errorf("benchmark: %v", err)
 	}
 
 	fmt.Print(rt.Report())

@@ -8,6 +8,11 @@
 //	anor-sim -nodes 1000 -hours 1 -util 0.75 -variation 0.15 -seed 1 \
 //	         -scale 25 -table state.csv
 //	anor-sim -nodes 1000 -runs 8 -parallel 4 -seed 1   # multi-seed sweep
+//
+// With -runs > 1 a live progress/throughput line updates on stderr
+// (disable with -progress=false); -events streams dr_bid and sim_step
+// JSONL events. Neither changes any simulated number: observability is
+// strictly read-only against the deterministic sharded simulator.
 package main
 
 import (
@@ -18,10 +23,12 @@ import (
 	"math"
 	"os"
 	"sort"
+	"sync"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/dr"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/schedule"
 	"repro/internal/sim"
@@ -46,6 +53,8 @@ func main() {
 	runs := flag.Int("runs", 1, "independent runs; >1 reports per-run lines plus mean±std aggregates")
 	parallel := flag.Int("parallel", 0, "concurrent runs when -runs > 1 (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "node-table shards per simulated second (0 = auto; forced to 1 inside a multi-run sweep)")
+	progress := flag.Bool("progress", true, "print a live progress/throughput line on stderr when -runs > 1")
+	eventsOut := flag.String("events", "", "stream structured JSONL events (dr_bid, sim_step) to this file; empty disables")
 	flag.Parse()
 	if *runs < 1 {
 		log.Fatalf("anor-sim: -runs must be ≥ 1 (got %d)", *runs)
@@ -71,6 +80,17 @@ func main() {
 		log.Fatal(err)
 	}
 
+	var tracer *obs.Tracer
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, fmt.Sprintf("anor-sim-%d", os.Getpid()))
+		defer tracer.Flush()
+	}
+
 	bid := dr.Bid{AvgPower: units.Power(*avg), Reserve: units.Power(*reserve)}
 	if bid.AvgPower == 0 || bid.Reserve == 0 {
 		// The probe always uses the base seed's schedule so the bid — an
@@ -91,6 +111,11 @@ func main() {
 		}
 		log.Printf("anor-sim: probed natural draw %s → bid avg %s reserve %s",
 			probe.AvgPower, bid.AvgPower, bid.Reserve)
+	}
+	if tracer.Enabled() {
+		tracer.Emit(obs.Event{Type: obs.EvDRBid, Fields: obs.F{
+			"avg_w": bid.AvgPower.Watts(), "reserve_w": bid.Reserve.Watts(),
+		}})
 	}
 
 	var budgeter budget.Budgeter
@@ -114,7 +139,8 @@ func main() {
 		}
 		defaultModel = workload.LeastSensitive().RelativeModel()
 	}
-	mkConfig := func(runSeed uint64, arr []schedule.Arrival, runShards int) sim.Config {
+	stepCounter := obs.NewCounter()
+	mkConfig := func(runSeed uint64, arr []schedule.Arrival, runShards int, runID string) sim.Config {
 		return sim.Config{
 			Nodes: *nodes, Types: types, Weights: weights, Arrivals: arr,
 			Bid:               bid,
@@ -128,11 +154,14 @@ func main() {
 			TypeModels:        typeModels,
 			DefaultModel:      defaultModel,
 			TrackWarmup:       2 * time.Minute,
+			Tracer:            tracer,
+			Progress:          stepCounter,
+			RunID:             runID,
 		}
 	}
 
 	if *runs == 1 {
-		cfg := mkConfig(*seed, arrivals, *shards)
+		cfg := mkConfig(*seed, arrivals, *shards, "run0")
 		if *table != "" {
 			f, err := os.Create(*table)
 			if err != nil {
@@ -157,8 +186,10 @@ func main() {
 	if innerShards == 0 {
 		innerShards = 1
 	}
+	runsDone := obs.NewCounter()
+	stopProgress := startProgress(*progress, *runs, stepCounter, runsDone)
 	results, err := sweep.Map(context.Background(), *runs,
-		sweep.Options{Workers: *parallel},
+		sweep.Options{Workers: *parallel, OnRunDone: func(int) { runsDone.Inc() }},
 		func(_ context.Context, run int) (sim.Result, error) {
 			runSeed := sweep.DeriveSeed(*seed, run)
 			arr, err := schedule.Generate(schedule.Config{
@@ -168,12 +199,46 @@ func main() {
 			if err != nil {
 				return sim.Result{}, err
 			}
-			return sim.Run(mkConfig(runSeed, arr, innerShards))
+			return sim.Run(mkConfig(runSeed, arr, innerShards, fmt.Sprintf("run%d", run)))
 		})
+	stopProgress()
 	if err != nil {
 		log.Fatal(err)
 	}
 	printAggregate(*seed, results)
+}
+
+// startProgress launches the live progress/throughput line on stderr:
+// runs completed, simulated seconds advanced across all workers, and
+// sim-seconds-per-wallclock-second throughput. Progress counters are
+// read-only taps on the sweep, so the display never perturbs results.
+// The returned stop function erases the line and joins the printer.
+func startProgress(enabled bool, runs int, steps, runsDone *obs.Counter) func() {
+	if !enabled || runs <= 1 {
+		return func() {}
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		tick := time.NewTicker(time.Second)
+		defer tick.Stop()
+		var last uint64
+		for {
+			select {
+			case <-done:
+				fmt.Fprintf(os.Stderr, "\r\x1b[K")
+				return
+			case <-tick.C:
+				s := steps.Value()
+				fmt.Fprintf(os.Stderr, "\ranor-sim: %d/%d runs done, %d sim-s advanced, %d sim-s/s   ",
+					runsDone.Value(), runs, s, s-last)
+				last = s
+			}
+		}
+	}()
+	return func() { close(done); wg.Wait() }
 }
 
 // printRun reports one simulation in full detail.

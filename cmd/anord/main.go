@@ -4,17 +4,23 @@
 // in the paper), distributes the available power across connected jobs
 // with the selected budgeter policy, and logs power-tracking state.
 //
+// With -metrics it serves an admin HTTP endpoint: /metrics (Prometheus
+// text), /healthz, and the net/http/pprof suite, exposing rebudget-loop
+// duration, per-job allocated vs measured power, tracking error, and
+// connected-endpoint counts while the daemon runs. With -events it
+// streams structured budget-decision/cap-fan-out events as JSONL.
+//
 // Usage:
 //
 //	anord -listen :9700 -nodes 16 -targets targets.jsonl \
-//	      -budgeter even-slowdown -feedback
+//	      -budgeter even-slowdown -feedback -metrics :9790 \
+//	      -trace tracking.csv -events events.jsonl
 package main
 
 import (
 	"context"
 	"flag"
 	"fmt"
-	"log"
 	"net"
 	"os"
 	"os/signal"
@@ -25,6 +31,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/clock"
 	"repro/internal/clustermgr"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/schedule"
 	"repro/internal/trace"
@@ -41,19 +48,49 @@ func main() {
 	feedback := flag.Bool("feedback", false, "let trained job-tier models override precharacterized curves")
 	defaultPolicy := flag.String("default", "least", "model for unknown job types: least or most sensitive")
 	reserve := flag.Float64("reserve", 1100, "demand-response reserve in watts (for error reporting)")
-	traceOut := flag.String("trace", "", "write the tracking series to this CSV file on exit")
+	traceOut := flag.String("trace", "", "write the tracking series to this CSV file (flushed periodically and on shutdown)")
+	traceFlush := flag.Duration("trace-flush", 15*time.Second, "how often to flush the -trace CSV (crash safety)")
+	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address (e.g. :9790); empty disables")
+	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
+	verbose := flag.Bool("v", false, "enable debug logging")
 	flag.Parse()
 
+	level := obs.LevelInfo
+	if *verbose {
+		level = obs.LevelDebug
+	}
+	logger := obs.NewLogger(os.Stderr, level, "anord")
+	fatalf := func(format string, args ...any) {
+		logger.Errorf(format, args...)
+		os.Exit(1)
+	}
+
 	if *targetsPath == "" {
-		log.Fatal("anord: -targets is required")
+		fatalf("-targets is required")
 	}
 	budgeter, err := budgeterByName(*budgeterName)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
 	defModel, err := defaultModel(*defaultPolicy)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
+	}
+
+	// Observability sinks: nil (no-op) unless the operator asked for them.
+	var registry *obs.Registry
+	if *metricsAddr != "" {
+		registry = obs.NewRegistry()
+	}
+	var tracer *obs.Tracer
+	if *eventsOut != "" {
+		f, err := os.Create(*eventsOut)
+		if err != nil {
+			fatalf("creating events file: %v", err)
+		}
+		defer f.Close()
+		tracer = obs.NewTracer(f, fmt.Sprintf("anord-%d", os.Getpid()))
+		defer tracer.Flush()
 	}
 
 	typeModels := map[string]perfmodel.Model{}
@@ -80,14 +117,14 @@ func main() {
 		return nil
 	}
 	if err := reload(); err != nil {
-		log.Fatalf("anord: loading targets: %v", err)
+		fatalf("loading targets: %v", err)
 	}
 	go func() {
 		// The paper's manager re-reads its target file periodically so
 		// operators can steer a live run.
 		for range time.Tick(5 * time.Second) {
 			if err := reload(); err != nil {
-				log.Printf("anord: reloading targets: %v", err)
+				logger.Warnf("reloading targets: %v", err)
 			}
 		}
 	}()
@@ -107,44 +144,103 @@ func main() {
 		TypeModels:   typeModels,
 		DefaultModel: defModel,
 		UseFeedback:  *feedback,
+		Metrics:      registry,
+		Tracer:       tracer,
+		Reserve:      units.Power(*reserve),
+		Log:          logger,
 	})
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
+	}
+
+	if *metricsAddr != "" {
+		registry.Gauge("anord_start_time_seconds", "Unix time anord started.").Set(float64(start.Unix()))
+		admin, err := obs.StartAdmin(*metricsAddr, registry, nil)
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer admin.Close()
+		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)", admin.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)
 	if err != nil {
-		log.Fatal(err)
+		fatalf("%v", err)
 	}
-	log.Printf("anord: listening on %s, %d nodes, %s budgeter, feedback=%v",
+	logger.Infof("listening on %s, %d nodes, %s budgeter, feedback=%v",
 		ln.Addr(), *nodes, budgeter.Name(), *feedback)
 	go func() {
 		if err := mgr.Serve(ln); err != nil {
-			log.Printf("anord: accept loop ended: %v", err)
+			logger.Debugf("accept loop ended: %v", err)
 		}
 	}()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go mgr.Run(ctx)
+
+	// Flush the tracking series (and any event stream) periodically so a
+	// crash mid-experiment loses at most one flush interval, not the
+	// whole series. SIGINT/SIGTERM still get the final complete write
+	// below.
+	if *traceOut != "" || tracer != nil {
+		go func() {
+			interval := *traceFlush
+			if interval <= 0 {
+				interval = 15 * time.Second
+			}
+			for {
+				select {
+				case <-ctx.Done():
+					return
+				case <-time.After(interval):
+					if *traceOut != "" {
+						if err := writeTraceCSV(*traceOut, mgr.Tracking().Points()); err != nil {
+							logger.Warnf("flushing %s: %v", *traceOut, err)
+						}
+					}
+					if err := tracer.Flush(); err != nil {
+						logger.Warnf("flushing events: %v", err)
+					}
+				}
+			}
+		}()
+	}
+
 	<-ctx.Done()
 	ln.Close()
 
 	pts := mgr.Tracking().Points()
 	sum := trace.Summarize(pts, units.Power(*reserve))
-	log.Printf("anord: %d tracking points, mean |err| %s, P90 err %.1f%%, constraint ok=%v",
+	logger.Infof("%d tracking points, mean |err| %s, P90 err %.1f%%, constraint ok=%v",
 		sum.Points, sum.MeanAbsErr, 100*sum.P90Err, sum.WithinConstraint)
 	if *traceOut != "" {
-		f, err := os.Create(*traceOut)
-		if err != nil {
-			log.Fatal(err)
+		if err := writeTraceCSV(*traceOut, pts); err != nil {
+			fatalf("%v", err)
 		}
-		defer f.Close()
-		if err := trace.WriteCSV(f, pts); err != nil {
-			log.Fatal(err)
-		}
-		log.Printf("anord: wrote %s", *traceOut)
+		logger.Infof("wrote %s", *traceOut)
 	}
+}
+
+// writeTraceCSV atomically replaces path with the current series: the
+// periodic flusher and the shutdown path both call it, and readers never
+// see a torn file.
+func writeTraceCSV(path string, pts []trace.Point) error {
+	tmp := path + ".tmp"
+	f, err := os.Create(tmp)
+	if err != nil {
+		return err
+	}
+	if err := trace.WriteCSV(f, pts); err != nil {
+		f.Close()
+		os.Remove(tmp)
+		return err
+	}
+	if err := f.Close(); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
 func budgeterByName(name string) (budget.Budgeter, error) {

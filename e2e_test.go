@@ -3,7 +3,9 @@ package repro_test
 import (
 	"bytes"
 	"fmt"
+	"io"
 	"net"
+	"net/http"
 	"os"
 	"os/exec"
 	"path/filepath"
@@ -52,10 +54,13 @@ func TestEndToEndDaemons(t *testing.T) {
 
 	port := freePort(t)
 	addr := fmt.Sprintf("127.0.0.1:%d", port)
+	adminAddr := fmt.Sprintf("127.0.0.1:%d", freePort(t))
+	events := filepath.Join(dir, "events.jsonl")
 	mgrOut := &bytes.Buffer{}
 	mgr := exec.Command(anord,
 		"-listen", addr, "-nodes", "4", "-targets", targets,
-		"-budgeter", "even-slowdown", "-feedback", "-period", "500ms")
+		"-budgeter", "even-slowdown", "-feedback", "-period", "500ms",
+		"-metrics", adminAddr, "-events", events)
 	mgr.Stdout = mgrOut
 	mgr.Stderr = mgrOut
 	if err := mgr.Start(); err != nil {
@@ -97,6 +102,11 @@ func TestEndToEndDaemons(t *testing.T) {
 	j1 := run("j1", "is.D.32", "")
 	j2 := run("j2", "is.D.32", "ep.D.43")
 
+	// While the jobs run, scrape the live admin endpoint: the two
+	// endpoints must show up as connected, the 800 W target must be
+	// exported, and the health/pprof handlers must answer.
+	scrapeAdminEndpoint(t, adminAddr)
+
 	for _, j := range []jobRun{j1, j2} {
 		done := make(chan error, 1)
 		go func(c *exec.Cmd) { done <- c.Wait() }(j.cmd)
@@ -118,6 +128,70 @@ func TestEndToEndDaemons(t *testing.T) {
 				t.Errorf("endpoint %d output missing %q:\n%s", i+1, want, text)
 			}
 		}
+	}
+
+	// The -events stream is flushed periodically and on shutdown; by now
+	// at least the periodic flush should have landed budget decisions.
+	if raw, err := os.ReadFile(events); err != nil {
+		t.Errorf("reading events file: %v", err)
+	} else if !strings.Contains(string(raw), `"type":"budget_decision"`) {
+		t.Errorf("events file has no budget_decision records:\n%.2000s", raw)
+	}
+}
+
+// scrapeAdminEndpoint polls anord's -metrics endpoint until the live
+// run is visible in the exported families, then checks /healthz and
+// pprof.
+func scrapeAdminEndpoint(t *testing.T, addr string) {
+	t.Helper()
+	get := func(path string) (int, string) {
+		resp, err := http.Get("http://" + addr + path)
+		if err != nil {
+			return 0, err.Error()
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	want := []string{
+		"anord_rebudget_total",
+		"anord_connected_endpoints 2",
+		"anord_power_target_watts 800",
+		"anord_power_measured_watts",
+		"anord_tracking_error_watts",
+		"anord_rebudget_duration_seconds_bucket",
+		`anord_job_allocated_watts{job="j1"}`,
+		`anord_job_allocated_watts{job="j2"}`,
+	}
+	deadline := time.Now().Add(30 * time.Second)
+	for {
+		_, body := get("/metrics")
+		missing := ""
+		for _, w := range want {
+			if !strings.Contains(body, w) {
+				missing = w
+				break
+			}
+		}
+		if missing == "" {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("metrics never showed %q; last scrape:\n%s", missing, body)
+			break
+		}
+		time.Sleep(200 * time.Millisecond)
+	}
+
+	if code, body := get("/healthz"); code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	if code, _ := get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d", code)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != http.StatusOK || !strings.Contains(body, "anord") {
+		t.Errorf("/debug/pprof/cmdline = %d %q", code, body)
 	}
 }
 

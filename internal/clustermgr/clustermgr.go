@@ -11,12 +11,14 @@ package clustermgr
 import (
 	"context"
 	"errors"
+	"math"
 	"net"
 	"sync"
 	"time"
 
 	"repro/internal/budget"
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/proto"
 	"repro/internal/trace"
@@ -53,6 +55,54 @@ type Config struct {
 	// UseFeedback lets trained online models from the job tier override
 	// the precharacterized curve — the "adjusted" policy of Fig. 10.
 	UseFeedback bool
+	// Metrics, when non-nil, receives the manager's operational metrics
+	// (rebudget-loop duration, tracking error, connected endpoints,
+	// per-job allocated vs measured power). Nil disables with no
+	// measurable overhead.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured budget-decision and
+	// cap-fan-out events.
+	Tracer *obs.Tracer
+	// Reserve is the demand-response reserve used to normalize the
+	// tracking-error distribution; zero skips the relative histogram.
+	Reserve units.Power
+	// Log receives leveled diagnostics (job connects/disconnects, send
+	// failures). Nil disables.
+	Log *obs.Logger
+}
+
+// managerMetrics holds the manager's instruments. Every field is nil —
+// and therefore a no-op sink — when the config carries no registry.
+type managerMetrics struct {
+	rebudgets    *obs.Counter
+	rebudgetDur  *obs.Histogram
+	endpoints    *obs.Gauge
+	target       *obs.Gauge
+	measured     *obs.Gauge
+	trackErrW    *obs.Gauge
+	trackErrRel  *obs.Histogram
+	capsSent     *obs.Counter
+	capSendErrs  *obs.Counter
+	modelUpdates *obs.Counter
+	jobAlloc     *obs.GaugeVec
+	jobPower     *obs.GaugeVec
+}
+
+func newManagerMetrics(r *obs.Registry) managerMetrics {
+	return managerMetrics{
+		rebudgets:    r.Counter("anord_rebudget_total", "Cluster-tier rebudget iterations."),
+		rebudgetDur:  r.Histogram("anord_rebudget_duration_seconds", "Wall-clock duration of one rebudget iteration.", obs.DefLatencyBuckets),
+		endpoints:    r.Gauge("anord_connected_endpoints", "Job-tier endpoint connections currently registered."),
+		target:       r.Gauge("anord_power_target_watts", "Cluster power target at the last rebudget."),
+		measured:     r.Gauge("anord_power_measured_watts", "Measured cluster power (jobs + idle) at the last rebudget."),
+		trackErrW:    r.Gauge("anord_tracking_error_watts", "Absolute |measured - target| at the last rebudget."),
+		trackErrRel:  r.Histogram("anord_tracking_error_ratio", "Reserve-relative tracking-error distribution.", obs.DefErrorBuckets),
+		capsSent:     r.Counter("anord_caps_sent_total", "SetBudget messages pushed to job-tier endpoints."),
+		capSendErrs:  r.Counter("anord_cap_send_errors_total", "SetBudget sends that failed (job deregisters on its own)."),
+		modelUpdates: r.Counter("anord_model_updates_total", "Model updates received from the job tier."),
+		jobAlloc:     r.GaugeVec("anord_job_allocated_watts", "Power cap last allocated to a job.", "job"),
+		jobPower:     r.GaugeVec("anord_job_measured_watts", "Power last measured by a job.", "job"),
+	}
 }
 
 type jobState struct {
@@ -69,6 +119,7 @@ type jobState struct {
 // Manager is the cluster-tier power manager.
 type Manager struct {
 	cfg Config
+	met managerMetrics
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
@@ -97,7 +148,7 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := cfg.DefaultModel.Validate(); err != nil {
 		return nil, errors.New("clustermgr: config requires a valid default model")
 	}
-	return &Manager{cfg: cfg, jobs: make(map[string]*jobState)}, nil
+	return &Manager{cfg: cfg, met: newManagerMetrics(cfg.Metrics), jobs: make(map[string]*jobState)}, nil
 }
 
 // Tracking returns the recorder holding the manager's (time, target,
@@ -167,11 +218,17 @@ func (m *Manager) handleConn(c *proto.Conn) {
 	m.mu.Lock()
 	m.jobs[hello.JobID] = j
 	m.mu.Unlock()
+	m.met.endpoints.Add(1)
+	m.cfg.Log.WithJob(hello.JobID).Infof("endpoint connected: type %q, %d nodes", hello.TypeName, hello.Nodes)
 
 	defer func() {
 		m.mu.Lock()
 		delete(m.jobs, hello.JobID)
 		m.mu.Unlock()
+		m.met.endpoints.Add(-1)
+		m.met.jobAlloc.Delete(hello.JobID)
+		m.met.jobPower.Delete(hello.JobID)
+		m.cfg.Log.WithJob(hello.JobID).Infof("endpoint disconnected")
 	}()
 
 	for {
@@ -192,6 +249,13 @@ func (m *Manager) handleConn(c *proto.Conn) {
 				}
 			}
 			m.mu.Unlock()
+			m.met.modelUpdates.Inc()
+			m.met.jobPower.With(hello.JobID).Set(u.PowerWatts)
+			if m.cfg.Tracer.Enabled() {
+				m.cfg.Tracer.Emit(obs.Event{Type: obs.EvModelUpdate, Job: hello.JobID, Fields: obs.F{
+					"power_w": u.PowerWatts, "epochs": u.Epochs, "trained": u.Trained,
+				}})
+			}
 		case proto.KindGoodbye:
 			return
 		}
@@ -220,6 +284,10 @@ func (m *Manager) snapshot() (jobs []budget.Job, conns map[string]*proto.Conn, b
 // record the tracking point. Exposed for deterministic drivers; Run calls
 // it on the configured period.
 func (m *Manager) Tick() {
+	var wallStart time.Time
+	if m.met.rebudgetDur != nil {
+		wallStart = time.Now()
+	}
 	now := m.cfg.Clock.Now()
 	target := m.cfg.Target(now)
 
@@ -232,6 +300,13 @@ func (m *Manager) Tick() {
 
 	jobBudget := target - idleDraw
 	alloc := m.cfg.Budgeter.Allocate(jobs, jobBudget)
+	measured := measuredJobs + idleDraw
+	if m.cfg.Tracer.Enabled() {
+		m.cfg.Tracer.Emit(obs.Event{Type: obs.EvBudgetDecision, TimeUnixNano: now.UnixNano(), Fields: obs.F{
+			"target_w": target.Watts(), "job_budget_w": jobBudget.Watts(),
+			"measured_w": measured.Watts(), "jobs": len(jobs), "idle_nodes": idleNodes,
+		}})
+	}
 
 	for _, j := range jobs {
 		cap, ok := alloc[j.ID]
@@ -245,6 +320,7 @@ func (m *Manager) Tick() {
 		if err := conn.Send(env); err != nil {
 			// The connection handler will deregister the job on its own
 			// Recv error; nothing to do here.
+			m.met.capSendErrs.Inc()
 			continue
 		}
 		m.mu.Lock()
@@ -252,9 +328,27 @@ func (m *Manager) Tick() {
 			js.lastCap = cap
 		}
 		m.mu.Unlock()
+		m.met.capsSent.Inc()
+		m.met.jobAlloc.With(j.ID).Set(cap.Watts())
+		if m.cfg.Tracer.Enabled() {
+			m.cfg.Tracer.Emit(obs.Event{Type: obs.EvCapFanout, TimeUnixNano: now.UnixNano(), Job: j.ID, Fields: obs.F{
+				"cap_w": cap.Watts(), "nodes": j.Nodes,
+			}})
+		}
 	}
 
-	m.rec.Record(trace.Point{Time: now, Target: target, Measured: measuredJobs + idleDraw})
+	m.rec.Record(trace.Point{Time: now, Target: target, Measured: measured})
+	m.met.rebudgets.Inc()
+	m.met.target.Set(target.Watts())
+	m.met.measured.Set(measured.Watts())
+	absErr := math.Abs((measured - target).Watts())
+	m.met.trackErrW.Set(absErr)
+	if m.cfg.Reserve > 0 {
+		m.met.trackErrRel.Observe(absErr / m.cfg.Reserve.Watts())
+	}
+	if m.met.rebudgetDur != nil {
+		m.met.rebudgetDur.Observe(time.Since(wallStart).Seconds())
+	}
 }
 
 // Run executes the control loop until ctx is cancelled, then waits for all

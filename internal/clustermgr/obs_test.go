@@ -1,0 +1,126 @@
+package clustermgr
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// scrape renders the registry the way /metrics would.
+func scrape(t *testing.T, r *obs.Registry) string {
+	t.Helper()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	return sb.String()
+}
+
+func TestTickPopulatesMetricsAndEvents(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	cfg := testConfig(v, 2000)
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(128, "test")
+	cfg.Metrics = reg
+	cfg.Tracer = ring
+	cfg.Reserve = 1000
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	bt := attachFakeJob(t, m, "bt-1", "bt.D.81", 2)
+	sp := attachFakeJob(t, m, "sp-1", "sp.D.81", 2)
+	m.Tick()
+	waitFor(t, func() bool { _, ok := bt.lastCap(); return ok })
+	waitFor(t, func() bool { _, ok := sp.lastCap(); return ok })
+
+	if got := reg.Counter("anord_rebudget_total", "").Value(); got != 1 {
+		t.Errorf("rebudget_total = %d, want 1", got)
+	}
+	if got := reg.Gauge("anord_connected_endpoints", "").Value(); got != 2 {
+		t.Errorf("connected_endpoints = %v, want 2", got)
+	}
+	if got := reg.Gauge("anord_power_target_watts", "").Value(); got != 2000 {
+		t.Errorf("power_target_watts = %v, want 2000", got)
+	}
+	// Idle-only measured power: 16 nodes × 70 W (no model updates yet).
+	if got := reg.Gauge("anord_power_measured_watts", "").Value(); got != 16*70 {
+		t.Errorf("power_measured_watts = %v, want 1120", got)
+	}
+	if got := reg.Gauge("anord_tracking_error_watts", "").Value(); got != 2000-16*70 {
+		t.Errorf("tracking_error_watts = %v, want 880", got)
+	}
+	if got := reg.Counter("anord_caps_sent_total", "").Value(); got != 2 {
+		t.Errorf("caps_sent_total = %d, want 2", got)
+	}
+
+	out := scrape(t, reg)
+	for _, want := range []string{
+		`anord_job_allocated_watts{job="bt-1"}`,
+		`anord_job_allocated_watts{job="sp-1"}`,
+		"anord_rebudget_duration_seconds_bucket",
+		"anord_tracking_error_ratio_count 1",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("scrape missing %q", want)
+		}
+	}
+
+	// One budget decision plus one cap fan-out per job.
+	var decisions, fanouts int
+	for _, e := range ring.Events() {
+		switch e.Type {
+		case obs.EvBudgetDecision:
+			decisions++
+		case obs.EvCapFanout:
+			fanouts++
+			if e.Job != "bt-1" && e.Job != "sp-1" {
+				t.Errorf("cap_fanout for unexpected job %q", e.Job)
+			}
+		}
+	}
+	if decisions != 1 || fanouts != 2 {
+		t.Errorf("events: %d decisions, %d fanouts; want 1, 2", decisions, fanouts)
+	}
+}
+
+func TestModelUpdateMetricsAndDisconnectCleanup(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	cfg := testConfig(v, 2000)
+	reg := obs.NewRegistry()
+	cfg.Metrics = reg
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j := attachFakeJob(t, m, "p", "bt.D.81", 2)
+	update := proto.ModelUpdateFor("p", workload.MustByName("bt").RelativeModel(), false)
+	update.PowerWatts = 400
+	if err := j.conn.Send(proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		return reg.Counter("anord_model_updates_total", "").Value() == 1
+	})
+	if out := scrape(t, reg); !strings.Contains(out, `anord_job_measured_watts{job="p"} 400`) {
+		t.Errorf("scrape missing job power series:\n%s", out)
+	}
+
+	// Disconnect must retire the per-job series so scrapes don't
+	// accumulate stale jobs forever.
+	j.conn.Close()
+	waitFor(t, func() bool { return m.ActiveJobs() == 0 })
+	if got := reg.Gauge("anord_connected_endpoints", "").Value(); got != 0 {
+		t.Errorf("connected_endpoints after drop = %v, want 0", got)
+	}
+	if out := scrape(t, reg); strings.Contains(out, `job="p"`) {
+		t.Errorf("per-job series survived disconnect:\n%s", out)
+	}
+	_ = units.Power(0)
+}

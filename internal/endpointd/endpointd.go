@@ -18,6 +18,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/geopm"
 	"repro/internal/modeler"
+	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/units"
 )
@@ -46,12 +47,58 @@ type Config struct {
 	Clock clock.Clock
 	// Period overrides DefaultPeriod when positive.
 	Period time.Duration
+	// Metrics, when non-nil, receives the endpoint's operational metrics
+	// (epoch rate, cap-application latency, model-fit residuals). Nil
+	// disables with no measurable overhead.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives structured epoch-batch, model-refit,
+	// and budget-received events.
+	Tracer *obs.Tracer
+	// Log receives leveled diagnostics. Nil disables.
+	Log *obs.Logger
+}
+
+// epMetrics holds the endpoint's instruments, bound to the job label at
+// construction. Every field is nil — a no-op sink — without a registry.
+type epMetrics struct {
+	epochs   *obs.Counter
+	rate     *obs.Gauge
+	capApply *obs.Histogram
+	capsRecv *obs.Counter
+	updates  *obs.Counter
+	refits   *obs.Counter
+	r2       *obs.Gauge
+	residual *obs.Gauge
+	power    *obs.Gauge
+	cap      *obs.Gauge
+}
+
+func newEpMetrics(r *obs.Registry, job string) epMetrics {
+	if r == nil {
+		return epMetrics{}
+	}
+	return epMetrics{
+		epochs:   r.CounterVec("endpoint_epochs_total", "Application epochs observed via GEOPM samples.", "job").With(job),
+		rate:     r.GaugeVec("endpoint_epoch_rate_hz", "Epoch completion rate over the last sample span.", "job").With(job),
+		capApply: r.HistogramVec("endpoint_cap_apply_seconds", "Latency from SetBudget receipt to the GEOPM policy write.", obs.DefLatencyBuckets, "job").With(job),
+		capsRecv: r.CounterVec("endpoint_caps_received_total", "SetBudget messages received from the cluster tier.", "job").With(job),
+		updates:  r.CounterVec("endpoint_model_updates_sent_total", "Model updates reported to the cluster tier.", "job").With(job),
+		refits:   r.CounterVec("endpoint_model_refits_total", "Accepted online model re-fits.", "job").With(job),
+		r2:       r.GaugeVec("endpoint_model_r2", "R² of the latest accepted model fit.", "job").With(job),
+		residual: r.GaugeVec("endpoint_model_fit_residual", "1 - R² of the latest accepted model fit.", "job").With(job),
+		power:    r.GaugeVec("endpoint_power_watts", "Job power from the latest GEOPM sample.", "job").With(job),
+		cap:      r.GaugeVec("endpoint_cap_watts", "Per-node cap from the latest GEOPM sample.", "job").With(job),
+	}
 }
 
 // Endpoint is the job-tier daemon.
 type Endpoint struct {
 	cfg           Config
+	met           epMetrics
 	lastSampleSeq uint64
+	lastEpochs    int64
+	lastEpochTime time.Time
+	lastRefits    int
 }
 
 // New validates the configuration and constructs an endpoint daemon.
@@ -71,7 +118,8 @@ func New(cfg Config) (*Endpoint, error) {
 	if cfg.Period <= 0 {
 		cfg.Period = DefaultPeriod
 	}
-	return &Endpoint{cfg: cfg}, nil
+	cfg.Log = cfg.Log.WithJob(cfg.JobID)
+	return &Endpoint{cfg: cfg, met: newEpMetrics(cfg.Metrics, cfg.JobID)}, nil
 }
 
 // Run sends Hello, services the connection until ctx is cancelled, then
@@ -94,9 +142,23 @@ func (e *Endpoint) Run(ctx context.Context) error {
 				return
 			}
 			if env.Kind == proto.KindSetBudget {
+				var recvAt time.Time
+				if e.met.capApply != nil {
+					recvAt = time.Now()
+				}
 				e.cfg.GEOPM.WritePolicy(geopm.Policy{
 					PowerCap: units.Power(env.SetBudget.PowerCapWatts),
 				})
+				if e.met.capApply != nil {
+					e.met.capApply.Observe(time.Since(recvAt).Seconds())
+				}
+				e.met.capsRecv.Inc()
+				e.cfg.Log.Debugf("budget received: %.0f W/node", env.SetBudget.PowerCapWatts)
+				if e.cfg.Tracer.Enabled() {
+					e.cfg.Tracer.Emit(obs.Event{Type: obs.EvBudgetReceived, Job: e.cfg.JobID, Fields: obs.F{
+						"cap_w": env.SetBudget.PowerCapWatts,
+					}})
+				}
 			}
 		}
 	}()
@@ -128,6 +190,7 @@ func (e *Endpoint) tick() error {
 	if seq != 0 && seq != e.lastSampleSeq {
 		e.lastSampleSeq = seq
 		e.cfg.Modeler.Observe(sample)
+		e.observeSample(sample)
 	}
 
 	mdl := e.cfg.Modeler.Model()
@@ -135,5 +198,47 @@ func (e *Endpoint) tick() error {
 	update.Epochs = sample.EpochCount
 	update.PowerWatts = sample.Power.Watts()
 	update.TimestampUnixNano = sample.Time.UnixNano()
-	return e.cfg.Conn.Send(proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update})
+	if err := e.cfg.Conn.Send(proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update}); err != nil {
+		return err
+	}
+	e.met.updates.Inc()
+	return nil
+}
+
+// observeSample records epoch-rate and model-fit telemetry for one fresh
+// GEOPM sample.
+func (e *Endpoint) observeSample(sample geopm.Sample) {
+	e.met.power.Set(sample.Power.Watts())
+	e.met.cap.Set(sample.PowerCap.Watts())
+
+	if delta := sample.EpochCount - e.lastEpochs; delta > 0 {
+		e.met.epochs.Add(uint64(delta))
+		if !e.lastEpochTime.IsZero() {
+			if span := sample.Time.Sub(e.lastEpochTime).Seconds(); span > 0 {
+				e.met.rate.Set(float64(delta) / span)
+			}
+		}
+		if e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Emit(obs.Event{Type: obs.EvEpochBatch, Job: e.cfg.JobID, Fields: obs.F{
+				"epochs": delta, "total": sample.EpochCount,
+				"cap_w": sample.PowerCap.Watts(), "power_w": sample.Power.Watts(),
+			}})
+		}
+		e.lastEpochs = sample.EpochCount
+		e.lastEpochTime = sample.Time
+	}
+
+	if refits := e.cfg.Modeler.Refits(); refits > e.lastRefits {
+		r2 := e.cfg.Modeler.R2()
+		e.met.refits.Add(uint64(refits - e.lastRefits))
+		e.met.r2.Set(r2)
+		e.met.residual.Set(1 - r2)
+		e.cfg.Log.Debugf("model refit #%d accepted, R²=%.3f", refits, r2)
+		if e.cfg.Tracer.Enabled() {
+			e.cfg.Tracer.Emit(obs.Event{Type: obs.EvModelRefit, Job: e.cfg.JobID, Fields: obs.F{
+				"refits": refits, "r2": r2, "residual": 1 - r2,
+			}})
+		}
+		e.lastRefits = refits
+	}
 }

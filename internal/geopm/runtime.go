@@ -8,6 +8,7 @@ import (
 	"time"
 
 	"repro/internal/clock"
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -35,6 +36,12 @@ type RuntimeConfig struct {
 	// InitialCap is enforced on attach before any policy arrives; zero
 	// means leave hardware at TDP.
 	InitialCap units.Power
+	// Metrics, when non-nil, receives the runtime's cap-fan-out latency
+	// and policy counters. Nil disables with no measurable overhead.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives a cap_fanout event per applied
+	// policy.
+	Tracer *obs.Tracer
 }
 
 // Runtime is the per-job GEOPM instance: one agent per node arranged in a
@@ -45,6 +52,10 @@ type Runtime struct {
 	cfg    RuntimeConfig
 	tree   Tree
 	agents []*Agent
+
+	metFanout   *obs.Histogram
+	metPolicies *obs.Counter
+	metEpochs   *obs.Counter
 
 	epochs atomic.Int64
 
@@ -83,6 +94,14 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 		cfg:  cfg,
 		tree: NewTree(len(cfg.PIOs), cfg.Fanout),
 	}
+	if cfg.Metrics != nil {
+		r.metFanout = cfg.Metrics.HistogramVec("geopm_cap_fanout_seconds",
+			"Latency of enforcing a fresh policy across the agent tree.", obs.DefLatencyBuckets, "job").With(cfg.JobID)
+		r.metPolicies = cfg.Metrics.CounterVec("geopm_policies_applied_total",
+			"Fresh endpoint policies enforced across the agent tree.", "job").With(cfg.JobID)
+		r.metEpochs = cfg.Metrics.CounterVec("geopm_epochs_total",
+			"geopm_prof_epoch() calls recorded by the runtime.", "job").With(cfg.JobID)
+	}
 	for _, pio := range cfg.PIOs {
 		r.agents = append(r.agents, NewAgent(pio))
 	}
@@ -97,7 +116,10 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 // ProfEpoch records that every process in the job reached the
 // geopm_prof_epoch() instrumentation point once more. It is the hook the
 // synthetic benchmarks call from their main loop (§5.1).
-func (r *Runtime) ProfEpoch() { r.epochs.Add(1) }
+func (r *Runtime) ProfEpoch() {
+	r.epochs.Add(1)
+	r.metEpochs.Inc()
+}
 
 // EpochCount returns the job-wide epoch count.
 func (r *Runtime) EpochCount() int64 { return r.epochs.Load() }
@@ -151,8 +173,21 @@ func (r *Runtime) tick(now time.Time) error {
 	r.mu.Unlock()
 
 	if fresh {
+		var t0 time.Time
+		if r.metFanout != nil {
+			t0 = time.Now()
+		}
 		if err := r.enforceAll(cap); err != nil {
 			return err
+		}
+		if r.metFanout != nil {
+			r.metFanout.Observe(time.Since(t0).Seconds())
+		}
+		r.metPolicies.Inc()
+		if r.cfg.Tracer.Enabled() {
+			r.cfg.Tracer.Emit(obs.Event{Type: obs.EvCapFanout, Job: r.cfg.JobID, Fields: obs.F{
+				"cap_w": cap.Watts(), "nodes": len(r.agents),
+			}})
 		}
 	}
 

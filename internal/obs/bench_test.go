@@ -1,0 +1,53 @@
+package obs
+
+import (
+	"testing"
+	"time"
+)
+
+// BenchmarkNoopOverhead measures the disabled-observability cost: every
+// instrument is nil, so each call is a nil check and immediate return.
+// This is the price the simulator hot path pays per step when metrics
+// and tracing are off — it must stay in the sub-nanosecond range.
+func BenchmarkNoopOverhead(b *testing.B) {
+	var (
+		c  *Counter
+		g  *Gauge
+		h  *Histogram
+		tr *Tracer
+	)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i))
+		if tr.Enabled() {
+			tr.Emit(Event{Type: EvSimStep})
+		}
+	}
+}
+
+// BenchmarkLiveInstruments is the enabled-path counterpart, for
+// comparing against BenchmarkNoopOverhead.
+func BenchmarkLiveInstruments(b *testing.B) {
+	r := NewRegistry()
+	c := r.Counter("bench_total", "")
+	g := r.Gauge("bench_gauge", "")
+	h := r.Histogram("bench_hist", "", DefLatencyBuckets)
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		c.Inc()
+		g.Set(float64(i))
+		h.Observe(float64(i%1000) / 1000)
+	}
+}
+
+// BenchmarkTracerEmitRing measures structured-event cost into a ring.
+func BenchmarkTracerEmitRing(b *testing.B) {
+	tr := NewRing(1024, "bench")
+	now := time.Now().UnixNano()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Emit(Event{Type: EvSimStep, TimeUnixNano: now + int64(i)})
+	}
+}

@@ -1,0 +1,67 @@
+package obs
+
+import (
+	"flag"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+var updateGolden = flag.Bool("update", false, "rewrite golden files")
+
+// TestPrometheusExpositionGolden locks the text exposition format: all
+// three instrument kinds, labeled and unlabeled, sorted output,
+// cumulative histogram buckets.
+func TestPrometheusExpositionGolden(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("anord_rebudget_total", "Rebudget iterations.").Add(3)
+	r.Gauge("anord_power_target_watts", "Cluster power target.").Set(3400.5)
+	h := r.Histogram("cap_apply_seconds", "Cap latency.", []float64{0.5, 1, 2})
+	h.Observe(0.25)
+	h.Observe(1)
+	h.Observe(8)
+	v := r.GaugeVec("anord_job_allocated_watts", "Per-job allocated power.", "job")
+	v.With("j1").Set(120)
+	v.With("j2").Set(180.25)
+	hv := r.HistogramVec("endpoint_cap_apply_seconds", "Per-job cap latency.", []float64{1}, "job")
+	hv.With("j1").Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	got := sb.String()
+
+	golden := filepath.Join("testdata", "exposition.golden")
+	if *updateGolden {
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("reading golden (run with -update to regenerate): %v", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition mismatch\n--- got ---\n%s--- want ---\n%s", got, want)
+	}
+}
+
+func TestExpositionEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.GaugeVec("esc", "help with\nnewline and \\ slash", "l").With("a\"b\\c\nd").Set(1)
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	for _, want := range []string{
+		`# HELP esc help with\nnewline and \\ slash`,
+		`esc{l="a\"b\\c\nd"} 1`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}

@@ -1,0 +1,62 @@
+package obs
+
+import (
+	"fmt"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"time"
+)
+
+// Handler builds the admin HTTP handler: /metrics (Prometheus text),
+// /healthz (200 "ok" or 503 with the health error), and the full
+// net/http/pprof suite under /debug/pprof/. healthz may be nil for an
+// always-healthy daemon.
+func Handler(reg *Registry, healthz func() error) http.Handler {
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		_ = reg.WritePrometheus(w)
+	})
+	mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		if healthz != nil {
+			if err := healthz(); err != nil {
+				http.Error(w, err.Error(), http.StatusServiceUnavailable)
+				return
+			}
+		}
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return mux
+}
+
+// Admin is a running admin HTTP server.
+type Admin struct {
+	srv *http.Server
+	ln  net.Listener
+}
+
+// StartAdmin listens on addr and serves the admin handler in the
+// background. The returned Admin reports the bound address (useful with
+// ":0") and shuts the server down on Close.
+func StartAdmin(addr string, reg *Registry, healthz func() error) (*Admin, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
+	}
+	srv := &http.Server{Handler: Handler(reg, healthz), ReadHeaderTimeout: 5 * time.Second}
+	go func() { _ = srv.Serve(ln) }()
+	return &Admin{srv: srv, ln: ln}, nil
+}
+
+// Addr returns the bound listen address.
+func (a *Admin) Addr() string { return a.ln.Addr().String() }
+
+// Close shuts the server down.
+func (a *Admin) Close() error { return a.srv.Close() }

@@ -1,0 +1,55 @@
+package obs
+
+import (
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+)
+
+func TestAdminServesMetricsHealthzAndPprof(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("smoke_total", "smoke").Inc()
+	healthy := true
+	adm, err := StartAdmin("127.0.0.1:0", r, func() error {
+		if !healthy {
+			return errors.New("draining")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer adm.Close()
+
+	get := func(path string) (int, string) {
+		t.Helper()
+		resp, err := http.Get("http://" + adm.Addr() + path)
+		if err != nil {
+			t.Fatalf("GET %s: %v", path, err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	code, body := get("/metrics")
+	if code != http.StatusOK || !strings.Contains(body, "smoke_total 1") {
+		t.Errorf("/metrics = %d %q", code, body)
+	}
+	code, body = get("/healthz")
+	if code != http.StatusOK || !strings.Contains(body, "ok") {
+		t.Errorf("/healthz = %d %q", code, body)
+	}
+	healthy = false
+	if code, _ = get("/healthz"); code != http.StatusServiceUnavailable {
+		t.Errorf("/healthz while unhealthy = %d, want 503", code)
+	}
+	if code, _ = get("/debug/pprof/"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/ = %d, want 200", code)
+	}
+	if code, _ = get("/debug/pprof/cmdline"); code != http.StatusOK {
+		t.Errorf("/debug/pprof/cmdline = %d, want 200", code)
+	}
+}

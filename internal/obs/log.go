@@ -1,0 +1,92 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"sync"
+	"time"
+)
+
+// Level is a log severity. Messages below the logger's level are
+// dropped.
+type Level int32
+
+// Log levels, least to most severe.
+const (
+	LevelDebug Level = iota
+	LevelInfo
+	LevelWarn
+	LevelError
+)
+
+// String names the level in fixed-width form for aligned output.
+func (l Level) String() string {
+	switch l {
+	case LevelDebug:
+		return "DEBUG"
+	case LevelInfo:
+		return "INFO "
+	case LevelWarn:
+		return "WARN "
+	case LevelError:
+		return "ERROR"
+	}
+	return "?????"
+}
+
+// Logger is a leveled, field-carrying logger for the daemons: every
+// line carries a timestamp, level, component, and (when set) job ID, so
+// multi-job daemon output is grep-able per job. A nil *Logger drops
+// everything. Safe for concurrent use; WithJob clones share the output
+// lock.
+type Logger struct {
+	mu        *sync.Mutex
+	w         io.Writer
+	level     Level
+	component string
+	job       string
+	now       func() time.Time
+}
+
+// NewLogger returns a logger writing to w at the given minimum level,
+// tagging every line with the component name.
+func NewLogger(w io.Writer, level Level, component string) *Logger {
+	return &Logger{mu: &sync.Mutex{}, w: w, level: level, component: component, now: time.Now}
+}
+
+// WithJob returns a logger that tags every line with the given job ID.
+func (l *Logger) WithJob(job string) *Logger {
+	if l == nil {
+		return nil
+	}
+	clone := *l
+	clone.job = job
+	return &clone
+}
+
+// Debugf logs at debug level.
+func (l *Logger) Debugf(format string, args ...any) { l.logf(LevelDebug, format, args...) }
+
+// Infof logs at info level.
+func (l *Logger) Infof(format string, args ...any) { l.logf(LevelInfo, format, args...) }
+
+// Warnf logs at warn level.
+func (l *Logger) Warnf(format string, args ...any) { l.logf(LevelWarn, format, args...) }
+
+// Errorf logs at error level.
+func (l *Logger) Errorf(format string, args ...any) { l.logf(LevelError, format, args...) }
+
+func (l *Logger) logf(level Level, format string, args ...any) {
+	if l == nil || level < l.level {
+		return
+	}
+	ts := l.now().UTC().Format("2006-01-02T15:04:05.000Z")
+	job := ""
+	if l.job != "" {
+		job = " job=" + l.job
+	}
+	msg := fmt.Sprintf(format, args...)
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	fmt.Fprintf(l.w, "%s %s %s%s: %s\n", ts, level, l.component, job, msg)
+}

@@ -1,0 +1,41 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestLoggerLevelsAndFields(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelInfo, "anord")
+	l.now = func() time.Time { return time.Date(2026, 8, 6, 10, 0, 0, 0, time.UTC) }
+
+	l.Debugf("hidden %d", 1)
+	l.Infof("listening on %s", ":9700")
+	l.WithJob("j1").Warnf("slow model fit")
+	l.Errorf("boom")
+
+	out := sb.String()
+	if strings.Contains(out, "hidden") {
+		t.Errorf("debug line not filtered at info level:\n%s", out)
+	}
+	for _, want := range []string{
+		"2026-08-06T10:00:00.000Z INFO  anord: listening on :9700",
+		"2026-08-06T10:00:00.000Z WARN  anord job=j1: slow model fit",
+		"2026-08-06T10:00:00.000Z ERROR anord: boom",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("output missing %q:\n%s", want, out)
+		}
+	}
+}
+
+func TestLoggerDebugEnabled(t *testing.T) {
+	var sb strings.Builder
+	l := NewLogger(&sb, LevelDebug, "endpoint")
+	l.Debugf("visible")
+	if !strings.Contains(sb.String(), "DEBUG endpoint: visible") {
+		t.Errorf("debug line missing:\n%s", sb.String())
+	}
+}

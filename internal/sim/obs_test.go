@@ -1,0 +1,145 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dr"
+	"repro/internal/obs"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// TestObservabilityPreservesDeterminism is the determinism guard for
+// the observability layer: a simulation with metrics, tracing, and
+// progress counting enabled must produce bit-identical results to the
+// bare run, at every shard count. Observability reads simulation state;
+// it must never participate in it.
+func TestObservabilityPreservesDeterminism(t *testing.T) {
+	base, err := Run(smallConfig(t, 7, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{1, 3, 8} {
+		cfg := smallConfig(t, 7, 0.1)
+		cfg.Shards = shards
+		cfg.Metrics = obs.NewRegistry()
+		cfg.Tracer = obs.NewRing(256, "guard")
+		cfg.TraceEvery = 1
+		cfg.Progress = obs.NewCounter()
+		cfg.RunID = "guard"
+		got, err := Run(cfg)
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("shards=%d: observability changed the simulation result", shards)
+		}
+		if cfg.Progress.Value() == 0 {
+			t.Errorf("shards=%d: progress counter never advanced", shards)
+		}
+		if cfg.Metrics.Counter("sim_steps_total", "").Value() != cfg.Progress.Value() {
+			t.Errorf("shards=%d: steps metric %d != progress %d", shards,
+				cfg.Metrics.Counter("sim_steps_total", "").Value(), cfg.Progress.Value())
+		}
+		if cfg.Tracer.Count() == 0 {
+			t.Errorf("shards=%d: tracer saw no sim_step events", shards)
+		}
+	}
+}
+
+// TestSimStepEvents checks the emitted event shape: virtual timestamps,
+// the configured run ID, and the TraceEvery cadence.
+func TestSimStepEvents(t *testing.T) {
+	cfg := smallConfig(t, 3, 0)
+	tr := obs.NewRing(4096, "")
+	cfg.Tracer = tr
+	cfg.TraceEvery = 30
+	cfg.RunID = "run7"
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	evs := tr.Events()
+	if len(evs) == 0 {
+		t.Fatal("no events emitted")
+	}
+	for i, e := range evs {
+		if e.Type != obs.EvSimStep {
+			t.Fatalf("event %d type = %q", i, e.Type)
+		}
+		if e.Run != "run7" {
+			t.Fatalf("event %d run = %q, want run7", i, e.Run)
+		}
+		ts := time.Unix(0, e.TimeUnixNano).UTC()
+		if sec := int(ts.Sub(simEpoch) / time.Second); sec%30 != 0 {
+			t.Fatalf("event %d at sim second %d, want multiples of 30", i, sec)
+		}
+	}
+}
+
+// BenchmarkStepObsDisabled measures the sim hot path with observability
+// off — the baseline the no-op sinks must not move. Compare with
+// BenchmarkStepObsEnabled: the delta is the per-step instrumentation
+// cost.
+func BenchmarkStepObsDisabled(b *testing.B) {
+	benchSim(b, func(cfg *Config) {})
+}
+
+// BenchmarkStepObsEnabled is the same simulation with metrics, tracing,
+// and a progress counter attached.
+func BenchmarkStepObsEnabled(b *testing.B) {
+	reg := obs.NewRegistry()
+	tr := obs.NewRing(1024, "bench")
+	prog := obs.NewCounter()
+	benchSim(b, func(cfg *Config) {
+		cfg.Metrics = reg
+		cfg.Tracer = tr
+		cfg.Progress = prog
+	})
+}
+
+// benchConfig mirrors smallConfig for benchmarks (testing.TB instead
+// of *testing.T).
+func benchConfig(tb testing.TB, seed uint64) Config {
+	tb.Helper()
+	types := workload.LongRunning()
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(seed), Types: types,
+		Utilization: 0.75, TotalNodes: 16, Horizon: 20 * time.Minute,
+	})
+	if err != nil {
+		tb.Fatal(err)
+	}
+	return Config{
+		Nodes:    16,
+		Types:    types,
+		Arrivals: arrivals,
+		Bid:      dr.Bid{AvgPower: 16 * 180, Reserve: 16 * 60},
+		Signal:   dr.NewRandomWalk(seed, 4*time.Second, 0.25, time.Hour),
+		Horizon:  20 * time.Minute,
+		Seed:     seed,
+	}
+}
+
+func benchSim(b *testing.B, mutate func(*Config)) {
+	b.Helper()
+	cfgs := make([]Config, b.N)
+	for i := range cfgs {
+		cfgs[i] = benchConfig(b, 11)
+		mutate(&cfgs[i])
+	}
+	b.ResetTimer()
+	steps := 0
+	for i := 0; i < b.N; i++ {
+		res, err := Run(cfgs[i])
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += len(res.Tracking)
+	}
+	if b.N > 0 {
+		b.ReportMetric(float64(steps)/float64(b.N), "sim-s/op")
+	}
+}

@@ -22,6 +22,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/dr"
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/sched"
 	"repro/internal/schedule"
@@ -93,6 +94,55 @@ type Config struct {
 	// ramp-up); the summary always ends at Horizon, excluding the drain.
 	// The full series remains in Result.Tracking.
 	TrackWarmup time.Duration
+
+	// Observability. All of it is strictly observational: metrics,
+	// events, and progress counters read simulation state but never feed
+	// back into it, so results are bit-identical whether or not any of
+	// these are set (the determinism guard in obs_test.go enforces this).
+
+	// Metrics, when non-nil, receives per-step timing and cluster-state
+	// gauges. Nil disables with no measurable overhead on the hot loop.
+	Metrics *obs.Registry
+	// Tracer, when non-nil, receives a sim_step event every TraceEvery
+	// simulated seconds, stamped with virtual time.
+	Tracer *obs.Tracer
+	// TraceEvery is the sim_step emission period in simulated seconds
+	// (default 60 when a Tracer is set).
+	TraceEvery int
+	// Progress, when non-nil, is incremented once per simulated second.
+	// Share one counter across a sweep's runs and read it from another
+	// goroutine for a live throughput display.
+	Progress *obs.Counter
+	// RunID labels emitted events when one simulation is part of a
+	// multi-run sweep.
+	RunID string
+}
+
+// simMetrics holds the simulator's instruments; all nil without a
+// registry.
+type simMetrics struct {
+	stepDur  *obs.Histogram
+	steps    *obs.Counter
+	running  *obs.Gauge
+	queued   *obs.Gauge
+	busy     *obs.Gauge
+	target   *obs.Gauge
+	measured *obs.Gauge
+}
+
+func newSimMetrics(r *obs.Registry) simMetrics {
+	if r == nil {
+		return simMetrics{}
+	}
+	return simMetrics{
+		stepDur:  r.Histogram("sim_step_seconds", "Wall-clock duration of one simulated second.", obs.DefLatencyBuckets),
+		steps:    r.Counter("sim_steps_total", "Simulated seconds advanced."),
+		running:  r.Gauge("sim_running_jobs", "Jobs currently running in the simulated cluster."),
+		queued:   r.Gauge("sim_queued_jobs", "Jobs currently queued in the simulated cluster."),
+		busy:     r.Gauge("sim_busy_nodes", "Nodes currently assigned to jobs."),
+		target:   r.Gauge("sim_power_target_watts", "Demand-response power target at the current step."),
+		measured: r.Gauge("sim_power_measured_watts", "Measured cluster power at the current step."),
+	}
 }
 
 // JobRecord summarizes one job's lifecycle.
@@ -232,8 +282,18 @@ func Run(cfg Config) (Result, error) {
 	shards := resolveShards(cfg.Shards, cfg.Nodes)
 	var doneFlags []bool
 
+	met := newSimMetrics(cfg.Metrics)
+	traceEvery := cfg.TraceEvery
+	if traceEvery <= 0 {
+		traceEvery = 60
+	}
+
 	for t := 0; t <= maxS; t++ {
 		now := simEpoch.Add(time.Duration(t) * time.Second)
+		var stepStart time.Time
+		if met.stepDur != nil {
+			stepStart = time.Now()
+		}
 
 		// 1. Node update: advance progress at each node's current cap.
 		// The advance is sharded across job-table chunks — every node
@@ -348,6 +408,26 @@ func Run(cfg Config) (Result, error) {
 			if err := logger.Write(rec); err != nil {
 				return Result{}, err
 			}
+		}
+
+		// Observation only: nothing below feeds back into the simulation.
+		cfg.Progress.Inc()
+		met.steps.Inc()
+		if cfg.Metrics != nil {
+			met.running.Set(float64(len(running)))
+			met.queued.Set(float64(scheduler.QueuedCount()))
+			met.busy.Set(float64(busy))
+			met.target.Set(target.Watts())
+			met.measured.Set(measured.Watts())
+		}
+		if met.stepDur != nil {
+			met.stepDur.Observe(time.Since(stepStart).Seconds())
+		}
+		if cfg.Tracer.Enabled() && t%traceEvery == 0 {
+			cfg.Tracer.Emit(obs.Event{Type: obs.EvSimStep, TimeUnixNano: now.UnixNano(), Run: cfg.RunID, Fields: obs.F{
+				"t_s": t, "running": len(running), "queued": scheduler.QueuedCount(),
+				"busy_nodes": busy, "target_w": target.Watts(), "measured_w": measured.Watts(),
+			}})
 		}
 
 		// Stop once drained after the horizon.

@@ -35,6 +35,12 @@ type Options struct {
 	// Workers bounds concurrent runs. Zero or negative means
 	// runtime.GOMAXPROCS(0). A sweep never uses more workers than runs.
 	Workers int
+	// OnRunDone, when non-nil, is called once per run that actually
+	// executed (successfully or not), from the worker goroutine that ran
+	// it, as soon as it finishes. It must be safe for concurrent use.
+	// Runs skipped by fail-fast cancellation get no callback. Drives
+	// live progress displays without perturbing determinism.
+	OnRunDone func(run int)
 }
 
 func (o Options) workers(n int) int {
@@ -114,6 +120,9 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 					continue
 				}
 				out, err := fn(cctx, run)
+				if opts.OnRunDone != nil {
+					opts.OnRunDone(run)
+				}
 				if err != nil {
 					fail(run, err)
 					continue
