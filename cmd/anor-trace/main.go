@@ -1,0 +1,146 @@
+// Command anor-trace reconstructs cross-tier causal chains from the
+// JSONL event files the ANOR daemons and simulator emit (-events), and
+// reports decision-to-enforcement actuation latency: how long a
+// cluster-tier budget decision takes to reach hardware enforcement
+// through the wire, the job-tier policy write, and the GEOPM agent
+// tree's fan-out (§4, §7.2).
+//
+// Usage:
+//
+//	anor-trace anord.jsonl endpoint-*.jsonl          # human summary
+//	anor-trace -json session/*.jsonl                 # machine-readable
+//	anor-trace -dot 3fa9 session/*.jsonl > one.dot   # one trace as Graphviz
+//	anor-trace -strict session/*.jsonl               # exit 2 on orphans
+//
+// Pass every tier's file: spans link across files by trace and parent
+// IDs, so omitting a tier turns its children into orphans (which is
+// itself a useful integrity check — -strict fails CI on dropped spans).
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"sort"
+
+	"repro/internal/causal"
+)
+
+// summary is the -json output schema.
+type summary struct {
+	Files          int            `json:"files"`
+	Events         map[string]int `json:"events"`
+	Malformed      int            `json:"malformed_lines"`
+	Traces         int            `json:"traces"`
+	Spans          int            `json:"spans"`
+	CompleteChains int            `json:"complete_chains"`
+	OrphanSpans    int            `json:"orphan_spans"`
+	LatencyP50     float64        `json:"latency_p50_seconds"`
+	LatencyP95     float64        `json:"latency_p95_seconds"`
+	LatencyP99     float64        `json:"latency_p99_seconds"`
+	StalenessMean  float64        `json:"staleness_mean_seconds"`
+	StalenessMax   float64        `json:"staleness_max_seconds"`
+	StalenessN     int            `json:"staleness_decisions"`
+}
+
+func main() {
+	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
+	dot := flag.String("dot", "", "write the trace(s) whose ID starts with this prefix as Graphviz DOT to stdout, instead of a summary")
+	strict := flag.Bool("strict", false, "exit 2 when any orphaned spans are found")
+	topN := flag.Int("top", 5, "slowest chains to list in the text summary")
+	flag.Parse()
+	if flag.NArg() == 0 {
+		log.Fatal("anor-trace: need at least one JSONL event file (from anord/anor-endpoint/anor-sim -events)")
+	}
+
+	l, err := causal.LoadFiles(flag.Args()...)
+	if err != nil {
+		log.Fatalf("anor-trace: %v", err)
+	}
+	a := causal.Analyze(l)
+
+	if *dot != "" {
+		if err := a.WriteDOT(os.Stdout, l, *dot); err != nil {
+			log.Fatalf("anor-trace: %v", err)
+		}
+		return
+	}
+
+	mean, max, n := a.StalenessStats()
+	s := summary{
+		Files: flag.NArg(), Events: l.Events, Malformed: l.Malformed,
+		Traces: a.Traces, Spans: a.Spans,
+		CompleteChains: len(a.Chains), OrphanSpans: len(a.Orphans),
+		LatencyP50:    a.Latency.Quantile(0.50),
+		LatencyP95:    a.Latency.Quantile(0.95),
+		LatencyP99:    a.Latency.Quantile(0.99),
+		StalenessMean: mean, StalenessMax: max, StalenessN: n,
+	}
+
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "  ")
+		if err := enc.Encode(s); err != nil {
+			log.Fatal(err)
+		}
+	} else {
+		printText(s, a, *topN)
+	}
+
+	if *strict && len(a.Orphans) > 0 {
+		fmt.Fprintf(os.Stderr, "anor-trace: %d orphaned spans (parents missing from input files)\n", len(a.Orphans))
+		os.Exit(2)
+	}
+}
+
+func printText(s summary, a *causal.Analysis, topN int) {
+	fmt.Printf("anor-trace: %d file(s), %d spans in %d traces (%d malformed lines skipped)\n",
+		s.Files, s.Spans, s.Traces, s.Malformed)
+	fmt.Printf("  complete decision→enforcement chains: %d\n", s.CompleteChains)
+	fmt.Printf("  orphaned spans (missing parents):     %d\n", s.OrphanSpans)
+	if s.CompleteChains > 0 {
+		fmt.Printf("  actuation latency: p50 %.3f ms, p95 %.3f ms, p99 %.3f ms\n",
+			s.LatencyP50*1e3, s.LatencyP95*1e3, s.LatencyP99*1e3)
+	}
+	if s.StalenessN > 0 {
+		fmt.Printf("  model staleness at decision: mean %.3f s, max %.3f s over %d decisions\n",
+			s.StalenessMean, s.StalenessMax, s.StalenessN)
+	}
+
+	if len(a.Chains) > 0 {
+		chains := append([]causal.Chain(nil), a.Chains...)
+		sort.Slice(chains, func(i, j int) bool {
+			return chains[i].LatencySeconds() > chains[j].LatencySeconds()
+		})
+		n := len(chains)
+		if n > topN {
+			n = topN
+		}
+		fmt.Printf("  slowest chains:\n")
+		for _, c := range chains[:n] {
+			fmt.Printf("    %-8s job=%-12s %.3f ms  (trace %.8s)\n",
+				hopNames(c), c.Job, c.LatencySeconds()*1e3, c.TraceID)
+		}
+	}
+	for i, o := range a.Orphans {
+		if i == 8 {
+			fmt.Printf("  ... %d more orphans\n", len(a.Orphans)-8)
+			break
+		}
+		fmt.Printf("  orphan: %s span=%s parent=%s job=%s\n", o.Name, o.ID, o.Parent, o.Job)
+	}
+}
+
+// hopNames compresses a chain's path for the text listing.
+func hopNames(c causal.Chain) string {
+	out := ""
+	for i, h := range c.Hops {
+		if i > 0 {
+			out += ">"
+		}
+		out += h.Name
+	}
+	return out
+}

@@ -2,6 +2,7 @@ package repro_test
 
 import (
 	"bytes"
+	"encoding/json"
 	"fmt"
 	"io"
 	"net"
@@ -10,6 +11,7 @@ import (
 	"os/exec"
 	"path/filepath"
 	"strings"
+	"sync"
 	"testing"
 	"time"
 
@@ -40,6 +42,7 @@ func TestEndToEndDaemons(t *testing.T) {
 	}
 	anord := build("anord")
 	endpoint := build("anor-endpoint")
+	anortrace := build("anor-trace")
 
 	// Static-ish target file: 800 W for the 4-node experiment.
 	targets := filepath.Join(dir, "targets.jsonl")
@@ -66,18 +69,25 @@ func TestEndToEndDaemons(t *testing.T) {
 	if err := mgr.Start(); err != nil {
 		t.Fatal(err)
 	}
-	defer func() {
-		mgr.Process.Signal(os.Interrupt)
-		done := make(chan struct{})
-		go func() { mgr.Wait(); close(done) }()
-		select {
-		case <-done:
-		case <-time.After(10 * time.Second):
-			mgr.Process.Kill()
-			<-done
-		}
-		t.Logf("anord output:\n%s", mgrOut.String())
-	}()
+	// The trace analysis below needs anord stopped first (its event
+	// stream flushes on shutdown), so the stop is a named step the defer
+	// merely backstops.
+	var stopMgrOnce sync.Once
+	stopMgr := func() {
+		stopMgrOnce.Do(func() {
+			mgr.Process.Signal(os.Interrupt)
+			done := make(chan struct{})
+			go func() { mgr.Wait(); close(done) }()
+			select {
+			case <-done:
+			case <-time.After(10 * time.Second):
+				mgr.Process.Kill()
+				<-done
+			}
+			t.Logf("anord output:\n%s", mgrOut.String())
+		})
+	}
+	defer stopMgr()
 	waitForListener(t, addr)
 
 	// Two short jobs in parallel; one claims the wrong type.
@@ -87,7 +97,8 @@ func TestEndToEndDaemons(t *testing.T) {
 	}
 	run := func(id, bench, claim string) jobRun {
 		out := &bytes.Buffer{}
-		args := []string{"-cluster", addr, "-job", id, "-bench", bench}
+		args := []string{"-cluster", addr, "-job", id, "-bench", bench,
+			"-events", filepath.Join(dir, "events-"+id+".jsonl")}
 		if claim != "" {
 			args = append(args, "-claim", claim)
 		}
@@ -136,6 +147,38 @@ func TestEndToEndDaemons(t *testing.T) {
 		t.Errorf("reading events file: %v", err)
 	} else if !strings.Contains(string(raw), `"type":"budget_decision"`) {
 		t.Errorf("events file has no budget_decision records:\n%.2000s", raw)
+	}
+
+	// Stop anord so its final event flush lands, then reconstruct the
+	// causal chains across all three processes' event files: real
+	// decisions made over a real socket must come back as complete
+	// decision → enforcement chains with positive latency and no
+	// orphaned spans.
+	stopMgr()
+	traceOut, err := exec.Command(anortrace, "-json",
+		events,
+		filepath.Join(dir, "events-j1.jsonl"),
+		filepath.Join(dir, "events-j2.jsonl"),
+	).CombinedOutput()
+	if err != nil {
+		t.Fatalf("anor-trace: %v\n%s", err, traceOut)
+	}
+	var summary struct {
+		CompleteChains int     `json:"complete_chains"`
+		OrphanSpans    int     `json:"orphan_spans"`
+		LatencyP50     float64 `json:"latency_p50_seconds"`
+	}
+	if err := json.Unmarshal(traceOut, &summary); err != nil {
+		t.Fatalf("parsing anor-trace output: %v\n%s", err, traceOut)
+	}
+	if summary.CompleteChains < 1 {
+		t.Errorf("anor-trace reconstructed %d complete chains, want ≥ 1\n%s", summary.CompleteChains, traceOut)
+	}
+	if summary.OrphanSpans != 0 {
+		t.Errorf("anor-trace found %d orphaned spans, want 0\n%s", summary.OrphanSpans, traceOut)
+	}
+	if summary.CompleteChains >= 1 && summary.LatencyP50 <= 0 {
+		t.Errorf("decision→enforcement p50 = %v, want > 0\n%s", summary.LatencyP50, traceOut)
 	}
 }
 

@@ -1,0 +1,320 @@
+// Package causal reconstructs cross-tier causal traces from the JSONL
+// event files the daemons and simulator emit (internal/obs spans). It
+// merges span records from any number of files — typically one per
+// process: anord, anor-endpoint, anor-sim — links them into trees by
+// trace and parent IDs, and measures the paper's end-to-end actuation
+// path: cluster-tier budget decision → wire → job-tier policy write →
+// agent-tree hardware fan-out (§4), plus the model-feedback loop that
+// closes it.
+//
+// Decoding is typed: span timestamps are unix nanoseconds (~1.8e18),
+// beyond float64's 2^53 integer range, so fields are unmarshalled into
+// int64-typed structs rather than through map[string]any.
+package causal
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"sort"
+	"strings"
+
+	"repro/internal/obs"
+)
+
+// Span is one reconstructed span record.
+type Span struct {
+	Name    string
+	TraceID string
+	ID      string
+	Parent  string // empty for roots
+	Job     string
+	Run     string
+	StartNS int64
+	DurNS   int64
+}
+
+// EndNS returns the span's completion time.
+func (s Span) EndNS() int64 { return s.StartNS + s.DurNS }
+
+// ModelUpdate is one cluster-tier model-update receipt, used for
+// staleness accounting.
+type ModelUpdate struct {
+	Job string
+	// RecvNS is the receipt time at the cluster tier (the event stamp).
+	RecvNS int64
+	// SampleNS is the underlying sample's timestamp (ts_ns), zero when
+	// the emitting build predates the field.
+	SampleNS int64
+	// TraceID names the decision the update measured under, when traced.
+	TraceID string
+}
+
+// Log is the merged, typed view of one or more event files.
+type Log struct {
+	Spans   []Span
+	Updates []ModelUpdate
+	// Events counts all parsed events by type.
+	Events map[string]int
+	// Malformed counts lines that failed to parse; the loader skips them
+	// rather than aborting, since JSONL files from a killed process can
+	// end mid-line.
+	Malformed int
+}
+
+// rawEvent mirrors obs.Event with the field payload kept raw so each
+// event type decodes into its own typed struct.
+type rawEvent struct {
+	TimeUnixNano int64           `json:"t_ns"`
+	Type         string          `json:"type"`
+	Run          string          `json:"run"`
+	Job          string          `json:"job"`
+	Fields       json.RawMessage `json:"fields"`
+}
+
+type spanFields struct {
+	Name    string `json:"name"`
+	Trace   string `json:"trace"`
+	Span    string `json:"span"`
+	Parent  string `json:"parent"`
+	StartNS int64  `json:"start_ns"`
+	DurNS   int64  `json:"dur_ns"`
+}
+
+type updateFields struct {
+	TsNS  int64  `json:"ts_ns"`
+	Trace string `json:"trace"`
+}
+
+// Load parses one JSONL event stream into l (create with NewLog).
+func (l *Log) Load(r io.Reader) error {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := sc.Bytes()
+		if len(line) == 0 {
+			continue
+		}
+		var ev rawEvent
+		if err := json.Unmarshal(line, &ev); err != nil {
+			l.Malformed++
+			continue
+		}
+		l.Events[ev.Type]++
+		switch ev.Type {
+		case obs.EvSpan:
+			var f spanFields
+			if err := json.Unmarshal(ev.Fields, &f); err != nil || f.Span == "" {
+				l.Malformed++
+				continue
+			}
+			l.Spans = append(l.Spans, Span{
+				Name: f.Name, TraceID: f.Trace, ID: f.Span, Parent: f.Parent,
+				Job: ev.Job, Run: ev.Run, StartNS: f.StartNS, DurNS: f.DurNS,
+			})
+		case obs.EvModelUpdate:
+			var f updateFields
+			if err := json.Unmarshal(ev.Fields, &f); err != nil {
+				l.Malformed++
+				continue
+			}
+			l.Updates = append(l.Updates, ModelUpdate{
+				Job: ev.Job, RecvNS: ev.TimeUnixNano, SampleNS: f.TsNS, TraceID: f.Trace,
+			})
+		}
+	}
+	return sc.Err()
+}
+
+// NewLog returns an empty log ready for Load.
+func NewLog() *Log { return &Log{Events: map[string]int{}} }
+
+// LoadFiles merges the named JSONL files into one log.
+func LoadFiles(paths ...string) (*Log, error) {
+	l := NewLog()
+	for _, p := range paths {
+		f, err := os.Open(p)
+		if err != nil {
+			return nil, err
+		}
+		err = l.Load(f)
+		f.Close()
+		if err != nil {
+			return nil, fmt.Errorf("causal: %s: %w", p, err)
+		}
+	}
+	return l, nil
+}
+
+// Chain is one complete decision → enforcement path: a terminal
+// enforcement span (cap_fanout) whose ancestry reaches a budget
+// decision (set_budget or rebudget, or a sim_recap root).
+type Chain struct {
+	TraceID string
+	Job     string
+	// Hops is the causal path, decision first, enforcement last.
+	Hops []Span
+	// DecisionNS is the start of the outermost decision span.
+	DecisionNS int64
+	// EnforceNS is the completion of the enforcement span.
+	EnforceNS int64
+}
+
+// LatencySeconds is the decision-to-enforcement latency; negative when
+// the emitting clocks disagree (mixed virtual/wall time), which callers
+// should treat as unmeasurable.
+func (c Chain) LatencySeconds() float64 {
+	return float64(c.EnforceNS-c.DecisionNS) / 1e9
+}
+
+// Analysis is the result of analyzing a log.
+type Analysis struct {
+	Traces int
+	Spans  int
+	// Chains are the complete decision → enforcement paths, ordered by
+	// decision time.
+	Chains []Chain
+	// Orphans are spans naming a parent absent from the merged log —
+	// dropped records or missing input files.
+	Orphans []Span
+	// Latency aggregates chain latencies (non-negative only); quantiles
+	// come from Histogram.Quantile's bucket interpolation.
+	Latency *obs.Histogram
+	// StalenessSeconds maps each traced set_budget span ID to the age of
+	// the deciding job's newest model update at decision time. Absent
+	// when the job had sent no update yet.
+	StalenessSeconds map[string]float64
+}
+
+// decisionNames are span names that count as budget decisions.
+var decisionNames = map[string]bool{"rebudget": true, "set_budget": true, "sim_recap": true}
+
+// Analyze links the log's spans into trees and extracts complete
+// chains, orphans, latency, and staleness.
+func Analyze(l *Log) *Analysis {
+	a := &Analysis{
+		Spans:            len(l.Spans),
+		Latency:          obs.NewHistogram(obs.DefLatencyBuckets),
+		StalenessSeconds: map[string]float64{},
+	}
+	byID := make(map[string]*Span, len(l.Spans))
+	traces := map[string]bool{}
+	for i := range l.Spans {
+		s := &l.Spans[i]
+		byID[s.ID] = s
+		traces[s.TraceID] = true
+	}
+	a.Traces = len(traces)
+
+	for i := range l.Spans {
+		s := &l.Spans[i]
+		if s.Parent != "" && byID[s.Parent] == nil {
+			a.Orphans = append(a.Orphans, *s)
+		}
+		if s.Name != "cap_fanout" {
+			continue
+		}
+		// Walk ancestry to the outermost reachable decision span.
+		hops := []Span{*s}
+		var decision *Span
+		for p := byID[s.Parent]; p != nil; p = byID[p.Parent] {
+			hops = append([]Span{*p}, hops...)
+			if decisionNames[p.Name] {
+				decision = p
+			}
+			if len(hops) > 16 { // defensive: malformed cyclic input
+				break
+			}
+		}
+		if decision == nil {
+			continue
+		}
+		c := Chain{
+			TraceID: s.TraceID, Job: s.Job, Hops: hops,
+			DecisionNS: hops[0].StartNS, EnforceNS: s.EndNS(),
+		}
+		a.Chains = append(a.Chains, c)
+		if lat := c.LatencySeconds(); lat >= 0 {
+			a.Latency.Observe(lat)
+		}
+	}
+	sort.Slice(a.Chains, func(i, j int) bool { return a.Chains[i].DecisionNS < a.Chains[j].DecisionNS })
+	sort.Slice(a.Orphans, func(i, j int) bool { return a.Orphans[i].StartNS < a.Orphans[j].StartNS })
+
+	// Staleness: for each traced set_budget decision, the age of the
+	// job's newest model sample at decision time. Sample timestamps and
+	// span stamps share a clock per deployment (both wall, or both
+	// virtual), matching the paper's same-host timestamp rationale (§7.2).
+	updates := map[string][]int64{}
+	for _, u := range l.Updates {
+		ts := u.SampleNS
+		if ts == 0 {
+			ts = u.RecvNS
+		}
+		updates[u.Job] = append(updates[u.Job], ts)
+	}
+	for _, tss := range updates {
+		sort.Slice(tss, func(i, j int) bool { return tss[i] < tss[j] })
+	}
+	for i := range l.Spans {
+		s := &l.Spans[i]
+		if s.Name != "set_budget" || s.Job == "" {
+			continue
+		}
+		tss := updates[s.Job]
+		// Newest update at or before the decision.
+		k := sort.Search(len(tss), func(i int) bool { return tss[i] > s.StartNS })
+		if k == 0 {
+			continue
+		}
+		a.StalenessSeconds[s.ID] = float64(s.StartNS-tss[k-1]) / 1e9
+	}
+	return a
+}
+
+// StalenessStats returns the mean and max model staleness over all
+// measured decisions, and how many decisions were measured.
+func (a *Analysis) StalenessStats() (mean, max float64, n int) {
+	for _, v := range a.StalenessSeconds {
+		mean += v
+		if v > max {
+			max = v
+		}
+		n++
+	}
+	if n > 0 {
+		mean /= float64(n)
+	}
+	return mean, max, n
+}
+
+// WriteDOT renders every trace whose ID starts with prefix (all traces
+// when prefix is empty) as a Graphviz digraph of parent → child span
+// edges.
+func (a *Analysis) WriteDOT(w io.Writer, l *Log, prefix string) error {
+	bw := bufio.NewWriter(w)
+	fmt.Fprintln(bw, "digraph causal {")
+	fmt.Fprintln(bw, "  rankdir=LR;")
+	fmt.Fprintln(bw, "  node [shape=box, fontname=\"monospace\"];")
+	for i := range l.Spans {
+		s := &l.Spans[i]
+		if prefix != "" && !strings.HasPrefix(s.TraceID, prefix) {
+			continue
+		}
+		// Span IDs are hex and names/jobs are [-._a-z0-9], so plain
+		// quoting is safe; \n must reach DOT unescaped as a line break.
+		label := s.Name
+		if s.Job != "" {
+			label += "\\n" + s.Job
+		}
+		label += fmt.Sprintf("\\n%.3f ms", float64(s.DurNS)/1e6)
+		fmt.Fprintf(bw, "  %q [label=\"%s\"];\n", s.ID, label)
+		if s.Parent != "" {
+			fmt.Fprintf(bw, "  %q -> %q;\n", s.Parent, s.ID)
+		}
+	}
+	fmt.Fprintln(bw, "}")
+	return bw.Flush()
+}

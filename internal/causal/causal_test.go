@@ -1,0 +1,221 @@
+package causal
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// emitChain drives the real span API through a JSONL tracer, simulating
+// the four-hop production chain across three "processes" (three tracers
+// sharing one sink, as three merged files would).
+func emitChain(t *testing.T, buf *bytes.Buffer, base time.Time, job string) {
+	t.Helper()
+	cluster := obs.NewTracer(buf, "anord")
+	endpoint := obs.NewTracer(buf, "endpoint")
+	runtime := obs.NewTracer(buf, "geopm")
+
+	round := cluster.StartSpanAt("rebudget", obs.TraceContext{}, base)
+	sb := round.ChildAt("set_budget", base.Add(1*time.Millisecond))
+	sb.SetJob(job).Set("cap_w", 180.0)
+	wire := sb.Context()
+	sb.EndAt(base.Add(2 * time.Millisecond))
+	round.EndAt(base.Add(3 * time.Millisecond))
+
+	apply := endpoint.StartSpanAt("cap_apply", wire, base.Add(5*time.Millisecond))
+	apply.SetJob(job)
+	mailbox := apply.Context()
+	apply.EndAt(base.Add(6 * time.Millisecond))
+
+	fan := runtime.StartSpanAt("cap_fanout", mailbox, base.Add(8*time.Millisecond))
+	fan.SetJob(job).Set("nodes", 4)
+	fan.EndAt(base.Add(10 * time.Millisecond))
+
+	for _, tr := range []*obs.Tracer{cluster, endpoint, runtime} {
+		if err := tr.Flush(); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestAnalyzeReconstructsCompleteChain(t *testing.T) {
+	var buf bytes.Buffer
+	base := time.Unix(1754400000, 123456789)
+	emitChain(t, &buf, base, "is.D.32-1")
+
+	l := NewLog()
+	if err := l.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if l.Malformed != 0 {
+		t.Fatalf("malformed lines: %d", l.Malformed)
+	}
+	if len(l.Spans) != 4 {
+		t.Fatalf("spans = %d, want 4", len(l.Spans))
+	}
+
+	a := Analyze(l)
+	if a.Traces != 1 {
+		t.Fatalf("traces = %d, want 1", a.Traces)
+	}
+	if len(a.Orphans) != 0 {
+		t.Fatalf("orphans = %v, want none", a.Orphans)
+	}
+	if len(a.Chains) != 1 {
+		t.Fatalf("chains = %d, want 1", len(a.Chains))
+	}
+	c := a.Chains[0]
+	if c.Job != "is.D.32-1" {
+		t.Fatalf("chain job = %q", c.Job)
+	}
+	// Full path: rebudget → set_budget → cap_apply → cap_fanout.
+	names := make([]string, len(c.Hops))
+	for i, h := range c.Hops {
+		names[i] = h.Name
+	}
+	want := []string{"rebudget", "set_budget", "cap_apply", "cap_fanout"}
+	if strings.Join(names, ",") != strings.Join(want, ",") {
+		t.Fatalf("hops = %v, want %v", names, want)
+	}
+	// Decision at base, enforcement ends at base+10ms: exactly 10 ms.
+	if got := c.LatencySeconds(); got != 0.010 {
+		t.Fatalf("latency = %v s, want 0.010", got)
+	}
+	if n := a.Latency.Count(); n != 1 {
+		t.Fatalf("latency observations = %d, want 1", n)
+	}
+	if p50 := a.Latency.Quantile(0.5); p50 <= 0 {
+		t.Fatalf("p50 = %v, want > 0", p50)
+	}
+}
+
+func TestAnalyzeFlagsOrphans(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, "geopm")
+	// A fan-out whose parent context points at a span that was never
+	// recorded (e.g. the cluster tier's file was not provided).
+	ghost := obs.TraceContext{TraceID: "feedfeedfeedfeedfeedfeedfeedfeed", SpanID: "abadcafeabadcafe", RootStartUnixNano: 1}
+	sp := tr.StartSpanAt("cap_fanout", ghost, time.Unix(100, 0))
+	sp.SetJob("j1")
+	sp.EndAt(time.Unix(101, 0))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	l := NewLog()
+	if err := l.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(l)
+	if len(a.Orphans) != 1 || a.Orphans[0].Name != "cap_fanout" {
+		t.Fatalf("orphans = %v, want the one cap_fanout", a.Orphans)
+	}
+	// No reachable decision ancestor → not a complete chain.
+	if len(a.Chains) != 0 {
+		t.Fatalf("chains = %d, want 0", len(a.Chains))
+	}
+}
+
+func TestLoadPreservesInt64Precision(t *testing.T) {
+	// 1754400000123456789 is not representable as a float64 (it exceeds
+	// 2^53); a map[string]any decode would round it.
+	const startNS = int64(1754400000123456789)
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, "r")
+	sp := tr.StartSpanAt("rebudget", obs.TraceContext{}, time.Unix(0, startNS))
+	sp.EndAt(time.Unix(0, startNS+1))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	l := NewLog()
+	if err := l.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if len(l.Spans) != 1 || l.Spans[0].StartNS != startNS || l.Spans[0].DurNS != 1 {
+		t.Fatalf("spans = %+v, want exact start %d dur 1", l.Spans, startNS)
+	}
+}
+
+func TestAnalyzeStaleness(t *testing.T) {
+	var buf bytes.Buffer
+	tr := obs.NewTracer(&buf, "anord")
+	base := time.Unix(2000, 0)
+	// Model update 3 s before the decision, another after it (ignored).
+	tr.Emit(obs.Event{Type: obs.EvModelUpdate, Job: "j1", TimeUnixNano: base.Add(-3 * time.Second).UnixNano(),
+		Fields: obs.F{"ts_ns": base.Add(-3 * time.Second).UnixNano(), "power_w": 100.0}})
+	tr.Emit(obs.Event{Type: obs.EvModelUpdate, Job: "j1", TimeUnixNano: base.Add(5 * time.Second).UnixNano(),
+		Fields: obs.F{"ts_ns": base.Add(5 * time.Second).UnixNano(), "power_w": 110.0}})
+	round := tr.StartSpanAt("rebudget", obs.TraceContext{}, base)
+	sb := round.ChildAt("set_budget", base)
+	sb.SetJob("j1")
+	sb.EndAt(base.Add(time.Millisecond))
+	round.EndAt(base.Add(time.Millisecond))
+	if err := tr.Flush(); err != nil {
+		t.Fatal(err)
+	}
+
+	l := NewLog()
+	if err := l.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(l)
+	mean, max, n := a.StalenessStats()
+	if n != 1 {
+		t.Fatalf("measured decisions = %d, want 1", n)
+	}
+	if mean != 3 || max != 3 {
+		t.Fatalf("staleness mean=%v max=%v, want 3 s", mean, max)
+	}
+}
+
+func TestWriteDOT(t *testing.T) {
+	var buf bytes.Buffer
+	emitChain(t, &buf, time.Unix(3000, 0), "j9")
+	l := NewLog()
+	if err := l.Load(&buf); err != nil {
+		t.Fatal(err)
+	}
+	a := Analyze(l)
+
+	var dot bytes.Buffer
+	if err := a.WriteDOT(&dot, l, ""); err != nil {
+		t.Fatal(err)
+	}
+	out := dot.String()
+	for _, want := range []string{"digraph causal", "rebudget", "set_budget", "cap_apply", "cap_fanout", "->"} {
+		if !strings.Contains(out, want) {
+			t.Fatalf("DOT output missing %q:\n%s", want, out)
+		}
+	}
+	if got := strings.Count(out, "->"); got != 3 {
+		t.Fatalf("edges = %d, want 3", got)
+	}
+	// Prefix filtering: a non-matching prefix yields an empty graph.
+	dot.Reset()
+	if err := a.WriteDOT(&dot, l, "zzzz"); err != nil {
+		t.Fatal(err)
+	}
+	if strings.Contains(dot.String(), "->") {
+		t.Fatalf("prefix-filtered DOT should have no edges:\n%s", dot.String())
+	}
+}
+
+func TestLoadSkipsMalformedLines(t *testing.T) {
+	in := strings.NewReader(`{"t_ns":1,"type":"span","fields":{"name":"rebudget","trace":"t","span":"s","start_ns":1,"dur_ns":2}}
+not json at all
+{"t_ns":2,"type":"sim_step","fields":{"t_s":0}}
+`)
+	l := NewLog()
+	if err := l.Load(in); err != nil {
+		t.Fatal(err)
+	}
+	if l.Malformed != 1 {
+		t.Fatalf("malformed = %d, want 1", l.Malformed)
+	}
+	if len(l.Spans) != 1 || l.Events["sim_step"] != 1 {
+		t.Fatalf("spans=%d sim_steps=%d, want 1 and 1", len(l.Spans), l.Events["sim_step"])
+	}
+}

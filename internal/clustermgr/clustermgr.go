@@ -84,6 +84,7 @@ type managerMetrics struct {
 	capsSent     *obs.Counter
 	capSendErrs  *obs.Counter
 	modelUpdates *obs.Counter
+	feedbackLat  *obs.Histogram
 	jobAlloc     *obs.GaugeVec
 	jobPower     *obs.GaugeVec
 }
@@ -100,6 +101,7 @@ func newManagerMetrics(r *obs.Registry) managerMetrics {
 		capsSent:     r.Counter("anord_caps_sent_total", "SetBudget messages pushed to job-tier endpoints."),
 		capSendErrs:  r.Counter("anord_cap_send_errors_total", "SetBudget sends that failed (job deregisters on its own)."),
 		modelUpdates: r.Counter("anord_model_updates_total", "Model updates received from the job tier."),
+		feedbackLat:  r.Histogram("anord_decision_feedback_seconds", "Latency from a budget decision to the first model update reflecting it, from echoed trace timestamps.", obs.DefLatencyBuckets),
 		jobAlloc:     r.GaugeVec("anord_job_allocated_watts", "Power cap last allocated to a job.", "job"),
 		jobPower:     r.GaugeVec("anord_job_measured_watts", "Power last measured by a job.", "job"),
 	}
@@ -251,10 +253,23 @@ func (m *Manager) handleConn(c *proto.Conn) {
 			m.mu.Unlock()
 			m.met.modelUpdates.Inc()
 			m.met.jobPower.With(hello.JobID).Set(u.PowerWatts)
+			// A traced update echoes the decision context the job last ran
+			// under, closing the decision → actuation → feedback loop.
+			if d := env.TraceContext(); d.RootStartUnixNano > 0 {
+				if lat := float64(time.Now().UnixNano()-d.RootStartUnixNano) / 1e9; lat >= 0 {
+					m.met.feedbackLat.Observe(lat)
+				}
+			}
 			if m.cfg.Tracer.Enabled() {
-				m.cfg.Tracer.Emit(obs.Event{Type: obs.EvModelUpdate, Job: hello.JobID, Fields: obs.F{
+				fields := obs.F{
 					"power_w": u.PowerWatts, "epochs": u.Epochs, "trained": u.Trained,
-				}})
+					"ts_ns": u.TimestampUnixNano,
+				}
+				if d := env.TraceContext(); d.Valid() {
+					fields["trace"] = d.TraceID
+					fields["parent"] = d.SpanID
+				}
+				m.cfg.Tracer.Emit(obs.Event{Type: obs.EvModelUpdate, Job: hello.JobID, Fields: fields})
 			}
 		case proto.KindGoodbye:
 			return
@@ -291,6 +306,11 @@ func (m *Manager) Tick() {
 	now := m.cfg.Clock.Now()
 	target := m.cfg.Target(now)
 
+	// The rebudget round is the root of the causal trace: every cap this
+	// iteration pushes descends from it, through the job tier's policy
+	// write, down to the agent tree's hardware fan-out.
+	round := m.cfg.Tracer.StartSpanAt("rebudget", obs.TraceContext{}, now)
+
 	jobs, conns, busyNodes, measuredJobs := m.snapshot()
 	idleNodes := m.cfg.TotalNodes - busyNodes
 	if idleNodes < 0 {
@@ -301,11 +321,17 @@ func (m *Manager) Tick() {
 	jobBudget := target - idleDraw
 	alloc := m.cfg.Budgeter.Allocate(jobs, jobBudget)
 	measured := measuredJobs + idleDraw
+	round.Set("target_w", target.Watts()).Set("job_budget_w", jobBudget.Watts()).
+		Set("measured_w", measured.Watts()).Set("jobs", len(jobs))
 	if m.cfg.Tracer.Enabled() {
-		m.cfg.Tracer.Emit(obs.Event{Type: obs.EvBudgetDecision, TimeUnixNano: now.UnixNano(), Fields: obs.F{
+		fields := obs.F{
 			"target_w": target.Watts(), "job_budget_w": jobBudget.Watts(),
 			"measured_w": measured.Watts(), "jobs": len(jobs), "idle_nodes": idleNodes,
-		}})
+		}
+		if ctx := round.Context(); ctx.Valid() {
+			fields["trace"] = ctx.TraceID
+		}
+		m.cfg.Tracer.Emit(obs.Event{Type: obs.EvBudgetDecision, TimeUnixNano: now.UnixNano(), Fields: fields})
 	}
 
 	for _, j := range jobs {
@@ -314,15 +340,21 @@ func (m *Manager) Tick() {
 			continue
 		}
 		conn := conns[j.ID]
+		// Each cap push is a child span of the round; its context rides
+		// the envelope so the job tier continues the same trace.
+		sp := round.ChildAt("set_budget", now)
+		sp.SetJob(j.ID).Set("cap_w", cap.Watts())
 		env := proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
 			JobID: j.ID, PowerCapWatts: cap.Watts(),
-		}}
+		}, Trace: sp.Propagate()}
 		if err := conn.Send(env); err != nil {
 			// The connection handler will deregister the job on its own
 			// Recv error; nothing to do here.
 			m.met.capSendErrs.Inc()
+			sp.Set("send_err", true).EndAt(m.cfg.Clock.Now())
 			continue
 		}
+		sp.EndAt(m.cfg.Clock.Now())
 		m.mu.Lock()
 		if js, ok := m.jobs[j.ID]; ok {
 			js.lastCap = cap
@@ -331,11 +363,14 @@ func (m *Manager) Tick() {
 		m.met.capsSent.Inc()
 		m.met.jobAlloc.With(j.ID).Set(cap.Watts())
 		if m.cfg.Tracer.Enabled() {
-			m.cfg.Tracer.Emit(obs.Event{Type: obs.EvCapFanout, TimeUnixNano: now.UnixNano(), Job: j.ID, Fields: obs.F{
-				"cap_w": cap.Watts(), "nodes": j.Nodes,
-			}})
+			fields := obs.F{"cap_w": cap.Watts(), "nodes": j.Nodes}
+			if ctx := sp.Context(); ctx.Valid() {
+				fields["trace"] = ctx.TraceID
+			}
+			m.cfg.Tracer.Emit(obs.Event{Type: obs.EvCapFanout, TimeUnixNano: now.UnixNano(), Job: j.ID, Fields: fields})
 		}
 	}
+	round.EndAt(m.cfg.Clock.Now())
 
 	m.rec.Record(trace.Point{Time: now, Target: target, Measured: measured})
 	m.met.rebudgets.Inc()

@@ -1,8 +1,10 @@
 package clustermgr
 
 import (
+	"net"
 	"strings"
 	"testing"
+	"time"
 
 	"repro/internal/clock"
 	"repro/internal/obs"
@@ -88,6 +90,108 @@ func TestTickPopulatesMetricsAndEvents(t *testing.T) {
 	if decisions != 1 || fanouts != 2 {
 		t.Errorf("events: %d decisions, %d fanouts; want 1, 2", decisions, fanouts)
 	}
+}
+
+// TestTickEmitsCausalSpans checks the cluster tier's half of the causal
+// chain: a rebudget root span, a set_budget child per cap pushed, and
+// the child's context riding the SetBudget envelope so the job tier can
+// continue the trace.
+func TestTickEmitsCausalSpans(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	cfg := testConfig(v, 2000)
+	reg := obs.NewRegistry()
+	ring := obs.NewRing(128, "test")
+	cfg.Metrics = reg
+	cfg.Tracer = ring
+	m, err := NewManager(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// A raw peer that keeps whole envelopes, trace context included.
+	a, b := net.Pipe()
+	m.AttachConn(proto.NewConn(a))
+	pc := proto.NewConn(b)
+	if err := pc.Send(proto.Envelope{Kind: proto.KindHello, Hello: &proto.Hello{
+		JobID: "tr-1", TypeName: "bt.D.81", Nodes: 2,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	envs := make(chan proto.Envelope, 8)
+	go func() {
+		for {
+			env, err := pc.Recv()
+			if err != nil {
+				return
+			}
+			envs <- env
+		}
+	}()
+	waitFor(t, func() bool { return hasJob(m, "tr-1") })
+	m.Tick()
+
+	var env proto.Envelope
+	select {
+	case env = <-envs:
+	case <-time.After(5 * time.Second):
+		t.Fatal("no SetBudget received")
+	}
+	if env.Kind != proto.KindSetBudget {
+		t.Fatalf("kind = %q", env.Kind)
+	}
+	if env.Trace == nil || !env.Trace.Valid() {
+		t.Fatalf("SetBudget envelope carries no trace context: %+v", env.Trace)
+	}
+
+	var root, child map[string]any
+	for _, e := range ring.Events() {
+		if e.Type != obs.EvSpan {
+			continue
+		}
+		switch e.Fields["name"] {
+		case "rebudget":
+			root = e.Fields
+		case "set_budget":
+			child = e.Fields
+		}
+	}
+	if root == nil || child == nil {
+		t.Fatalf("missing spans: root=%v child=%v", root, child)
+	}
+	if child["parent"] != root["span"] {
+		t.Errorf("set_budget parent = %v, want rebudget span %v", child["parent"], root["span"])
+	}
+	if child["trace"] != root["trace"] {
+		t.Errorf("trace IDs differ: %v vs %v", child["trace"], root["trace"])
+	}
+	if env.Trace.SpanID != child["span"] {
+		t.Errorf("envelope span = %q, want set_budget span %v", env.Trace.SpanID, child["span"])
+	}
+	if env.Trace.RootStartUnixNano != t0.UnixNano() {
+		t.Errorf("root_ns = %d, want rebudget start %d", env.Trace.RootStartUnixNano, t0.UnixNano())
+	}
+
+	// A model update echoing the decision context closes the loop: the
+	// feedback histogram observes and the event names the trace.
+	echo := *env.Trace
+	update := proto.ModelUpdateFor("tr-1", workload.MustByName("bt").RelativeModel(), false)
+	update.PowerWatts = 300
+	update.TimestampUnixNano = time.Now().UnixNano()
+	if err := pc.Send(proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update, Trace: &echo}); err != nil {
+		t.Fatal(err)
+	}
+	waitFor(t, func() bool {
+		for _, e := range ring.Events() {
+			if e.Type == obs.EvModelUpdate && e.Fields["trace"] == echo.TraceID {
+				return true
+			}
+		}
+		return false
+	})
+	if got := scrape(t, reg); !strings.Contains(got, "anord_decision_feedback_seconds_count 1") {
+		t.Errorf("feedback latency histogram not observed:\n%s", got)
+	}
+	pc.Close()
 }
 
 func TestModelUpdateMetricsAndDisconnectCleanup(t *testing.T) {

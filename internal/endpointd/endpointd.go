@@ -13,6 +13,7 @@ package endpointd
 import (
 	"context"
 	"errors"
+	"sync"
 	"time"
 
 	"repro/internal/clock"
@@ -64,6 +65,7 @@ type epMetrics struct {
 	epochs   *obs.Counter
 	rate     *obs.Gauge
 	capApply *obs.Histogram
+	decision *obs.Histogram
 	capsRecv *obs.Counter
 	updates  *obs.Counter
 	refits   *obs.Counter
@@ -81,6 +83,7 @@ func newEpMetrics(r *obs.Registry, job string) epMetrics {
 		epochs:   r.CounterVec("endpoint_epochs_total", "Application epochs observed via GEOPM samples.", "job").With(job),
 		rate:     r.GaugeVec("endpoint_epoch_rate_hz", "Epoch completion rate over the last sample span.", "job").With(job),
 		capApply: r.HistogramVec("endpoint_cap_apply_seconds", "Latency from SetBudget receipt to the GEOPM policy write.", obs.DefLatencyBuckets, "job").With(job),
+		decision: r.HistogramVec("endpoint_decision_to_apply_seconds", "Latency from the cluster-tier budget decision to the GEOPM policy write, from propagated trace timestamps.", obs.DefLatencyBuckets, "job").With(job),
 		capsRecv: r.CounterVec("endpoint_caps_received_total", "SetBudget messages received from the cluster tier.", "job").With(job),
 		updates:  r.CounterVec("endpoint_model_updates_sent_total", "Model updates reported to the cluster tier.", "job").With(job),
 		refits:   r.CounterVec("endpoint_model_refits_total", "Accepted online model re-fits.", "job").With(job),
@@ -99,6 +102,15 @@ type Endpoint struct {
 	lastEpochs    int64
 	lastEpochTime time.Time
 	lastRefits    int
+
+	// mu guards lastDecision, written by the receive goroutine and read
+	// by the report loop.
+	mu sync.Mutex
+	// lastDecision is the trace context of the budget decision whose cap
+	// the job currently runs under; model updates echo it upward so the
+	// cluster tier (and offline analysis) can close the decision →
+	// actuation → feedback loop.
+	lastDecision obs.TraceContext
 }
 
 // New validates the configuration and constructs an endpoint daemon.
@@ -142,23 +154,7 @@ func (e *Endpoint) Run(ctx context.Context) error {
 				return
 			}
 			if env.Kind == proto.KindSetBudget {
-				var recvAt time.Time
-				if e.met.capApply != nil {
-					recvAt = time.Now()
-				}
-				e.cfg.GEOPM.WritePolicy(geopm.Policy{
-					PowerCap: units.Power(env.SetBudget.PowerCapWatts),
-				})
-				if e.met.capApply != nil {
-					e.met.capApply.Observe(time.Since(recvAt).Seconds())
-				}
-				e.met.capsRecv.Inc()
-				e.cfg.Log.Debugf("budget received: %.0f W/node", env.SetBudget.PowerCapWatts)
-				if e.cfg.Tracer.Enabled() {
-					e.cfg.Tracer.Emit(obs.Event{Type: obs.EvBudgetReceived, Job: e.cfg.JobID, Fields: obs.F{
-						"cap_w": env.SetBudget.PowerCapWatts,
-					}})
-				}
+				e.applyBudget(env)
 			}
 		}
 	}()
@@ -183,6 +179,55 @@ func (e *Endpoint) Run(ctx context.Context) error {
 	}
 }
 
+// applyBudget services one SetBudget: it continues the decision's
+// causal trace through a cap-apply span, hands the context down the
+// shared-memory mailbox for the agent tree's fan-out span, and records
+// the decision so upward model updates can reference it.
+func (e *Endpoint) applyBudget(env proto.Envelope) {
+	decision := env.TraceContext()
+	sp := e.cfg.Tracer.StartSpan("cap_apply", decision)
+	sp.SetJob(e.cfg.JobID).Set("cap_w", env.SetBudget.PowerCapWatts)
+
+	// The policy carries the apply span's context when tracing is on,
+	// and otherwise passes the wire context through unchanged so a
+	// traced cluster tier still reaches the fan-out of an untraced job.
+	pctx := sp.Context()
+	if !pctx.Valid() {
+		pctx = decision
+	}
+	var recvAt time.Time
+	if e.met.capApply != nil {
+		recvAt = time.Now()
+	}
+	e.cfg.GEOPM.WritePolicy(geopm.Policy{
+		PowerCap: units.Power(env.SetBudget.PowerCapWatts),
+		Trace:    pctx,
+	})
+	if e.met.capApply != nil {
+		e.met.capApply.Observe(time.Since(recvAt).Seconds())
+	}
+	if root := decision.RootStartUnixNano; root > 0 {
+		if lat := float64(time.Now().UnixNano()-root) / 1e9; lat >= 0 {
+			e.met.decision.Observe(lat)
+		}
+	}
+	sp.End()
+	e.met.capsRecv.Inc()
+
+	e.mu.Lock()
+	e.lastDecision = decision
+	e.mu.Unlock()
+
+	e.cfg.Log.Debugf("budget received: %.0f W/node", env.SetBudget.PowerCapWatts)
+	if e.cfg.Tracer.Enabled() {
+		fields := obs.F{"cap_w": env.SetBudget.PowerCapWatts}
+		if decision.Valid() {
+			fields["trace"] = decision.TraceID
+		}
+		e.cfg.Tracer.Emit(obs.Event{Type: obs.EvBudgetReceived, Job: e.cfg.JobID, Fields: fields})
+	}
+}
+
 // tick folds any fresh GEOPM sample into the modeler and reports the
 // current model to the cluster tier.
 func (e *Endpoint) tick() error {
@@ -198,7 +243,16 @@ func (e *Endpoint) tick() error {
 	update.Epochs = sample.EpochCount
 	update.PowerWatts = sample.Power.Watts()
 	update.TimestampUnixNano = sample.Time.UnixNano()
-	if err := e.cfg.Conn.Send(proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update}); err != nil {
+	env := proto.Envelope{Kind: proto.KindModelUpdate, ModelUpdate: &update}
+	// Close the causal loop: the update reflects behavior under the last
+	// applied budget, so it carries that decision's context back up.
+	e.mu.Lock()
+	if e.lastDecision.Valid() {
+		d := e.lastDecision
+		env.Trace = &d
+	}
+	e.mu.Unlock()
+	if err := e.cfg.Conn.Send(env); err != nil {
 		return err
 	}
 	e.met.updates.Inc()

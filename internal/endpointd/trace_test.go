@@ -1,0 +1,183 @@
+package endpointd
+
+import (
+	"context"
+	"net"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+// TestSetBudgetContinuesCausalTrace checks the job tier's hop of the
+// chain: a traced SetBudget yields a cap_apply span that is a child of
+// the wire context, the policy carries the apply span's context into
+// the shared-memory mailbox, and subsequent model updates echo the
+// decision's context back up.
+func TestSetBudgetContinuesCausalTrace(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	ring := obs.NewRing(128, "test")
+	reg := obs.NewRegistry()
+	cfg.Tracer = ring
+	cfg.Metrics = reg
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+	defer cluster.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ep.Run(ctx)
+
+	updates := make(chan proto.Envelope, 64)
+	go func() {
+		for {
+			env, err := cluster.Recv()
+			if err != nil {
+				return
+			}
+			if env.Kind == proto.KindModelUpdate {
+				updates <- env
+			}
+		}
+	}()
+
+	// Decision context as the cluster tier would attach it. The root
+	// timestamp is in the past, so the decision-to-apply latency is
+	// positive and must be observed.
+	decision := obs.TraceContext{
+		TraceID:           "0123456789abcdef0123456789abcdef",
+		SpanID:            "00aa11bb22cc33dd",
+		RootStartUnixNano: time.Now().Add(-time.Second).UnixNano(),
+	}
+	if err := cluster.Send(proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
+		JobID: "job-1", PowerCapWatts: 150,
+	}, Trace: &decision}); err != nil {
+		t.Fatal(err)
+	}
+
+	// The policy write carries the apply span's context (same trace,
+	// new span ID, unchanged root timestamp).
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, seq := cfg.GEOPM.ReadPolicy()
+		if seq > 0 && p.PowerCap == 150 {
+			if p.Trace.TraceID != decision.TraceID {
+				t.Fatalf("policy trace = %q, want %q", p.Trace.TraceID, decision.TraceID)
+			}
+			if p.Trace.SpanID == decision.SpanID || p.Trace.SpanID == "" {
+				t.Fatalf("policy span = %q, want a fresh cap_apply span", p.Trace.SpanID)
+			}
+			if p.Trace.RootStartUnixNano != decision.RootStartUnixNano {
+				t.Fatalf("policy root_ns = %d, want %d", p.Trace.RootStartUnixNano, decision.RootStartUnixNano)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("traced policy never written: %+v seq %d", p, seq)
+		}
+		time.Sleep(time.Millisecond)
+	}
+
+	// The cap_apply span is a child of the wire context.
+	var apply map[string]any
+	for _, e := range ring.Events() {
+		if e.Type == obs.EvSpan && e.Fields["name"] == "cap_apply" {
+			apply = e.Fields
+		}
+	}
+	if apply == nil {
+		t.Fatal("no cap_apply span emitted")
+	}
+	if apply["parent"] != decision.SpanID || apply["trace"] != decision.TraceID {
+		t.Errorf("cap_apply parent=%v trace=%v, want %q/%q",
+			apply["parent"], apply["trace"], decision.SpanID, decision.TraceID)
+	}
+
+	// Model updates sent after the budget echo the decision context.
+	for {
+		select {
+		case env := <-updates:
+			if env.Trace == nil {
+				continue // sent before the budget landed
+			}
+			if env.Trace.TraceID != decision.TraceID || env.Trace.SpanID != decision.SpanID {
+				t.Fatalf("echoed context = %+v, want the decision's", env.Trace)
+			}
+			goto echoed
+		case <-time.After(5 * time.Second):
+			t.Fatal("no model update echoed the decision context")
+		}
+	}
+echoed:
+
+	var sb strings.Builder
+	if err := reg.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(sb.String(), `endpoint_decision_to_apply_seconds_count{job="job-1"} 1`) {
+		t.Errorf("decision-to-apply histogram not observed:\n%s", sb.String())
+	}
+}
+
+// TestUntracedSetBudgetStaysUntraced: without a wire context and
+// without a tracer, the policy carries a zero context and updates omit
+// the field — the backward-compatible degradation.
+func TestUntracedSetBudgetStaysUntraced(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+	defer cluster.Close()
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	go ep.Run(ctx)
+
+	updates := make(chan proto.Envelope, 64)
+	go func() {
+		for {
+			env, err := cluster.Recv()
+			if err != nil {
+				return
+			}
+			if env.Kind == proto.KindModelUpdate {
+				updates <- env
+			}
+		}
+	}()
+
+	if err := cluster.Send(proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
+		JobID: "job-1", PowerCapWatts: 120,
+	}}); err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		p, seq := cfg.GEOPM.ReadPolicy()
+		if seq > 0 && p.PowerCap == 120 {
+			if p.Trace.Valid() {
+				t.Fatalf("untraced budget produced a traced policy: %+v", p.Trace)
+			}
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("policy not written")
+		}
+		time.Sleep(time.Millisecond)
+	}
+	select {
+	case env := <-updates:
+		if env.Trace != nil {
+			t.Fatalf("untraced update carries context: %+v", env.Trace)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("no model update")
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"sync"
 	"time"
 
+	"repro/internal/obs"
 	"repro/internal/units"
 )
 
@@ -12,6 +13,11 @@ import (
 type Policy struct {
 	// PowerCap is the per-node cap in watts.
 	PowerCap units.Power
+	// Trace carries the causal context of the budget decision this
+	// policy implements across the shared-memory boundary, so the agent
+	// tree's fan-out can be attributed to the cluster-tier decision that
+	// caused it. Zero when the writer is untraced.
+	Trace obs.TraceContext
 }
 
 // Sample is the summarized state a job's root agent writes up through the

@@ -54,6 +54,7 @@ type Runtime struct {
 	agents []*Agent
 
 	metFanout   *obs.Histogram
+	metDecision *obs.Histogram
 	metPolicies *obs.Counter
 	metEpochs   *obs.Counter
 
@@ -97,6 +98,8 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 	if cfg.Metrics != nil {
 		r.metFanout = cfg.Metrics.HistogramVec("geopm_cap_fanout_seconds",
 			"Latency of enforcing a fresh policy across the agent tree.", obs.DefLatencyBuckets, "job").With(cfg.JobID)
+		r.metDecision = cfg.Metrics.HistogramVec("geopm_decision_to_enforce_seconds",
+			"Latency from the cluster-tier budget decision to hardware enforcement, from propagated trace timestamps.", obs.DefLatencyBuckets, "job").With(cfg.JobID)
 		r.metPolicies = cfg.Metrics.CounterVec("geopm_policies_applied_total",
 			"Fresh endpoint policies enforced across the agent tree.", "job").With(cfg.JobID)
 		r.metEpochs = cfg.Metrics.CounterVec("geopm_epochs_total",
@@ -173,6 +176,11 @@ func (r *Runtime) tick(now time.Time) error {
 	r.mu.Unlock()
 
 	if fresh {
+		// Continue the causal chain across the shared-memory boundary:
+		// the fan-out span is a child of the cap-apply span whose
+		// WritePolicy carried the context (which in turn descends from
+		// the cluster-tier budget decision).
+		sp := r.cfg.Tracer.StartSpan("cap_fanout", policy.Trace)
 		var t0 time.Time
 		if r.metFanout != nil {
 			t0 = time.Now()
@@ -183,11 +191,19 @@ func (r *Runtime) tick(now time.Time) error {
 		if r.metFanout != nil {
 			r.metFanout.Observe(time.Since(t0).Seconds())
 		}
+		if root := policy.Trace.RootStartUnixNano; root > 0 {
+			if lat := float64(time.Now().UnixNano()-root) / 1e9; lat >= 0 {
+				r.metDecision.Observe(lat)
+			}
+		}
 		r.metPolicies.Inc()
+		sp.SetJob(r.cfg.JobID).Set("cap_w", cap.Watts()).Set("nodes", len(r.agents)).End()
 		if r.cfg.Tracer.Enabled() {
-			r.cfg.Tracer.Emit(obs.Event{Type: obs.EvCapFanout, Job: r.cfg.JobID, Fields: obs.F{
-				"cap_w": cap.Watts(), "nodes": len(r.agents),
-			}})
+			fields := obs.F{"cap_w": cap.Watts(), "nodes": len(r.agents)}
+			if policy.Trace.Valid() {
+				fields["trace"] = policy.Trace.TraceID
+			}
+			r.cfg.Tracer.Emit(obs.Event{Type: obs.EvCapFanout, Job: r.cfg.JobID, Fields: fields})
 		}
 	}
 

@@ -8,13 +8,14 @@ import (
 	"time"
 )
 
-// Handler builds the admin HTTP handler: /metrics (Prometheus text),
-// /healthz (200 "ok" or 503 with the health error), and the full
-// net/http/pprof suite under /debug/pprof/. healthz may be nil for an
-// always-healthy daemon.
+// Handler builds the admin HTTP handler: /metrics (Prometheus text,
+// including scrape-fresh Go runtime health gauges), /healthz (200 "ok"
+// or 503 with the health error), and the full net/http/pprof suite
+// under /debug/pprof/. healthz may be nil for an always-healthy daemon.
 func Handler(reg *Registry, healthz func() error) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
+		CollectRuntime(reg)
 		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
 		_ = reg.WritePrometheus(w)
 	})

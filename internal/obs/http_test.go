@@ -38,6 +38,19 @@ func TestAdminServesMetricsHealthzAndPprof(t *testing.T) {
 	if code != http.StatusOK || !strings.Contains(body, "smoke_total 1") {
 		t.Errorf("/metrics = %d %q", code, body)
 	}
+	// Runtime health gauges are refreshed per scrape; a live process
+	// always has goroutines and heap.
+	for _, fam := range []string{
+		"go_goroutines", "go_heap_alloc_bytes", "go_heap_sys_bytes",
+		"go_gc_cycles_total", "process_uptime_seconds",
+	} {
+		if !strings.Contains(body, fam+" ") {
+			t.Errorf("/metrics missing runtime gauge %s:\n%s", fam, body)
+		}
+	}
+	if strings.Contains(body, "go_goroutines 0") {
+		t.Error("go_goroutines scraped as 0 in a live process")
+	}
 	code, body = get("/healthz")
 	if code != http.StatusOK || !strings.Contains(body, "ok") {
 		t.Errorf("/healthz = %d %q", code, body)

@@ -159,6 +159,42 @@ func (h *Histogram) Sum() float64 {
 	return math.Float64frombits(h.sumBits.Load())
 }
 
+// Quantile estimates the q-th quantile (q in [0, 1]) by linear
+// interpolation within the bucket containing it, the way PromQL's
+// histogram_quantile does: the answer is exact at bucket boundaries and
+// interpolated inside them, so its error is bounded by bucket width.
+// Observations in the +Inf bucket report the highest finite bound.
+// Returns NaN on a nil or empty histogram or an out-of-range q.
+func (h *Histogram) Quantile(q float64) float64 {
+	if h == nil || math.IsNaN(q) || q < 0 || q > 1 {
+		return math.NaN()
+	}
+	total := h.count.Load()
+	if total == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(total)
+	var cum float64
+	for i, bound := range h.bounds {
+		c := float64(h.counts[i].Load())
+		if cum+c >= rank {
+			lower := 0.0
+			if i > 0 {
+				lower = h.bounds[i-1]
+			}
+			if c == 0 {
+				return bound
+			}
+			return lower + (bound-lower)*(rank-cum)/c
+		}
+		cum += c
+	}
+	if len(h.bounds) > 0 {
+		return h.bounds[len(h.bounds)-1]
+	}
+	return math.NaN()
+}
+
 type metricKind int
 
 const (

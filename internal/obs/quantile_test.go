@@ -1,0 +1,76 @@
+package obs
+
+import (
+	"math"
+	"testing"
+)
+
+func TestQuantileEmptyAndNil(t *testing.T) {
+	var nilH *Histogram
+	if !math.IsNaN(nilH.Quantile(0.5)) {
+		t.Error("nil histogram quantile not NaN")
+	}
+	h := NewHistogram([]float64{1, 2})
+	if !math.IsNaN(h.Quantile(0.5)) {
+		t.Error("empty histogram quantile not NaN")
+	}
+	h.Observe(1)
+	for _, q := range []float64{-0.1, 1.1, math.NaN()} {
+		if !math.IsNaN(h.Quantile(q)) {
+			t.Errorf("q=%v did not yield NaN", q)
+		}
+	}
+}
+
+func TestQuantileUniformInterpolation(t *testing.T) {
+	// 100 observations spread evenly through (0, 10]: the estimated
+	// quantiles should land near the true ones, within bucket error.
+	h := NewHistogram([]float64{2, 4, 6, 8, 10})
+	for i := 1; i <= 100; i++ {
+		h.Observe(float64(i) / 10)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.2, 2}, {0.4, 4}, {0.5, 5}, {0.9, 9}, {1, 10},
+	} {
+		got := h.Quantile(tc.q)
+		if math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInterpolatesWithinBucket(t *testing.T) {
+	// All mass in the (1, 2] bucket: the median interpolates to its
+	// midpoint, p25/p75 to the quarter points.
+	h := NewHistogram([]float64{1, 2, 4})
+	for i := 0; i < 10; i++ {
+		h.Observe(1.5)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.25, 1.25}, {0.5, 1.5}, {0.75, 1.75},
+	} {
+		if got := h.Quantile(tc.q); math.Abs(got-tc.want) > 1e-9 {
+			t.Errorf("Quantile(%v) = %v, want %v", tc.q, got, tc.want)
+		}
+	}
+}
+
+func TestQuantileInfBucketClampsToHighestBound(t *testing.T) {
+	h := NewHistogram([]float64{1, 2})
+	h.Observe(0.5)
+	h.Observe(100) // lands in +Inf
+	if got := h.Quantile(0.99); got != 2 {
+		t.Errorf("p99 with +Inf mass = %v, want highest finite bound 2", got)
+	}
+}
+
+func TestQuantileSkipsEmptyLeadingBuckets(t *testing.T) {
+	h := NewHistogram([]float64{0.001, 0.01, 0.1, 1})
+	for i := 0; i < 4; i++ {
+		h.Observe(0.05)
+	}
+	got := h.Quantile(0.5)
+	if got <= 0.01 || got > 0.1 {
+		t.Errorf("median = %v, want inside (0.01, 0.1]", got)
+	}
+}

@@ -1,0 +1,34 @@
+package obs
+
+import (
+	"runtime"
+	"time"
+)
+
+// processStart anchors process_uptime_seconds. Package init runs before
+// any daemon work, so it is close enough to exec time for health use.
+var processStart = time.Now()
+
+// CollectRuntime refreshes the Go runtime health gauges on r:
+// goroutine count (the leak detector for daemons full of per-connection
+// goroutines), heap usage, GC cycles, and process uptime. The admin
+// handler calls it before every /metrics scrape so the exported values
+// are scrape-fresh; it is also callable directly from tests or push
+// pipelines. No-op on a nil registry.
+func CollectRuntime(r *Registry) {
+	if r == nil {
+		return
+	}
+	var ms runtime.MemStats
+	runtime.ReadMemStats(&ms)
+	r.Gauge("go_goroutines", "Goroutines currently live in the process.").
+		Set(float64(runtime.NumGoroutine()))
+	r.Gauge("go_heap_alloc_bytes", "Bytes of allocated heap objects.").
+		Set(float64(ms.HeapAlloc))
+	r.Gauge("go_heap_sys_bytes", "Bytes of heap memory obtained from the OS.").
+		Set(float64(ms.HeapSys))
+	r.Gauge("go_gc_cycles_total", "Completed GC cycles.").
+		Set(float64(ms.NumGC))
+	r.Gauge("process_uptime_seconds", "Seconds since the process started.").
+		Set(time.Since(processStart).Seconds())
+}

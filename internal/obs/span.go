@@ -1,0 +1,190 @@
+package obs
+
+import (
+	"encoding/hex"
+	"math/rand/v2"
+	"time"
+)
+
+// EvSpan is the event type of a completed span record. One event is
+// emitted per span, at End, carrying the span's identity and timing in
+// its field map (see Span.End for the schema).
+const EvSpan = "span"
+
+// TraceContext identifies a position in a causal trace so that work
+// caused by a decision can be attributed to it across goroutine,
+// shared-memory, and wire boundaries. The zero value means "no trace";
+// senders omit it and receivers degrade to untraced operation, which
+// keeps the wire format backward compatible.
+type TraceContext struct {
+	// TraceID identifies the whole causal chain (one per root span).
+	TraceID string `json:"trace_id,omitempty"`
+	// SpanID identifies the immediate parent span: a span started from
+	// this context becomes its child.
+	SpanID string `json:"span_id,omitempty"`
+	// RootStartUnixNano is the start time of the trace's root span,
+	// propagated unchanged through every hop. It lets any tier compute
+	// decision-to-here latency locally (same-host clocks), the way the
+	// paper added timestamps to map asynchronous tiers onto each other
+	// (§7.2).
+	RootStartUnixNano int64 `json:"root_ns,omitempty"`
+}
+
+// Valid reports whether the context carries a usable trace identity.
+func (tc TraceContext) Valid() bool { return tc.TraceID != "" && tc.SpanID != "" }
+
+// Span is one timed, named unit of work inside a causal trace. Spans
+// are cheap value carriers around the tracer sink: starting one on a
+// nil tracer yields a nil span, and every method no-ops on a nil
+// receiver, so hot paths pay only nil checks with tracing disabled.
+//
+// A span is owned by the goroutine that started it; it is not safe for
+// concurrent use.
+type Span struct {
+	t       *Tracer
+	name    string
+	job     string
+	traceID string
+	id      string
+	parent  string
+	rootNS  int64
+	startNS int64
+	fields  F
+	ended   bool
+}
+
+// newID returns n random bytes as lowercase hex. IDs come from the
+// shared process RNG: they never feed back into managed state, so they
+// cannot perturb deterministic simulations.
+func newID(n int) string {
+	b := make([]byte, n)
+	for i := 0; i < n; i += 8 {
+		v := rand.Uint64()
+		for j := 0; j < 8 && i+j < n; j++ {
+			b[i+j] = byte(v >> (8 * j))
+		}
+	}
+	return hex.EncodeToString(b)
+}
+
+// StartSpan starts a span at the tracer's current time. A zero parent
+// starts a new trace (the span becomes a root); a valid parent — local
+// or propagated from another process — continues that trace. Returns
+// nil on a nil tracer.
+func (t *Tracer) StartSpan(name string, parent TraceContext) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.StartSpanAt(name, parent, t.now())
+}
+
+// StartSpanAt is StartSpan with an explicit start time, for components
+// paced by virtual clocks.
+func (t *Tracer) StartSpanAt(name string, parent TraceContext, at time.Time) *Span {
+	if t == nil {
+		return nil
+	}
+	s := &Span{t: t, name: name, id: newID(8), startNS: at.UnixNano()}
+	if parent.Valid() {
+		s.traceID = parent.TraceID
+		s.parent = parent.SpanID
+		s.rootNS = parent.RootStartUnixNano
+	} else {
+		s.traceID = newID(16)
+		s.rootNS = s.startNS
+	}
+	return s
+}
+
+// Child starts a child span of s at the tracer's current time. Returns
+// nil on a nil receiver.
+func (s *Span) Child(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpan(name, s.Context())
+}
+
+// ChildAt is Child with an explicit start time.
+func (s *Span) ChildAt(name string, at time.Time) *Span {
+	if s == nil {
+		return nil
+	}
+	return s.t.StartSpanAt(name, s.Context(), at)
+}
+
+// Context returns the propagation context naming s as the parent. Zero
+// on a nil receiver.
+func (s *Span) Context() TraceContext {
+	if s == nil {
+		return TraceContext{}
+	}
+	return TraceContext{TraceID: s.traceID, SpanID: s.id, RootStartUnixNano: s.rootNS}
+}
+
+// Propagate returns the span's context as a pointer suitable for
+// optional wire fields (nil on a nil receiver, so untraced senders omit
+// the field entirely).
+func (s *Span) Propagate() *TraceContext {
+	if s == nil {
+		return nil
+	}
+	c := s.Context()
+	return &c
+}
+
+// SetJob labels the span (and its emitted event) with a job ID.
+func (s *Span) SetJob(job string) *Span {
+	if s == nil {
+		return s
+	}
+	s.job = job
+	return s
+}
+
+// Set annotates the span with one payload field, carried on the
+// emitted event alongside the identity fields.
+func (s *Span) Set(key string, v any) *Span {
+	if s == nil {
+		return s
+	}
+	if s.fields == nil {
+		s.fields = F{}
+	}
+	s.fields[key] = v
+	return s
+}
+
+// End completes the span at the tracer's current time and emits its
+// record. Ending twice emits once.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.EndAt(s.t.now())
+}
+
+// EndAt is End with an explicit end time. The emitted event's fields
+// are the span schema — name, trace, span, parent (roots omit it),
+// start_ns, dur_ns — merged with any Set annotations.
+func (s *Span) EndAt(at time.Time) {
+	if s == nil || s.ended {
+		return
+	}
+	s.ended = true
+	endNS := at.UnixNano()
+	fields := F{
+		"name":     s.name,
+		"trace":    s.traceID,
+		"span":     s.id,
+		"start_ns": s.startNS,
+		"dur_ns":   endNS - s.startNS,
+	}
+	if s.parent != "" {
+		fields["parent"] = s.parent
+	}
+	for k, v := range s.fields {
+		fields[k] = v
+	}
+	s.t.Emit(Event{Type: EvSpan, TimeUnixNano: endNS, Job: s.job, Fields: fields})
+}

@@ -1,0 +1,141 @@
+package obs
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpanNilSafety(t *testing.T) {
+	var tr *Tracer
+	s := tr.StartSpan("noop", TraceContext{})
+	if s != nil {
+		t.Fatalf("nil tracer produced span %+v", s)
+	}
+	// Every method must be callable on the nil span.
+	s.SetJob("j").Set("k", 1)
+	if c := s.Child("child"); c != nil {
+		t.Errorf("nil span produced child %+v", c)
+	}
+	if ctx := s.Context(); ctx.Valid() {
+		t.Errorf("nil span context valid: %+v", ctx)
+	}
+	if p := s.Propagate(); p != nil {
+		t.Errorf("nil span propagated %+v", p)
+	}
+	s.End()
+	s.EndAt(time.Now())
+}
+
+func TestSpanRootAndChildEmission(t *testing.T) {
+	tr := NewRing(16, "comp")
+	root := tr.StartSpan("rebudget", TraceContext{}).Set("target_w", 800.0)
+	child := root.Child("set_budget").SetJob("j1")
+	child.End()
+	root.End()
+
+	evs := tr.Events()
+	if len(evs) != 2 {
+		t.Fatalf("events = %d, want 2", len(evs))
+	}
+	ce, re := evs[0], evs[1] // child ended first
+	for _, e := range evs {
+		if e.Type != EvSpan {
+			t.Fatalf("event type = %q", e.Type)
+		}
+	}
+	if ce.Fields["name"] != "set_budget" || re.Fields["name"] != "rebudget" {
+		t.Fatalf("names = %v, %v", ce.Fields["name"], re.Fields["name"])
+	}
+	if ce.Job != "j1" {
+		t.Errorf("child job = %q", ce.Job)
+	}
+	if re.Fields["target_w"] != 800.0 {
+		t.Errorf("root annotation missing: %v", re.Fields)
+	}
+	if _, ok := re.Fields["parent"]; ok {
+		t.Errorf("root span has a parent: %v", re.Fields)
+	}
+	if ce.Fields["trace"] != re.Fields["trace"] {
+		t.Errorf("child trace %v != root trace %v", ce.Fields["trace"], re.Fields["trace"])
+	}
+	if ce.Fields["parent"] != re.Fields["span"] {
+		t.Errorf("child parent %v != root span %v", ce.Fields["parent"], re.Fields["span"])
+	}
+	if ce.Fields["span"] == re.Fields["span"] {
+		t.Error("child and root share a span ID")
+	}
+}
+
+func TestSpanContextPropagatesAcrossTracers(t *testing.T) {
+	// Simulates the wire: a span in one process, its context carried in
+	// a message, continued by a child in another process.
+	sender := NewRing(4, "anord")
+	receiver := NewRing(4, "endpoint")
+
+	t0 := time.Unix(100, 0)
+	root := sender.StartSpanAt("set_budget", TraceContext{}, t0)
+	ctx := root.Context()
+	if !ctx.Valid() {
+		t.Fatalf("invalid context %+v", ctx)
+	}
+	if ctx.RootStartUnixNano != t0.UnixNano() {
+		t.Errorf("root start = %d, want %d", ctx.RootStartUnixNano, t0.UnixNano())
+	}
+
+	remote := receiver.StartSpanAt("cap_apply", ctx, t0.Add(3*time.Millisecond))
+	// The remote child keeps the trace identity and the root start.
+	rctx := remote.Context()
+	if rctx.TraceID != ctx.TraceID {
+		t.Errorf("trace ID changed across the wire: %q vs %q", rctx.TraceID, ctx.TraceID)
+	}
+	if rctx.RootStartUnixNano != t0.UnixNano() {
+		t.Errorf("root start not propagated: %d", rctx.RootStartUnixNano)
+	}
+	remote.EndAt(t0.Add(5 * time.Millisecond))
+	root.EndAt(t0.Add(time.Millisecond))
+
+	revs := receiver.Events()
+	if len(revs) != 1 {
+		t.Fatalf("receiver events = %d", len(revs))
+	}
+	if revs[0].Fields["parent"] != ctx.SpanID {
+		t.Errorf("remote parent = %v, want %v", revs[0].Fields["parent"], ctx.SpanID)
+	}
+	if got := revs[0].Fields["dur_ns"].(int64); got != (2 * time.Millisecond).Nanoseconds() {
+		t.Errorf("dur_ns = %d", got)
+	}
+	if got := revs[0].Fields["start_ns"].(int64); got != t0.Add(3*time.Millisecond).UnixNano() {
+		t.Errorf("start_ns = %d", got)
+	}
+}
+
+func TestSpanEndIsIdempotent(t *testing.T) {
+	tr := NewRing(8, "x")
+	s := tr.StartSpan("once", TraceContext{})
+	s.End()
+	s.End()
+	s.EndAt(time.Now())
+	if n := len(tr.Events()); n != 1 {
+		t.Errorf("events after repeated End = %d, want 1", n)
+	}
+}
+
+func TestSpanIDsAreHexAndDistinct(t *testing.T) {
+	tr := NewRing(64, "x")
+	seen := map[string]bool{}
+	for i := 0; i < 32; i++ {
+		s := tr.StartSpan("s", TraceContext{})
+		ctx := s.Context()
+		if len(ctx.TraceID) != 32 || len(ctx.SpanID) != 16 {
+			t.Fatalf("ID lengths: trace %d, span %d", len(ctx.TraceID), len(ctx.SpanID))
+		}
+		if strings.Trim(ctx.SpanID, "0123456789abcdef") != "" {
+			t.Fatalf("span ID %q is not lowercase hex", ctx.SpanID)
+		}
+		if seen[ctx.SpanID] {
+			t.Fatalf("span ID %q repeated", ctx.SpanID)
+		}
+		seen[ctx.SpanID] = true
+	}
+}

@@ -1,0 +1,117 @@
+package proto
+
+import (
+	"bytes"
+	"encoding/binary"
+	"encoding/json"
+	"errors"
+	"testing"
+
+	"repro/internal/obs"
+)
+
+// frame wraps a JSON body in the wire's length prefix.
+func frame(t *testing.T, body []byte) []byte {
+	t.Helper()
+	if len(body) > MaxFrame {
+		t.Fatalf("test body too large: %d", len(body))
+	}
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	return append(hdr[:], body...)
+}
+
+// TestRecvIgnoresUnknownFields is the old-peer side of forward
+// compatibility: an envelope from a newer peer that grew extra fields
+// (like trace did in this revision, at both envelope and payload level)
+// must decode cleanly with the known fields intact.
+func TestRecvIgnoresUnknownFields(t *testing.T) {
+	body := []byte(`{
+		"kind": "set_budget",
+		"trace": {"trace_id": "t1", "span_id": "s1", "root_ns": 42, "future_field": true},
+		"shiny_new_envelope_field": {"nested": [1, 2, 3]},
+		"set_budget": {"job_id": "j9", "power_cap_watts": 210.5, "issued_by": "v99"}
+	}`)
+	env, err := recvFromBytes(frame(t, body))
+	if err != nil {
+		t.Fatalf("unknown fields broke decoding: %v", err)
+	}
+	if env.Kind != KindSetBudget || env.SetBudget == nil {
+		t.Fatalf("envelope = %+v", env)
+	}
+	if env.SetBudget.JobID != "j9" || env.SetBudget.PowerCapWatts != 210.5 {
+		t.Errorf("payload = %+v", env.SetBudget)
+	}
+	tc := env.TraceContext()
+	if tc.TraceID != "t1" || tc.SpanID != "s1" || tc.RootStartUnixNano != 42 {
+		t.Errorf("trace context = %+v", tc)
+	}
+}
+
+// TestRecvDeliversUnknownKinds is the other half: a message kind this
+// peer has never heard of must not kill the connection — it is
+// delivered as-is and dispatch switches fall through.
+func TestRecvDeliversUnknownKinds(t *testing.T) {
+	var buf rwBuffer
+	buf.Write(frame(t, []byte(`{"kind":"set_thermal_budget","watts_per_rack":1200}`)))
+	buf.Write(frame(t, []byte(`{"kind":"goodbye","goodbye":{"job_id":"after"}}`)))
+	c := NewConn(&buf)
+
+	env, err := c.Recv()
+	if err != nil {
+		t.Fatalf("unknown kind errored: %v", err)
+	}
+	if env.Kind != Kind("set_thermal_budget") {
+		t.Fatalf("kind = %q", env.Kind)
+	}
+	if verr := env.Validate(); !errors.Is(verr, ErrUnknownKind) {
+		t.Errorf("Validate = %v, want ErrUnknownKind", verr)
+	}
+	// The stream stays framed and alive: the next message decodes fine.
+	env, err = c.Recv()
+	if err != nil || env.Kind != KindGoodbye || env.Goodbye.JobID != "after" {
+		t.Fatalf("message after unknown kind: %+v, %v", env, err)
+	}
+}
+
+// TestSendStillRejectsUnknownKinds: tolerance is for the receive path
+// only; writing an unknown kind locally is a programming error.
+func TestSendStillRejectsUnknownKinds(t *testing.T) {
+	var buf rwBuffer
+	err := NewConn(&buf).Send(Envelope{Kind: Kind("set_thermal_budget")})
+	if !errors.Is(err, ErrUnknownKind) {
+		t.Errorf("Send(unknown kind) = %v, want ErrUnknownKind", err)
+	}
+}
+
+// TestTraceContextRoundTrip pins the wire shape of the new trace field:
+// present when set, omitted entirely when not, and bit-exact through a
+// Send/Recv cycle.
+func TestTraceContextRoundTrip(t *testing.T) {
+	tc := obs.TraceContext{TraceID: "0123abcd", SpanID: "ef45", RootStartUnixNano: 1754400000123456789}
+	env := Envelope{Kind: KindSetBudget, Trace: &tc,
+		SetBudget: &SetBudget{JobID: "j1", PowerCapWatts: 180}}
+
+	var buf rwBuffer
+	c := NewConn(&buf)
+	if err := c.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Trace == nil || *got.Trace != tc {
+		t.Errorf("trace after round trip = %+v, want %+v", got.Trace, tc)
+	}
+
+	// Untraced envelopes must not even mention the field (old peers see
+	// byte-identical frames to the previous protocol revision).
+	raw, err := json.Marshal(Envelope{Kind: KindGoodbye, Goodbye: &Goodbye{JobID: "j1"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("trace")) {
+		t.Errorf("untraced envelope leaks trace field: %s", raw)
+	}
+}

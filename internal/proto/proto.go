@@ -16,10 +16,12 @@ import (
 	"bufio"
 	"encoding/binary"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"sync"
 
+	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/units"
 )
@@ -103,15 +105,38 @@ type Goodbye struct {
 }
 
 // Envelope is the framed unit: a kind plus exactly one payload.
+//
+// Trace optionally carries the causal-trace context of the decision
+// this message implements or reflects (a SetBudget carries its budget
+// decision's context; a ModelUpdate echoes the context of the last
+// budget it measured under). The field is backward and forward
+// compatible: old peers ignore it, Validate accepts its absence, and
+// senders without tracing omit it entirely.
 type Envelope struct {
-	Kind        Kind         `json:"kind"`
-	Hello       *Hello       `json:"hello,omitempty"`
-	ModelUpdate *ModelUpdate `json:"model_update,omitempty"`
-	SetBudget   *SetBudget   `json:"set_budget,omitempty"`
-	Goodbye     *Goodbye     `json:"goodbye,omitempty"`
+	Kind        Kind              `json:"kind"`
+	Trace       *obs.TraceContext `json:"trace,omitempty"`
+	Hello       *Hello            `json:"hello,omitempty"`
+	ModelUpdate *ModelUpdate      `json:"model_update,omitempty"`
+	SetBudget   *SetBudget        `json:"set_budget,omitempty"`
+	Goodbye     *Goodbye          `json:"goodbye,omitempty"`
 }
 
+// TraceContext returns the envelope's trace context, zero when absent.
+func (e Envelope) TraceContext() obs.TraceContext {
+	if e.Trace == nil {
+		return obs.TraceContext{}
+	}
+	return *e.Trace
+}
+
+// ErrUnknownKind marks an envelope whose kind this peer does not
+// recognize. Send rejects them (a local programming error), but Recv
+// delivers them untouched so a newer peer's message kinds never kill
+// the connection — dispatch switches simply fall through.
+var ErrUnknownKind = errors.New("proto: unknown message kind")
+
 // Validate checks that the envelope's kind matches its payload.
+// Unrecognized kinds return an error wrapping ErrUnknownKind.
 func (e Envelope) Validate() error {
 	switch e.Kind {
 	case KindHello:
@@ -131,7 +156,7 @@ func (e Envelope) Validate() error {
 			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
 		}
 	default:
-		return fmt.Errorf("proto: unknown message kind %q", e.Kind)
+		return fmt.Errorf("%w %q", ErrUnknownKind, e.Kind)
 	}
 	return nil
 }
@@ -180,7 +205,10 @@ func (c *Conn) Send(e Envelope) error {
 }
 
 // Recv blocks for the next envelope. It returns io.EOF (or the transport's
-// close error) when the peer disconnects.
+// close error) when the peer disconnects. Well-formed envelopes of an
+// unrecognized kind are returned without error — forward compatibility
+// with newer peers' message types — so dispatch loops must switch on
+// Kind and ignore what they don't handle (all in-tree ones do).
 func (c *Conn) Recv() (Envelope, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
@@ -200,7 +228,7 @@ func (c *Conn) Recv() (Envelope, error) {
 	if err := json.Unmarshal(body, &e); err != nil {
 		return Envelope{}, err
 	}
-	if err := e.Validate(); err != nil {
+	if err := e.Validate(); err != nil && !errors.Is(err, ErrUnknownKind) {
 		return Envelope{}, err
 	}
 	return e, nil

@@ -47,6 +47,15 @@ func TestObservabilityPreservesDeterminism(t *testing.T) {
 		if cfg.Tracer.Count() == 0 {
 			t.Errorf("shards=%d: tracer saw no sim_step events", shards)
 		}
+		spans := 0
+		for _, e := range cfg.Tracer.Events() {
+			if e.Type == obs.EvSpan {
+				spans++
+			}
+		}
+		if spans == 0 {
+			t.Errorf("shards=%d: tracer saw no span events", shards)
+		}
 	}
 }
 
@@ -65,17 +74,29 @@ func TestSimStepEvents(t *testing.T) {
 	if len(evs) == 0 {
 		t.Fatal("no events emitted")
 	}
+	steps, spans := 0, 0
 	for i, e := range evs {
-		if e.Type != obs.EvSimStep {
+		switch e.Type {
+		case obs.EvSimStep:
+			steps++
+			if e.Run != "run7" {
+				t.Fatalf("event %d run = %q, want run7", i, e.Run)
+			}
+			ts := time.Unix(0, e.TimeUnixNano).UTC()
+			if sec := int(ts.Sub(simEpoch) / time.Second); sec%30 != 0 {
+				t.Fatalf("event %d at sim second %d, want multiples of 30", i, sec)
+			}
+		case obs.EvSpan:
+			spans++
+			if name, _ := e.Fields["name"].(string); name != "sim_recap" {
+				t.Fatalf("event %d span name = %v, want sim_recap", i, e.Fields["name"])
+			}
+		default:
 			t.Fatalf("event %d type = %q", i, e.Type)
 		}
-		if e.Run != "run7" {
-			t.Fatalf("event %d run = %q, want run7", i, e.Run)
-		}
-		ts := time.Unix(0, e.TimeUnixNano).UTC()
-		if sec := int(ts.Sub(simEpoch) / time.Second); sec%30 != 0 {
-			t.Fatalf("event %d at sim second %d, want multiples of 30", i, sec)
-		}
+	}
+	if steps == 0 || spans == 0 {
+		t.Fatalf("got %d sim_step and %d span events, want both nonzero", steps, spans)
 	}
 }
 

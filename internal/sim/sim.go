@@ -428,6 +428,14 @@ func Run(cfg Config) (Result, error) {
 				"t_s": t, "running": len(running), "queued": scheduler.QueuedCount(),
 				"busy_nodes": busy, "target_w": target.Watts(), "measured_w": measured.Watts(),
 			}})
+			// A root span per traced step, stamped in virtual time, mirrors
+			// the daemon tiers' rebudget spans so anor-trace consumes sim
+			// and live-session event files uniformly. Span IDs come from the
+			// process RNG and never feed back into simulation state.
+			sp := cfg.Tracer.StartSpanAt("sim_recap", obs.TraceContext{}, now)
+			sp.Set("t_s", t).Set("jobs", len(running)).
+				Set("target_w", target.Watts()).Set("measured_w", measured.Watts())
+			sp.EndAt(now.Add(time.Second))
 		}
 
 		// Stop once drained after the horizon.
