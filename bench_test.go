@@ -340,7 +340,10 @@ func BenchmarkSweepParallel(b *testing.B) { benchmarkSweep(b, 0) }
 
 // BenchmarkSimStep measures the per-simulated-second cost of the tabular
 // simulator at the paper's 1000-node scale, reporting simulated steps per
-// wall-clock second (auto-sharding engages above 512 nodes).
+// wall-clock second. BENCH_sim.json tracks this number across engine
+// changes (the sim-steps/s metric divides by the arrival horizon, not the
+// drain-inclusive step count, so it understates raw throughput; the
+// history file measures actual steps).
 func BenchmarkSimStep(b *testing.B) {
 	const simNodes = 1000
 	horizon := 2 * time.Minute

@@ -1,0 +1,104 @@
+package main
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"strings"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// benchEntry is one simulator throughput record in the perf-json file.
+type benchEntry struct {
+	Date   string `json:"date"`
+	Engine string `json:"engine"`
+	CPU    string `json:"cpu,omitempty"`
+	experiments.SimPerfResult
+}
+
+// benchFile is the perf-json document: an append-only history of
+// simulator throughput measurements, oldest first.
+type benchFile struct {
+	Description string       `json:"description"`
+	Entries     []benchEntry `json:"entries"`
+}
+
+const benchFileDescription = "Tabular-simulator throughput history. Refresh with: go run ./cmd/anor-bench -perf-json BENCH_sim.json perf"
+
+// perf measures simulator throughput at the paper's 1000-node scale and
+// at 10× that, printing one row per cluster size. With -perf-json the
+// results are appended to the given history file (created if missing).
+func perf() {
+	repeats := 3
+	if *quick {
+		repeats = 1
+	}
+	fmt.Println("Simulator throughput (§5.6 tabular simulator, 75% utilization, best of repeats)")
+	fmt.Printf("%-8s  %-12s  %-10s  %-12s  %-11s  %s\n",
+		"nodes", "steps/s", "ns/step", "bytes/step", "allocs/step", "steps/run")
+	var entries []benchEntry
+	for _, nodes := range []int{1000, 10000} {
+		res, err := experiments.SimPerf(experiments.SimPerfConfig{
+			Nodes: nodes, Repeats: repeats, Seed: *seed,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-8d  %-12.0f  %-10.0f  %-12.1f  %-11.2f  %d\n",
+			res.Nodes, res.StepsPerSec, res.NsPerStep, res.BytesPerStep, res.AllocsPerStep, res.Steps)
+		entries = append(entries, benchEntry{
+			Date:          time.Now().UTC().Format("2006-01-02"),
+			Engine:        "dense-index",
+			CPU:           cpuModel(),
+			SimPerfResult: res,
+		})
+	}
+	if *perfJSON == "" {
+		return
+	}
+	if err := appendBenchEntries(*perfJSON, entries); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("\nappended %d entries to %s\n", len(entries), *perfJSON)
+}
+
+// appendBenchEntries loads the history file (tolerating a missing one),
+// appends the new measurements, and writes it back.
+func appendBenchEntries(path string, entries []benchEntry) error {
+	var doc benchFile
+	if data, err := os.ReadFile(path); err == nil {
+		if err := json.Unmarshal(data, &doc); err != nil {
+			return fmt.Errorf("parse %s: %w", path, err)
+		}
+	} else if !os.IsNotExist(err) {
+		return err
+	}
+	doc.Description = benchFileDescription
+	doc.Entries = append(doc.Entries, entries...)
+	data, err := json.MarshalIndent(doc, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// cpuModel best-effort reads the CPU model string for the measurement
+// record; empty when the platform does not expose /proc/cpuinfo.
+func cpuModel() string {
+	f, err := os.Open("/proc/cpuinfo")
+	if err != nil {
+		return ""
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	for sc.Scan() {
+		if name, ok := strings.CutPrefix(sc.Text(), "model name"); ok {
+			return strings.TrimSpace(strings.TrimPrefix(strings.TrimSpace(name), ":"))
+		}
+	}
+	return ""
+}

@@ -60,8 +60,42 @@ type Budgeter interface {
 	// much of the budget as the caps' granularity allows without
 	// exceeding it (except when even minimum caps exceed the budget, in
 	// which case all jobs get their minimum cap — hardware cannot go
-	// lower).
+	// lower). It is a convenience wrapper over AllocateInto for callers
+	// that want a map (the daemons, which rebudget a few times a second);
+	// per-step hot loops use AllocateInto.
 	Allocate(jobs []Job, budget units.Power) Allocation
+	// AllocateInto is the allocation-free form of Allocate: it writes
+	// job i's per-node cap to out[i] and performs no heap allocation, so
+	// a caller stepping millions of simulated seconds can reuse one
+	// scratch slice. out must have len(out) == len(jobs). The caps are
+	// identical to Allocate's for the same inputs.
+	AllocateInto(jobs []Job, budget units.Power, out []units.Power)
+}
+
+// allocateViaInto adapts a policy's AllocateInto to the map-based
+// Allocate contract.
+func allocateViaInto(b Budgeter, jobs []Job, budget units.Power) Allocation {
+	alloc := make(Allocation, len(jobs))
+	if len(jobs) == 0 {
+		return alloc
+	}
+	out := make([]units.Power, len(jobs))
+	b.AllocateInto(jobs, budget, out)
+	for i, j := range jobs {
+		alloc[j.ID] = out[i]
+	}
+	return alloc
+}
+
+// totalPowerOf mirrors Allocation.TotalPower for the slice form: per-node
+// caps times node counts, summed in job order (the same order TotalPower
+// visits, so the floating-point total is bit-identical).
+func totalPowerOf(jobs []Job, caps []units.Power) units.Power {
+	var sum units.Power
+	for i, j := range jobs {
+		sum += caps[i] * units.Power(j.Nodes)
+	}
+	return sum
 }
 
 // EvenPower is the performance-unaware balancer (§4.4.3): a single γ
@@ -76,11 +110,12 @@ type EvenPower struct{}
 func (EvenPower) Name() string { return "even-power" }
 
 // Allocate implements Budgeter.
-func (EvenPower) Allocate(jobs []Job, budget units.Power) Allocation {
-	alloc := make(Allocation, len(jobs))
-	if len(jobs) == 0 {
-		return alloc
-	}
+func (b EvenPower) Allocate(jobs []Job, budget units.Power) Allocation {
+	return allocateViaInto(b, jobs, budget)
+}
+
+// AllocateInto implements Budgeter without allocating.
+func (EvenPower) AllocateInto(jobs []Job, budget units.Power, out []units.Power) {
 	var minSum, rangeSum float64
 	for _, j := range jobs {
 		minSum += j.minPower().Watts()
@@ -91,11 +126,10 @@ func (EvenPower) Allocate(jobs []Job, budget units.Power) Allocation {
 		gamma = (budget.Watts() - minSum) / rangeSum
 	}
 	gamma = math.Max(0, math.Min(1, gamma))
-	for _, j := range jobs {
+	for i, j := range jobs {
 		cap := units.Power(gamma)*(j.Model.PMax-j.Model.PMin) + j.Model.PMin
-		alloc[j.ID] = cap.Clamp(j.Model.PMin, j.Model.PMax)
+		out[i] = cap.Clamp(j.Model.PMin, j.Model.PMax)
 	}
-	return alloc
 }
 
 // EvenSlowdown is the performance-aware balancer (§4.4.3): a single
@@ -111,10 +145,15 @@ type EvenSlowdown struct{}
 func (EvenSlowdown) Name() string { return "even-slowdown" }
 
 // Allocate implements Budgeter.
-func (EvenSlowdown) Allocate(jobs []Job, budget units.Power) Allocation {
-	alloc := make(Allocation, len(jobs))
+func (b EvenSlowdown) Allocate(jobs []Job, budget units.Power) Allocation {
+	return allocateViaInto(b, jobs, budget)
+}
+
+// AllocateInto implements Budgeter without allocating: the bisection
+// evaluates candidate slowdowns directly into out.
+func (EvenSlowdown) AllocateInto(jobs []Job, budget units.Power, out []units.Power) {
 	if len(jobs) == 0 {
-		return alloc
+		return
 	}
 	var minSum, maxSum units.Power
 	sMax := 1.0
@@ -125,30 +164,30 @@ func (EvenSlowdown) Allocate(jobs []Job, budget units.Power) Allocation {
 			sMax = s
 		}
 	}
-	capsAt := func(s float64) Allocation {
-		a := make(Allocation, len(jobs))
-		for _, j := range jobs {
-			a[j.ID] = j.Model.PowerForSlowdown(s)
+	capsAt := func(s float64) {
+		for i, j := range jobs {
+			out[i] = j.Model.PowerForSlowdown(s)
 		}
-		return a
 	}
 	switch {
 	case budget >= maxSum:
-		return capsAt(1)
+		capsAt(1)
+		return
 	case budget <= minSum:
-		return capsAt(sMax)
+		capsAt(sMax)
+		return
 	}
 	// Total power is monotone non-increasing in s; bisect for the budget.
 	s := stats.Bisect(func(s float64) float64 {
-		return capsAt(s).TotalPower(jobs).Watts() - budget.Watts()
+		capsAt(s)
+		return totalPowerOf(jobs, out).Watts() - budget.Watts()
 	}, 1, sMax, 1e-6, 200)
-	alloc = capsAt(s)
+	capsAt(s)
 	// Bisection can land a hair above the budget; nudge to the feasible
 	// side by one more refinement step against the sorted slowdown curve.
-	if alloc.TotalPower(jobs) > budget {
-		alloc = capsAt(math.Min(sMax, s*(1+1e-6)))
+	if totalPowerOf(jobs, out) > budget {
+		capsAt(math.Min(sMax, s*(1+1e-6)))
 	}
-	return alloc
 }
 
 // Uniform caps every node at budget divided by total node count,
@@ -160,20 +199,33 @@ type Uniform struct{}
 func (Uniform) Name() string { return "uniform" }
 
 // Allocate implements Budgeter.
-func (Uniform) Allocate(jobs []Job, budget units.Power) Allocation {
-	alloc := make(Allocation, len(jobs))
+func (b Uniform) Allocate(jobs []Job, budget units.Power) Allocation {
 	nodes := 0
 	for _, j := range jobs {
 		nodes += j.Nodes
 	}
 	if nodes == 0 {
-		return alloc
+		return make(Allocation)
+	}
+	return allocateViaInto(b, jobs, budget)
+}
+
+// AllocateInto implements Budgeter without allocating.
+func (Uniform) AllocateInto(jobs []Job, budget units.Power, out []units.Power) {
+	nodes := 0
+	for _, j := range jobs {
+		nodes += j.Nodes
+	}
+	if nodes == 0 {
+		for i, j := range jobs {
+			out[i] = j.Model.PMax
+		}
+		return
 	}
 	per := budget / units.Power(nodes)
-	for _, j := range jobs {
-		alloc[j.ID] = per.Clamp(j.Model.PMin, j.Model.PMax)
+	for i, j := range jobs {
+		out[i] = per.Clamp(j.Model.PMin, j.Model.PMax)
 	}
-	return alloc
 }
 
 // ExpectedSlowdowns evaluates an allocation against a set of "truth"

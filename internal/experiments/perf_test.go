@@ -1,0 +1,27 @@
+package experiments
+
+import (
+	"testing"
+	"time"
+)
+
+func TestSimPerf(t *testing.T) {
+	res, err := SimPerf(SimPerfConfig{
+		Nodes: 64, Horizon: 30 * time.Second, Repeats: 1, Seed: 5,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Nodes != 64 {
+		t.Errorf("nodes = %d", res.Nodes)
+	}
+	if res.Steps < 30 {
+		t.Errorf("steps = %d, want ≥ horizon", res.Steps)
+	}
+	if res.StepsPerSec <= 0 || res.NsPerStep <= 0 {
+		t.Errorf("degenerate timing: %+v", res)
+	}
+	if res.GoVersion == "" || res.MaxProcs < 1 {
+		t.Errorf("environment not recorded: %+v", res)
+	}
+}

@@ -32,6 +32,11 @@ type Job struct {
 	// Submit, Start, and End are the lifecycle timestamps; zero until
 	// reached.
 	Submit, Start, End time.Time
+
+	// runIdx is the job's slot in the scheduler's running list while it
+	// runs (-1 otherwise), letting CompleteJob free it by index with no
+	// lookup.
+	runIdx int
 }
 
 // QoS returns the job's QoS degradation Q = (T_so − T_min)/T_min. It is
@@ -58,10 +63,12 @@ type Scheduler struct {
 	totalNodes int
 	freeNodes  int
 	weights    map[string]float64
+	weightSum  float64 // cached Σ weights, maintained by New/ensureQueue
 	queueOrder []string
 	queues     map[string][]*Job
+	queued     int            // jobs waiting across all queues
 	runningByQ map[string]int // nodes in use per queue
-	running    map[string]*Job
+	running    []*Job         // unordered; slots tracked by Job.runIdx
 	finished   []*Job
 
 	// busyNodeSeconds accumulates node·seconds of running jobs for
@@ -83,7 +90,6 @@ func New(totalNodes int, weights map[string]float64) (*Scheduler, error) {
 		weights:    make(map[string]float64),
 		queues:     make(map[string][]*Job),
 		runningByQ: make(map[string]int),
-		running:    make(map[string]*Job),
 	}
 	for name, w := range weights {
 		if w <= 0 {
@@ -93,6 +99,11 @@ func New(totalNodes int, weights map[string]float64) (*Scheduler, error) {
 		s.queueOrder = append(s.queueOrder, name)
 	}
 	sort.Strings(s.queueOrder)
+	// Sum in sorted order so the cached total is reproducible regardless
+	// of the weights map's iteration order.
+	for _, name := range s.queueOrder {
+		s.weightSum += s.weights[name]
+	}
 	return s, nil
 }
 
@@ -104,6 +115,7 @@ func (s *Scheduler) ensureQueue(name string) {
 		return
 	}
 	s.weights[name] = 0.1
+	s.weightSum += 0.1
 	s.queueOrder = append(s.queueOrder, name)
 	sort.Strings(s.queueOrder)
 }
@@ -116,8 +128,10 @@ func (s *Scheduler) Submit(j Job, now time.Time) *Job {
 	}
 	s.ensureQueue(j.ClaimedType)
 	j.Submit = now
+	j.runIdx = -1
 	job := &j
 	s.queues[j.ClaimedType] = append(s.queues[j.ClaimedType], job)
+	s.queued++
 	return job
 }
 
@@ -134,14 +148,10 @@ func (s *Scheduler) account(now time.Time) {
 
 // entitlement returns queue q's node share under the current weights.
 func (s *Scheduler) entitlement(q string) float64 {
-	var total float64
-	for _, w := range s.weights {
-		total += w
-	}
-	if total <= 0 {
+	if s.weightSum <= 0 {
 		return 0
 	}
-	return s.weights[q] / total * float64(s.totalNodes)
+	return s.weights[q] / s.weightSum * float64(s.totalNodes)
 }
 
 // StartEligible starts every job that fits under the weighted allocation:
@@ -196,33 +206,59 @@ func (s *Scheduler) StartEligible(now time.Time) []*Job {
 
 func (s *Scheduler) startJob(q string, j *Job, now time.Time) {
 	s.queues[q] = s.queues[q][1:]
+	s.queued--
 	j.Start = now
 	s.freeNodes -= j.Nodes
 	s.runningByQ[q] += j.Nodes
-	s.running[j.ID] = j
+	j.runIdx = len(s.running)
+	s.running = append(s.running, j)
 }
 
-// Complete marks a running job finished at time now and frees its nodes.
+// Complete marks the running job with the given ID finished at time now
+// and frees its nodes. It scans the running list; callers holding the
+// *Job from StartEligible should prefer CompleteJob, which frees by index.
 func (s *Scheduler) Complete(id string, now time.Time) (*Job, error) {
-	j, ok := s.running[id]
-	if !ok {
-		return nil, fmt.Errorf("sched: job %q is not running", id)
+	for _, j := range s.running {
+		if j.ID == id {
+			if err := s.CompleteJob(j, now); err != nil {
+				return nil, err
+			}
+			return j, nil
+		}
+	}
+	return nil, fmt.Errorf("sched: job %q is not running", id)
+}
+
+// CompleteJob marks a running job finished at time now and frees its
+// nodes. The job is removed from the running set by its stored index
+// (swap-remove), so completion costs O(1) with no ID lookup. The pointer
+// must be one returned by Submit or StartEligible and currently running.
+func (s *Scheduler) CompleteJob(j *Job, now time.Time) error {
+	if j == nil || j.runIdx < 0 || j.runIdx >= len(s.running) || s.running[j.runIdx] != j {
+		id := "<nil>"
+		if j != nil {
+			id = j.ID
+		}
+		return fmt.Errorf("sched: job %q is not running", id)
 	}
 	s.account(now)
-	delete(s.running, id)
+	last := len(s.running) - 1
+	s.running[j.runIdx] = s.running[last]
+	s.running[j.runIdx].runIdx = j.runIdx
+	s.running[last] = nil
+	s.running = s.running[:last]
+	j.runIdx = -1
 	j.End = now
 	s.freeNodes += j.Nodes
 	s.runningByQ[j.ClaimedType] -= j.Nodes
 	s.finished = append(s.finished, j)
-	return j, nil
+	return nil
 }
 
 // Running returns the currently running jobs, sorted by ID.
 func (s *Scheduler) Running() []*Job {
 	out := make([]*Job, 0, len(s.running))
-	for _, j := range s.running {
-		out = append(out, j)
-	}
+	out = append(out, s.running...)
 	sort.Slice(out, func(i, k int) bool { return out[i].ID < out[k].ID })
 	return out
 }
@@ -231,13 +267,7 @@ func (s *Scheduler) Running() []*Job {
 func (s *Scheduler) Finished() []*Job { return s.finished }
 
 // QueuedCount returns the number of jobs waiting across all queues.
-func (s *Scheduler) QueuedCount() int {
-	n := 0
-	for _, q := range s.queues {
-		n += len(q)
-	}
-	return n
-}
+func (s *Scheduler) QueuedCount() int { return s.queued }
 
 // FreeNodes returns the number of unallocated nodes.
 func (s *Scheduler) FreeNodes() int { return s.freeNodes }

@@ -219,3 +219,55 @@ func TestRunningSorted(t *testing.T) {
 func id(prefix string, i int) string {
 	return prefix + "-" + string(rune('0'+i))
 }
+
+func TestCompleteJobByIndex(t *testing.T) {
+	s := mustNew(t, 8, nil)
+	var jobs []*Job
+	for _, idStr := range []string{"a", "b", "c", "d"} {
+		jobs = append(jobs, s.Submit(Job{ID: idStr, TypeName: "t", Nodes: 2, MinTime: 10}, t0))
+	}
+	s.StartEligible(t0)
+
+	// Complete out of submission order; the swap-remove must keep every
+	// surviving job's stored index valid.
+	end := t0.Add(time.Minute)
+	for _, j := range []*Job{jobs[1], jobs[3], jobs[0], jobs[2]} {
+		if err := s.CompleteJob(j, end); err != nil {
+			t.Fatalf("CompleteJob(%s): %v", j.ID, err)
+		}
+		if !j.End.Equal(end) {
+			t.Errorf("%s end = %v", j.ID, j.End)
+		}
+	}
+	if s.FreeNodes() != 8 || len(s.Running()) != 0 || len(s.Finished()) != 4 {
+		t.Errorf("final state: free=%d running=%d finished=%d",
+			s.FreeNodes(), len(s.Running()), len(s.Finished()))
+	}
+}
+
+func TestCompleteJobRejectsNonRunning(t *testing.T) {
+	s := mustNew(t, 4, nil)
+	if err := s.CompleteJob(nil, t0); err == nil {
+		t.Error("nil job accepted")
+	}
+	queued := s.Submit(Job{ID: "q", TypeName: "t", Nodes: 2, MinTime: 10}, t0)
+	if err := s.CompleteJob(queued, t0); err == nil {
+		t.Error("queued (never started) job accepted")
+	}
+	s.StartEligible(t0)
+	if err := s.CompleteJob(queued, t0.Add(time.Second)); err != nil {
+		t.Fatalf("running job rejected: %v", err)
+	}
+	if err := s.CompleteJob(queued, t0.Add(2*time.Second)); err == nil {
+		t.Error("double completion accepted")
+	}
+	// A Job value the scheduler never saw must be rejected even if its
+	// fields look plausible.
+	stray := &Job{ID: "stray", Nodes: 1}
+	stray.runIdx = 0
+	s.Submit(Job{ID: "r", TypeName: "t", Nodes: 1, MinTime: 10}, t0)
+	s.StartEligible(t0.Add(3 * time.Second))
+	if err := s.CompleteJob(stray, t0.Add(4*time.Second)); err == nil {
+		t.Error("stray job with forged index accepted")
+	}
+}

@@ -1,0 +1,354 @@
+package sim
+
+import (
+	"fmt"
+	"sort"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+// The engine is the dense-index core of Run: every per-step structure is
+// indexed by small integers and reused across steps, so the steady-state
+// hot loop performs no heap allocation and no string hashing.
+//
+//   - The job table (jobs) is a slot-reusing slice; a node refers to its
+//     job by slot index (nodeState.jobIdx), so the per-node loops are
+//     direct slice accesses.
+//   - order holds the running slots sorted by job ID, maintained
+//     incrementally: binary-search insert on start, in-place compaction on
+//     completion. Iterating order therefore visits jobs in exactly the
+//     lexical-ID order the original map-and-sort engine used, which keeps
+//     completion order — and with it the node free list, scheduling, and
+//     every downstream float — bit-identical.
+//   - The node free list is a fixed-capacity FIFO ring (freeRing): starts
+//     pop from the head, completions push at the tail, preserving the
+//     original queue semantics without the original's slice churn.
+//
+// All scratch buffers (doneFlags, exempt bitset, budgeter jobs/caps) live
+// here and are resized at most O(log n) times per run.
+type engine struct {
+	cfg       Config
+	types     map[string]workload.Type
+	scheduler *sched.Scheduler
+
+	nodes []nodeState
+	jobs  []runningJob
+	// freeSlots are job-table slots available for reuse.
+	freeSlots []int32
+	// order lists occupied job-table slots in ascending job-ID order.
+	order []int32
+
+	// freeRing is the FIFO of idle node indices.
+	freeRing []int32
+	freeHead int
+	freeLen  int
+
+	// doneFlags[k] reports whether order[k]'s job finished this step.
+	doneFlags []bool
+	// exempt is a bitset over order positions, allocated lazily on the
+	// first step that runs with FeedbackQoSExempt set (§6.4) — runs
+	// without the mitigation never pay for it.
+	exempt []uint64
+	// bjobs and caps are the budgeter's reusable input/output buffers.
+	bjobs []budget.Job
+	caps  []units.Power
+
+	// advanceFn is the progress-advance kernel bound once at
+	// construction; a function literal in the step path would allocate
+	// its closure every simulated second.
+	advanceFn func(lo, hi int)
+
+	shards int
+}
+
+type nodeState struct {
+	// jobIdx is the node's job-table slot, -1 when idle.
+	jobIdx   int32
+	coeff    float64
+	progress float64
+}
+
+// runningJob is one occupied job-table slot. Caps are uniform across a
+// job's nodes (both capping policies assign per-job caps), so the cap,
+// its progress rate, and the achieved per-node power are stored once per
+// job and hoisted out of the per-node loops.
+type runningJob struct {
+	id       string
+	job      *sched.Job
+	typ      workload.Type
+	believed perfmodel.Model
+	nodes    []int32 // capacity reused across slot occupancies
+	cap      units.Power
+	power    units.Power
+}
+
+func newEngine(cfg Config, types map[string]workload.Type, scheduler *sched.Scheduler, coeffs []float64) *engine {
+	e := &engine{
+		cfg:       cfg,
+		types:     types,
+		scheduler: scheduler,
+		nodes:     make([]nodeState, cfg.Nodes),
+		freeRing:  make([]int32, cfg.Nodes),
+		freeLen:   cfg.Nodes,
+		shards:    resolveShards(cfg.Shards, cfg.Nodes),
+	}
+	for i := range e.nodes {
+		e.nodes[i] = nodeState{jobIdx: -1, coeff: coeffs[i]}
+		e.freeRing[i] = int32(i)
+	}
+	e.advanceFn = e.advanceRange
+	return e
+}
+
+func (e *engine) freePop() int32 {
+	ni := e.freeRing[e.freeHead]
+	e.freeHead++
+	if e.freeHead == len(e.freeRing) {
+		e.freeHead = 0
+	}
+	e.freeLen--
+	return ni
+}
+
+func (e *engine) freePush(ni int32) {
+	tail := e.freeHead + e.freeLen
+	if tail >= len(e.freeRing) {
+		tail -= len(e.freeRing)
+	}
+	e.freeRing[tail] = ni
+	e.freeLen++
+}
+
+func (e *engine) believedModel(claimed string) perfmodel.Model {
+	if m, ok := e.cfg.TypeModels[claimed]; ok {
+		return m
+	}
+	return e.cfg.DefaultModel
+}
+
+// advanceAndComplete advances every running node's progress one second
+// and completes jobs whose nodes all reached 100%. The advance is sharded
+// across job-order chunks — every node belongs to at most one running
+// job, so shards touch disjoint node ranges, and each node's arithmetic
+// is independent, so the result is bit-identical to the serial loop.
+// Completion stays serial, in sorted ID order, so freed nodes return to
+// the free ring deterministically.
+func (e *engine) advanceAndComplete(now time.Time) error {
+	if cap(e.doneFlags) < len(e.order) {
+		e.doneFlags = make([]bool, len(e.order))
+	}
+	e.doneFlags = e.doneFlags[:len(e.order)]
+	forShards(e.shards, len(e.order), e.advanceFn)
+	w := 0
+	for k, slot := range e.order {
+		if !e.doneFlags[k] {
+			e.order[w] = slot
+			w++
+			continue
+		}
+		rj := &e.jobs[slot]
+		if err := e.scheduler.CompleteJob(rj.job, now); err != nil {
+			return err
+		}
+		for _, ni := range rj.nodes {
+			e.nodes[ni].jobIdx = -1
+			e.nodes[ni].progress = 0
+			e.freePush(ni)
+		}
+		rj.job = nil
+		rj.nodes = rj.nodes[:0]
+		e.freeSlots = append(e.freeSlots, slot)
+	}
+	e.order = e.order[:w]
+	return nil
+}
+
+// advanceRange advances progress for the jobs at order positions
+// [lo, hi) and records their completion flags.
+func (e *engine) advanceRange(lo, hi int) {
+	for k := lo; k < hi; k++ {
+		rj := &e.jobs[e.order[k]]
+		// The progress rate depends only on the job's type and its
+		// (per-job) cap, so it is computed once per job per step
+		// instead of once per node.
+		rate := progressRate(rj.typ, rj.cap)
+		done := true
+		for _, ni := range rj.nodes {
+			n := &e.nodes[ni]
+			if n.progress < 1 {
+				n.progress += n.coeff * rate
+			}
+			if n.progress < 1 {
+				done = false
+			}
+		}
+		e.doneFlags[k] = done
+	}
+}
+
+// startJobs asks the scheduler for every queued job that fits and binds
+// each to free nodes and a job-table slot.
+func (e *engine) startJobs(now time.Time) error {
+	for _, j := range e.scheduler.StartEligible(now) {
+		if j.Nodes > e.freeLen {
+			return fmt.Errorf("sim: scheduler started job %s needing %d nodes with only %d free (scheduler/simulator free-list divergence)",
+				j.ID, j.Nodes, e.freeLen)
+		}
+		slot := e.allocSlot()
+		rj := &e.jobs[slot]
+		rj.id = j.ID
+		rj.job = j
+		rj.typ = e.types[j.TypeName]
+		rj.believed = e.believedModel(j.ClaimedType)
+		rj.cap = workload.NodeTDP
+		rj.power = 0
+		for i := 0; i < j.Nodes; i++ {
+			ni := e.freePop()
+			rj.nodes = append(rj.nodes, ni)
+			e.nodes[ni].jobIdx = slot
+			e.nodes[ni].progress = 0
+		}
+		e.orderInsert(slot)
+	}
+	return nil
+}
+
+func (e *engine) allocSlot() int32 {
+	if n := len(e.freeSlots); n > 0 {
+		slot := e.freeSlots[n-1]
+		e.freeSlots = e.freeSlots[:n-1]
+		return slot
+	}
+	e.jobs = append(e.jobs, runningJob{})
+	return int32(len(e.jobs) - 1)
+}
+
+// orderInsert places an occupied slot into the sorted-order index.
+func (e *engine) orderInsert(slot int32) {
+	id := e.jobs[slot].id
+	pos := sort.Search(len(e.order), func(i int) bool { return e.jobs[e.order[i]].id >= id })
+	e.order = append(e.order, 0)
+	copy(e.order[pos+1:], e.order[pos:])
+	e.order[pos] = slot
+}
+
+// exempt bitset helpers.
+
+func (e *engine) exemptReset(n int) {
+	words := (n + 63) / 64
+	if cap(e.exempt) < words {
+		e.exempt = make([]uint64, words)
+		return
+	}
+	e.exempt = e.exempt[:words]
+	for i := range e.exempt {
+		e.exempt[i] = 0
+	}
+}
+
+func (e *engine) exemptSet(k int)      { e.exempt[k/64] |= 1 << (k % 64) }
+func (e *engine) exemptBit(k int) bool { return e.exempt[k/64]&(1<<(k%64)) != 0 }
+
+// applyCaps selects per-job caps for all running jobs: the §6.4 feedback
+// exemption first, then either the AQA uniform cap or the configured
+// budgeter. Jobs are visited in sorted-ID order so every floating-point
+// reduction is deterministic (the original map-iteration engine left the
+// exemption subtraction and budgeter input order to map order).
+func (e *engine) applyCaps(jobBudget units.Power, now time.Time) {
+	if len(e.order) == 0 {
+		return
+	}
+
+	// Feedback exemption (§6.4): at-risk jobs get full power and their
+	// demand is removed from the shared budget. The bitset is only ever
+	// touched when the mitigation is on.
+	anyExempt := false
+	if e.cfg.FeedbackQoSExempt {
+		e.exemptReset(len(e.order))
+		for k, slot := range e.order {
+			rj := &e.jobs[slot]
+			if rj.job.QoS(now) >= e.cfg.ExemptFraction*e.cfg.QoSLimit {
+				e.exemptSet(k)
+				anyExempt = true
+				jobBudget -= rj.typ.PMax * units.Power(rj.job.Nodes)
+			}
+		}
+	}
+
+	if e.cfg.Budgeter == nil {
+		// AQA baseline: one uniform cap across active, non-exempt nodes;
+		// exempt jobs always run at TDP.
+		busy := 0
+		for k, slot := range e.order {
+			if !anyExempt || !e.exemptBit(k) {
+				busy += e.jobs[slot].job.Nodes
+			}
+		}
+		per := workload.NodeTDP
+		if busy > 0 {
+			per = (jobBudget / units.Power(busy)).Clamp(workload.NodeMinCap, workload.NodeTDP)
+		}
+		for k, slot := range e.order {
+			cap := per
+			if anyExempt && e.exemptBit(k) {
+				cap = workload.NodeTDP
+			}
+			e.jobs[slot].cap = cap
+		}
+		return
+	}
+
+	e.bjobs = e.bjobs[:0]
+	for k, slot := range e.order {
+		if anyExempt && e.exemptBit(k) {
+			continue
+		}
+		rj := &e.jobs[slot]
+		e.bjobs = append(e.bjobs, budget.Job{ID: rj.id, Nodes: rj.job.Nodes, Model: rj.believed})
+	}
+	if cap(e.caps) < len(e.bjobs) {
+		e.caps = make([]units.Power, len(e.bjobs))
+	}
+	e.caps = e.caps[:len(e.bjobs)]
+	e.cfg.Budgeter.AllocateInto(e.bjobs, jobBudget, e.caps)
+	next := 0
+	for k, slot := range e.order {
+		rj := &e.jobs[slot]
+		if anyExempt && e.exemptBit(k) {
+			rj.cap = workload.NodeTDP
+			continue
+		}
+		rj.cap = e.caps[next]
+		next++
+	}
+}
+
+// measure settles each job's achieved per-node power (the cap, saturated
+// at the type's uncapped draw) and sums cluster power serially in node
+// index order — the same value sequence and order as the original
+// per-node engine, so the floating-point total is bit-identical and never
+// depends on the shard count.
+func (e *engine) measure() units.Power {
+	for _, slot := range e.order {
+		rj := &e.jobs[slot]
+		p := rj.cap
+		if rj.typ.PMax < p {
+			p = rj.typ.PMax
+		}
+		rj.power = p
+	}
+	var measured units.Power
+	for i := range e.nodes {
+		if idx := e.nodes[i].jobIdx; idx < 0 {
+			measured += e.cfg.IdlePower
+		} else {
+			measured += e.jobs[idx].power
+		}
+	}
+	return measured
+}

@@ -1,0 +1,89 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/perfmodel"
+	"repro/internal/workload"
+)
+
+// TestEngineMatchesReference is the golden guard for the dense-index
+// engine: across seeds, shard counts, and the three capping modes (AQA
+// uniform, budgeter, budgeter+feedback-exemption), the production engine
+// must produce byte-identical Tracking, Jobs, and QoS90 to the retained
+// map-keyed reference engine, and an identical TableLog byte stream.
+func TestEngineMatchesReference(t *testing.T) {
+	models := map[string]perfmodel.Model{}
+	for _, typ := range workload.LongRunning() {
+		models[typ.Name] = typ.RelativeModel()
+	}
+	modes := []struct {
+		name   string
+		mutate func(*Config)
+	}{
+		{"aqa", func(c *Config) {}},
+		{"budgeter", func(c *Config) {
+			c.Budgeter = budget.EvenSlowdown{}
+			c.TypeModels = models
+			c.DefaultModel = workload.LeastSensitive().RelativeModel()
+		}},
+		{"budgeter-feedback", func(c *Config) {
+			c.Budgeter = budget.EvenSlowdown{}
+			c.TypeModels = models
+			c.DefaultModel = workload.LeastSensitive().RelativeModel()
+			c.FeedbackQoSExempt = true
+			c.QoSLimit = 0.5 // low enough that exemptions actually trip
+			c.ExemptFraction = 0.5
+		}},
+	}
+	for _, mode := range modes {
+		for _, seed := range []uint64{3, 7, 11} {
+			for _, shards := range []int{1, 3, 8} {
+				t.Run(fmt.Sprintf("%s/seed%d/shards%d", mode.name, seed, shards), func(t *testing.T) {
+					cfg := smallConfig(t, seed, 0.15)
+					cfg.Horizon = 10 * time.Minute
+					cfg.Shards = shards
+					mode.mutate(&cfg)
+
+					var refLog, newLog bytes.Buffer
+					refCfg := cfg
+					refCfg.TableLog = &refLog
+					newCfg := cfg
+					newCfg.TableLog = &newLog
+
+					want, err := runReference(refCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, err := Run(newCfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if !reflect.DeepEqual(got.Tracking, want.Tracking) {
+						t.Error("Tracking differs from reference engine")
+					}
+					if !reflect.DeepEqual(got.Jobs, want.Jobs) {
+						t.Error("Jobs differ from reference engine")
+					}
+					if got.QoS90 != want.QoS90 {
+						t.Errorf("QoS90 = %v, reference %v", got.QoS90, want.QoS90)
+					}
+					if !reflect.DeepEqual(got, want) {
+						t.Error("full Result differs from reference engine")
+					}
+					if !bytes.Equal(refLog.Bytes(), newLog.Bytes()) {
+						t.Error("TableLog byte stream differs from reference engine")
+					}
+					if len(got.Jobs) == 0 {
+						t.Fatal("degenerate scenario: no jobs completed")
+					}
+				})
+			}
+		}
+	}
+}

@@ -1,0 +1,322 @@
+package sim
+
+// This file retains the original map-keyed simulator engine, verbatim
+// except for renames and for pinning every loop whose iteration order Go
+// map semantics left unspecified to sorted job-ID order (the order the
+// original engine already used wherever order was observable — job
+// completion — and the order the dense-index engine uses everywhere).
+// The golden test in equiv_test.go runs it side by side with the
+// production engine and requires byte-identical results.
+
+import (
+	"encoding/csv"
+	"fmt"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/perfmodel"
+	"repro/internal/sched"
+	"repro/internal/stats"
+	"repro/internal/trace"
+	"repro/internal/units"
+	"repro/internal/workload"
+)
+
+type refNodeState struct {
+	jobID    string
+	cap      units.Power
+	power    units.Power
+	coeff    float64
+	progress float64
+}
+
+type refRunningJob struct {
+	job      *sched.Job
+	typ      workload.Type
+	nodes    []int
+	believed perfmodel.Model
+}
+
+// runReference executes the simulation with the pre-dense-index engine:
+// a string-keyed running map re-sorted every second, per-node cap and
+// power fields, and fresh map/slice allocations in every capping pass.
+func runReference(cfg Config) (Result, error) {
+	if cfg.IdlePower == 0 {
+		cfg.IdlePower = workload.NodeIdlePower
+	}
+	if cfg.QoSLimit == 0 {
+		cfg.QoSLimit = 5
+	}
+	if cfg.ExemptFraction == 0 {
+		cfg.ExemptFraction = 0.8
+	}
+	types := map[string]workload.Type{}
+	for _, t := range cfg.Types {
+		types[t.Name] = t
+	}
+
+	rng := stats.NewRNG(cfg.Seed)
+	nodes := make([]refNodeState, cfg.Nodes)
+	free := make([]int, 0, cfg.Nodes)
+	for i := range nodes {
+		nodes[i].coeff = 1
+		if cfg.VariationStd > 0 {
+			c := rng.Normal(1, cfg.VariationStd)
+			if c < 0.1 {
+				c = 0.1
+			}
+			nodes[i].coeff = c
+		}
+		free = append(free, i)
+	}
+
+	scheduler, err := sched.New(cfg.Nodes, cfg.Weights)
+	if err != nil {
+		return Result{}, err
+	}
+
+	running := map[string]*refRunningJob{}
+	var res Result
+	var logger *csv.Writer
+	if cfg.TableLog != nil {
+		logger = csv.NewWriter(cfg.TableLog)
+		if err := logger.Write([]string{"t_s", "running", "queued", "busy_nodes", "target_w", "measured_w"}); err != nil {
+			return Result{}, err
+		}
+	}
+
+	horizonS := int(cfg.Horizon / time.Second)
+	maxS := 4 * horizonS
+	nextArrival := 0
+	var busyNodeSeconds float64
+	var powerIntegral float64
+	steps := 0
+
+	believedModel := func(claimed string) perfmodel.Model {
+		if m, ok := cfg.TypeModels[claimed]; ok {
+			return m
+		}
+		return cfg.DefaultModel
+	}
+
+	shards := resolveShards(cfg.Shards, cfg.Nodes)
+	var doneFlags []bool
+
+	for t := 0; t <= maxS; t++ {
+		now := simEpoch.Add(time.Duration(t) * time.Second)
+
+		// 1. Node update: advance progress at each node's current cap,
+		// then complete in sorted ID order.
+		ids := budget.SortedIDs(running)
+		if cap(doneFlags) < len(ids) {
+			doneFlags = make([]bool, len(ids))
+		}
+		doneFlags = doneFlags[:len(ids)]
+		forShards(shards, len(ids), func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				rj := running[ids[k]]
+				done := true
+				for _, ni := range rj.nodes {
+					n := &nodes[ni]
+					if n.progress < 1 {
+						n.progress += n.coeff * progressRate(rj.typ, n.cap)
+					}
+					if n.progress < 1 {
+						done = false
+					}
+				}
+				doneFlags[k] = done
+			}
+		})
+		for k, id := range ids {
+			if !doneFlags[k] {
+				continue
+			}
+			rj := running[id]
+			if _, err := scheduler.Complete(id, now); err != nil {
+				return Result{}, err
+			}
+			for _, ni := range rj.nodes {
+				nodes[ni] = refNodeState{coeff: nodes[ni].coeff}
+				free = append(free, ni)
+			}
+			delete(running, id)
+		}
+
+		// 2. Admit arrivals (only within the horizon).
+		for nextArrival < len(cfg.Arrivals) && cfg.Arrivals[nextArrival].At <= time.Duration(t)*time.Second {
+			a := cfg.Arrivals[nextArrival]
+			if a.At <= cfg.Horizon {
+				typ := types[a.TypeName]
+				scheduler.Submit(sched.Job{
+					ID: a.JobID, TypeName: a.TypeName, ClaimedType: a.ClaimedType,
+					Nodes: typ.Nodes, MinTime: typ.BaseSeconds,
+				}, now)
+			}
+			nextArrival++
+		}
+
+		// 3. Schedule queued jobs onto free nodes.
+		for _, j := range scheduler.StartEligible(now) {
+			rj := &refRunningJob{job: j, typ: types[j.TypeName], believed: believedModel(j.ClaimedType)}
+			rj.nodes = append([]int(nil), free[:j.Nodes]...)
+			free = free[j.Nodes:]
+			for _, ni := range rj.nodes {
+				nodes[ni].jobID = j.ID
+				nodes[ni].progress = 0
+				nodes[ni].cap = workload.NodeTDP
+			}
+			running[j.ID] = rj
+		}
+
+		// 4. Power manager: pick caps against the current target.
+		target := cfg.Bid.Target(cfg.Signal.At(time.Duration(t) * time.Second))
+		busy := scheduler.BusyNodes()
+		idle := cfg.Nodes - busy
+		jobBudget := target - cfg.IdlePower*units.Power(idle)
+		referenceApplyCaps(cfg, running, nodes, jobBudget, now)
+
+		// 5. Measure and record: settle each node's achieved power, sum
+		// serially in index order.
+		forShards(shards, len(nodes), func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				if nodes[i].jobID == "" {
+					nodes[i].power = cfg.IdlePower
+				} else {
+					rj := running[nodes[i].jobID]
+					nodes[i].power = nodes[i].cap
+					if rj != nil && rj.typ.PMax < nodes[i].power {
+						nodes[i].power = rj.typ.PMax
+					}
+				}
+			}
+		})
+		var measured units.Power
+		for i := range nodes {
+			measured += nodes[i].power
+		}
+		res.Tracking = append(res.Tracking, trace.Point{Time: now, Target: target, Measured: measured})
+		powerIntegral += measured.Watts()
+		steps++
+		if t <= horizonS {
+			busyNodeSeconds += float64(busy)
+		}
+		if logger != nil {
+			rec := []string{
+				fmt.Sprint(t), fmt.Sprint(len(running)), fmt.Sprint(scheduler.QueuedCount()),
+				fmt.Sprint(busy), fmt.Sprintf("%.0f", target.Watts()), fmt.Sprintf("%.0f", measured.Watts()),
+			}
+			if err := logger.Write(rec); err != nil {
+				return Result{}, err
+			}
+		}
+
+		// Stop once drained after the horizon.
+		if t >= horizonS && len(running) == 0 && scheduler.QueuedCount() == 0 &&
+			(nextArrival >= len(cfg.Arrivals) || cfg.Arrivals[nextArrival].At > cfg.Horizon) {
+			break
+		}
+	}
+	if logger != nil {
+		logger.Flush()
+		if err := logger.Error(); err != nil {
+			return Result{}, err
+		}
+	}
+
+	res.Unfinished = len(running) + scheduler.QueuedCount()
+	for _, j := range scheduler.Finished() {
+		res.Jobs = append(res.Jobs, JobRecord{
+			ID: j.ID, TypeName: j.TypeName, ClaimedType: j.ClaimedType, Nodes: j.Nodes,
+			Submit: j.Submit.Sub(simEpoch), Start: j.Start.Sub(simEpoch), End: j.End.Sub(simEpoch),
+			QoS: j.QoS(j.End),
+		})
+	}
+	res.QoS90 = stats.Percentile(scheduler.QoSDegradations(), 90)
+	res.QoSByType = scheduler.QoSByType()
+	var window []trace.Point
+	for _, p := range res.Tracking {
+		off := p.Time.Sub(simEpoch)
+		if off >= cfg.TrackWarmup && off <= cfg.Horizon {
+			window = append(window, p)
+		}
+	}
+	res.TrackSummary = trace.Summarize(window, cfg.Bid.Reserve)
+	if horizonS > 0 {
+		res.MeanUtilization = busyNodeSeconds / float64(horizonS) / float64(cfg.Nodes)
+	}
+	if steps > 0 {
+		res.AvgPower = units.Power(powerIntegral / float64(steps))
+	}
+	return res, nil
+}
+
+// referenceApplyCaps is the original per-step capping pass: a fresh
+// exempt map and jobs slice every call, per-node cap writes, and sorted
+// iteration where the original left order to the map.
+func referenceApplyCaps(cfg Config, running map[string]*refRunningJob, nodes []refNodeState, jobBudget units.Power, now time.Time) {
+	if len(running) == 0 {
+		return
+	}
+	ids := budget.SortedIDs(running)
+
+	// Feedback exemption (§6.4): at-risk jobs get full power and their
+	// demand is removed from the shared budget.
+	exempt := map[string]bool{}
+	if cfg.FeedbackQoSExempt {
+		for _, id := range ids {
+			rj := running[id]
+			if rj.job.QoS(now) >= cfg.ExemptFraction*cfg.QoSLimit {
+				exempt[id] = true
+				jobBudget -= rj.typ.PMax * units.Power(rj.job.Nodes)
+			}
+		}
+	}
+
+	if cfg.Budgeter == nil {
+		// AQA baseline: one uniform cap across active, non-exempt nodes;
+		// exempt jobs always run at TDP.
+		busy := 0
+		for _, id := range ids {
+			if !exempt[id] {
+				busy += running[id].job.Nodes
+			}
+		}
+		per := workload.NodeTDP
+		if busy > 0 {
+			per = (jobBudget / units.Power(busy)).Clamp(workload.NodeMinCap, workload.NodeTDP)
+		}
+		for _, id := range ids {
+			cap := per
+			if exempt[id] {
+				cap = workload.NodeTDP
+			}
+			for _, ni := range running[id].nodes {
+				nodes[ni].cap = cap
+			}
+		}
+		return
+	}
+
+	var jobs []budget.Job
+	for _, id := range ids {
+		if exempt[id] {
+			continue
+		}
+		rj := running[id]
+		jobs = append(jobs, budget.Job{ID: id, Nodes: rj.job.Nodes, Model: rj.believed})
+	}
+	alloc := cfg.Budgeter.Allocate(jobs, jobBudget)
+	for _, id := range ids {
+		rj := running[id]
+		cap := workload.NodeTDP
+		if !exempt[id] {
+			if c, ok := alloc[id]; ok {
+				cap = c
+			}
+		}
+		for _, ni := range rj.nodes {
+			nodes[ni].cap = cap
+		}
+	}
+}

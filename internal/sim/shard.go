@@ -6,9 +6,13 @@ import (
 )
 
 // autoShardMinNodes is the cluster size below which auto-sharding stays
-// serial: under ~half a thousand nodes the per-second node loops cost
-// less than the goroutine fan-out/barrier they would buy.
-const autoShardMinNodes = 512
+// serial. The dense-index engine moved per-node work out of the sharded
+// loop (rates and caps are per-job, measurement is a serial sum), so the
+// remaining progress advance costs a few nanoseconds per busy node — the
+// per-step goroutine fan-out/barrier only pays for itself in the tens of
+// thousands of nodes. Results are bit-identical at every setting, so the
+// threshold is purely a performance knob.
+const autoShardMinNodes = 16384
 
 // resolveShards picks the worker count for the intra-step node loops.
 // An explicit positive request is honored (capped at the node count, so

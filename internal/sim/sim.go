@@ -11,6 +11,13 @@
 // scales linearly between the job type's slowest rate (at the minimum cap)
 // and fastest rate (at its maximum power), multiplied by a per-node
 // performance-variation coefficient drawn once per simulation (§6.4).
+//
+// The core is allocation-free at steady state: jobs and nodes reference
+// each other through dense integer indices into reusable tables (see
+// engine.go), so a step costs a handful of slice traversals regardless of
+// how many seconds the run spans. Results are bit-identical to the
+// original map-keyed engine (the golden test in equiv_test.go holds the
+// two side by side) and to the serial loop at every shard count.
 package sim
 
 import (
@@ -18,6 +25,7 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"strconv"
 	"time"
 
 	"repro/internal/budget"
@@ -178,21 +186,6 @@ type Result struct {
 	AvgPower units.Power
 }
 
-type nodeState struct {
-	jobID    string
-	cap      units.Power
-	power    units.Power
-	coeff    float64
-	progress float64
-}
-
-type runningJob struct {
-	job      *sched.Job
-	typ      workload.Type
-	nodes    []int
-	believed perfmodel.Model
-}
-
 var simEpoch = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
 
 // Run executes the simulation to completion.
@@ -220,8 +213,17 @@ func Run(cfg Config) (Result, error) {
 		types[t.Name] = t
 	}
 	for i, a := range cfg.Arrivals {
-		if _, ok := types[a.TypeName]; !ok {
+		typ, ok := types[a.TypeName]
+		if !ok {
 			return Result{}, fmt.Errorf("sim: arrival %s has unknown type %s", a.JobID, a.TypeName)
+		}
+		// A job wider than the cluster would sit at its queue head
+		// forever (and, were the scheduler ever to start it, overrun the
+		// free list), so reject the schedule up front with a usable
+		// message instead.
+		if typ.Nodes < 1 || typ.Nodes > cfg.Nodes {
+			return Result{}, fmt.Errorf("sim: arrival %s (type %s) needs %d nodes but the cluster has %d — it can never start",
+				a.JobID, a.TypeName, typ.Nodes, cfg.Nodes)
 		}
 		// The admission loop walks arrivals front to back, so an
 		// out-of-order schedule would silently never admit the
@@ -236,28 +238,27 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	rng := stats.NewRNG(cfg.Seed)
-	nodes := make([]nodeState, cfg.Nodes)
-	free := make([]int, 0, cfg.Nodes)
-	for i := range nodes {
-		nodes[i].coeff = 1
+	coeffs := make([]float64, cfg.Nodes)
+	for i := range coeffs {
+		coeffs[i] = 1
 		if cfg.VariationStd > 0 {
 			c := rng.Normal(1, cfg.VariationStd)
 			if c < 0.1 {
 				c = 0.1
 			}
-			nodes[i].coeff = c
+			coeffs[i] = c
 		}
-		free = append(free, i)
 	}
 
 	scheduler, err := sched.New(cfg.Nodes, cfg.Weights)
 	if err != nil {
 		return Result{}, err
 	}
+	e := newEngine(cfg, types, scheduler, coeffs)
 
-	running := map[string]*runningJob{}
 	var res Result
 	var logger *csv.Writer
+	var logRec [6]string
 	if cfg.TableLog != nil {
 		logger = csv.NewWriter(cfg.TableLog)
 		if err := logger.Write([]string{"t_s", "running", "queued", "busy_nodes", "target_w", "measured_w"}); err != nil {
@@ -271,16 +272,9 @@ func Run(cfg Config) (Result, error) {
 	var busyNodeSeconds float64
 	var powerIntegral float64
 	steps := 0
-
-	believedModel := func(claimed string) perfmodel.Model {
-		if m, ok := cfg.TypeModels[claimed]; ok {
-			return m
-		}
-		return cfg.DefaultModel
-	}
-
-	shards := resolveShards(cfg.Shards, cfg.Nodes)
-	var doneFlags []bool
+	// A run ends shortly after its horizon once the queue drains, so the
+	// horizon is the natural capacity hint for the per-second series.
+	res.Tracking = make([]trace.Point, 0, horizonS+1)
 
 	met := newSimMetrics(cfg.Metrics)
 	traceEvery := cfg.TraceEvery
@@ -295,49 +289,10 @@ func Run(cfg Config) (Result, error) {
 			stepStart = time.Now()
 		}
 
-		// 1. Node update: advance progress at each node's current cap.
-		// The advance is sharded across job-table chunks — every node
-		// belongs to at most one running job, so shards touch disjoint
-		// node ranges, and each node's arithmetic is independent, so the
-		// result is bit-identical to the serial loop. Completion (the
-		// job-table phase) stays serial, in sorted ID order, so freed
-		// nodes return to the free list deterministically (map order
-		// would reshuffle node assignment and, with per-node variation
-		// coefficients, the whole run).
-		ids := budget.SortedIDs(running)
-		if cap(doneFlags) < len(ids) {
-			doneFlags = make([]bool, len(ids))
-		}
-		doneFlags = doneFlags[:len(ids)]
-		forShards(shards, len(ids), func(lo, hi int) {
-			for k := lo; k < hi; k++ {
-				rj := running[ids[k]]
-				done := true
-				for _, ni := range rj.nodes {
-					n := &nodes[ni]
-					if n.progress < 1 {
-						n.progress += n.coeff * progressRate(rj.typ, n.cap)
-					}
-					if n.progress < 1 {
-						done = false
-					}
-				}
-				doneFlags[k] = done
-			}
-		})
-		for k, id := range ids {
-			if !doneFlags[k] {
-				continue
-			}
-			rj := running[id]
-			if _, err := scheduler.Complete(id, now); err != nil {
-				return Result{}, err
-			}
-			for _, ni := range rj.nodes {
-				nodes[ni] = nodeState{coeff: nodes[ni].coeff}
-				free = append(free, ni)
-			}
-			delete(running, id)
+		// 1. Node update: advance progress at each node's current cap and
+		// complete jobs whose nodes all finished.
+		if err := e.advanceAndComplete(now); err != nil {
+			return Result{}, err
 		}
 
 		// 2. Admit arrivals (only within the horizon).
@@ -354,16 +309,8 @@ func Run(cfg Config) (Result, error) {
 		}
 
 		// 3. Schedule queued jobs onto free nodes.
-		for _, j := range scheduler.StartEligible(now) {
-			rj := &runningJob{job: j, typ: types[j.TypeName], believed: believedModel(j.ClaimedType)}
-			rj.nodes = append([]int(nil), free[:j.Nodes]...)
-			free = free[j.Nodes:]
-			for _, ni := range rj.nodes {
-				nodes[ni].jobID = j.ID
-				nodes[ni].progress = 0
-				nodes[ni].cap = workload.NodeTDP
-			}
-			running[j.ID] = rj
+		if err := e.startJobs(now); err != nil {
+			return Result{}, err
 		}
 
 		// 4. Power manager: pick caps against the current target.
@@ -371,29 +318,10 @@ func Run(cfg Config) (Result, error) {
 		busy := scheduler.BusyNodes()
 		idle := cfg.Nodes - busy
 		jobBudget := target - cfg.IdlePower*units.Power(idle)
-		applyCaps(cfg, scheduler, running, nodes, jobBudget, now)
+		e.applyCaps(jobBudget, now)
 
-		// 5. Measure and record. Settling each node's achieved power is
-		// sharded over node ranges (per-node independent; the running
-		// map is only read); the sum stays serial in index order so the
-		// floating-point total never depends on the shard count.
-		forShards(shards, len(nodes), func(lo, hi int) {
-			for i := lo; i < hi; i++ {
-				if nodes[i].jobID == "" {
-					nodes[i].power = cfg.IdlePower
-				} else {
-					rj := running[nodes[i].jobID]
-					nodes[i].power = nodes[i].cap
-					if rj != nil && rj.typ.PMax < nodes[i].power {
-						nodes[i].power = rj.typ.PMax
-					}
-				}
-			}
-		})
-		var measured units.Power
-		for i := range nodes {
-			measured += nodes[i].power
-		}
+		// 5. Measure and record.
+		measured := e.measure()
 		res.Tracking = append(res.Tracking, trace.Point{Time: now, Target: target, Measured: measured})
 		powerIntegral += measured.Watts()
 		steps++
@@ -401,11 +329,13 @@ func Run(cfg Config) (Result, error) {
 			busyNodeSeconds += float64(busy)
 		}
 		if logger != nil {
-			rec := []string{
-				fmt.Sprint(t), fmt.Sprint(len(running)), fmt.Sprint(scheduler.QueuedCount()),
-				fmt.Sprint(busy), fmt.Sprintf("%.0f", target.Watts()), fmt.Sprintf("%.0f", measured.Watts()),
-			}
-			if err := logger.Write(rec); err != nil {
+			logRec[0] = strconv.Itoa(t)
+			logRec[1] = strconv.Itoa(len(e.order))
+			logRec[2] = strconv.Itoa(scheduler.QueuedCount())
+			logRec[3] = strconv.Itoa(busy)
+			logRec[4] = strconv.FormatFloat(target.Watts(), 'f', 0, 64)
+			logRec[5] = strconv.FormatFloat(measured.Watts(), 'f', 0, 64)
+			if err := logger.Write(logRec[:]); err != nil {
 				return Result{}, err
 			}
 		}
@@ -414,7 +344,7 @@ func Run(cfg Config) (Result, error) {
 		cfg.Progress.Inc()
 		met.steps.Inc()
 		if cfg.Metrics != nil {
-			met.running.Set(float64(len(running)))
+			met.running.Set(float64(len(e.order)))
 			met.queued.Set(float64(scheduler.QueuedCount()))
 			met.busy.Set(float64(busy))
 			met.target.Set(target.Watts())
@@ -425,7 +355,7 @@ func Run(cfg Config) (Result, error) {
 		}
 		if cfg.Tracer.Enabled() && t%traceEvery == 0 {
 			cfg.Tracer.Emit(obs.Event{Type: obs.EvSimStep, TimeUnixNano: now.UnixNano(), Run: cfg.RunID, Fields: obs.F{
-				"t_s": t, "running": len(running), "queued": scheduler.QueuedCount(),
+				"t_s": t, "running": len(e.order), "queued": scheduler.QueuedCount(),
 				"busy_nodes": busy, "target_w": target.Watts(), "measured_w": measured.Watts(),
 			}})
 			// A root span per traced step, stamped in virtual time, mirrors
@@ -433,13 +363,13 @@ func Run(cfg Config) (Result, error) {
 			// and live-session event files uniformly. Span IDs come from the
 			// process RNG and never feed back into simulation state.
 			sp := cfg.Tracer.StartSpanAt("sim_recap", obs.TraceContext{}, now)
-			sp.Set("t_s", t).Set("jobs", len(running)).
+			sp.Set("t_s", t).Set("jobs", len(e.order)).
 				Set("target_w", target.Watts()).Set("measured_w", measured.Watts())
 			sp.EndAt(now.Add(time.Second))
 		}
 
 		// Stop once drained after the horizon.
-		if t >= horizonS && len(running) == 0 && scheduler.QueuedCount() == 0 &&
+		if t >= horizonS && len(e.order) == 0 && scheduler.QueuedCount() == 0 &&
 			(nextArrival >= len(cfg.Arrivals) || cfg.Arrivals[nextArrival].At > cfg.Horizon) {
 			break
 		}
@@ -451,7 +381,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	res.Unfinished = len(running) + scheduler.QueuedCount()
+	res.Unfinished = len(e.order) + scheduler.QueuedCount()
 	for _, j := range scheduler.Finished() {
 		res.Jobs = append(res.Jobs, JobRecord{
 			ID: j.ID, TypeName: j.TypeName, ClaimedType: j.ClaimedType, Nodes: j.Nodes,
@@ -492,69 +422,5 @@ func progressRate(t workload.Type, cap units.Power) float64 {
 	default:
 		f := (cap - t.PMin).Watts() / (t.PMax - t.PMin).Watts()
 		return slow + f*(fast-slow)
-	}
-}
-
-// applyCaps selects and applies per-node caps for all running jobs.
-func applyCaps(cfg Config, scheduler *sched.Scheduler, running map[string]*runningJob, nodes []nodeState, jobBudget units.Power, now time.Time) {
-	if len(running) == 0 {
-		return
-	}
-
-	// Feedback exemption (§6.4): at-risk jobs get full power and their
-	// demand is removed from the shared budget.
-	exempt := map[string]bool{}
-	if cfg.FeedbackQoSExempt {
-		for id, rj := range running {
-			if rj.job.QoS(now) >= cfg.ExemptFraction*cfg.QoSLimit {
-				exempt[id] = true
-				jobBudget -= rj.typ.PMax * units.Power(rj.job.Nodes)
-			}
-		}
-	}
-
-	if cfg.Budgeter == nil {
-		// AQA baseline: one uniform cap across active, non-exempt nodes;
-		// exempt jobs always run at TDP.
-		busy := 0
-		for id, rj := range running {
-			if !exempt[id] {
-				busy += rj.job.Nodes
-			}
-		}
-		per := workload.NodeTDP
-		if busy > 0 {
-			per = (jobBudget / units.Power(busy)).Clamp(workload.NodeMinCap, workload.NodeTDP)
-		}
-		for id, rj := range running {
-			cap := per
-			if exempt[id] {
-				cap = workload.NodeTDP
-			}
-			for _, ni := range rj.nodes {
-				nodes[ni].cap = cap
-			}
-		}
-		return
-	}
-
-	var jobs []budget.Job
-	for id, rj := range running {
-		if exempt[id] {
-			continue
-		}
-		jobs = append(jobs, budget.Job{ID: id, Nodes: rj.job.Nodes, Model: rj.believed})
-	}
-	alloc := cfg.Budgeter.Allocate(jobs, jobBudget)
-	for id, rj := range running {
-		cap := workload.NodeTDP
-		if !exempt[id] {
-			if c, ok := alloc[id]; ok {
-				cap = c
-			}
-		}
-		for _, ni := range rj.nodes {
-			nodes[ni].cap = cap
-		}
 	}
 }

@@ -87,6 +87,17 @@ func TestRunValidation(t *testing.T) {
 			wantErr: "unknown type",
 		},
 		{
+			name: "arrival wider than cluster",
+			mutate: func(c *Config) {
+				wide := c.Types[0]
+				wide.Nodes = c.Nodes + 1
+				c.Types = append([]workload.Type(nil), c.Types...)
+				c.Types[0] = wide
+				c.Arrivals = []schedule.Arrival{{JobID: "wide", TypeName: wide.Name}}
+			},
+			wantErr: "can never start",
+		},
+		{
 			name: "arrivals not sorted by At",
 			mutate: func(c *Config) {
 				c.Arrivals = []schedule.Arrival{
