@@ -32,7 +32,6 @@ import (
 	"repro/internal/modeler"
 	"repro/internal/nodesim"
 	"repro/internal/obs"
-	"repro/internal/proto"
 	"repro/internal/stats"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -47,6 +46,11 @@ func main() {
 	variation := flag.Float64("variation", 1.0, "performance-variation multiplier")
 	noise := flag.Float64("noise", 0.01, "per-epoch noise standard deviation")
 	seed := flag.Uint64("seed", 1, "noise seed")
+	reconnectMin := flag.Duration("reconnect-min", 500*time.Millisecond, "minimum backoff between cluster re-dials")
+	reconnectMax := flag.Duration("reconnect-max", 10*time.Second, "maximum backoff between cluster re-dials")
+	hold := flag.Duration("hold", 0, "hold the last cap this long while disconnected before the failsafe cap (default 3x report period)")
+	failsafeCap := flag.Float64("failsafe-cap", 0, "per-node failsafe cap in watts enforced after -hold expires disconnected (default: node minimum cap)")
+	readTimeout := flag.Duration("read-timeout", 0, "per-receive wire deadline; a silent cluster past it counts as a dropped link; 0 disables")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address; empty disables")
 	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
 	verbose := flag.Bool("v", false, "enable debug logging")
@@ -119,21 +123,23 @@ func main() {
 		fatalf("%v", err)
 	}
 
-	raw, err := net.Dial("tcp", *cluster)
-	if err != nil {
-		fatalf("connecting to cluster: %v", err)
-	}
 	epd, err := endpointd.New(endpointd.Config{
-		JobID:    *jobID,
-		TypeName: claimed,
-		Nodes:    nNodes,
-		Conn:     proto.NewConn(raw),
-		GEOPM:    ep,
-		Modeler:  mdl,
-		Clock:    clk,
-		Metrics:  registry,
-		Tracer:   tracer,
-		Log:      logger,
+		JobID:         *jobID,
+		TypeName:      claimed,
+		Nodes:         nNodes,
+		Dial:          func() (net.Conn, error) { return net.Dial("tcp", *cluster) },
+		GEOPM:         ep,
+		Modeler:       mdl,
+		Clock:         clk,
+		Metrics:       registry,
+		Tracer:        tracer,
+		Log:           logger,
+		ReconnectMin:  *reconnectMin,
+		ReconnectMax:  *reconnectMax,
+		ReconnectSeed: *seed,
+		HoldDuration:  *hold,
+		FailsafeCap:   units.Power(*failsafeCap),
+		ReadTimeout:   *readTimeout,
 	})
 	if err != nil {
 		fatalf("%v", err)
@@ -182,5 +188,4 @@ func main() {
 	if base > 0 && res.AppSeconds > 0 {
 		fmt.Printf("Slowdown vs uncapped: %.1f%%\n", 100*(res.AppSeconds/base-1))
 	}
-	_ = units.Power(0)
 }

@@ -28,6 +28,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/dr"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/schedule"
@@ -50,6 +51,7 @@ func main() {
 	policy := flag.String("budgeter", "", "per-job budgeter (even-slowdown, even-power); empty = AQA uniform caps")
 	feedback := flag.Bool("feedback", false, "exempt at-risk jobs from capping (§6.4 mitigation)")
 	table := flag.String("table", "", "write per-second cluster state CSV here")
+	failuresPath := flag.String("failures", "", "node fail-stop/recovery schedule (JSON lines: {\"at_ns\",\"node\",\"kind\"}); empty disables")
 	runs := flag.Int("runs", 1, "independent runs; >1 reports per-run lines plus mean±std aggregates")
 	parallel := flag.Int("parallel", 0, "concurrent runs when -runs > 1 (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "node-table shards per simulated second (0 = auto; forced to 1 inside a multi-run sweep)")
@@ -61,6 +63,23 @@ func main() {
 	}
 	if *table != "" && *runs > 1 {
 		log.Fatal("anor-sim: -table writes one run's state; use it with -runs=1")
+	}
+
+	var failures []faults.NodeEvent
+	if *failuresPath != "" {
+		f, err := os.Open(*failuresPath)
+		if err != nil {
+			log.Fatal(err)
+		}
+		failures, err = faults.ReadNodeSchedule(f)
+		f.Close()
+		if err != nil {
+			log.Fatal(err)
+		}
+		faults.SortNodeSchedule(failures)
+		if err := faults.ValidateNodeSchedule(failures, *nodes); err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var types []workload.Type
@@ -150,6 +169,7 @@ func main() {
 			Shards:            runShards,
 			VariationStd:      *variation / 2.576, // 99% within ±level
 			FeedbackQoSExempt: *feedback,
+			Failures:          failures,
 			Budgeter:          budgeter,
 			TypeModels:        typeModels,
 			DefaultModel:      defaultModel,
@@ -244,6 +264,9 @@ func startProgress(enabled bool, runs int, steps, runsDone *obs.Counter) func() 
 // printRun reports one simulation in full detail.
 func printRun(res sim.Result) {
 	fmt.Printf("jobs completed: %d (unfinished %d)\n", len(res.Jobs), res.Unfinished)
+	if res.Requeues > 0 {
+		fmt.Printf("failure requeues: %d\n", res.Requeues)
+	}
 	fmt.Printf("mean utilization: %.1f%%\n", 100*res.MeanUtilization)
 	fmt.Printf("average power: %s\n", res.AvgPower)
 	fmt.Printf("tracking: P90 err %.1f%% of reserve, constraint(≤30%% @90%%) ok=%v\n",

@@ -46,6 +46,9 @@ func main() {
 	budgeterName := flag.String("budgeter", "even-slowdown", "power budgeter: even-slowdown, even-power, or uniform")
 	period := flag.Duration("period", 2*time.Second, "rebudget period")
 	feedback := flag.Bool("feedback", false, "let trained job-tier models override precharacterized curves")
+	heartbeat := flag.Duration("heartbeat", 10*time.Second, "evict endpoints silent for this long (ping at half); 0 disables")
+	modelTTL := flag.Duration("model-ttl", 30*time.Second, "distrust trained models older than this, falling back to precharacterized curves; 0 disables")
+	writeTimeout := flag.Duration("write-timeout", 5*time.Second, "per-endpoint wire-send deadline; a timed-out send drops the connection; 0 disables")
 	defaultPolicy := flag.String("default", "least", "model for unknown job types: least or most sensitive")
 	reserve := flag.Float64("reserve", 1100, "demand-response reserve in watts (for error reporting)")
 	traceOut := flag.String("trace", "", "write the tracking series to this CSV file (flushed periodically and on shutdown)")
@@ -138,16 +141,19 @@ func main() {
 			mu.Unlock()
 			return schedule.TargetFunc(start, pts)(now)
 		},
-		Period:       *period,
-		TotalNodes:   *nodes,
-		IdlePower:    workload.NodeIdlePower,
-		TypeModels:   typeModels,
-		DefaultModel: defModel,
-		UseFeedback:  *feedback,
-		Metrics:      registry,
-		Tracer:       tracer,
-		Reserve:      units.Power(*reserve),
-		Log:          logger,
+		Period:           *period,
+		TotalNodes:       *nodes,
+		IdlePower:        workload.NodeIdlePower,
+		TypeModels:       typeModels,
+		DefaultModel:     defModel,
+		UseFeedback:      *feedback,
+		HeartbeatTimeout: *heartbeat,
+		ModelTTL:         *modelTTL,
+		WriteTimeout:     *writeTimeout,
+		Metrics:          registry,
+		Tracer:           tracer,
+		Reserve:          units.Power(*reserve),
+		Log:              logger,
 	})
 	if err != nil {
 		fatalf("%v", err)

@@ -55,6 +55,22 @@ type Config struct {
 	// UseFeedback lets trained online models from the job tier override
 	// the precharacterized curve — the "adjusted" policy of Fig. 10.
 	UseFeedback bool
+	// HeartbeatTimeout is the per-endpoint liveness deadline: an endpoint
+	// not heard from (any message) for this long is evicted — its
+	// connection is closed and its budget share reclaimed on the next
+	// rebudget. At half the deadline the manager sends a ping probe
+	// (ignored harmlessly by old peers, answered with a pong by new
+	// ones). Zero disables liveness tracking.
+	HeartbeatTimeout time.Duration
+	// ModelTTL bounds how long a trained online model is trusted without
+	// fresh updates: past the TTL the budgeter falls back to the
+	// precharacterized TypeModels/DefaultModel curve until feedback
+	// resumes. Zero trusts the last update forever.
+	ModelTTL time.Duration
+	// WriteTimeout bounds every wire send to an endpoint. A send that
+	// times out marks the endpoint dead: its connection is closed so one
+	// wedged socket cannot stall the control loop. Zero disables.
+	WriteTimeout time.Duration
 	// Metrics, when non-nil, receives the manager's operational metrics
 	// (rebudget-loop duration, tracking error, connected endpoints,
 	// per-job allocated vs measured power). Nil disables with no
@@ -87,6 +103,10 @@ type managerMetrics struct {
 	feedbackLat  *obs.Histogram
 	jobAlloc     *obs.GaugeVec
 	jobPower     *obs.GaugeVec
+	live         *obs.Gauge
+	evictions    *obs.Counter
+	staleFalls   *obs.Counter
+	pings        *obs.Counter
 }
 
 func newManagerMetrics(r *obs.Registry) managerMetrics {
@@ -104,6 +124,10 @@ func newManagerMetrics(r *obs.Registry) managerMetrics {
 		feedbackLat:  r.Histogram("anord_decision_feedback_seconds", "Latency from a budget decision to the first model update reflecting it, from echoed trace timestamps.", obs.DefLatencyBuckets),
 		jobAlloc:     r.GaugeVec("anord_job_allocated_watts", "Power cap last allocated to a job.", "job"),
 		jobPower:     r.GaugeVec("anord_job_measured_watts", "Power last measured by a job.", "job"),
+		live:         r.Gauge("anord_live_endpoints", "Endpoints heard from within the heartbeat deadline at the last rebudget."),
+		evictions:    r.Counter("anord_endpoint_evictions_total", "Endpoints evicted for missing the heartbeat deadline or timing out a send."),
+		staleFalls:   r.Counter("anord_stale_model_fallbacks_total", "Rebudget job entries that fell back from a stale trained model to the precharacterized curve."),
+		pings:        r.Counter("anord_pings_sent_total", "Liveness ping probes sent to quiet endpoints."),
 	}
 }
 
@@ -116,6 +140,17 @@ type jobState struct {
 	trained   bool
 	lastPower units.Power
 	lastCap   units.Power
+
+	// lastSeen is when any message last arrived on this connection;
+	// liveness eviction keys off it.
+	lastSeen time.Time
+	// lastUpdate is when the trained online model was last refreshed;
+	// the stale-feedback TTL keys off it.
+	lastUpdate time.Time
+	// lastPing is when the manager last probed this endpoint.
+	lastPing time.Time
+	// pingSeq sequences this endpoint's probes.
+	pingSeq uint64
 }
 
 // Manager is the cluster-tier power manager.
@@ -192,6 +227,9 @@ func (m *Manager) Serve(ln net.Listener) error {
 // a Hello; the connection is serviced on its own goroutine until Goodbye
 // or transport error.
 func (m *Manager) AttachConn(c *proto.Conn) {
+	if m.cfg.WriteTimeout > 0 {
+		c.SetTimeouts(0, m.cfg.WriteTimeout)
+	}
 	m.wg.Add(1)
 	go func() {
 		defer m.wg.Done()
@@ -216,17 +254,36 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		conn:      c,
 		believed:  believed,
 		lastPower: m.cfg.IdlePower * units.Power(hello.Nodes),
+		lastSeen:  m.cfg.Clock.Now(),
 	}
 	m.mu.Lock()
+	old := m.jobs[hello.JobID]
 	m.jobs[hello.JobID] = j
 	m.mu.Unlock()
-	m.met.endpoints.Add(1)
+	if old != nil {
+		// A reconnect won the race against the stale session's teardown:
+		// the fresh connection supersedes it. Close the old transport so
+		// its handler exits; its cleanup sees it was replaced and leaves
+		// this registration alone.
+		m.cfg.Log.WithJob(hello.JobID).Warnf("endpoint reconnected over a live session, superseding it")
+		_ = old.conn.Close()
+	} else {
+		m.met.endpoints.Add(1)
+	}
 	m.cfg.Log.WithJob(hello.JobID).Infof("endpoint connected: type %q, %d nodes", hello.TypeName, hello.Nodes)
 
 	defer func() {
+		// Deregister only if this session still owns the entry — a
+		// reconnect may have replaced it while this handler was draining.
 		m.mu.Lock()
-		delete(m.jobs, hello.JobID)
+		mine := m.jobs[hello.JobID] == j
+		if mine {
+			delete(m.jobs, hello.JobID)
+		}
 		m.mu.Unlock()
+		if !mine {
+			return
+		}
 		m.met.endpoints.Add(-1)
 		m.met.jobAlloc.Delete(hello.JobID)
 		m.met.jobPower.Delete(hello.JobID)
@@ -238,6 +295,10 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		if err != nil {
 			return
 		}
+		// Any inbound traffic proves the endpoint alive.
+		m.mu.Lock()
+		j.lastSeen = m.cfg.Clock.Now()
+		m.mu.Unlock()
 		switch env.Kind {
 		case proto.KindModelUpdate:
 			u := env.ModelUpdate
@@ -248,6 +309,7 @@ func (m *Manager) handleConn(c *proto.Conn) {
 				if mdl.Validate() == nil {
 					j.online = mdl
 					j.trained = true
+					j.lastUpdate = m.cfg.Clock.Now()
 				}
 			}
 			m.mu.Unlock()
@@ -271,21 +333,33 @@ func (m *Manager) handleConn(c *proto.Conn) {
 				}
 				m.cfg.Tracer.Emit(obs.Event{Type: obs.EvModelUpdate, Job: hello.JobID, Fields: fields})
 			}
+		case proto.KindPing:
+			// Answer the peer's probe; a send failure surfaces on the
+			// next Recv and tears the connection down normally.
+			_ = c.Send(proto.Envelope{Kind: proto.KindPong, Pong: ptr(proto.PongFor(*env.Ping))})
 		case proto.KindGoodbye:
 			return
 		}
 	}
 }
 
-// snapshot builds the budgeter's view of running jobs.
-func (m *Manager) snapshot() (jobs []budget.Job, conns map[string]*proto.Conn, busyNodes int, measured units.Power) {
+func ptr[T any](v T) *T { return &v }
+
+// snapshot builds the budgeter's view of running jobs. A trained online
+// model older than ModelTTL is treated as stale: the job falls back to
+// its precharacterized believed curve until fresh feedback arrives.
+func (m *Manager) snapshot(now time.Time) (jobs []budget.Job, conns map[string]*proto.Conn, busyNodes int, measured units.Power) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
 	conns = make(map[string]*proto.Conn, len(m.jobs))
 	for _, j := range m.jobs {
 		mdl := j.believed
 		if m.cfg.UseFeedback && j.trained {
-			mdl = j.online
+			if m.cfg.ModelTTL > 0 && now.Sub(j.lastUpdate) > m.cfg.ModelTTL {
+				m.met.staleFalls.Inc()
+			} else {
+				mdl = j.online
+			}
 		}
 		jobs = append(jobs, budget.Job{ID: j.id, Nodes: j.nodes, Model: mdl})
 		conns[j.id] = j.conn
@@ -293,6 +367,58 @@ func (m *Manager) snapshot() (jobs []budget.Job, conns map[string]*proto.Conn, b
 		measured += j.lastPower
 	}
 	return jobs, conns, busyNodes, measured
+}
+
+// checkLiveness enforces the heartbeat deadline: endpoints quiet for more
+// than half the deadline are pinged, endpoints quiet past the full
+// deadline are evicted (connection closed; the handler deregisters and
+// the next rebudget reclaims the budget share). It also publishes the
+// live-endpoint gauge. No-op (everyone live) when the deadline is unset.
+func (m *Manager) checkLiveness(now time.Time) {
+	type peer struct {
+		id   string
+		conn *proto.Conn
+		seq  uint64
+	}
+	var pings, evictions []peer
+	live := 0
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		if m.cfg.HeartbeatTimeout <= 0 {
+			live++
+			continue
+		}
+		quiet := now.Sub(j.lastSeen)
+		if quiet >= m.cfg.HeartbeatTimeout {
+			evictions = append(evictions, peer{id: j.id, conn: j.conn})
+			continue
+		}
+		live++
+		if quiet >= m.cfg.HeartbeatTimeout/2 && now.Sub(j.lastPing) >= m.cfg.HeartbeatTimeout/2 {
+			j.lastPing = now
+			j.pingSeq++
+			pings = append(pings, peer{id: j.id, conn: j.conn, seq: j.pingSeq})
+		}
+	}
+	m.mu.Unlock()
+	m.met.live.Set(float64(live))
+	for _, p := range evictions {
+		m.cfg.Log.WithJob(p.id).Warnf("endpoint missed heartbeat deadline %v, evicting", m.cfg.HeartbeatTimeout)
+		m.met.evictions.Inc()
+		_ = p.conn.Close()
+	}
+	for _, p := range pings {
+		env := proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: p.seq, TimestampUnixNano: now.UnixNano()}}
+		if err := p.conn.Send(env); err != nil {
+			// A probe that cannot even be written marks the endpoint dead
+			// now rather than at the deadline.
+			m.cfg.Log.WithJob(p.id).Warnf("liveness probe failed (%v), evicting", err)
+			m.met.evictions.Inc()
+			_ = p.conn.Close()
+			continue
+		}
+		m.met.pings.Inc()
+	}
 }
 
 // Tick runs one control iteration: rebudget against the current target and
@@ -311,7 +437,8 @@ func (m *Manager) Tick() {
 	// write, down to the agent tree's hardware fan-out.
 	round := m.cfg.Tracer.StartSpanAt("rebudget", obs.TraceContext{}, now)
 
-	jobs, conns, busyNodes, measuredJobs := m.snapshot()
+	m.checkLiveness(now)
+	jobs, conns, busyNodes, measuredJobs := m.snapshot(now)
 	idleNodes := m.cfg.TotalNodes - busyNodes
 	if idleNodes < 0 {
 		idleNodes = 0
@@ -348,9 +475,13 @@ func (m *Manager) Tick() {
 			JobID: j.ID, PowerCapWatts: cap.Watts(),
 		}, Trace: sp.Propagate()}
 		if err := conn.Send(env); err != nil {
-			// The connection handler will deregister the job on its own
-			// Recv error; nothing to do here.
+			// Close the connection so a wedged socket (send timed out)
+			// cannot wedge again next round: the handler's Recv fails and
+			// deregisters the job, reclaiming its budget share.
 			m.met.capSendErrs.Inc()
+			m.met.evictions.Inc()
+			m.cfg.Log.WithJob(j.ID).Warnf("cap send failed (%v), dropping connection", err)
+			_ = conn.Close()
 			sp.Set("send_err", true).EndAt(m.cfg.Clock.Now())
 			continue
 		}

@@ -13,6 +13,7 @@ package endpointd
 import (
 	"context"
 	"errors"
+	"net"
 	"sync"
 	"time"
 
@@ -21,7 +22,9 @@ import (
 	"repro/internal/modeler"
 	"repro/internal/obs"
 	"repro/internal/proto"
+	"repro/internal/stats"
 	"repro/internal/units"
+	"repro/internal/workload"
 )
 
 // DefaultPeriod is the endpoint's sampling/reporting period: faster than
@@ -38,8 +41,34 @@ type Config struct {
 	TypeName string
 	// Nodes is the job's node count.
 	Nodes int
-	// Conn is the connection to the cluster manager. Required.
+	// Conn is the connection to the cluster manager. Exactly one of Conn
+	// and Dial is required. With Conn the daemon services that single
+	// connection and exits on its first transport error (the original
+	// behavior, right for in-process experiments over net.Pipe).
 	Conn *proto.Conn
+	// Dial, when set, puts the daemon in reconnecting mode: it owns the
+	// connection lifecycle, dialing (and re-dialing with exponential
+	// backoff + jitter) whenever the link drops, re-sending Hello and an
+	// immediate model update to resync cluster-tier state on every new
+	// connection.
+	Dial func() (net.Conn, error)
+	// ReconnectMin and ReconnectMax bound the backoff between dial
+	// attempts (defaults 500 ms and 10 s). The wait doubles per failure
+	// and carries multiplicative jitter to avoid thundering herds.
+	ReconnectMin, ReconnectMax time.Duration
+	// ReconnectSeed seeds the jitter stream, so chaos tests reproduce.
+	ReconnectSeed uint64
+	// HoldDuration is how long a disconnected daemon keeps enforcing the
+	// last received cap before failing safe (default 3× Period).
+	HoldDuration time.Duration
+	// FailsafeCap is the per-node cap enforced after HoldDuration without
+	// a cluster connection — a power level safe against any budget the
+	// cluster tier could be tracking (default the node minimum cap).
+	FailsafeCap units.Power
+	// ReadTimeout bounds each wire receive while connected; a silent peer
+	// past the deadline counts as a dropped link (reconnecting mode) or a
+	// fatal error (single-connection mode). Zero disables.
+	ReadTimeout time.Duration
 	// GEOPM is the shared mailbox with the job's root agent. Required.
 	GEOPM *geopm.Endpoint
 	// Modeler learns the job's power-performance model. Required.
@@ -62,17 +91,21 @@ type Config struct {
 // epMetrics holds the endpoint's instruments, bound to the job label at
 // construction. Every field is nil — a no-op sink — without a registry.
 type epMetrics struct {
-	epochs   *obs.Counter
-	rate     *obs.Gauge
-	capApply *obs.Histogram
-	decision *obs.Histogram
-	capsRecv *obs.Counter
-	updates  *obs.Counter
-	refits   *obs.Counter
-	r2       *obs.Gauge
-	residual *obs.Gauge
-	power    *obs.Gauge
-	cap      *obs.Gauge
+	epochs     *obs.Counter
+	rate       *obs.Gauge
+	capApply   *obs.Histogram
+	decision   *obs.Histogram
+	capsRecv   *obs.Counter
+	updates    *obs.Counter
+	refits     *obs.Counter
+	r2         *obs.Gauge
+	residual   *obs.Gauge
+	power      *obs.Gauge
+	cap        *obs.Gauge
+	reconnects *obs.Counter
+	disconns   *obs.Counter
+	failsafes  *obs.Counter
+	connected  *obs.Gauge
 }
 
 func newEpMetrics(r *obs.Registry, job string) epMetrics {
@@ -80,17 +113,21 @@ func newEpMetrics(r *obs.Registry, job string) epMetrics {
 		return epMetrics{}
 	}
 	return epMetrics{
-		epochs:   r.CounterVec("endpoint_epochs_total", "Application epochs observed via GEOPM samples.", "job").With(job),
-		rate:     r.GaugeVec("endpoint_epoch_rate_hz", "Epoch completion rate over the last sample span.", "job").With(job),
-		capApply: r.HistogramVec("endpoint_cap_apply_seconds", "Latency from SetBudget receipt to the GEOPM policy write.", obs.DefLatencyBuckets, "job").With(job),
-		decision: r.HistogramVec("endpoint_decision_to_apply_seconds", "Latency from the cluster-tier budget decision to the GEOPM policy write, from propagated trace timestamps.", obs.DefLatencyBuckets, "job").With(job),
-		capsRecv: r.CounterVec("endpoint_caps_received_total", "SetBudget messages received from the cluster tier.", "job").With(job),
-		updates:  r.CounterVec("endpoint_model_updates_sent_total", "Model updates reported to the cluster tier.", "job").With(job),
-		refits:   r.CounterVec("endpoint_model_refits_total", "Accepted online model re-fits.", "job").With(job),
-		r2:       r.GaugeVec("endpoint_model_r2", "R² of the latest accepted model fit.", "job").With(job),
-		residual: r.GaugeVec("endpoint_model_fit_residual", "1 - R² of the latest accepted model fit.", "job").With(job),
-		power:    r.GaugeVec("endpoint_power_watts", "Job power from the latest GEOPM sample.", "job").With(job),
-		cap:      r.GaugeVec("endpoint_cap_watts", "Per-node cap from the latest GEOPM sample.", "job").With(job),
+		epochs:     r.CounterVec("endpoint_epochs_total", "Application epochs observed via GEOPM samples.", "job").With(job),
+		rate:       r.GaugeVec("endpoint_epoch_rate_hz", "Epoch completion rate over the last sample span.", "job").With(job),
+		capApply:   r.HistogramVec("endpoint_cap_apply_seconds", "Latency from SetBudget receipt to the GEOPM policy write.", obs.DefLatencyBuckets, "job").With(job),
+		decision:   r.HistogramVec("endpoint_decision_to_apply_seconds", "Latency from the cluster-tier budget decision to the GEOPM policy write, from propagated trace timestamps.", obs.DefLatencyBuckets, "job").With(job),
+		capsRecv:   r.CounterVec("endpoint_caps_received_total", "SetBudget messages received from the cluster tier.", "job").With(job),
+		updates:    r.CounterVec("endpoint_model_updates_sent_total", "Model updates reported to the cluster tier.", "job").With(job),
+		refits:     r.CounterVec("endpoint_model_refits_total", "Accepted online model re-fits.", "job").With(job),
+		r2:         r.GaugeVec("endpoint_model_r2", "R² of the latest accepted model fit.", "job").With(job),
+		residual:   r.GaugeVec("endpoint_model_fit_residual", "1 - R² of the latest accepted model fit.", "job").With(job),
+		power:      r.GaugeVec("endpoint_power_watts", "Job power from the latest GEOPM sample.", "job").With(job),
+		cap:        r.GaugeVec("endpoint_cap_watts", "Per-node cap from the latest GEOPM sample.", "job").With(job),
+		reconnects: r.CounterVec("endpoint_reconnects_total", "Successful re-dials to the cluster manager after a dropped link.", "job").With(job),
+		disconns:   r.CounterVec("endpoint_disconnects_total", "Cluster-manager connections lost to transport errors.", "job").With(job),
+		failsafes:  r.CounterVec("endpoint_failsafe_total", "Failsafe cap enforcements after exhausting the disconnected hold window.", "job").With(job),
+		connected:  r.GaugeVec("endpoint_connected", "1 while a cluster-manager connection is up, 0 while reconnecting.", "job").With(job),
 	}
 }
 
@@ -118,8 +155,10 @@ func New(cfg Config) (*Endpoint, error) {
 	switch {
 	case cfg.JobID == "":
 		return nil, errors.New("endpointd: config requires a job ID")
-	case cfg.Conn == nil:
-		return nil, errors.New("endpointd: config requires a connection")
+	case cfg.Conn == nil && cfg.Dial == nil:
+		return nil, errors.New("endpointd: config requires a connection or a dialer")
+	case cfg.Conn != nil && cfg.Dial != nil:
+		return nil, errors.New("endpointd: config takes a connection or a dialer, not both")
 	case cfg.GEOPM == nil:
 		return nil, errors.New("endpointd: config requires a GEOPM endpoint")
 	case cfg.Modeler == nil:
@@ -130,18 +169,121 @@ func New(cfg Config) (*Endpoint, error) {
 	if cfg.Period <= 0 {
 		cfg.Period = DefaultPeriod
 	}
+	if cfg.ReconnectMin <= 0 {
+		cfg.ReconnectMin = 500 * time.Millisecond
+	}
+	if cfg.ReconnectMax <= 0 {
+		cfg.ReconnectMax = 10 * time.Second
+	}
+	if cfg.ReconnectMax < cfg.ReconnectMin {
+		cfg.ReconnectMax = cfg.ReconnectMin
+	}
+	if cfg.HoldDuration <= 0 {
+		cfg.HoldDuration = 3 * cfg.Period
+	}
+	if cfg.FailsafeCap <= 0 {
+		cfg.FailsafeCap = workload.NodeMinCap
+	}
 	cfg.Log = cfg.Log.WithJob(cfg.JobID)
 	return &Endpoint{cfg: cfg, met: newEpMetrics(cfg.Metrics, cfg.JobID)}, nil
 }
 
-// Run sends Hello, services the connection until ctx is cancelled, then
-// sends Goodbye and closes the connection. Budget messages apply
-// immediately on receipt; model updates flow on the configured period.
+// Run services the cluster-manager link until ctx is cancelled. With a
+// fixed Conn it runs one session and returns its first transport error.
+// With a Dial it loops forever: dial (exponential backoff + jitter on
+// failure), Hello + immediate model update to resync the cluster tier,
+// serve the session, and on any transport error start over — holding the
+// last received cap for HoldDuration, then failing safe to FailsafeCap
+// until the link returns.
 func (e *Endpoint) Run(ctx context.Context) error {
-	c := e.cfg.Conn
+	if e.cfg.Dial == nil {
+		e.met.connected.Set(1)
+		defer e.met.connected.Set(0)
+		return e.runSession(ctx, e.cfg.Conn)
+	}
+
+	rng := stats.NewRNG(e.cfg.ReconnectSeed)
+	for first := true; ; first = false {
+		c, err := e.connect(ctx, rng, first)
+		if c == nil {
+			return err // ctx cancelled while disconnected
+		}
+		err = e.runSession(ctx, c)
+		if ctx.Err() != nil || err == nil {
+			return nil
+		}
+		e.met.disconns.Inc()
+		e.cfg.Log.Warnf("cluster connection lost: %v", err)
+	}
+}
+
+// connect dials until a connection lands or ctx is cancelled, pacing
+// attempts with exponential backoff + jitter and enforcing the
+// hold-then-failsafe cap policy while disconnected. first marks the
+// daemon's initial connection, which is not a reconnect. It returns nil
+// when ctx ends first.
+func (e *Endpoint) connect(ctx context.Context, rng *stats.RNG, first bool) (*proto.Conn, error) {
+	e.met.connected.Set(0)
+	lostAt := e.cfg.Clock.Now()
+	failsafed := false
+	backoff := e.cfg.ReconnectMin
+	for {
+		if ctx.Err() != nil {
+			return nil, nil
+		}
+		if !failsafed && e.cfg.Clock.Now().Sub(lostAt) >= e.cfg.HoldDuration {
+			// The hold window expired with no cluster in sight: drop to a
+			// cap safe under any budget the cluster could be tracking.
+			e.cfg.GEOPM.WritePolicy(geopm.Policy{PowerCap: e.cfg.FailsafeCap})
+			e.met.failsafes.Inc()
+			failsafed = true
+			e.cfg.Log.Warnf("hold window %v expired, enforcing failsafe cap %.0f W/node",
+				e.cfg.HoldDuration, e.cfg.FailsafeCap.Watts())
+		}
+		raw, err := e.cfg.Dial()
+		if err == nil {
+			if !first {
+				e.met.reconnects.Inc()
+			}
+			e.met.connected.Set(1)
+			return proto.NewConn(raw), nil
+		}
+		e.cfg.Log.Debugf("dial failed (%v), retrying in ~%v", err, backoff)
+		// Jitter in [½·backoff, backoff) decorrelates a fleet of
+		// endpoints reconnecting after one shared outage.
+		wait := backoff/2 + time.Duration(rng.Float64()*float64(backoff/2))
+		// Never sleep through the failsafe moment.
+		if !failsafed {
+			if until := e.cfg.HoldDuration - e.cfg.Clock.Now().Sub(lostAt); until > 0 && wait > until {
+				wait = until
+			}
+		}
+		select {
+		case <-ctx.Done():
+			return nil, nil
+		case <-e.cfg.Clock.After(wait):
+		}
+		if backoff *= 2; backoff > e.cfg.ReconnectMax {
+			backoff = e.cfg.ReconnectMax
+		}
+	}
+}
+
+// runSession sends Hello (plus an immediate model update so a fresh
+// cluster tier resyncs this job's model state at once) and services one
+// connection: budgets apply on receipt, pings are answered, model updates
+// flow on the configured period. It returns nil when ctx ended the
+// session (Goodbye sent) and the transport error otherwise.
+func (e *Endpoint) runSession(ctx context.Context, c *proto.Conn) error {
+	c.SetTimeouts(e.cfg.ReadTimeout, 0)
 	if err := c.Send(proto.Envelope{Kind: proto.KindHello, Hello: &proto.Hello{
 		JobID: e.cfg.JobID, TypeName: e.cfg.TypeName, Nodes: e.cfg.Nodes,
 	}}); err != nil {
+		c.Close()
+		return err
+	}
+	if err := e.tick(c); err != nil {
+		c.Close()
 		return err
 	}
 
@@ -153,8 +295,12 @@ func (e *Endpoint) Run(ctx context.Context) error {
 				recvErr <- err
 				return
 			}
-			if env.Kind == proto.KindSetBudget {
+			switch env.Kind {
+			case proto.KindSetBudget:
 				e.applyBudget(env)
+			case proto.KindPing:
+				pong := proto.PongFor(*env.Ping)
+				_ = c.Send(proto.Envelope{Kind: proto.KindPong, Pong: &pong})
 			}
 		}
 	}()
@@ -165,12 +311,15 @@ func (e *Endpoint) Run(ctx context.Context) error {
 			_ = c.Send(proto.Envelope{Kind: proto.KindGoodbye, Goodbye: &proto.Goodbye{JobID: e.cfg.JobID}})
 			err := c.Close()
 			<-recvErr // receiver exits once the transport closes
+			if e.cfg.Dial != nil {
+				return nil
+			}
 			return err
 		case err := <-recvErr:
 			c.Close()
 			return err
 		case <-e.cfg.Clock.After(e.cfg.Period):
-			if err := e.tick(); err != nil {
+			if err := e.tick(c); err != nil {
 				c.Close()
 				<-recvErr
 				return err
@@ -229,8 +378,8 @@ func (e *Endpoint) applyBudget(env proto.Envelope) {
 }
 
 // tick folds any fresh GEOPM sample into the modeler and reports the
-// current model to the cluster tier.
-func (e *Endpoint) tick() error {
+// current model to the cluster tier over c.
+func (e *Endpoint) tick(c *proto.Conn) error {
 	sample, seq := e.cfg.GEOPM.ReadSample()
 	if seq != 0 && seq != e.lastSampleSeq {
 		e.lastSampleSeq = seq
@@ -252,7 +401,7 @@ func (e *Endpoint) tick() error {
 		env.Trace = &d
 	}
 	e.mu.Unlock()
-	if err := e.cfg.Conn.Send(env); err != nil {
+	if err := c.Send(env); err != nil {
 		return err
 	}
 	e.met.updates.Inc()

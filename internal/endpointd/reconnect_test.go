@@ -1,0 +1,227 @@
+package endpointd
+
+import (
+	"context"
+	"errors"
+	"net"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/workload"
+)
+
+func waitFor(t *testing.T, cond func() bool) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for !cond() {
+		if time.Now().After(deadline) {
+			t.Fatal("condition not reached")
+		}
+		time.Sleep(time.Millisecond)
+	}
+}
+
+func TestNewRejectsConnAndDialTogether(t *testing.T) {
+	a, _ := net.Pipe()
+	defer a.Close()
+	cfg := testConfig(t, proto.NewConn(a))
+	cfg.Dial = func() (net.Conn, error) { return nil, errors.New("unused") }
+	if _, err := New(cfg); err == nil {
+		t.Error("config with both Conn and Dial accepted")
+	}
+}
+
+// TestDialModeReconnects kills the first session's transport and checks
+// the daemon dials again, re-Hellos, and resyncs its model state.
+func TestDialModeReconnects(t *testing.T) {
+	serverConns := make(chan net.Conn, 4)
+	cfg := testConfig(t, nil)
+	cfg.Conn = nil
+	cfg.Dial = func() (net.Conn, error) {
+		a, b := net.Pipe()
+		serverConns <- b
+		return a, nil
+	}
+	cfg.ReconnectMin = time.Millisecond
+	cfg.ReconnectMax = 4 * time.Millisecond
+	cfg.HoldDuration = time.Hour // keep the failsafe out of this test
+	cfg.Metrics = obs.NewRegistry()
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	// Session 1: Hello, then the immediate model-update resync.
+	c1 := proto.NewConn(<-serverConns)
+	env, err := c1.Recv()
+	if err != nil || env.Kind != proto.KindHello {
+		t.Fatalf("first message = %+v, %v", env, err)
+	}
+	env, err = c1.Recv()
+	if err != nil || env.Kind != proto.KindModelUpdate {
+		t.Fatalf("no immediate model resync after hello: %+v, %v", env, err)
+	}
+	// Kill the link mid-session.
+	c1.Close()
+
+	// Session 2: the daemon redials and replays Hello + resync.
+	var c2 *proto.Conn
+	select {
+	case raw := <-serverConns:
+		c2 = proto.NewConn(raw)
+	case <-time.After(5 * time.Second):
+		t.Fatal("no reconnect dial")
+	}
+	env, err = c2.Recv()
+	if err != nil || env.Kind != proto.KindHello || env.Hello.JobID != "job-1" {
+		t.Fatalf("reconnect hello = %+v, %v", env, err)
+	}
+	env, err = c2.Recv()
+	if err != nil || env.Kind != proto.KindModelUpdate {
+		t.Fatalf("no model resync after reconnect: %+v, %v", env, err)
+	}
+
+	reconnects := cfg.Metrics.CounterVec("endpoint_reconnects_total", "", "job").With("job-1")
+	disconns := cfg.Metrics.CounterVec("endpoint_disconnects_total", "", "job").With("job-1")
+	connected := cfg.Metrics.GaugeVec("endpoint_connected", "", "job").With("job-1")
+	waitFor(t, func() bool { return reconnects.Value() >= 1 })
+	if disconns.Value() < 1 {
+		t.Errorf("disconnects = %d, want >= 1", disconns.Value())
+	}
+	if connected.Value() != 1 {
+		t.Errorf("connected gauge = %v, want 1", connected.Value())
+	}
+
+	// Cancelling while connected ends the loop cleanly in dial mode.
+	cancel()
+	go func() {
+		for {
+			if _, err := c2.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	select {
+	case err := <-done:
+		if err != nil {
+			t.Errorf("Run = %v after cancel", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+}
+
+// TestHoldThenFailsafeCap: a daemon that cannot reach the cluster holds
+// the last cap for HoldDuration, then enforces the failsafe cap.
+func TestHoldThenFailsafeCap(t *testing.T) {
+	cfg := testConfig(t, nil)
+	cfg.Conn = nil
+	cfg.Dial = func() (net.Conn, error) { return nil, errors.New("cluster unreachable") }
+	cfg.ReconnectMin = time.Millisecond
+	cfg.ReconnectMax = 4 * time.Millisecond
+	cfg.HoldDuration = 30 * time.Millisecond
+	cfg.Metrics = obs.NewRegistry()
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ep.cfg.FailsafeCap != workload.NodeMinCap {
+		t.Fatalf("default failsafe cap = %v, want %v", ep.cfg.FailsafeCap, workload.NodeMinCap)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	// Within the hold window no policy is written.
+	waitFor(t, func() bool {
+		_, seq := cfg.GEOPM.ReadPolicy()
+		return seq > 0
+	})
+	p, _ := cfg.GEOPM.ReadPolicy()
+	if p.PowerCap != workload.NodeMinCap {
+		t.Errorf("failsafe policy cap = %v, want %v", p.PowerCap, workload.NodeMinCap)
+	}
+	failsafes := cfg.Metrics.CounterVec("endpoint_failsafe_total", "", "job").With("job-1")
+	if failsafes.Value() != 1 {
+		t.Errorf("failsafe counter = %d, want 1", failsafes.Value())
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel while disconnected")
+	}
+}
+
+// TestEndpointLeaksNoGoroutines runs a full churn cycle — sessions
+// dropped by the peer, dial failures, cancellation — and checks every
+// goroutine the daemon started has exited.
+func TestEndpointLeaksNoGoroutines(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	serverConns := make(chan net.Conn, 16)
+	fails := 0
+	cfg := testConfig(t, nil)
+	cfg.Conn = nil
+	cfg.Dial = func() (net.Conn, error) {
+		// Every other dial fails, exercising the backoff path too.
+		if fails++; fails%2 == 0 {
+			return nil, errors.New("flaky network")
+		}
+		a, b := net.Pipe()
+		serverConns <- b
+		return a, nil
+	}
+	cfg.ReconnectMin = time.Millisecond
+	cfg.ReconnectMax = 2 * time.Millisecond
+	cfg.HoldDuration = 5 * time.Millisecond
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	// Chew through three sessions, killing each from the server side.
+	for i := 0; i < 3; i++ {
+		var c *proto.Conn
+		select {
+		case raw := <-serverConns:
+			c = proto.NewConn(raw)
+		case <-time.After(5 * time.Second):
+			t.Fatalf("session %d never dialed", i)
+		}
+		if _, err := c.Recv(); err != nil { // Hello
+			t.Fatalf("session %d: %v", i, err)
+		}
+		c.Close()
+	}
+
+	cancel()
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	// Drain any connection the daemon managed to open post-cancel.
+	for {
+		select {
+		case raw := <-serverConns:
+			raw.Close()
+			continue
+		default:
+		}
+		break
+	}
+	waitFor(t, func() bool { return runtime.NumGoroutine() <= before })
+}

@@ -1,0 +1,247 @@
+package faults
+
+import (
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/stats"
+)
+
+// Plan parameterizes an Injector: which faults it injects and how often.
+// The zero value injects nothing (a transparent wrapper).
+type Plan struct {
+	// Seed drives every probabilistic decision. The same seed, plan, and
+	// frame sequence always produce the same fault sequence.
+	Seed uint64
+	// DropProb is the per-frame probability that a written frame is
+	// silently discarded (the peer never sees it).
+	DropProb float64
+	// DelayProb is the per-frame probability that delivery is delayed by
+	// Delay before the frame is written through.
+	DelayProb float64
+	// Delay is the injected delivery delay for delayed frames.
+	Delay time.Duration
+	// ResetEvery, when positive, injects a mid-frame connection reset on
+	// every Nth delivered frame: half the frame is written, then the
+	// underlying transport is closed and the writer sees ErrInjectedReset.
+	// The peer observes a truncated frame — the classic torn write.
+	ResetEvery int
+	// Partitions are windows, as offsets from the injector's creation,
+	// during which the network is unreachable: written frames are
+	// dropped and new dials fail.
+	Partitions []Window
+}
+
+// Window is a half-open time interval [From, To) offset from injector
+// creation.
+type Window struct {
+	From, To time.Duration
+}
+
+// ErrInjectedReset marks a connection the injector reset mid-frame.
+var ErrInjectedReset = errors.New("faults: injected connection reset")
+
+// ErrPartitioned marks a dial refused because the injector's plan has the
+// network partitioned at this moment.
+var ErrPartitioned = errors.New("faults: network partitioned")
+
+// connMetrics are the injector's observable counters; nil fields no-op.
+type connMetrics struct {
+	frames  *obs.Counter
+	dropped *obs.Counter
+	delayed *obs.Counter
+	resets  *obs.Counter
+	dials   *obs.Counter
+}
+
+// Injector owns the fault state shared by every connection it wraps: the
+// seeded RNG, the frame counter, and the partition epoch. Wrapping each
+// reconnect attempt through one injector keeps the fault sequence a
+// single deterministic stream across the whole session, rather than
+// restarting with every new socket.
+type Injector struct {
+	plan Plan
+	clk  clock.Clock
+	met  connMetrics
+
+	mu     sync.Mutex
+	rng    *stats.RNG
+	epoch  time.Time
+	frames uint64 // delivered-or-dropped frames so far, across all conns
+}
+
+// NewInjector builds an injector over a plan. clk paces partitions and
+// delays (nil selects the real clock); reg, when non-nil, receives the
+// injector's fault counters (faults_frames_total, faults_dropped_frames_total,
+// faults_delayed_frames_total, faults_resets_total, faults_dial_errors_total).
+func NewInjector(plan Plan, clk clock.Clock, reg *obs.Registry) *Injector {
+	if clk == nil {
+		clk = clock.Real{}
+	}
+	in := &Injector{
+		plan:  plan,
+		clk:   clk,
+		rng:   stats.NewRNG(plan.Seed),
+		epoch: clk.Now(),
+	}
+	if reg != nil {
+		in.met = connMetrics{
+			frames:  reg.Counter("faults_frames_total", "Frames seen by the fault injector."),
+			dropped: reg.Counter("faults_dropped_frames_total", "Frames dropped by the fault injector."),
+			delayed: reg.Counter("faults_delayed_frames_total", "Frames delayed by the fault injector."),
+			resets:  reg.Counter("faults_resets_total", "Mid-frame connection resets injected."),
+			dials:   reg.Counter("faults_dial_errors_total", "Dials refused while partitioned."),
+		}
+	}
+	return in
+}
+
+// Partitioned reports whether the plan has the network down right now.
+func (in *Injector) Partitioned() bool {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.partitionedLocked()
+}
+
+func (in *Injector) partitionedLocked() bool {
+	off := in.clk.Now().Sub(in.epoch)
+	for _, w := range in.plan.Partitions {
+		if off >= w.From && off < w.To {
+			return true
+		}
+	}
+	return false
+}
+
+// Frames returns how many frames the injector has seen.
+func (in *Injector) Frames() uint64 {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	return in.frames
+}
+
+// WrapDial decorates a dial function: dials fail with ErrPartitioned
+// while a partition window is open, and every successful connection is
+// wrapped with this injector's fault plan.
+func (in *Injector) WrapDial(dial func() (net.Conn, error)) func() (net.Conn, error) {
+	return func() (net.Conn, error) {
+		if in.Partitioned() {
+			in.met.dials.Inc()
+			return nil, ErrPartitioned
+		}
+		c, err := dial()
+		if err != nil {
+			return nil, err
+		}
+		return in.Wrap(c), nil
+	}
+}
+
+// frameFate is one frame's injected outcome.
+type frameFate int
+
+const (
+	fateDeliver frameFate = iota
+	fateDrop
+	fateDelay
+	fateReset
+)
+
+// decide rolls this frame's fate. One RNG advance per probabilistic knob
+// per frame keeps the stream deterministic regardless of which faults are
+// enabled together.
+func (in *Injector) decide() frameFate {
+	in.mu.Lock()
+	defer in.mu.Unlock()
+	in.frames++
+	in.met.frames.Inc()
+	dropRoll := in.rng.Float64()
+	delayRoll := in.rng.Float64()
+	if in.plan.ResetEvery > 0 && in.frames%uint64(in.plan.ResetEvery) == 0 {
+		return fateReset
+	}
+	if in.partitionedLocked() {
+		return fateDrop
+	}
+	if in.plan.DropProb > 0 && dropRoll < in.plan.DropProb {
+		return fateDrop
+	}
+	if in.plan.DelayProb > 0 && delayRoll < in.plan.DelayProb {
+		return fateDelay
+	}
+	return fateDeliver
+}
+
+// Wrap returns a net.Conn that injects this injector's plan into writes.
+// The wrapper understands the proto framing (4-byte big-endian length
+// prefix + body) and acts on whole frames, so injected drops remove a
+// complete message without desynchronizing the peer's framing — only an
+// injected reset tears a frame, and that also closes the transport, as a
+// real connection reset would. Reads pass through untouched: to fault
+// both directions, wrap both ends.
+func (in *Injector) Wrap(c net.Conn) net.Conn {
+	return &Conn{Conn: c, in: in}
+}
+
+// Conn is one fault-injected connection. It implements net.Conn; deadline
+// calls delegate to the underlying transport.
+type Conn struct {
+	net.Conn
+	in *Injector
+
+	wmu     sync.Mutex
+	pending []byte // bytes accumulated toward the current frame
+	broken  error  // sticky error after an injected reset
+}
+
+// Write buffers bytes until a whole frame is assembled, then delivers,
+// drops, delays, or resets according to the plan. It always reports the
+// full length as written so the caller's framing state stays consistent
+// even when the frame is silently dropped (exactly what a lossy network
+// looks like to a sender).
+func (c *Conn) Write(p []byte) (int, error) {
+	c.wmu.Lock()
+	defer c.wmu.Unlock()
+	if c.broken != nil {
+		return 0, c.broken
+	}
+	c.pending = append(c.pending, p...)
+	for {
+		if len(c.pending) < 4 {
+			return len(p), nil
+		}
+		n := int(uint32(c.pending[0])<<24 | uint32(c.pending[1])<<16 | uint32(c.pending[2])<<8 | uint32(c.pending[3]))
+		total := 4 + n
+		if len(c.pending) < total {
+			return len(p), nil
+		}
+		frame := c.pending[:total]
+		switch c.in.decide() {
+		case fateDrop:
+			c.in.met.dropped.Inc()
+		case fateDelay:
+			c.in.met.delayed.Inc()
+			c.in.clk.Sleep(c.in.plan.Delay)
+			if _, err := c.Conn.Write(frame); err != nil {
+				return 0, err
+			}
+		case fateReset:
+			c.in.met.resets.Inc()
+			torn := frame[:total/2]
+			_, _ = c.Conn.Write(torn)
+			_ = c.Conn.Close()
+			c.broken = fmt.Errorf("%w (frame %d torn at %d/%d bytes)", ErrInjectedReset, c.in.Frames(), len(torn), total)
+			return 0, c.broken
+		default:
+			if _, err := c.Conn.Write(frame); err != nil {
+				return 0, err
+			}
+		}
+		c.pending = c.pending[total:]
+	}
+}

@@ -1,0 +1,201 @@
+package faults
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/clock"
+	"repro/internal/obs"
+	"repro/internal/proto"
+)
+
+var t0 = time.Date(2026, 1, 1, 0, 0, 0, 0, time.UTC)
+
+// faultedPipe builds a proto sender whose writes pass through the
+// injector and a clean proto receiver on the other pipe end.
+func faultedPipe(in *Injector) (sender, receiver *proto.Conn) {
+	a, b := net.Pipe()
+	return proto.NewConn(in.Wrap(a)), proto.NewConn(b)
+}
+
+// collectPings drains the receiver until its first error, returning the
+// ping sequence numbers that made it through.
+func collectPings(c *proto.Conn) <-chan []uint64 {
+	out := make(chan []uint64, 1)
+	go func() {
+		var seqs []uint64
+		for {
+			env, err := c.Recv()
+			if err != nil {
+				out <- seqs
+				return
+			}
+			if env.Kind == proto.KindPing {
+				seqs = append(seqs, env.Ping.Seq)
+			}
+		}
+	}()
+	return out
+}
+
+func sendPings(t *testing.T, c *proto.Conn, n int) {
+	t.Helper()
+	for i := 1; i <= n; i++ {
+		if err := c.Send(proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: uint64(i)}}); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+}
+
+func TestZeroPlanIsTransparent(t *testing.T) {
+	in := NewInjector(Plan{}, nil, nil)
+	sender, receiver := faultedPipe(in)
+	got := collectPings(receiver)
+	sendPings(t, sender, 5)
+	sender.Close()
+	seqs := <-got
+	if len(seqs) != 5 {
+		t.Fatalf("received %d of 5 frames through a zero plan", len(seqs))
+	}
+	if in.Frames() != 5 {
+		t.Fatalf("injector saw %d frames, want 5", in.Frames())
+	}
+}
+
+// runDropExperiment sends n pings through a fresh injector with the
+// given plan and returns the sequence numbers the receiver saw.
+func runDropExperiment(t *testing.T, plan Plan, n int, reg *obs.Registry) []uint64 {
+	t.Helper()
+	in := NewInjector(plan, nil, reg)
+	sender, receiver := faultedPipe(in)
+	got := collectPings(receiver)
+	sendPings(t, sender, n)
+	sender.Close()
+	return <-got
+}
+
+func TestDropsAreFrameAwareAndDeterministic(t *testing.T) {
+	plan := Plan{Seed: 7, DropProb: 0.5}
+	reg := obs.NewRegistry()
+	first := runDropExperiment(t, plan, 40, reg)
+	if len(first) == 0 || len(first) == 40 {
+		t.Fatalf("received %d of 40 frames at drop probability 0.5", len(first))
+	}
+	// Delivered frames must parse cleanly in order: a dropped frame
+	// removes a whole message without desynchronizing the peer's framing.
+	for i := 1; i < len(first); i++ {
+		if first[i] <= first[i-1] {
+			t.Fatalf("delivered seqs out of order: %v", first)
+		}
+	}
+	if got := reg.Counter("faults_frames_total", "").Value(); got != 40 {
+		t.Errorf("frames counter = %d, want 40", got)
+	}
+	if got := reg.Counter("faults_dropped_frames_total", "").Value(); got != uint64(40-len(first)) {
+		t.Errorf("dropped counter = %d, want %d", got, 40-len(first))
+	}
+
+	// The same seed must reproduce the exact fate sequence.
+	second := runDropExperiment(t, plan, 40, nil)
+	if len(second) != len(first) {
+		t.Fatalf("rerun delivered %d frames, first run %d", len(second), len(first))
+	}
+	for i := range first {
+		if first[i] != second[i] {
+			t.Fatalf("rerun diverged at %d: %v vs %v", i, first, second)
+		}
+	}
+}
+
+func TestResetTearsFrameAndBreaksConn(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := NewInjector(Plan{ResetEvery: 3}, nil, reg)
+	sender, receiver := faultedPipe(in)
+	got := collectPings(receiver)
+
+	for i := 1; i <= 2; i++ {
+		if err := sender.Send(proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: uint64(i)}}); err != nil {
+			t.Fatalf("ping %d: %v", i, err)
+		}
+	}
+	err := sender.Send(proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: 3}})
+	if !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("third send err = %v, want ErrInjectedReset", err)
+	}
+	// The connection is sticky-broken after a reset, as a real reset
+	// socket would be.
+	if err := sender.Send(proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: 4}}); !errors.Is(err, ErrInjectedReset) {
+		t.Fatalf("send after reset err = %v, want ErrInjectedReset", err)
+	}
+	// The peer saw the two whole frames, then the torn one killed its
+	// stream.
+	seqs := <-got
+	if len(seqs) != 2 || seqs[0] != 1 || seqs[1] != 2 {
+		t.Fatalf("receiver got %v, want [1 2]", seqs)
+	}
+	if got := reg.Counter("faults_resets_total", "").Value(); got != 1 {
+		t.Errorf("resets counter = %d, want 1", got)
+	}
+}
+
+func TestPartitionRefusesDialsAndDropsFrames(t *testing.T) {
+	v := clock.NewVirtual(t0)
+	reg := obs.NewRegistry()
+	in := NewInjector(Plan{Partitions: []Window{{From: 0, To: time.Minute}}}, v, reg)
+	if !in.Partitioned() {
+		t.Fatal("injector not partitioned inside the window")
+	}
+
+	dial := in.WrapDial(func() (net.Conn, error) {
+		c, _ := net.Pipe()
+		return c, nil
+	})
+	if _, err := dial(); !errors.Is(err, ErrPartitioned) {
+		t.Fatalf("dial inside window err = %v, want ErrPartitioned", err)
+	}
+	if got := reg.Counter("faults_dial_errors_total", "").Value(); got != 1 {
+		t.Errorf("dial errors counter = %d, want 1", got)
+	}
+
+	// Frames written while partitioned are silently dropped: the send
+	// succeeds without a reader on the other pipe end because nothing
+	// reaches the transport.
+	sender, _ := faultedPipe(in)
+	if err := sender.Send(proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: 1}}); err != nil {
+		t.Fatalf("send while partitioned: %v", err)
+	}
+	if got := reg.Counter("faults_dropped_frames_total", "").Value(); got != 1 {
+		t.Errorf("dropped counter = %d, want 1", got)
+	}
+
+	// Past the window the network heals.
+	v.Advance(2 * time.Minute)
+	if in.Partitioned() {
+		t.Fatal("injector still partitioned after the window")
+	}
+	if _, err := dial(); err != nil {
+		t.Fatalf("dial after window: %v", err)
+	}
+}
+
+func TestDelayPacesDelivery(t *testing.T) {
+	reg := obs.NewRegistry()
+	in := NewInjector(Plan{Seed: 1, DelayProb: 1, Delay: 20 * time.Millisecond}, nil, reg)
+	sender, receiver := faultedPipe(in)
+	got := collectPings(receiver)
+	start := time.Now()
+	sendPings(t, sender, 1)
+	sender.Close()
+	seqs := <-got
+	if len(seqs) != 1 {
+		t.Fatalf("received %d frames, want 1", len(seqs))
+	}
+	if elapsed := time.Since(start); elapsed < 20*time.Millisecond {
+		t.Errorf("delivery took %v, want >= 20ms", elapsed)
+	}
+	if got := reg.Counter("faults_delayed_frames_total", "").Value(); got != 1 {
+		t.Errorf("delayed counter = %d, want 1", got)
+	}
+}

@@ -1,0 +1,114 @@
+package faults
+
+import (
+	"bytes"
+	"reflect"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestValidateNodeScheduleAccepts(t *testing.T) {
+	events := []NodeEvent{
+		{At: time.Minute, Node: 3, Kind: KindFail},
+		{At: time.Minute, Node: 7, Kind: KindFail},
+		{At: 2 * time.Minute, Node: 3, Kind: KindRecover},
+		{At: 5 * time.Minute, Node: 3, Kind: KindFail},
+	}
+	if err := ValidateNodeSchedule(events, 16); err != nil {
+		t.Fatalf("valid schedule rejected: %v", err)
+	}
+	if err := ValidateNodeSchedule(nil, 16); err != nil {
+		t.Fatalf("empty schedule rejected: %v", err)
+	}
+}
+
+func TestValidateNodeScheduleRejects(t *testing.T) {
+	cases := map[string][]NodeEvent{
+		"node out of range": {
+			{At: time.Minute, Node: 16, Kind: KindFail},
+		},
+		"negative node": {
+			{At: time.Minute, Node: -1, Kind: KindFail},
+		},
+		"unknown kind": {
+			{At: time.Minute, Node: 1, Kind: "reboot"},
+		},
+		"unsorted times": {
+			{At: 2 * time.Minute, Node: 1, Kind: KindFail},
+			{At: time.Minute, Node: 2, Kind: KindFail},
+		},
+		"unsorted tie-break": {
+			{At: time.Minute, Node: 2, Kind: KindFail},
+			{At: time.Minute, Node: 1, Kind: KindFail},
+		},
+		"double fail": {
+			{At: time.Minute, Node: 1, Kind: KindFail},
+			{At: 2 * time.Minute, Node: 1, Kind: KindFail},
+		},
+		"recover live node": {
+			{At: time.Minute, Node: 1, Kind: KindRecover},
+		},
+	}
+	for name, events := range cases {
+		if err := ValidateNodeSchedule(events, 16); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestSortNodeSchedule(t *testing.T) {
+	events := []NodeEvent{
+		{At: 2 * time.Minute, Node: 1, Kind: KindRecover},
+		{At: time.Minute, Node: 5, Kind: KindFail},
+		{At: time.Minute, Node: 1, Kind: KindFail},
+	}
+	SortNodeSchedule(events)
+	want := []NodeEvent{
+		{At: time.Minute, Node: 1, Kind: KindFail},
+		{At: time.Minute, Node: 5, Kind: KindFail},
+		{At: 2 * time.Minute, Node: 1, Kind: KindRecover},
+	}
+	if !reflect.DeepEqual(events, want) {
+		t.Fatalf("sorted = %+v, want %+v", events, want)
+	}
+	if err := ValidateNodeSchedule(events, 16); err != nil {
+		t.Fatalf("sorted schedule invalid: %v", err)
+	}
+}
+
+func TestScheduleRoundTrip(t *testing.T) {
+	events := []NodeEvent{
+		{At: 90 * time.Second, Node: 0, Kind: KindFail},
+		{At: 4 * time.Minute, Node: 0, Kind: KindRecover},
+	}
+	var buf bytes.Buffer
+	if err := WriteNodeSchedule(&buf, events); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadNodeSchedule(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, events) {
+		t.Fatalf("round trip = %+v, want %+v", got, events)
+	}
+}
+
+func TestReadNodeScheduleSkipsBlankLines(t *testing.T) {
+	in := "\n{\"at_ns\":60000000000,\"node\":2,\"kind\":\"fail\"}\n\n"
+	got, err := ReadNodeSchedule(strings.NewReader(in))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []NodeEvent{{At: time.Minute, Node: 2, Kind: KindFail}}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("got %+v, want %+v", got, want)
+	}
+}
+
+func TestReadNodeScheduleRejectsGarbage(t *testing.T) {
+	if _, err := ReadNodeSchedule(strings.NewReader("not json\n")); err == nil {
+		t.Fatal("garbage line accepted")
+	}
+}

@@ -53,10 +53,12 @@ type Runtime struct {
 	tree   Tree
 	agents []*Agent
 
-	metFanout   *obs.Histogram
-	metDecision *obs.Histogram
-	metPolicies *obs.Counter
-	metEpochs   *obs.Counter
+	metFanout    *obs.Histogram
+	metDecision  *obs.Histogram
+	metPolicies  *obs.Counter
+	metEpochs    *obs.Counter
+	metNodeErrs  *obs.Counter
+	metLiveNodes *obs.Gauge
 
 	epochs atomic.Int64
 
@@ -104,6 +106,10 @@ func NewRuntime(cfg RuntimeConfig) (*Runtime, error) {
 			"Fresh endpoint policies enforced across the agent tree.", "job").With(cfg.JobID)
 		r.metEpochs = cfg.Metrics.CounterVec("geopm_epochs_total",
 			"geopm_prof_epoch() calls recorded by the runtime.", "job").With(cfg.JobID)
+		r.metNodeErrs = cfg.Metrics.CounterVec("geopm_node_errors_total",
+			"Per-node enforce/sample failures skipped by graceful degradation.", "job").With(cfg.JobID)
+		r.metLiveNodes = cfg.Metrics.GaugeVec("geopm_live_nodes",
+			"Nodes that answered the runtime's last sample pass.", "job").With(cfg.JobID)
 	}
 	for _, pio := range cfg.PIOs {
 		r.agents = append(r.agents, NewAgent(pio))
@@ -149,16 +155,28 @@ func (r *Runtime) RecordAppTotals(appSeconds float64, epochs int) {
 }
 
 // enforceAll fans a per-node cap out through the communication tree, level
-// by level, as the root agent does when a new policy arrives.
-func (r *Runtime) enforceAll(cap units.Power) error {
+// by level, as the root agent does when a new policy arrives. Nodes that
+// reject the enforcement — fail-stopped hosts whose MSR device files
+// vanished — are skipped and counted, so one dead node never blocks the
+// policy from reaching the live ones. It returns how many nodes accepted
+// the cap; the error is non-nil only when every node failed.
+func (r *Runtime) enforceAll(cap units.Power) (int, error) {
+	live := 0
+	var lastErr error
 	for _, level := range r.tree.Levels() {
 		for _, idx := range level {
 			if err := r.agents[idx].Enforce(cap); err != nil {
-				return err
+				lastErr = err
+				r.metNodeErrs.Inc()
+				continue
 			}
+			live++
 		}
 	}
-	return nil
+	if live == 0 {
+		return 0, lastErr
+	}
+	return live, nil
 }
 
 // tick runs one control-loop iteration: apply any fresh policy, sample all
@@ -185,7 +203,7 @@ func (r *Runtime) tick(now time.Time) error {
 		if r.metFanout != nil {
 			t0 = time.Now()
 		}
-		if err := r.enforceAll(cap); err != nil {
+		if _, err := r.enforceAll(cap); err != nil {
 			return err
 		}
 		if r.metFanout != nil {
@@ -207,15 +225,27 @@ func (r *Runtime) tick(now time.Time) error {
 		}
 	}
 
+	// Sample every live node; a node that errors (fail-stopped host) is
+	// skipped and counted, and the aggregate covers the survivors. Only
+	// when no node answers is the job considered gone.
 	var energy units.Energy
 	var power units.Power
+	live := 0
+	var lastErr error
 	for _, a := range r.agents {
 		s, err := a.Sample(now)
 		if err != nil {
-			return err
+			lastErr = err
+			r.metNodeErrs.Inc()
+			continue
 		}
 		energy += s.Energy
 		power += s.Power
+		live++
+	}
+	r.metLiveNodes.Set(float64(live))
+	if live == 0 {
+		return lastErr
 	}
 
 	r.mu.Lock()
@@ -254,7 +284,7 @@ func (r *Runtime) Run(ctx context.Context) error {
 	initial := r.currentCap
 	r.mu.Unlock()
 
-	if err := r.enforceAll(initial); err != nil {
+	if _, err := r.enforceAll(initial); err != nil {
 		return err
 	}
 	if err := r.tick(r.cfg.Clock.Now()); err != nil {
@@ -267,7 +297,7 @@ func (r *Runtime) Run(ctx context.Context) error {
 		r.running = false
 		r.mu.Unlock()
 		_, capMax := CapRange()
-		_ = r.enforceAll(capMax)
+		_, _ = r.enforceAll(capMax)
 	}()
 
 	for {

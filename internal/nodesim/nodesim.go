@@ -17,6 +17,7 @@
 package nodesim
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 	"time"
@@ -25,6 +26,11 @@ import (
 	"repro/internal/stats"
 	"repro/internal/units"
 )
+
+// ErrNodeDown is returned for MSR access on a fail-stopped node, the
+// register-level view of a node that lost power: the msr-safe device
+// files vanish with the host.
+var ErrNodeDown = errors.New("nodesim: node is powered off")
 
 // MSR addresses and encodings mirrored from the Intel SDM subset that
 // GEOPM uses.
@@ -68,6 +74,7 @@ type Package struct {
 	idle       units.Power
 	noise      *stats.RNG
 	noiseStd   float64
+	failed     bool
 }
 
 func newPackage(clk clock.Clock, idle units.Power, noise *stats.RNG, noiseStd float64) *Package {
@@ -103,6 +110,9 @@ func (p *Package) settle() {
 }
 
 func (p *Package) achievedLocked() units.Power {
+	if p.failed {
+		return 0
+	}
 	pw := p.demand
 	if p.limit < pw {
 		pw = p.limit
@@ -156,10 +166,47 @@ func (p *Package) EnergyJoules() float64 {
 	return p.energyJ
 }
 
+// Fail powers the package off: energy is settled up to the failure
+// instant, then the package draws nothing and rejects MSR access.
+func (p *Package) Fail() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if p.failed {
+		return
+	}
+	p.settle()
+	p.failed = true
+}
+
+// Recover boots the package back up with fresh hardware state: energy
+// counter zeroed, cap back at TDP, demand at idle.
+func (p *Package) Recover() {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	if !p.failed {
+		return
+	}
+	p.failed = false
+	p.energyJ = 0
+	p.limit = PackageTDP
+	p.demand = p.idle
+	p.lastSettle = p.clk.Now()
+}
+
+// Failed reports whether the package is powered off.
+func (p *Package) Failed() bool {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.failed
+}
+
 // ReadMSR reads a register, enforcing the msr-safe allowlist.
 func (p *Package) ReadMSR(addr uint32) (uint64, error) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
+	if p.failed {
+		return 0, ErrNodeDown
+	}
 	switch addr {
 	case MSRPkgEnergyStatus:
 		p.settle()
@@ -175,6 +222,9 @@ func (p *Package) ReadMSR(addr uint32) (uint64, error) {
 // WriteMSR writes a register, enforcing the msr-safe allowlist.
 // PKG_ENERGY_STATUS is read-only, as on hardware.
 func (p *Package) WriteMSR(addr uint32, val uint64) error {
+	if p.Failed() {
+		return ErrNodeDown
+	}
 	switch addr {
 	case MSRPkgPowerLimit:
 		watts := float64(val&powerLimitMask) * PowerUnit
@@ -264,6 +314,25 @@ func (n *Node) Achieved() units.Power {
 	}
 	return sum
 }
+
+// Fail fail-stops the whole node: both packages power off, drawing
+// nothing and rejecting MSR access with ErrNodeDown until Recover.
+func (n *Node) Fail() {
+	for _, p := range n.Packages {
+		p.Fail()
+	}
+}
+
+// Recover boots the node back up with fresh register state (energy
+// counters zeroed, caps at TDP, demand at idle).
+func (n *Node) Recover() {
+	for _, p := range n.Packages {
+		p.Recover()
+	}
+}
+
+// Failed reports whether the node is powered off.
+func (n *Node) Failed() bool { return n.Packages[0].Failed() }
 
 // EnergyJoules returns the node's total unwrapped accumulated energy.
 func (n *Node) EnergyJoules() float64 {

@@ -1,0 +1,173 @@
+package proto
+
+import (
+	"encoding/binary"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func rawFrame(body []byte) []byte {
+	var hdr [4]byte
+	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
+	return append(hdr[:], body...)
+}
+
+// TestRecvFramingTable drives Recv through the malformed-stream corpus:
+// every case must produce a typed error or a deliverable envelope, never
+// a panic or a hang.
+func TestRecvFramingTable(t *testing.T) {
+	cases := []struct {
+		name    string
+		raw     []byte
+		wantErr error // nil means any error is acceptable when ok is false
+		ok      bool
+	}{
+		{name: "zero-length frame", raw: rawFrame(nil)},
+		{name: "zero-length then garbage", raw: append(rawFrame(nil), 0xff, 0xff)},
+		{name: "oversized prefix", raw: func() []byte {
+			var hdr [4]byte
+			binary.BigEndian.PutUint32(hdr[:], MaxFrame+1)
+			return hdr[:]
+		}(), wantErr: ErrFrameTooLarge},
+		{name: "max uint32 prefix", raw: []byte{0xff, 0xff, 0xff, 0xff}, wantErr: ErrFrameTooLarge},
+		{name: "truncated header", raw: []byte{0x00, 0x00}},
+		{name: "truncated body", raw: rawFrame([]byte(`{"kind":"hello"`))[:10]},
+		{name: "garbage JSON", raw: rawFrame([]byte(`{{{{`))},
+		{name: "JSON array body", raw: rawFrame([]byte(`[1,2,3]`))},
+		{name: "kind without payload", raw: rawFrame([]byte(`{"kind":"set_budget"}`))},
+		{name: "unknown kind delivered", raw: rawFrame([]byte(`{"kind":"future_thing"}`)), ok: true},
+		{name: "valid goodbye", raw: rawFrame([]byte(`{"kind":"goodbye","goodbye":{"job_id":"j1"}}`)), ok: true},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			env, err := recvFromBytes(tc.raw)
+			if tc.ok {
+				if err != nil {
+					t.Fatalf("err = %v, want delivered", err)
+				}
+				return
+			}
+			if err == nil {
+				t.Fatalf("accepted, env = %+v", env)
+			}
+			if tc.wantErr != nil && !errors.Is(err, tc.wantErr) {
+				t.Fatalf("err = %v, want %v", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+// TestOversizedPrefixDoesNotAllocate relies on the bound being enforced
+// before the body buffer: a 4 GiB length prefix on an empty stream must
+// fail with ErrFrameTooLarge, not attempt the allocation and hit EOF.
+func TestOversizedPrefixDoesNotAllocate(t *testing.T) {
+	_, err := recvFromBytes([]byte{0xff, 0xff, 0xff, 0xff})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestSendRejectsOversizedBody(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewConn(a)
+	err := c.Send(Envelope{Kind: KindHello, Hello: &Hello{
+		JobID: strings.Repeat("x", MaxFrame+1), Nodes: 1,
+	}})
+	if !errors.Is(err, ErrFrameTooLarge) {
+		t.Fatalf("err = %v, want ErrFrameTooLarge", err)
+	}
+}
+
+func TestPingPongRoundTrip(t *testing.T) {
+	a, b := net.Pipe()
+	ca, cb := NewConn(a), NewConn(b)
+	defer ca.Close()
+	defer cb.Close()
+
+	go func() {
+		env, err := cb.Recv()
+		if err != nil || env.Kind != KindPing {
+			return
+		}
+		pong := PongFor(*env.Ping)
+		_ = cb.Send(Envelope{Kind: KindPong, Pong: &pong})
+	}()
+
+	ping := Ping{Seq: 42, TimestampUnixNano: 12345}
+	if err := ca.Send(Envelope{Kind: KindPing, Ping: &ping}); err != nil {
+		t.Fatal(err)
+	}
+	env, err := ca.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if env.Kind != KindPong || env.Pong == nil {
+		t.Fatalf("reply = %+v", env)
+	}
+	if env.Pong.Seq != 42 || env.Pong.TimestampUnixNano != 12345 {
+		t.Fatalf("pong did not echo the ping: %+v", env.Pong)
+	}
+}
+
+func TestPingPongValidate(t *testing.T) {
+	if err := (Envelope{Kind: KindPing}).Validate(); err == nil {
+		t.Error("ping without payload accepted")
+	}
+	if err := (Envelope{Kind: KindPong}).Validate(); err == nil {
+		t.Error("pong without payload accepted")
+	}
+	if err := (Envelope{Kind: KindPing, Ping: &Ping{Seq: 1}}).Validate(); err != nil {
+		t.Errorf("valid ping rejected: %v", err)
+	}
+}
+
+// TestReadTimeoutUnblocksRecv arms the read deadline against a silent
+// peer: Recv must return a timeout error instead of hanging forever.
+func TestReadTimeoutUnblocksRecv(t *testing.T) {
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	c := NewConn(a)
+	c.SetTimeouts(30*time.Millisecond, 0)
+	done := make(chan error, 1)
+	go func() {
+		_, err := c.Recv()
+		done <- err
+	}()
+	select {
+	case err := <-done:
+		var ne net.Error
+		if !errors.As(err, &ne) || !ne.Timeout() {
+			t.Fatalf("err = %v, want a net timeout", err)
+		}
+	case <-time.After(5 * time.Second):
+		t.Fatal("Recv did not honor the read deadline")
+	}
+}
+
+// FuzzRecv feeds arbitrary byte streams into the frame decoder. The
+// invariant matches the quick-check test: an error or a deliverable
+// envelope, never a panic — and never an allocation beyond MaxFrame.
+func FuzzRecv(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{0x00, 0x00, 0x00, 0x00})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+	f.Add(rawFrame([]byte(`{"kind":"hello","hello":{"job_id":"j","nodes":2}}`)))
+	f.Add(rawFrame([]byte(`{"kind":"ping","ping":{"seq":7}}`)))
+	f.Add(rawFrame([]byte(`{"kind":"mystery"}`)))
+	f.Add(rawFrame([]byte(`{{{{`)))
+	f.Fuzz(func(t *testing.T, raw []byte) {
+		env, err := recvFromBytes(raw)
+		if err != nil {
+			return
+		}
+		if verr := env.Validate(); verr != nil && !errors.Is(verr, ErrUnknownKind) {
+			t.Fatalf("delivered envelope fails validation: %v", verr)
+		}
+	})
+}

@@ -20,6 +20,8 @@ import (
 	"fmt"
 	"io"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -35,6 +37,12 @@ const (
 	KindModelUpdate Kind = "model_update"
 	KindSetBudget   Kind = "set_budget"
 	KindGoodbye     Kind = "goodbye"
+	// KindPing and KindPong are the liveness probe pair. They are
+	// backward compatible: an old peer receives them as unknown kinds
+	// (delivered with ErrUnknownKind semantics, see Recv) and its
+	// dispatch switch simply ignores them.
+	KindPing Kind = "ping"
+	KindPong Kind = "pong"
 )
 
 // Hello announces a job to the cluster manager when its endpoint process
@@ -104,6 +112,24 @@ type Goodbye struct {
 	JobID string `json:"job_id"`
 }
 
+// Ping is a liveness probe. Either side may send one; the peer echoes the
+// sequence number back in a Pong so round trips can be matched.
+type Ping struct {
+	// Seq matches a pong to its ping.
+	Seq uint64 `json:"seq"`
+	// TimestampUnixNano stamps the probe's send time for RTT accounting.
+	TimestampUnixNano int64 `json:"timestamp_unix_nano,omitempty"`
+}
+
+// Pong answers a Ping, echoing its sequence number and timestamp.
+type Pong struct {
+	Seq               uint64 `json:"seq"`
+	TimestampUnixNano int64  `json:"timestamp_unix_nano,omitempty"`
+}
+
+// PongFor builds the pong answering a ping.
+func PongFor(p Ping) Pong { return Pong{Seq: p.Seq, TimestampUnixNano: p.TimestampUnixNano} }
+
 // Envelope is the framed unit: a kind plus exactly one payload.
 //
 // Trace optionally carries the causal-trace context of the decision
@@ -119,6 +145,8 @@ type Envelope struct {
 	ModelUpdate *ModelUpdate      `json:"model_update,omitempty"`
 	SetBudget   *SetBudget        `json:"set_budget,omitempty"`
 	Goodbye     *Goodbye          `json:"goodbye,omitempty"`
+	Ping        *Ping             `json:"ping,omitempty"`
+	Pong        *Pong             `json:"pong,omitempty"`
 }
 
 // TraceContext returns the envelope's trace context, zero when absent.
@@ -155,6 +183,14 @@ func (e Envelope) Validate() error {
 		if e.Goodbye == nil {
 			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
 		}
+	case KindPing:
+		if e.Ping == nil {
+			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
+		}
+	case KindPong:
+		if e.Pong == nil {
+			return fmt.Errorf("proto: %s envelope missing payload", e.Kind)
+		}
 	default:
 		return fmt.Errorf("%w %q", ErrUnknownKind, e.Kind)
 	}
@@ -162,8 +198,22 @@ func (e Envelope) Validate() error {
 }
 
 // MaxFrame bounds accepted frame sizes; all protocol messages are tiny, so
-// anything larger indicates a corrupt or hostile stream.
+// anything larger indicates a corrupt or hostile stream. The bound is
+// enforced before the body allocation, so a forged 4-byte length prefix
+// can never make Recv allocate more than this.
 const MaxFrame = 1 << 20
+
+// ErrFrameTooLarge marks a frame whose length prefix (or encoded body)
+// exceeds MaxFrame. Receivers treat it as a fatal stream error: after a
+// corrupt prefix there is no way to resynchronize the framing.
+var ErrFrameTooLarge = errors.New("proto: frame exceeds maximum size")
+
+// deadliner is the optional transport capability the read/write timeouts
+// need; net.Conn (and net.Pipe ends) implement it.
+type deadliner interface {
+	SetReadDeadline(time.Time) error
+	SetWriteDeadline(time.Time) error
+}
 
 // Conn frames envelopes over a reliable byte stream. Send and Recv are
 // individually safe for concurrent use (one writer lock, one reader lock),
@@ -174,11 +224,35 @@ type Conn struct {
 	rmu sync.Mutex
 	rw  io.ReadWriteCloser
 	br  *bufio.Reader
+
+	// d is the transport's deadline capability, nil when absent.
+	d deadliner
+	// readTimeout/writeTimeout hold per-operation timeouts in
+	// nanoseconds; 0 disables. Atomics so SetTimeouts never contends
+	// with an in-flight Send/Recv.
+	readTimeout  atomic.Int64
+	writeTimeout atomic.Int64
 }
 
 // NewConn wraps a stream (net.Conn, net.Pipe end, ...).
 func NewConn(rw io.ReadWriteCloser) *Conn {
-	return &Conn{rw: rw, br: bufio.NewReader(rw)}
+	c := &Conn{rw: rw, br: bufio.NewReader(rw)}
+	if d, ok := rw.(deadliner); ok {
+		c.d = d
+	}
+	return c
+}
+
+// SetTimeouts arms per-operation deadlines: every Recv must complete
+// within read, every Send within write (0 disables either). Timeouts
+// require a transport with deadline support (any net.Conn); on plain
+// io.ReadWriteClosers they are silently inert. A timed-out operation
+// returns the transport's timeout error (a net.Error with Timeout() ==
+// true) and, as with any mid-frame failure, the connection is no longer
+// usable for framing.
+func (c *Conn) SetTimeouts(read, write time.Duration) {
+	c.readTimeout.Store(int64(read))
+	c.writeTimeout.Store(int64(write))
 }
 
 // Send validates, encodes, and writes one envelope.
@@ -191,12 +265,17 @@ func (c *Conn) Send(e Envelope) error {
 		return err
 	}
 	if len(body) > MaxFrame {
-		return fmt.Errorf("proto: frame too large (%d bytes)", len(body))
+		return fmt.Errorf("%w (%d > %d bytes)", ErrFrameTooLarge, len(body), MaxFrame)
 	}
 	var hdr [4]byte
 	binary.BigEndian.PutUint32(hdr[:], uint32(len(body)))
 	c.wmu.Lock()
 	defer c.wmu.Unlock()
+	if wt := time.Duration(c.writeTimeout.Load()); wt > 0 && c.d != nil {
+		if err := c.d.SetWriteDeadline(time.Now().Add(wt)); err != nil {
+			return err
+		}
+	}
 	if _, err := c.rw.Write(hdr[:]); err != nil {
 		return err
 	}
@@ -212,13 +291,18 @@ func (c *Conn) Send(e Envelope) error {
 func (c *Conn) Recv() (Envelope, error) {
 	c.rmu.Lock()
 	defer c.rmu.Unlock()
+	if rt := time.Duration(c.readTimeout.Load()); rt > 0 && c.d != nil {
+		if err := c.d.SetReadDeadline(time.Now().Add(rt)); err != nil {
+			return Envelope{}, err
+		}
+	}
 	var hdr [4]byte
 	if _, err := io.ReadFull(c.br, hdr[:]); err != nil {
 		return Envelope{}, err
 	}
 	n := binary.BigEndian.Uint32(hdr[:])
 	if n > MaxFrame {
-		return Envelope{}, fmt.Errorf("proto: frame too large (%d bytes)", n)
+		return Envelope{}, fmt.Errorf("%w (prefix claims %d > %d bytes)", ErrFrameTooLarge, n, MaxFrame)
 	}
 	body := make([]byte, n)
 	if _, err := io.ReadFull(c.br, body); err != nil {

@@ -1,0 +1,99 @@
+package sched
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRequeuePreservesSubmitAndReruns(t *testing.T) {
+	s := mustNew(t, 4, map[string]float64{"bt": 1})
+	s.Submit(Job{ID: "j1", TypeName: "bt", Nodes: 2, MinTime: 100}, t0)
+	started := s.StartEligible(t0)
+	if len(started) != 1 {
+		t.Fatalf("started = %v", started)
+	}
+	j := started[0]
+
+	// A fail-stop kills the job mid-run: it goes back to its queue with
+	// the original submit time (sojourn keeps accruing for QoS) and a
+	// cleared start.
+	killAt := t0.Add(30 * time.Second)
+	if err := s.Requeue(j, killAt); err != nil {
+		t.Fatal(err)
+	}
+	if s.QueuedCount() != 1 || len(s.Running()) != 0 {
+		t.Fatalf("queued/running = %d/%d after requeue", s.QueuedCount(), len(s.Running()))
+	}
+	if s.FreeNodes() != 4 {
+		t.Fatalf("free = %d after requeue, want 4", s.FreeNodes())
+	}
+	if !j.Submit.Equal(t0) {
+		t.Errorf("submit time changed to %v", j.Submit)
+	}
+	if !j.Start.IsZero() || !j.End.IsZero() {
+		t.Errorf("start/end not cleared: %v / %v", j.Start, j.End)
+	}
+
+	// It must be eligible to start again.
+	restartAt := killAt.Add(10 * time.Second)
+	restarted := s.StartEligible(restartAt)
+	if len(restarted) != 1 || restarted[0].ID != "j1" {
+		t.Fatalf("restarted = %v", restarted)
+	}
+	if !restarted[0].Start.Equal(restartAt) {
+		t.Errorf("restart time = %v", restarted[0].Start)
+	}
+	end := restartAt.Add(150 * time.Second)
+	if _, err := s.Complete("j1", end); err != nil {
+		t.Fatal(err)
+	}
+	// QoS accounts the whole sojourn from the original submit: 190 s
+	// against a 100 s T_min, not the 160 s a reset submit would give.
+	fin := s.Finished()
+	if len(fin) != 1 {
+		t.Fatalf("finished = %d", len(fin))
+	}
+	if got := fin[0].QoS(end); got != 0.9 {
+		t.Errorf("QoS = %v after a requeue-lengthened sojourn, want 0.9", got)
+	}
+}
+
+func TestRequeueRejectsNonRunningJob(t *testing.T) {
+	s := mustNew(t, 4, map[string]float64{"bt": 1})
+	j := s.Submit(Job{ID: "j1", TypeName: "bt", Nodes: 2, MinTime: 100}, t0)
+	if err := s.Requeue(j, t0); err == nil {
+		t.Error("requeue of a queued (not running) job accepted")
+	}
+}
+
+func TestAdjustCapacity(t *testing.T) {
+	s := mustNew(t, 4, map[string]float64{"bt": 1})
+	if err := s.AdjustCapacity(-1); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeNodes() != 3 {
+		t.Fatalf("free = %d after -1, want 3", s.FreeNodes())
+	}
+	if err := s.AdjustCapacity(1); err != nil {
+		t.Fatal(err)
+	}
+	if s.FreeNodes() != 4 {
+		t.Fatalf("free = %d after +1, want 4", s.FreeNodes())
+	}
+	if err := s.AdjustCapacity(-4); err == nil {
+		t.Error("shrinking to zero total nodes accepted")
+	}
+
+	// With 2 of 4 nodes busy, at most 2 can leave the free pool.
+	s.Submit(Job{ID: "j1", TypeName: "bt", Nodes: 2, MinTime: 100}, t0)
+	s.StartEligible(t0)
+	if err := s.AdjustCapacity(-2); err != nil {
+		t.Fatalf("removing both free nodes: %v", err)
+	}
+	if s.FreeNodes() != 0 {
+		t.Fatalf("free = %d, want 0", s.FreeNodes())
+	}
+	if err := s.AdjustCapacity(-1); err == nil {
+		t.Error("free pool driven negative")
+	}
+}

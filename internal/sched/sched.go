@@ -255,6 +255,52 @@ func (s *Scheduler) CompleteJob(j *Job, now time.Time) error {
 	return nil
 }
 
+// Requeue returns a running job to the back of its claimed queue, e.g.
+// after the node it ran on fail-stopped. The job's nodes are freed and
+// its Start is cleared — it will run again from scratch — but Submit is
+// preserved, so QoS sojourn accounting charges the lost work against the
+// job, exactly as a real requeue-after-failure would.
+func (s *Scheduler) Requeue(j *Job, now time.Time) error {
+	if j == nil || j.runIdx < 0 || j.runIdx >= len(s.running) || s.running[j.runIdx] != j {
+		id := "<nil>"
+		if j != nil {
+			id = j.ID
+		}
+		return fmt.Errorf("sched: job %q is not running", id)
+	}
+	s.account(now)
+	last := len(s.running) - 1
+	s.running[j.runIdx] = s.running[last]
+	s.running[j.runIdx].runIdx = j.runIdx
+	s.running[last] = nil
+	s.running = s.running[:last]
+	j.runIdx = -1
+	j.Start = time.Time{}
+	j.End = time.Time{}
+	s.freeNodes += j.Nodes
+	s.runningByQ[j.ClaimedType] -= j.Nodes
+	s.queues[j.ClaimedType] = append(s.queues[j.ClaimedType], j)
+	s.queued++
+	return nil
+}
+
+// AdjustCapacity grows (delta > 0) or shrinks (delta < 0) the schedulable
+// node pool, e.g. as nodes fail-stop and recover. Shrinking only consumes
+// free nodes: callers must requeue or complete jobs on departing nodes
+// first, and an adjustment that would leave the pool empty or oversubscribed
+// is rejected.
+func (s *Scheduler) AdjustCapacity(delta int) error {
+	if s.totalNodes+delta < 1 {
+		return fmt.Errorf("sched: capacity adjustment %+d would leave %d nodes", delta, s.totalNodes+delta)
+	}
+	if s.freeNodes+delta < 0 {
+		return fmt.Errorf("sched: capacity adjustment %+d exceeds %d free nodes", delta, s.freeNodes)
+	}
+	s.totalNodes += delta
+	s.freeNodes += delta
+	return nil
+}
+
 // Running returns the currently running jobs, sorted by ID.
 func (s *Scheduler) Running() []*Job {
 	out := make([]*Job, 0, len(s.running))

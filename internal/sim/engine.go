@@ -64,6 +64,13 @@ type engine struct {
 	advanceFn func(lo, hi int)
 
 	shards int
+
+	// Fault-layer state (engine_failures.go). nextFailure cursors the
+	// sorted cfg.Failures schedule; down counts nodes currently failed
+	// out of the pool; requeues counts jobs killed by fail-stops.
+	nextFailure int
+	down        int
+	requeues    int
 }
 
 type nodeState struct {
@@ -344,10 +351,13 @@ func (e *engine) measure() units.Power {
 	}
 	var measured units.Power
 	for i := range e.nodes {
-		if idx := e.nodes[i].jobIdx; idx < 0 {
-			measured += e.cfg.IdlePower
-		} else {
+		// Down nodes (jobIdx == downNode) draw nothing. Without a failure
+		// schedule every jobIdx is ≥ -1 and the additions here happen in
+		// exactly the old order, keeping fault-free runs byte-identical.
+		if idx := e.nodes[i].jobIdx; idx >= 0 {
 			measured += e.jobs[idx].power
+		} else if idx == idleNode {
+			measured += e.cfg.IdlePower
 		}
 	}
 	return measured

@@ -30,6 +30,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/dr"
+	"repro/internal/faults"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/sched"
@@ -95,6 +96,15 @@ type Config struct {
 	// ExemptFraction is the at-risk threshold as a fraction of QoSLimit
 	// (default 0.8).
 	ExemptFraction float64
+	// Failures is the node fail-stop/recovery schedule, sorted by time
+	// (ties by node index). A failing node kills whatever job it runs —
+	// the job is requeued from scratch, its other nodes freed — and
+	// leaves the schedulable pool (drawing 0 W) until a recovery event
+	// returns it, rebooted, to the free list. Failure handling is serial
+	// and results stay bit-identical across shard counts; an empty
+	// schedule leaves the simulation byte-identical to a build without
+	// this field.
+	Failures []faults.NodeEvent
 	// TableLog, when set, receives one CSV row of cluster state per
 	// simulated second (§5.6 appends table state to a file).
 	TableLog io.Writer
@@ -129,13 +139,17 @@ type Config struct {
 // simMetrics holds the simulator's instruments; all nil without a
 // registry.
 type simMetrics struct {
-	stepDur  *obs.Histogram
-	steps    *obs.Counter
-	running  *obs.Gauge
-	queued   *obs.Gauge
-	busy     *obs.Gauge
-	target   *obs.Gauge
-	measured *obs.Gauge
+	stepDur    *obs.Histogram
+	steps      *obs.Counter
+	running    *obs.Gauge
+	queued     *obs.Gauge
+	busy       *obs.Gauge
+	target     *obs.Gauge
+	measured   *obs.Gauge
+	failures   *obs.Counter
+	recoveries *obs.Counter
+	requeues   *obs.Counter
+	downNodes  *obs.Gauge
 }
 
 func newSimMetrics(r *obs.Registry) simMetrics {
@@ -143,13 +157,17 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		return simMetrics{}
 	}
 	return simMetrics{
-		stepDur:  r.Histogram("sim_step_seconds", "Wall-clock duration of one simulated second.", obs.DefLatencyBuckets),
-		steps:    r.Counter("sim_steps_total", "Simulated seconds advanced."),
-		running:  r.Gauge("sim_running_jobs", "Jobs currently running in the simulated cluster."),
-		queued:   r.Gauge("sim_queued_jobs", "Jobs currently queued in the simulated cluster."),
-		busy:     r.Gauge("sim_busy_nodes", "Nodes currently assigned to jobs."),
-		target:   r.Gauge("sim_power_target_watts", "Demand-response power target at the current step."),
-		measured: r.Gauge("sim_power_measured_watts", "Measured cluster power at the current step."),
+		stepDur:    r.Histogram("sim_step_seconds", "Wall-clock duration of one simulated second.", obs.DefLatencyBuckets),
+		steps:      r.Counter("sim_steps_total", "Simulated seconds advanced."),
+		running:    r.Gauge("sim_running_jobs", "Jobs currently running in the simulated cluster."),
+		queued:     r.Gauge("sim_queued_jobs", "Jobs currently queued in the simulated cluster."),
+		busy:       r.Gauge("sim_busy_nodes", "Nodes currently assigned to jobs."),
+		target:     r.Gauge("sim_power_target_watts", "Demand-response power target at the current step."),
+		measured:   r.Gauge("sim_power_measured_watts", "Measured cluster power at the current step."),
+		failures:   r.Counter("sim_node_failures_total", "Fail-stop node events applied."),
+		recoveries: r.Counter("sim_node_recoveries_total", "Node recovery events applied."),
+		requeues:   r.Counter("sim_job_requeues_total", "Jobs requeued after losing a node to a fail-stop."),
+		downNodes:  r.Gauge("sim_down_nodes", "Nodes currently failed out of the schedulable pool."),
 	}
 }
 
@@ -176,6 +194,8 @@ type Result struct {
 	Jobs []JobRecord
 	// Unfinished counts jobs still queued or running at drain cutoff.
 	Unfinished int
+	// Requeues counts jobs requeued after a fail-stop killed them.
+	Requeues int
 	// QoS90 is the 90th percentile QoS degradation over completed jobs.
 	QoS90 float64
 	// QoSByType groups completed jobs' QoS by true type.
@@ -236,6 +256,11 @@ func Run(cfg Config) (Result, error) {
 	if cfg.Budgeter != nil && cfg.DefaultModel.Validate() != nil {
 		return Result{}, errors.New("sim: budgeter mode requires a valid default model")
 	}
+	if len(cfg.Failures) > 0 {
+		if err := faults.ValidateNodeSchedule(cfg.Failures, cfg.Nodes); err != nil {
+			return Result{}, err
+		}
+	}
 
 	rng := stats.NewRNG(cfg.Seed)
 	coeffs := make([]float64, cfg.Nodes)
@@ -272,6 +297,7 @@ func Run(cfg Config) (Result, error) {
 	var busyNodeSeconds float64
 	var powerIntegral float64
 	steps := 0
+	lastRequeues := 0
 	// A run ends shortly after its horizon once the queue drains, so the
 	// horizon is the natural capacity hint for the per-second series.
 	res.Tracking = make([]trace.Point, 0, horizonS+1)
@@ -287,6 +313,22 @@ func Run(cfg Config) (Result, error) {
 		var stepStart time.Time
 		if met.stepDur != nil {
 			stepStart = time.Now()
+		}
+
+		// 0. Fault layer: apply fail-stop/recovery events due this second.
+		// Serial by construction, so shard count cannot affect results;
+		// the no-failure path skips it entirely.
+		if len(cfg.Failures) > 0 {
+			failed, recovered, err := e.applyFailures(time.Duration(t)*time.Second, now)
+			if err != nil {
+				return Result{}, err
+			}
+			for i := 0; i < failed; i++ {
+				met.failures.Inc()
+			}
+			for i := 0; i < recovered; i++ {
+				met.recoveries.Inc()
+			}
 		}
 
 		// 1. Node update: advance progress at each node's current cap and
@@ -316,7 +358,9 @@ func Run(cfg Config) (Result, error) {
 		// 4. Power manager: pick caps against the current target.
 		target := cfg.Bid.Target(cfg.Signal.At(time.Duration(t) * time.Second))
 		busy := scheduler.BusyNodes()
-		idle := cfg.Nodes - busy
+		// Down nodes draw nothing and get no idle-power allowance; with no
+		// failure schedule e.down is always 0 and this line is unchanged.
+		idle := cfg.Nodes - busy - e.down
 		jobBudget := target - cfg.IdlePower*units.Power(idle)
 		e.applyCaps(jobBudget, now)
 
@@ -349,6 +393,9 @@ func Run(cfg Config) (Result, error) {
 			met.busy.Set(float64(busy))
 			met.target.Set(target.Watts())
 			met.measured.Set(measured.Watts())
+			met.downNodes.Set(float64(e.down))
+			met.requeues.Add(uint64(e.requeues - lastRequeues))
+			lastRequeues = e.requeues
 		}
 		if met.stepDur != nil {
 			met.stepDur.Observe(time.Since(stepStart).Seconds())
@@ -382,6 +429,7 @@ func Run(cfg Config) (Result, error) {
 	}
 
 	res.Unfinished = len(e.order) + scheduler.QueuedCount()
+	res.Requeues = e.requeues
 	for _, j := range scheduler.Finished() {
 		res.Jobs = append(res.Jobs, JobRecord{
 			ID: j.ID, TypeName: j.TypeName, ClaimedType: j.ClaimedType, Nodes: j.Nodes,
