@@ -1,0 +1,153 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"log"
+	"os"
+	"runtime"
+
+	"repro/internal/experiments"
+)
+
+// Tolerances for the perf-regression gate (documented in the CI
+// workflow, which runs `anor-bench -quick check` on every push).
+const (
+	// speedTolerance is the fractional steps/s drop allowed before the
+	// gate fails: wall-clock throughput is noisy, so a measurement must
+	// fall more than 25% below the recorded baseline to count as a
+	// regression. Enforced only when the baseline was recorded on the
+	// same CPU model; cross-machine speed deltas are reported but
+	// advisory.
+	speedTolerance = 0.25
+	// allocSlack is the absolute allocs-per-step growth allowed. The
+	// engine is allocation-free at steady state, so allocs/step is a
+	// machine-independent invariant: any real growth is a leak in the hot
+	// loop. The slack only absorbs whole-run amortization jitter
+	// (setup allocations divided by a slightly different step count).
+	allocSlack = 0.5
+)
+
+// check is the CI perf-regression gate: it takes a fresh measurement for
+// each (nodes, maxprocs) cell that has a recorded baseline in the
+// -perf-json history (default BENCH_sim.json) and fails the process when
+// throughput regressed beyond tolerance or the hot loop gained
+// allocations. -quick limits the matrix exactly as it does for perf.
+func check() {
+	path := *perfJSON
+	if path == "" {
+		path = "BENCH_sim.json"
+	}
+	doc, err := loadBenchFile(path)
+	if err != nil {
+		log.Fatal(err)
+	}
+	repeats := 3
+	if *quick {
+		repeats = 1
+	}
+	cpu := cpuModel()
+	failed := false
+	checked := 0
+	for _, cell := range perfMatrix {
+		if *quick && cell.nodes > 10000 {
+			continue
+		}
+		base, ok := latestBaseline(doc.Entries, cell.nodes, cell.maxprocs)
+		if !ok {
+			fmt.Printf("check: nodes=%d maxprocs=%d: no baseline in %s, skipping\n", cell.nodes, cell.maxprocs, path)
+			continue
+		}
+		res, err := experiments.SimPerf(experiments.SimPerfConfig{
+			Nodes: cell.nodes, Repeats: repeats, Seed: *seed, MaxProcs: cell.maxprocs,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
+		checked++
+		failures, notes := compareBench(res, cpu, base, speedTolerance, allocSlack)
+		status := "ok"
+		if len(failures) > 0 {
+			status = "FAIL"
+			failed = true
+		}
+		fmt.Printf("check: nodes=%d maxprocs=%d: %s (%.0f steps/s vs baseline %.0f from %s; %.2f allocs/step vs %.2f)\n",
+			cell.nodes, cell.maxprocs, status, res.StepsPerSec, base.StepsPerSec, base.Date,
+			res.AllocsPerStep, base.AllocsPerStep)
+		for _, f := range failures {
+			fmt.Printf("  FAIL: %s\n", f)
+		}
+		for _, n := range notes {
+			fmt.Printf("  note: %s\n", n)
+		}
+	}
+	if checked == 0 {
+		log.Fatalf("check: no (nodes, maxprocs) cell had a baseline in %s", path)
+	}
+	if failed {
+		os.Exit(1)
+	}
+	fmt.Printf("check: %d cells within tolerance (speed -%.0f%% same-CPU, allocs +%.1f/step)\n",
+		checked, 100*speedTolerance, allocSlack)
+}
+
+// loadBenchFile reads a perf history file; a missing file is an error
+// here (the gate needs a baseline to gate against).
+func loadBenchFile(path string) (benchFile, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return benchFile{}, err
+	}
+	var doc benchFile
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return benchFile{}, fmt.Errorf("parse %s: %w", path, err)
+	}
+	return doc, nil
+}
+
+// latestBaseline returns the most recent history entry matching the
+// (nodes, maxprocs) cell.
+func latestBaseline(entries []benchEntry, nodes, maxprocs int) (benchEntry, bool) {
+	for i := len(entries) - 1; i >= 0; i-- {
+		if entries[i].Nodes == nodes && entries[i].MaxProcs == maxprocs {
+			return entries[i], true
+		}
+	}
+	return benchEntry{}, false
+}
+
+// compareBench applies the gate rules to one measurement against its
+// baseline, returning hard failures and advisory notes.
+//
+//   - allocs/step growth beyond allocSlack always fails: allocation
+//     counts are deterministic per workload and machine-independent, so
+//     growth means the hot loop regressed.
+//   - steps/s more than speedTol below the baseline fails when the
+//     baseline was recorded on this CPU model (same hardware, comparable
+//     wall-clock). When the CPU differs — or the baseline predates CPU
+//     recording — the speed delta is advisory, because cross-machine
+//     wall-clock comparisons would make the gate fail on hardware, not
+//     code.
+func compareBench(cur experiments.SimPerfResult, curCPU string, base benchEntry, speedTol, allocSlack float64) (failures, notes []string) {
+	if cur.AllocsPerStep > base.AllocsPerStep+allocSlack {
+		failures = append(failures, fmt.Sprintf(
+			"allocs/step grew %.2f → %.2f (limit +%.1f): the steady-state loop is allocating",
+			base.AllocsPerStep, cur.AllocsPerStep, allocSlack))
+	}
+	if base.StepsPerSec <= 0 {
+		return failures, notes
+	}
+	drop := 1 - cur.StepsPerSec/base.StepsPerSec
+	if drop <= speedTol {
+		return failures, notes
+	}
+	msg := fmt.Sprintf("steps/s dropped %.0f%% (%.0f → %.0f, tolerance %.0f%%)",
+		100*drop, base.StepsPerSec, cur.StepsPerSec, 100*speedTol)
+	sameCPU := base.CPU != "" && curCPU != "" && base.CPU == curCPU
+	if sameCPU && cur.GoVersion == runtime.Version() {
+		failures = append(failures, msg)
+	} else {
+		notes = append(notes, msg+" — baseline from different CPU/toolchain ("+base.CPU+", "+base.GoVersion+"), advisory only")
+	}
+	return failures, notes
+}

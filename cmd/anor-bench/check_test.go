@@ -1,0 +1,108 @@
+package main
+
+import (
+	"runtime"
+	"strings"
+	"testing"
+
+	"repro/internal/experiments"
+)
+
+func baselineEntry() benchEntry {
+	return benchEntry{
+		Date: "2026-08-01", Engine: "dense-index", CPU: "TestCPU v1",
+		SimPerfResult: experiments.SimPerfResult{
+			Nodes: 10000, StepsPerSec: 80000, AllocsPerStep: 0.10,
+			GoVersion: runtime.Version(), MaxProcs: 1,
+		},
+	}
+}
+
+func measurement(stepsPerSec, allocsPerStep float64) experiments.SimPerfResult {
+	return experiments.SimPerfResult{
+		Nodes: 10000, StepsPerSec: stepsPerSec, AllocsPerStep: allocsPerStep,
+		GoVersion: runtime.Version(), MaxProcs: 1,
+	}
+}
+
+// TestCompareBenchFailsOnInjectedRegressions proves the gate actually
+// gates: a steps/s drop past tolerance on the same hardware and any real
+// allocs/step growth each produce a hard failure.
+func TestCompareBenchFailsOnInjectedRegressions(t *testing.T) {
+	base := baselineEntry()
+
+	// Injected 40% throughput regression, same CPU: must fail.
+	failures, _ := compareBench(measurement(48000, 0.10), base.CPU, base, 0.25, 0.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "steps/s dropped") {
+		t.Errorf("40%% speed regression not failed: %v", failures)
+	}
+
+	// Injected allocation growth: must fail regardless of CPU match.
+	failures, _ = compareBench(measurement(80000, 3.5), "OtherCPU", base, 0.25, 0.5)
+	if len(failures) != 1 || !strings.Contains(failures[0], "allocs/step grew") {
+		t.Errorf("alloc growth not failed: %v", failures)
+	}
+
+	// Both at once: two failures.
+	failures, _ = compareBench(measurement(10000, 9), base.CPU, base, 0.25, 0.5)
+	if len(failures) != 2 {
+		t.Errorf("combined regression produced %d failures, want 2: %v", len(failures), failures)
+	}
+}
+
+func TestCompareBenchPassesWithinTolerance(t *testing.T) {
+	base := baselineEntry()
+
+	// 10% slower, same CPU, allocs flat: inside the 25% tolerance.
+	failures, notes := compareBench(measurement(72000, 0.10), base.CPU, base, 0.25, 0.5)
+	if len(failures) != 0 || len(notes) != 0 {
+		t.Errorf("in-tolerance run flagged: failures=%v notes=%v", failures, notes)
+	}
+
+	// Faster with slightly fewer allocs: clean pass.
+	failures, _ = compareBench(measurement(95000, 0.05), base.CPU, base, 0.25, 0.5)
+	if len(failures) != 0 {
+		t.Errorf("improvement flagged: %v", failures)
+	}
+}
+
+// TestCompareBenchCrossMachineSpeedIsAdvisory pins the gate's noise
+// policy: wall-clock throughput from a different CPU (or a baseline that
+// predates CPU recording) downgrades to a note, while allocation growth
+// stays a hard failure — it is machine-independent.
+func TestCompareBenchCrossMachineSpeedIsAdvisory(t *testing.T) {
+	base := baselineEntry()
+
+	failures, notes := compareBench(measurement(30000, 0.10), "DifferentCPU", base, 0.25, 0.5)
+	if len(failures) != 0 {
+		t.Errorf("cross-CPU speed delta failed hard: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "advisory") {
+		t.Errorf("cross-CPU speed delta not noted: %v", notes)
+	}
+
+	noCPU := base
+	noCPU.CPU = ""
+	failures, notes = compareBench(measurement(30000, 0.10), "TestCPU v1", noCPU, 0.25, 0.5)
+	if len(failures) != 0 || len(notes) != 1 {
+		t.Errorf("unknown-CPU baseline: failures=%v notes=%v", failures, notes)
+	}
+}
+
+func TestLatestBaselinePicksNewestMatchingCell(t *testing.T) {
+	old := baselineEntry()
+	old.StepsPerSec = 1
+	newer := baselineEntry()
+	newer.Date = "2026-08-07"
+	other := baselineEntry()
+	other.MaxProcs = 4
+	entries := []benchEntry{old, newer, other}
+
+	got, ok := latestBaseline(entries, 10000, 1)
+	if !ok || got.Date != "2026-08-07" {
+		t.Errorf("latestBaseline = %+v, %v", got, ok)
+	}
+	if _, ok := latestBaseline(entries, 555, 1); ok {
+		t.Error("nonexistent cell matched")
+	}
+}

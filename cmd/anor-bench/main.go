@@ -17,7 +17,8 @@
 //	anor-bench qos       # §5.2 queue-trace wait/exec statistic
 //	anor-bench train     # AQA bid training (§4.4)
 //	anor-bench perf      # tabular-simulator throughput (see BENCH_sim.json)
-//	anor-bench all       # everything above (perf excluded)
+//	anor-bench check     # perf-regression gate against BENCH_sim.json (CI)
+//	anor-bench all       # everything above (perf and check excluded)
 package main
 
 import (
@@ -36,7 +37,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: anor-bench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fit|qos|train|perf|all}")
+		fmt.Fprintln(os.Stderr, "usage: anor-bench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fit|qos|train|perf|check|all}")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -50,7 +51,7 @@ func main() {
 		"fig6": fig6, "fig7": fig7, "fig8": fig8,
 		"fig9": fig9, "fig10": fig10, "fig11": fig11,
 		"fit": fit, "qos": qos, "train": train, "ablate": ablate, "hier": hierTable,
-		"perf": perf,
+		"perf": perf, "check": check,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig3", "fit", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qos", "train", "ablate", "hier"} {

@@ -29,27 +29,43 @@ type benchFile struct {
 
 const benchFileDescription = "Tabular-simulator throughput history. Refresh with: go run ./cmd/anor-bench -perf-json BENCH_sim.json perf"
 
-// perf measures simulator throughput at the paper's 1000-node scale and
-// at 10× that, printing one row per cluster size. With -perf-json the
-// results are appended to the given history file (created if missing).
+// perfMatrix is the (nodes, maxprocs) grid perf measures and check gates
+// on: the paper's 1000-node scale, 10× that, and the 100k-node scale the
+// multi-core runtime targets — each single-core and at 4 workers.
+var perfMatrix = []struct {
+	nodes    int
+	maxprocs int
+}{
+	{1000, 1}, {1000, 4},
+	{10000, 1}, {10000, 4},
+	{100000, 1}, {100000, 4},
+}
+
+// perf measures simulator throughput over the nodes × maxprocs matrix,
+// printing one row per combination. With -perf-json the results are
+// appended to the given history file (created if missing). -quick drops
+// to one repeat and skips the 100k rows.
 func perf() {
 	repeats := 3
 	if *quick {
 		repeats = 1
 	}
 	fmt.Println("Simulator throughput (§5.6 tabular simulator, 75% utilization, best of repeats)")
-	fmt.Printf("%-8s  %-12s  %-10s  %-12s  %-11s  %s\n",
-		"nodes", "steps/s", "ns/step", "bytes/step", "allocs/step", "steps/run")
+	fmt.Printf("%-8s  %-8s  %-12s  %-10s  %-12s  %-11s  %s\n",
+		"nodes", "maxprocs", "steps/s", "ns/step", "bytes/step", "allocs/step", "steps/run")
 	var entries []benchEntry
-	for _, nodes := range []int{1000, 10000} {
+	for _, cell := range perfMatrix {
+		if *quick && cell.nodes > 10000 {
+			continue
+		}
 		res, err := experiments.SimPerf(experiments.SimPerfConfig{
-			Nodes: nodes, Repeats: repeats, Seed: *seed,
+			Nodes: cell.nodes, Repeats: repeats, Seed: *seed, MaxProcs: cell.maxprocs,
 		})
 		if err != nil {
 			log.Fatal(err)
 		}
-		fmt.Printf("%-8d  %-12.0f  %-10.0f  %-12.1f  %-11.2f  %d\n",
-			res.Nodes, res.StepsPerSec, res.NsPerStep, res.BytesPerStep, res.AllocsPerStep, res.Steps)
+		fmt.Printf("%-8d  %-8d  %-12.0f  %-10.0f  %-12.1f  %-11.2f  %d\n",
+			res.Nodes, res.MaxProcs, res.StepsPerSec, res.NsPerStep, res.BytesPerStep, res.AllocsPerStep, res.Steps)
 		entries = append(entries, benchEntry{
 			Date:          time.Now().UTC().Format("2006-01-02"),
 			Engine:        "dense-index",

@@ -35,6 +35,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/tracein"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -57,6 +58,8 @@ func main() {
 	shards := flag.Int("shards", 0, "node-table shards per simulated second (0 = auto; forced to 1 inside a multi-run sweep)")
 	progress := flag.Bool("progress", true, "print a live progress/throughput line on stderr when -runs > 1")
 	eventsOut := flag.String("events", "", "stream structured JSONL events (dr_bid, sim_step) to this file; empty disables")
+	tracePath := flag.String("trace", "", "stream arrivals from a job trace (.csv or .jsonl) instead of the synthetic generator; -util and -scale are ignored")
+	eventDriven := flag.Bool("event-driven", true, "skip provably no-op per-second work and fast-forward idle intervals (results are bit-identical either way)")
 	flag.Parse()
 	if *runs < 1 {
 		log.Fatalf("anor-sim: -runs must be ≥ 1 (got %d)", *runs)
@@ -82,21 +85,36 @@ func main() {
 		}
 	}
 
-	var types []workload.Type
-	weights := map[string]float64{}
-	for _, t := range workload.LongRunning() {
-		st := t.Scale(*scale)
-		types = append(types, st)
-		weights[st.Name] = 1
-	}
 	horizon := time.Duration(*hours * float64(time.Hour))
 
-	arrivals, err := schedule.Generate(schedule.Config{
-		RNG: stats.NewRNG(*seed), Types: types,
-		Utilization: *util, TotalNodes: *nodes, Horizon: horizon,
-	})
-	if err != nil {
-		log.Fatal(err)
+	// Arrivals come either from a streamed trace file (each run opens its
+	// own reader; jobs never reside in memory as one slice) or from the
+	// synthetic generator.
+	var types []workload.Type
+	var weights map[string]float64
+	var arrivals []schedule.Arrival
+	openTrace := func() *tracein.Reader {
+		r, err := tracein.Open(*tracePath, tracein.Options{MaxNodes: *nodes})
+		if err != nil {
+			log.Fatal(err)
+		}
+		return r
+	}
+	if *tracePath == "" {
+		weights = map[string]float64{}
+		for _, t := range workload.LongRunning() {
+			st := t.Scale(*scale)
+			types = append(types, st)
+			weights[st.Name] = 1
+		}
+		var err error
+		arrivals, err = schedule.Generate(schedule.Config{
+			RNG: stats.NewRNG(*seed), Types: types,
+			Utilization: *util, TotalNodes: *nodes, Horizon: horizon,
+		})
+		if err != nil {
+			log.Fatal(err)
+		}
 	}
 
 	var tracer *obs.Tracer
@@ -114,11 +132,18 @@ func main() {
 	if bid.AvgPower == 0 || bid.Reserve == 0 {
 		// The probe always uses the base seed's schedule so the bid — an
 		// input shared by every run — does not depend on -runs.
-		probe, err := sim.Run(sim.Config{
+		probeCfg := sim.Config{
 			Nodes: *nodes, Types: types, Weights: weights, Arrivals: arrivals,
 			Bid:    dr.Bid{AvgPower: units.Power(*nodes) * workload.NodeTDP, Reserve: 0},
 			Signal: dr.Constant(0), Horizon: horizon, Seed: *seed, Shards: *shards,
-		})
+			DisableEventDriven: !*eventDriven,
+		}
+		if *tracePath != "" {
+			r := openTrace()
+			defer r.Close()
+			probeCfg.Arrivals, probeCfg.Source = nil, r
+		}
+		probe, err := sim.Run(probeCfg)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -160,24 +185,31 @@ func main() {
 	}
 	stepCounter := obs.NewCounter()
 	mkConfig := func(runSeed uint64, arr []schedule.Arrival, runShards int, runID string) sim.Config {
-		return sim.Config{
+		cfg := sim.Config{
 			Nodes: *nodes, Types: types, Weights: weights, Arrivals: arr,
-			Bid:               bid,
-			Signal:            dr.NewRandomWalk(runSeed^0x5eed, 4*time.Second, 0.25, 8*horizon),
-			Horizon:           horizon,
-			Seed:              runSeed,
-			Shards:            runShards,
-			VariationStd:      *variation / 2.576, // 99% within ±level
-			FeedbackQoSExempt: *feedback,
-			Failures:          failures,
-			Budgeter:          budgeter,
-			TypeModels:        typeModels,
-			DefaultModel:      defaultModel,
-			TrackWarmup:       2 * time.Minute,
-			Tracer:            tracer,
-			Progress:          stepCounter,
-			RunID:             runID,
+			Bid:                bid,
+			Signal:             dr.NewRandomWalk(runSeed^0x5eed, 4*time.Second, 0.25, 8*horizon),
+			Horizon:            horizon,
+			Seed:               runSeed,
+			Shards:             runShards,
+			VariationStd:       *variation / 2.576, // 99% within ±level
+			FeedbackQoSExempt:  *feedback,
+			Failures:           failures,
+			Budgeter:           budgeter,
+			TypeModels:         typeModels,
+			DefaultModel:       defaultModel,
+			DisableEventDriven: !*eventDriven,
+			TrackWarmup:        2 * time.Minute,
+			Tracer:             tracer,
+			Progress:           stepCounter,
+			RunID:              runID,
 		}
+		if *tracePath != "" {
+			// Each run streams the trace through its own reader; the
+			// caller is responsible for closing it after sim.Run returns.
+			cfg.Arrivals, cfg.Source = nil, openTrace()
+		}
+		return cfg
 	}
 
 	if *runs == 1 {
@@ -191,6 +223,9 @@ func main() {
 			cfg.TableLog = f
 		}
 		res, err := sim.Run(cfg)
+		if r, ok := cfg.Source.(*tracein.Reader); ok {
+			r.Close()
+		}
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -212,14 +247,23 @@ func main() {
 		sweep.Options{Workers: *parallel, OnRunDone: func(int) { runsDone.Inc() }},
 		func(_ context.Context, run int) (sim.Result, error) {
 			runSeed := sweep.DeriveSeed(*seed, run)
-			arr, err := schedule.Generate(schedule.Config{
-				RNG: stats.NewRNG(runSeed), Types: types,
-				Utilization: *util, TotalNodes: *nodes, Horizon: horizon,
-			})
-			if err != nil {
-				return sim.Result{}, err
+			var arr []schedule.Arrival
+			if *tracePath == "" {
+				var err error
+				arr, err = schedule.Generate(schedule.Config{
+					RNG: stats.NewRNG(runSeed), Types: types,
+					Utilization: *util, TotalNodes: *nodes, Horizon: horizon,
+				})
+				if err != nil {
+					return sim.Result{}, err
+				}
 			}
-			return sim.Run(mkConfig(runSeed, arr, innerShards, fmt.Sprintf("run%d", run)))
+			cfg := mkConfig(runSeed, arr, innerShards, fmt.Sprintf("run%d", run))
+			res, err := sim.Run(cfg)
+			if r, ok := cfg.Source.(*tracein.Reader); ok {
+				r.Close()
+			}
+			return res, err
 		})
 	stopProgress()
 	if err != nil {

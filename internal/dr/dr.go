@@ -47,6 +47,22 @@ type Signal interface {
 // receives new power targets once every 4 seconds (§6.3).
 const DefaultSignalStep = 4 * time.Second
 
+// Stepped is implemented by signals whose value changes only at discrete,
+// predictable times. NextChange(t) returns the earliest time strictly
+// after t at which At may return a different value than At(t); a signal
+// that will never change again returns NeverChanges. Consumers that
+// fast-forward quiet intervals (the event-driven simulator) use this as
+// one input to their event horizon; signals without the method are
+// conservatively assumed to change every evaluation.
+type Stepped interface {
+	Signal
+	NextChange(t time.Duration) time.Duration
+}
+
+// NeverChanges is the NextChange result of a signal that has reached a
+// permanently constant value.
+const NeverChanges time.Duration = 1<<63 - 1
+
 // RandomWalk is a bounded random-walk regulation signal: every Step it
 // moves by a uniform delta in [−MaxDelta, MaxDelta], reflecting at ±1.
 // Values are precomputed over the horizon so lookups are O(1) and the
@@ -97,6 +113,20 @@ func (r *RandomWalk) At(t time.Duration) float64 {
 // Step returns the signal's update interval.
 func (r *RandomWalk) Step() time.Duration { return r.step }
 
+// NextChange implements Stepped: the walk moves at the next step-interval
+// boundary, and holds its final value forever once the precomputed horizon
+// is exhausted.
+func (r *RandomWalk) NextChange(t time.Duration) time.Duration {
+	if t < 0 {
+		return 0
+	}
+	i := int(t / r.step)
+	if i >= len(r.values)-1 {
+		return NeverChanges
+	}
+	return time.Duration(i+1) * r.step
+}
+
 // Sine is a deterministic sinusoidal signal with the given period, useful
 // for tests and examples.
 type Sine struct {
@@ -123,6 +153,9 @@ type Constant float64
 func (c Constant) At(time.Duration) float64 {
 	return math.Max(-1, math.Min(1, float64(c)))
 }
+
+// NextChange implements Stepped: a constant never changes.
+func (c Constant) NextChange(time.Duration) time.Duration { return NeverChanges }
 
 // Tariff prices a bidding period: energy consumed costs money, offered
 // reserve earns a credit (the incentive for demand-response participation),

@@ -26,6 +26,16 @@ type SimPerfConfig struct {
 	Repeats int
 	// Seed drives the workload schedule and node variation.
 	Seed uint64
+	// Shards bounds the node-table worker count (0 = the simulator's
+	// auto policy).
+	Shards int
+	// MaxProcs, when positive, pins runtime.GOMAXPROCS for the
+	// measurement window (restored afterwards), so one process can record
+	// single-core and multi-core rows back to back.
+	MaxProcs int
+	// FullStepping disables the event-driven stepper, measuring the
+	// recompute-everything-per-second baseline.
+	FullStepping bool
 }
 
 // SimPerfResult is one simulator throughput measurement, the record
@@ -48,6 +58,11 @@ type SimPerfResult struct {
 	// GoVersion and MaxProcs record the measurement environment.
 	GoVersion string `json:"go"`
 	MaxProcs  int    `json:"maxprocs"`
+	// Shards is the node-table worker bound the run used (0 = auto).
+	Shards int `json:"shards,omitempty"`
+	// EventDriven records whether the event-driven stepper was on.
+	// Results are bit-identical either way; only throughput moves.
+	EventDriven bool `json:"event_driven,omitempty"`
 }
 
 // SimPerf measures tabular-simulator throughput: a 75%-utilization
@@ -67,6 +82,9 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 	}
 	if cfg.Seed == 0 {
 		cfg.Seed = 1
+	}
+	if cfg.MaxProcs > 0 {
+		defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(cfg.MaxProcs))
 	}
 	// The catalog's node counts target the 16-node evaluation cluster;
 	// scale instances with the cluster as §6.4 does (×25 at 1000 nodes).
@@ -91,6 +109,7 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 	}
 	simCfg := sim.Config{
 		Nodes: cfg.Nodes, Types: types, Weights: weights, Arrivals: arrivals,
+		Shards: cfg.Shards, DisableEventDriven: cfg.FullStepping,
 		// Matches the BenchmarkSimStep bid (150 W/node average, 30 W/node
 		// reserve) so history entries and bench runs describe one workload.
 		Bid:          dr.Bid{AvgPower: units.Power(cfg.Nodes) * 150, Reserve: units.Power(cfg.Nodes) * 30},
@@ -105,19 +124,31 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 		return SimPerfResult{}, err
 	}
 
+	// Each repeat accumulates whole runs until the timing window is at
+	// least minWindow of wall clock: a fast engine finishes a small run in
+	// well under a millisecond, where a single-run timing is dominated by
+	// timer granularity and scheduler noise rather than engine speed.
+	const minWindow = 250 * time.Millisecond
 	var best SimPerfResult
 	for r := 0; r < cfg.Repeats; r++ {
 		runtime.GC()
 		var m0, m1 runtime.MemStats
 		runtime.ReadMemStats(&m0)
 		start := time.Now()
-		res, err := sim.Run(simCfg)
-		elapsed := time.Since(start)
-		runtime.ReadMemStats(&m1)
-		if err != nil {
-			return SimPerfResult{}, err
+		steps, runSteps := 0, 0
+		var elapsed time.Duration
+		for {
+			res, err := sim.Run(simCfg)
+			if err != nil {
+				return SimPerfResult{}, err
+			}
+			runSteps = len(res.Tracking)
+			steps += runSteps
+			if elapsed = time.Since(start); elapsed >= minWindow {
+				break
+			}
 		}
-		steps := len(res.Tracking)
+		runtime.ReadMemStats(&m1)
 		if steps == 0 || elapsed <= 0 {
 			return SimPerfResult{}, fmt.Errorf("experiments: degenerate perf run (%d steps in %v)", steps, elapsed)
 		}
@@ -125,13 +156,15 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 		if sps > best.StepsPerSec {
 			best = SimPerfResult{
 				Nodes:         cfg.Nodes,
-				Steps:         steps,
+				Steps:         runSteps,
 				StepsPerSec:   sps,
 				NsPerStep:     float64(elapsed.Nanoseconds()) / float64(steps),
 				BytesPerStep:  float64(m1.TotalAlloc-m0.TotalAlloc) / float64(steps),
 				AllocsPerStep: float64(m1.Mallocs-m0.Mallocs) / float64(steps),
 				GoVersion:     runtime.Version(),
 				MaxProcs:      runtime.GOMAXPROCS(0),
+				Shards:        cfg.Shards,
+				EventDriven:   !cfg.FullStepping,
 			}
 		}
 	}

@@ -64,6 +64,10 @@ type engine struct {
 	advanceFn func(lo, hi int)
 
 	shards int
+	// pool is the persistent multi-core shard runtime (nil when serial):
+	// long-lived workers woken through a reusable barrier instead of a
+	// goroutine spawn per step. Run closes it via engine.close.
+	pool *shardPool
 
 	// Fault-layer state (engine_failures.go). nextFailure cursors the
 	// sorted cfg.Failures schedule; down counts nodes currently failed
@@ -109,8 +113,13 @@ func newEngine(cfg Config, types map[string]workload.Type, scheduler *sched.Sche
 		e.freeRing[i] = int32(i)
 	}
 	e.advanceFn = e.advanceRange
+	e.pool = newShardPool(e.shards)
 	return e
 }
+
+// close releases the shard pool's workers. The engine must not step
+// afterwards.
+func (e *engine) close() { e.pool.close() }
 
 func (e *engine) freePop() int32 {
 	ni := e.freeRing[e.freeHead]
@@ -139,18 +148,19 @@ func (e *engine) believedModel(claimed string) perfmodel.Model {
 }
 
 // advanceAndComplete advances every running node's progress one second
-// and completes jobs whose nodes all reached 100%. The advance is sharded
-// across job-order chunks — every node belongs to at most one running
-// job, so shards touch disjoint node ranges, and each node's arithmetic
-// is independent, so the result is bit-identical to the serial loop.
+// and completes jobs whose nodes all reached 100%, returning how many
+// completed. The advance is sharded across job-order chunks on the
+// persistent pool — every node belongs to at most one running job, so
+// shards touch disjoint node ranges, and each node's arithmetic is
+// independent, so the result is bit-identical to the serial loop.
 // Completion stays serial, in sorted ID order, so freed nodes return to
 // the free ring deterministically.
-func (e *engine) advanceAndComplete(now time.Time) error {
+func (e *engine) advanceAndComplete(now time.Time) (int, error) {
 	if cap(e.doneFlags) < len(e.order) {
 		e.doneFlags = make([]bool, len(e.order))
 	}
 	e.doneFlags = e.doneFlags[:len(e.order)]
-	forShards(e.shards, len(e.order), e.advanceFn)
+	e.pool.run(len(e.order), e.advanceFn)
 	w := 0
 	for k, slot := range e.order {
 		if !e.doneFlags[k] {
@@ -160,7 +170,7 @@ func (e *engine) advanceAndComplete(now time.Time) error {
 		}
 		rj := &e.jobs[slot]
 		if err := e.scheduler.CompleteJob(rj.job, now); err != nil {
-			return err
+			return 0, err
 		}
 		for _, ni := range rj.nodes {
 			e.nodes[ni].jobIdx = -1
@@ -171,8 +181,9 @@ func (e *engine) advanceAndComplete(now time.Time) error {
 		rj.nodes = rj.nodes[:0]
 		e.freeSlots = append(e.freeSlots, slot)
 	}
+	completed := len(e.order) - w
 	e.order = e.order[:w]
-	return nil
+	return completed, nil
 }
 
 // advanceRange advances progress for the jobs at order positions
@@ -199,11 +210,12 @@ func (e *engine) advanceRange(lo, hi int) {
 }
 
 // startJobs asks the scheduler for every queued job that fits and binds
-// each to free nodes and a job-table slot.
-func (e *engine) startJobs(now time.Time) error {
+// each to free nodes and a job-table slot, returning how many started.
+func (e *engine) startJobs(now time.Time) (int, error) {
+	started := 0
 	for _, j := range e.scheduler.StartEligible(now) {
 		if j.Nodes > e.freeLen {
-			return fmt.Errorf("sim: scheduler started job %s needing %d nodes with only %d free (scheduler/simulator free-list divergence)",
+			return started, fmt.Errorf("sim: scheduler started job %s needing %d nodes with only %d free (scheduler/simulator free-list divergence)",
 				j.ID, j.Nodes, e.freeLen)
 		}
 		slot := e.allocSlot()
@@ -221,8 +233,9 @@ func (e *engine) startJobs(now time.Time) error {
 			e.nodes[ni].progress = 0
 		}
 		e.orderInsert(slot)
+		started++
 	}
-	return nil
+	return started, nil
 }
 
 func (e *engine) allocSlot() int32 {
@@ -265,10 +278,13 @@ func (e *engine) exemptBit(k int) bool { return e.exempt[k/64]&(1<<(k%64)) != 0 
 // exemption first, then either the AQA uniform cap or the configured
 // budgeter. Jobs are visited in sorted-ID order so every floating-point
 // reduction is deterministic (the original map-iteration engine left the
-// exemption subtraction and budgeter input order to map order).
-func (e *engine) applyCaps(jobBudget units.Power, now time.Time) {
+// exemption subtraction and budgeter input order to map order). It
+// reports whether any job's cap actually moved, so the event-driven step
+// loop knows a re-measure is needed (an unchanged cap set implies an
+// unchanged power sum).
+func (e *engine) applyCaps(jobBudget units.Power, now time.Time) (changed bool) {
 	if len(e.order) == 0 {
-		return
+		return false
 	}
 
 	// Feedback exemption (§6.4): at-risk jobs get full power and their
@@ -305,9 +321,12 @@ func (e *engine) applyCaps(jobBudget units.Power, now time.Time) {
 			if anyExempt && e.exemptBit(k) {
 				cap = workload.NodeTDP
 			}
-			e.jobs[slot].cap = cap
+			if e.jobs[slot].cap != cap {
+				e.jobs[slot].cap = cap
+				changed = true
+			}
 		}
-		return
+		return changed
 	}
 
 	e.bjobs = e.bjobs[:0]
@@ -326,13 +345,17 @@ func (e *engine) applyCaps(jobBudget units.Power, now time.Time) {
 	next := 0
 	for k, slot := range e.order {
 		rj := &e.jobs[slot]
-		if anyExempt && e.exemptBit(k) {
-			rj.cap = workload.NodeTDP
-			continue
+		cap := workload.NodeTDP
+		if !anyExempt || !e.exemptBit(k) {
+			cap = e.caps[next]
+			next++
 		}
-		rj.cap = e.caps[next]
-		next++
+		if rj.cap != cap {
+			rj.cap = cap
+			changed = true
+		}
 	}
+	return changed
 }
 
 // measure settles each job's achieved per-node power (the cap, saturated

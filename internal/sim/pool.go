@@ -1,0 +1,93 @@
+package sim
+
+import "sync"
+
+// shardPool is the persistent multi-core shard runtime: a fixed set of
+// long-lived worker goroutines driven through a reusable barrier, replacing
+// the per-step goroutine fan-out the engine used before. At 100k+ nodes a
+// simulated second dispatches the progress kernel tens of thousands of
+// times per wall-clock second, and spawning (and tearing down) a goroutine
+// per shard per step costs more than the kernel itself; the pool pays the
+// spawn once per Run.
+//
+// Determinism: the pool only decides WHICH worker executes a subrange,
+// never how the subrange is computed. Ranges are the same near-equal
+// [i·n/w, (i+1)·n/w) splits at any worker count, each index is visited by
+// exactly one worker with identical arithmetic, and workers share no
+// mutable state with each other — so results are bit-identical to the
+// serial loop at any shard count and any GOMAXPROCS (equiv_test.go and
+// eventdriven_test.go hold this against the reference engine).
+//
+// Memory model: writes to fn/n happen before the channel sends that wake
+// the workers, and the WaitGroup joins every worker before run returns, so
+// the caller never observes a torn round and the race detector stays
+// quiet.
+type shardPool struct {
+	workers int
+	wake    []chan struct{}
+	wg      sync.WaitGroup
+
+	// fn and n are the current round's kernel and input size, valid from
+	// the wake sends until the barrier.
+	fn func(lo, hi int)
+	n  int
+}
+
+// newShardPool starts `workers` goroutines that block until run wakes
+// them. workers ≤ 1 returns nil — the serial path needs no pool, and nil
+// is a valid receiver for run and close.
+func newShardPool(workers int) *shardPool {
+	if workers <= 1 {
+		return nil
+	}
+	p := &shardPool{workers: workers, wake: make([]chan struct{}, workers)}
+	for i := range p.wake {
+		p.wake[i] = make(chan struct{}, 1)
+		go p.work(i)
+	}
+	return p
+}
+
+// work is one worker's loop: wake, run the bound kernel over this worker's
+// fixed share of [0, n), hit the barrier, sleep. Closing the wake channel
+// ends the loop.
+func (p *shardPool) work(i int) {
+	for range p.wake[i] {
+		lo, hi := i*p.n/p.workers, (i+1)*p.n/p.workers
+		if lo < hi {
+			p.fn(lo, hi)
+		}
+		p.wg.Done()
+	}
+}
+
+// run executes fn over near-equal subranges of [0, n) on the pool's
+// workers and returns once all of them finish (the reusable barrier). A
+// nil pool — or a trivially small round — runs serially on the caller's
+// goroutine. fn must confine its writes to state owned by indices in
+// [lo, hi); state it reads outside that range must not be written by other
+// shards during the round.
+func (p *shardPool) run(n int, fn func(lo, hi int)) {
+	if p == nil || n <= 1 {
+		fn(0, n)
+		return
+	}
+	p.fn, p.n = fn, n
+	p.wg.Add(p.workers)
+	for _, ch := range p.wake {
+		ch <- struct{}{}
+	}
+	p.wg.Wait()
+	p.fn = nil
+}
+
+// close stops the workers. Safe on a nil pool; the pool must not be used
+// afterwards.
+func (p *shardPool) close() {
+	if p == nil {
+		return
+	}
+	for _, ch := range p.wake {
+		close(ch)
+	}
+}

@@ -1,0 +1,72 @@
+package sim
+
+import (
+	"runtime"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+// TestShardPoolCoversEveryIndexOnce drives the persistent pool through
+// many rounds with varying input sizes and checks every index in [0, n)
+// is visited exactly once per round — the invariant the simulator's
+// bit-identical sharding rests on.
+func TestShardPoolCoversEveryIndexOnce(t *testing.T) {
+	for _, workers := range []int{2, 3, 8} {
+		p := newShardPool(workers)
+		if p == nil {
+			t.Fatalf("workers=%d: nil pool", workers)
+		}
+		for round, n := range []int{0, 1, 2, 7, 100, 3, 1000} {
+			visits := make([]int32, n)
+			p.run(n, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					atomic.AddInt32(&visits[i], 1)
+				}
+			})
+			for i, v := range visits {
+				if v != 1 {
+					t.Fatalf("workers=%d round=%d: index %d visited %d times", workers, round, i, v)
+				}
+			}
+		}
+		p.close()
+	}
+}
+
+// TestShardPoolNilIsSerial: a nil pool (workers ≤ 1) must run the kernel
+// inline over the whole range, and close must be a no-op.
+func TestShardPoolNilIsSerial(t *testing.T) {
+	p := newShardPool(1)
+	if p != nil {
+		t.Fatal("single-worker pool should be nil (serial path)")
+	}
+	ran := false
+	p.run(5, func(lo, hi int) {
+		if lo != 0 || hi != 5 {
+			t.Errorf("serial range = [%d, %d), want [0, 5)", lo, hi)
+		}
+		ran = true
+	})
+	if !ran {
+		t.Fatal("serial kernel did not run")
+	}
+	p.close()
+}
+
+// TestShardPoolWorkersExitOnClose: the pool must not leak its goroutines
+// once closed.
+func TestShardPoolWorkersExitOnClose(t *testing.T) {
+	before := runtime.NumGoroutine()
+	p := newShardPool(8)
+	p.run(64, func(lo, hi int) {})
+	p.close()
+	// Workers drain asynchronously after close; poll briefly.
+	deadline := time.Now().Add(2 * time.Second)
+	for runtime.NumGoroutine() > before && time.Now().Before(deadline) {
+		time.Sleep(5 * time.Millisecond)
+	}
+	if got := runtime.NumGoroutine(); got > before {
+		t.Errorf("goroutines after close = %d, was %d before the pool", got, before)
+	}
+}

@@ -8,10 +8,11 @@ import (
 // autoShardMinNodes is the cluster size below which auto-sharding stays
 // serial. The dense-index engine moved per-node work out of the sharded
 // loop (rates and caps are per-job, measurement is a serial sum), so the
-// remaining progress advance costs a few nanoseconds per busy node — the
-// per-step goroutine fan-out/barrier only pays for itself in the tens of
-// thousands of nodes. Results are bit-identical at every setting, so the
-// threshold is purely a performance knob.
+// remaining progress advance costs a few nanoseconds per busy node — even
+// the persistent worker pool's wake/barrier round trip (see pool.go) only
+// pays for itself in the tens of thousands of nodes. Results are
+// bit-identical at every setting, so the threshold is purely a
+// performance knob.
 const autoShardMinNodes = 16384
 
 // resolveShards picks the worker count for the intra-step node loops.

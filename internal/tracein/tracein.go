@@ -1,0 +1,322 @@
+// Package tracein ingests external job traces for the cluster simulator.
+// It decodes CSV and JSONL submission logs incrementally — one record per
+// Next call, never the whole file — so traces with millions of jobs stream
+// into a simulation in constant memory. A Reader satisfies the simulator's
+// ArrivalSource contract (Next returning arrival, type, ok, error), which
+// is structural: this package depends only on the schedule and workload
+// vocabularies, not on the simulator.
+//
+// Two formats are recognized by extension:
+//
+//   - .csv — generic accounting-log shape with the header
+//     "submit_s,job_id,nodes,duration_s". Job types are synthesized from
+//     the (nodes, duration) pair against a template power-response curve
+//     and deduplicated, so a million-job trace with a handful of shapes
+//     registers a handful of types.
+//   - .jsonl (or .ndjson) — one JSON object per line with at_s, job_id,
+//     and type, resolved against a catalog of known workload types
+//     (Options.Catalog); claimed_type optionally models misclassified
+//     submissions.
+//
+// Every malformed input surfaces as a *ParseError carrying the path and
+// 1-based line number and wrapping one of the sentinel errors below, so
+// callers can both print a usable message and branch on the cause with
+// errors.Is. Readers never panic and never silently drop rows.
+package tracein
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/schedule"
+	"repro/internal/workload"
+)
+
+// Sentinel causes wrapped by ParseError; test with errors.Is.
+var (
+	// ErrBadHeader: the CSV header row is missing or not the expected
+	// column set.
+	ErrBadHeader = errors.New("tracein: bad or missing header")
+	// ErrMalformedRow: a row has the wrong field count or an unparsable
+	// field value.
+	ErrMalformedRow = errors.New("tracein: malformed row")
+	// ErrOutOfOrder: a row's submission time precedes the previous row's.
+	ErrOutOfOrder = errors.New("tracein: submissions out of order")
+	// ErrTooWide: a job requests more nodes than Options.MaxNodes allows.
+	ErrTooWide = errors.New("tracein: job wider than cluster")
+	// ErrUnknownType: a JSONL row names a type absent from the catalog.
+	ErrUnknownType = errors.New("tracein: unknown job type")
+	// ErrTruncated: the file ends mid-record (no trailing newline on a
+	// partial row), the signature of an interrupted copy.
+	ErrTruncated = errors.New("tracein: truncated file")
+)
+
+// ParseError reports where in a trace file decoding failed.
+type ParseError struct {
+	// Path is the trace file.
+	Path string
+	// Line is the 1-based line number of the offending record.
+	Line int
+	// Err is the cause, wrapping one of the sentinel errors.
+	Err error
+}
+
+func (e *ParseError) Error() string {
+	return fmt.Sprintf("%s:%d: %v", e.Path, e.Line, e.Err)
+}
+
+func (e *ParseError) Unwrap() error { return e.Err }
+
+// Options configures trace decoding.
+type Options struct {
+	// Catalog resolves JSONL type names to workload types. Ignored by the
+	// CSV format, which synthesizes types. Defaults to the full built-in
+	// catalog.
+	Catalog []workload.Type
+	// MaxNodes, when positive, rejects jobs wider than the cluster at
+	// decode time with ErrTooWide, so a bad trace fails on the offending
+	// line instead of mid-simulation.
+	MaxNodes int
+}
+
+// csvHeader is the required first line of a CSV trace.
+const csvHeader = "submit_s,job_id,nodes,duration_s"
+
+// Reader streams arrivals from one trace file.
+type Reader struct {
+	path       string
+	f          *os.File
+	br         *bufio.Reader
+	line       int
+	jsonl      bool
+	opts       Options
+	catalog    map[string]workload.Type
+	synth      map[string]workload.Type
+	prev       time.Duration
+	havePrev   bool
+	readHeader bool
+}
+
+// Open opens a trace file, selecting the format by extension: .csv, or
+// .jsonl/.ndjson. The caller owns Close.
+func Open(path string, opts Options) (*Reader, error) {
+	var jsonl bool
+	switch ext := strings.ToLower(filepath.Ext(path)); ext {
+	case ".csv":
+	case ".jsonl", ".ndjson":
+		jsonl = true
+	default:
+		return nil, fmt.Errorf("tracein: unsupported trace extension %q (want .csv, .jsonl, or .ndjson)", ext)
+	}
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	r := &Reader{path: path, f: f, br: bufio.NewReaderSize(f, 1<<16), jsonl: jsonl, opts: opts}
+	if jsonl {
+		cat := opts.Catalog
+		if cat == nil {
+			cat = workload.Catalog()
+		}
+		r.catalog = make(map[string]workload.Type, len(cat))
+		for _, t := range cat {
+			r.catalog[t.Name] = t
+		}
+	} else {
+		r.synth = map[string]workload.Type{}
+	}
+	return r, nil
+}
+
+// Close releases the underlying file.
+func (r *Reader) Close() error { return r.f.Close() }
+
+// fail wraps a cause with the file position.
+func (r *Reader) fail(cause error) error {
+	return &ParseError{Path: r.path, Line: r.line, Err: cause}
+}
+
+// nextLine returns the next line without its terminator. ok is false at a
+// clean end of file; a partial final line (data with no newline) is
+// ErrTruncated.
+func (r *Reader) nextLine() (string, bool, error) {
+	for {
+		r.line++
+		s, err := r.br.ReadString('\n')
+		switch {
+		case err == nil:
+		case errors.Is(err, io.EOF):
+			if len(s) == 0 {
+				return "", false, nil
+			}
+			return "", false, r.fail(fmt.Errorf("%w: final record %q has no newline", ErrTruncated, truncateForMsg(s)))
+		default:
+			return "", false, r.fail(err)
+		}
+		s = strings.TrimRight(s, "\r\n")
+		if strings.TrimSpace(s) == "" {
+			continue // blank lines are tolerated in both formats
+		}
+		return s, true, nil
+	}
+}
+
+// Next decodes the next arrival. It satisfies the simulator's
+// ArrivalSource contract.
+func (r *Reader) Next() (schedule.Arrival, workload.Type, bool, error) {
+	if r.jsonl {
+		return r.nextJSONL()
+	}
+	return r.nextCSV()
+}
+
+func (r *Reader) nextCSV() (schedule.Arrival, workload.Type, bool, error) {
+	if !r.readHeader {
+		r.readHeader = true
+		s, ok, err := r.nextLine()
+		if err != nil {
+			return schedule.Arrival{}, workload.Type{}, false, err
+		}
+		if !ok {
+			return schedule.Arrival{}, workload.Type{}, false, r.fail(fmt.Errorf("%w: empty file, want %q", ErrBadHeader, csvHeader))
+		}
+		if s != csvHeader {
+			return schedule.Arrival{}, workload.Type{}, false, r.fail(fmt.Errorf("%w: got %q, want %q", ErrBadHeader, truncateForMsg(s), csvHeader))
+		}
+	}
+	s, ok, err := r.nextLine()
+	if err != nil || !ok {
+		return schedule.Arrival{}, workload.Type{}, false, err
+	}
+	fields := strings.Split(s, ",")
+	if len(fields) != 4 {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: %d fields, want 4 (%s)", ErrMalformedRow, len(fields), csvHeader))
+	}
+	submit, err := strconv.ParseFloat(strings.TrimSpace(fields[0]), 64)
+	if err != nil || submit < 0 {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: submit_s %q is not a non-negative number", ErrMalformedRow, fields[0]))
+	}
+	jobID := strings.TrimSpace(fields[1])
+	if jobID == "" {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: empty job_id", ErrMalformedRow))
+	}
+	nodes, err := strconv.Atoi(strings.TrimSpace(fields[2]))
+	if err != nil || nodes < 1 {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: nodes %q is not a positive integer", ErrMalformedRow, fields[2]))
+	}
+	dur, err := strconv.ParseFloat(strings.TrimSpace(fields[3]), 64)
+	if err != nil || dur <= 0 {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: duration_s %q is not a positive number", ErrMalformedRow, fields[3]))
+	}
+	at := time.Duration(submit * float64(time.Second))
+	typ := r.synthType(nodes, dur)
+	a := schedule.Arrival{At: at, JobID: jobID, TypeName: typ.Name, ClaimedType: typ.Name}
+	if err := r.admit(a, typ); err != nil {
+		return schedule.Arrival{}, workload.Type{}, false, err
+	}
+	return a, typ, true, nil
+}
+
+// jsonlRow is the JSONL record shape.
+type jsonlRow struct {
+	AtS     *float64 `json:"at_s"`
+	JobID   string   `json:"job_id"`
+	Type    string   `json:"type"`
+	Claimed string   `json:"claimed_type"`
+}
+
+func (r *Reader) nextJSONL() (schedule.Arrival, workload.Type, bool, error) {
+	s, ok, err := r.nextLine()
+	if err != nil || !ok {
+		return schedule.Arrival{}, workload.Type{}, false, err
+	}
+	var row jsonlRow
+	if err := json.Unmarshal([]byte(s), &row); err != nil {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: %v", ErrMalformedRow, err))
+	}
+	if row.AtS == nil || *row.AtS < 0 {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: at_s missing or negative", ErrMalformedRow))
+	}
+	if row.JobID == "" {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: empty job_id", ErrMalformedRow))
+	}
+	typ, known := r.catalog[row.Type]
+	if !known {
+		return schedule.Arrival{}, workload.Type{}, false,
+			r.fail(fmt.Errorf("%w: %q is not in the catalog", ErrUnknownType, row.Type))
+	}
+	claimed := row.Claimed
+	if claimed == "" {
+		claimed = row.Type
+	}
+	a := schedule.Arrival{
+		At: time.Duration(*row.AtS * float64(time.Second)), JobID: row.JobID,
+		TypeName: row.Type, ClaimedType: claimed,
+	}
+	if err := r.admit(a, typ); err != nil {
+		return schedule.Arrival{}, workload.Type{}, false, err
+	}
+	return a, typ, true, nil
+}
+
+// admit applies the cross-row invariants: non-decreasing submit times and
+// (when MaxNodes is set) jobs that fit the cluster.
+func (r *Reader) admit(a schedule.Arrival, typ workload.Type) error {
+	if r.havePrev && a.At < r.prev {
+		return r.fail(fmt.Errorf("%w: %s at %v precedes the previous row at %v",
+			ErrOutOfOrder, a.JobID, a.At, r.prev))
+	}
+	r.prev, r.havePrev = a.At, true
+	if r.opts.MaxNodes > 0 && typ.Nodes > r.opts.MaxNodes {
+		return r.fail(fmt.Errorf("%w: %s needs %d nodes, cluster has %d",
+			ErrTooWide, a.JobID, typ.Nodes, r.opts.MaxNodes))
+	}
+	return nil
+}
+
+// synthType builds (and memoizes) a workload type for a CSV trace job of
+// the given width and base duration. The power-response curve is a
+// template — linear between the fleet cap floor and TDP with a mid-range
+// slowdown — because accounting logs carry no power sensitivity; what the
+// trace does pin exactly is the width, duration, and arrival pattern.
+func (r *Reader) synthType(nodes int, dur float64) workload.Type {
+	name := "trace/n" + strconv.Itoa(nodes) + "/d" + strconv.FormatFloat(dur, 'g', -1, 64)
+	if t, ok := r.synth[name]; ok {
+		return t
+	}
+	epochs := int(dur)
+	if epochs < 1 {
+		epochs = 1
+	}
+	t := workload.Type{
+		Name: name, Nodes: nodes, BaseSeconds: dur, Epochs: epochs,
+		PMin: workload.NodeMinCap, PMax: workload.NodeTDP,
+		MaxSlowdown: 1.5, MidFrac: 0.4, SetupSeconds: 0,
+	}
+	r.synth[name] = t
+	return t
+}
+
+// truncateForMsg bounds quoted file content in error messages.
+func truncateForMsg(s string) string {
+	if len(s) > 60 {
+		return s[:57] + "..."
+	}
+	return s
+}

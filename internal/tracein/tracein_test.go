@@ -1,0 +1,278 @@
+package tracein
+
+import (
+	"errors"
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/dr"
+	"repro/internal/schedule"
+	"repro/internal/sim"
+	"repro/internal/workload"
+)
+
+func writeTrace(t *testing.T, name, content string) string {
+	t.Helper()
+	path := filepath.Join(t.TempDir(), name)
+	if err := os.WriteFile(path, []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	return path
+}
+
+// drain reads the whole stream, failing the test on any error.
+func drain(t *testing.T, r *Reader) ([]schedule.Arrival, []workload.Type) {
+	t.Helper()
+	var as []schedule.Arrival
+	var ts []workload.Type
+	for {
+		a, typ, ok, err := r.Next()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !ok {
+			return as, ts
+		}
+		as = append(as, a)
+		ts = append(ts, typ)
+	}
+}
+
+// drainErr reads until the stream errors and returns that error.
+func drainErr(t *testing.T, r *Reader) error {
+	t.Helper()
+	for {
+		_, _, ok, err := r.Next()
+		if err != nil {
+			return err
+		}
+		if !ok {
+			t.Fatal("stream ended without the expected error")
+		}
+	}
+}
+
+func TestCSVRoundTrip(t *testing.T) {
+	path := writeTrace(t, "jobs.csv", `submit_s,job_id,nodes,duration_s
+0,job-a,2,120
+0.5,job-b,1,60
+
+30,job-c,2,120
+`)
+	r, err := Open(path, Options{MaxNodes: 8})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	as, ts := drain(t, r)
+	if len(as) != 3 {
+		t.Fatalf("arrivals = %d, want 3 (blank line skipped)", len(as))
+	}
+	if as[1].At != 500*time.Millisecond || as[1].JobID != "job-b" {
+		t.Errorf("arrival 1 = %+v", as[1])
+	}
+	// job-a and job-c share (nodes, duration) so they must share one
+	// synthesized type.
+	if ts[0].Name != ts[2].Name || ts[0] != ts[2] {
+		t.Errorf("same-shape jobs got distinct types: %q vs %q", ts[0].Name, ts[2].Name)
+	}
+	if ts[0].Name == ts[1].Name {
+		t.Error("different-shape jobs share a type")
+	}
+	if ts[0].Nodes != 2 || ts[0].BaseSeconds != 120 {
+		t.Errorf("synthesized type = %+v", ts[0])
+	}
+}
+
+func TestJSONLRoundTrip(t *testing.T) {
+	path := writeTrace(t, "jobs.jsonl", `{"at_s": 0, "job_id": "a", "type": "bt.D.81"}
+{"at_s": 4.25, "job_id": "b", "type": "ep.D.43", "claimed_type": "mg.D.32"}
+`)
+	r, err := Open(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	as, ts := drain(t, r)
+	if len(as) != 2 {
+		t.Fatalf("arrivals = %d, want 2", len(as))
+	}
+	if ts[0].Name != "bt.D.81" || ts[0].BaseSeconds != 360 {
+		t.Errorf("type 0 = %+v, want catalog bt.D.81", ts[0])
+	}
+	if as[1].At != 4250*time.Millisecond || as[1].ClaimedType != "mg.D.32" {
+		t.Errorf("arrival 1 = %+v", as[1])
+	}
+	if as[0].ClaimedType != "bt.D.81" {
+		t.Errorf("claimed_type did not default to type: %+v", as[0])
+	}
+}
+
+func TestDecodeErrors(t *testing.T) {
+	cases := []struct {
+		name     string
+		file     string
+		content  string
+		opts     Options
+		sentinel error
+		line     int
+	}{
+		{
+			name: "csv missing header", file: "t.csv",
+			content:  "0,job,1,60\n",
+			sentinel: ErrBadHeader, line: 1,
+		},
+		{
+			name: "csv empty file", file: "t.csv",
+			content:  "",
+			sentinel: ErrBadHeader, line: 1,
+		},
+		{
+			name: "csv wrong field count", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n0,job,1\n",
+			sentinel: ErrMalformedRow, line: 2,
+		},
+		{
+			name: "csv unparsable nodes", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n0,job,two,60\n",
+			sentinel: ErrMalformedRow, line: 2,
+		},
+		{
+			name: "csv negative submit", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n-5,job,1,60\n",
+			sentinel: ErrMalformedRow, line: 2,
+		},
+		{
+			name: "csv zero duration", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n0,job,1,0\n",
+			sentinel: ErrMalformedRow, line: 2,
+		},
+		{
+			name: "csv empty job id", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n0,,1,60\n",
+			sentinel: ErrMalformedRow, line: 2,
+		},
+		{
+			name: "csv out of order", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n10,late,1,60\n5,early,1,60\n",
+			sentinel: ErrOutOfOrder, line: 3,
+		},
+		{
+			name: "csv wider than cluster", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n0,wide,64,60\n",
+			opts:     Options{MaxNodes: 16},
+			sentinel: ErrTooWide, line: 2,
+		},
+		{
+			name: "csv truncated final row", file: "t.csv",
+			content:  "submit_s,job_id,nodes,duration_s\n0,job,1,60\n5,part",
+			sentinel: ErrTruncated, line: 3,
+		},
+		{
+			name: "jsonl bad json", file: "t.jsonl",
+			content:  "{\"at_s\": 0, \"job_id\": \"a\", \"type\": \n",
+			sentinel: ErrMalformedRow, line: 1,
+		},
+		{
+			name: "jsonl missing at_s", file: "t.jsonl",
+			content:  "{\"job_id\": \"a\", \"type\": \"bt.D.81\"}\n",
+			sentinel: ErrMalformedRow, line: 1,
+		},
+		{
+			name: "jsonl unknown type", file: "t.jsonl",
+			content:  "{\"at_s\": 0, \"job_id\": \"a\", \"type\": \"nope\"}\n",
+			sentinel: ErrUnknownType, line: 1,
+		},
+		{
+			name: "jsonl out of order", file: "t.jsonl",
+			content:  "{\"at_s\": 9, \"job_id\": \"a\", \"type\": \"bt.D.81\"}\n{\"at_s\": 1, \"job_id\": \"b\", \"type\": \"bt.D.81\"}\n",
+			sentinel: ErrOutOfOrder, line: 2,
+		},
+		{
+			name: "jsonl truncated final row", file: "t.jsonl",
+			content:  "{\"at_s\": 0, \"job_id\": \"a\", \"type\": \"bt.D.81\"}\n{\"at_s\": 1",
+			sentinel: ErrTruncated, line: 2,
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			r, err := Open(writeTrace(t, tc.file, tc.content), tc.opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer r.Close()
+			err = drainErr(t, r)
+			if !errors.Is(err, tc.sentinel) {
+				t.Fatalf("error %v is not %v", err, tc.sentinel)
+			}
+			var pe *ParseError
+			if !errors.As(err, &pe) {
+				t.Fatalf("error %T is not a *ParseError", err)
+			}
+			if pe.Line != tc.line {
+				t.Errorf("error line = %d, want %d (%v)", pe.Line, tc.line, err)
+			}
+		})
+	}
+}
+
+func TestOpenRejectsUnknownExtension(t *testing.T) {
+	if _, err := Open(writeTrace(t, "t.parquet", "x"), Options{}); err == nil {
+		t.Fatal("unknown extension accepted")
+	}
+}
+
+func TestJSONLEmptyFileIsEmptyStream(t *testing.T) {
+	r, err := Open(writeTrace(t, "t.jsonl", ""), Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer r.Close()
+	if as, _ := drain(t, r); len(as) != 0 {
+		t.Fatalf("arrivals = %d, want 0", len(as))
+	}
+}
+
+// TestTraceDrivesSimulation is the end-to-end contract: a CSV trace
+// streamed through the simulator completes its jobs, and the run is
+// deterministic for a fixed seed.
+func TestTraceDrivesSimulation(t *testing.T) {
+	path := writeTrace(t, "jobs.csv", `submit_s,job_id,nodes,duration_s
+0,a,2,120
+10,b,1,60
+300,c,4,90
+`)
+	run := func() sim.Result {
+		r, err := Open(path, Options{MaxNodes: 8})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		res, err := sim.Run(sim.Config{
+			Nodes:   8,
+			Bid:     dr.Bid{AvgPower: 8 * 180, Reserve: 8 * 40},
+			Signal:  dr.NewRandomWalk(1, 4*time.Second, 0.25, time.Hour),
+			Horizon: 10 * time.Minute,
+			Source:  r,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	res := run()
+	if len(res.Jobs) != 3 {
+		t.Fatalf("completed jobs = %d (unfinished %d), want 3", len(res.Jobs), res.Unfinished)
+	}
+	for _, j := range res.Jobs {
+		if j.End <= j.Start {
+			t.Errorf("%s: bad lifecycle %v..%v", j.ID, j.Start, j.End)
+		}
+	}
+	again := run()
+	if res.QoS90 != again.QoS90 || len(res.Jobs) != len(again.Jobs) || res.AvgPower != again.AvgPower {
+		t.Error("trace-driven run is not deterministic")
+	}
+}
