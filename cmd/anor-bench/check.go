@@ -84,11 +84,41 @@ func check() {
 	if checked == 0 {
 		log.Fatalf("check: no (nodes, maxprocs) cell had a baseline in %s", path)
 	}
+	if !checkTelemetryBudget(repeats) {
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
 	fmt.Printf("check: %d cells within tolerance (speed -%.0f%% same-CPU, allocs +%.1f/step)\n",
 		checked, 100*speedTolerance, allocSlack)
+}
+
+// checkTelemetryBudget gates the retained-telemetry overhead: the same
+// cell measured with the rollup store and flight recorder attached must
+// stay within allocSlack allocs/step of the telemetry-off run. This is
+// self-relative (both measurements are fresh, same machine), so it
+// needs no recorded baseline and never trips on hardware differences.
+func checkTelemetryBudget(repeats int) bool {
+	base := experiments.SimPerfConfig{Nodes: 1000, Repeats: repeats, Seed: *seed, MaxProcs: 4}
+	off, err := experiments.SimPerf(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withTel := base
+	withTel.Telemetry = true
+	on, err := experiments.SimPerf(withTel)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta := on.AllocsPerStep - off.AllocsPerStep
+	status := "ok"
+	if delta > allocSlack {
+		status = "FAIL"
+	}
+	fmt.Printf("check: telemetry alloc budget: %s (enabling telemetry: %.2f → %.2f allocs/step, limit +%.1f)\n",
+		status, off.AllocsPerStep, on.AllocsPerStep, allocSlack)
+	return status == "ok"
 }
 
 // loadBenchFile reads a perf history file; a missing file is an error

@@ -7,7 +7,9 @@
 //
 // With -metrics it serves /metrics, /healthz, and pprof, exposing epoch
 // rates, cap-application latency, and model-fit residuals; -events
-// streams epoch-batch/model-refit/cap-fan-out events as JSONL.
+// streams epoch-batch/model-refit/cap-fan-out events as JSONL;
+// -telemetry retains job-labelled power/cap/epoch-rate rollup series as
+// /timeseries, and -record tees them into a flight-recorder file.
 //
 // Usage:
 //
@@ -33,6 +35,7 @@ import (
 	"repro/internal/nodesim"
 	"repro/internal/obs"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -53,6 +56,8 @@ func main() {
 	readTimeout := flag.Duration("read-timeout", 0, "per-receive wire deadline; a silent cluster past it counts as a dropped link; 0 disables")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address; empty disables")
 	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
+	telemetryOn := flag.Bool("telemetry", false, "retain multi-resolution rollup series and serve /timeseries on the -metrics address")
+	recordOut := flag.String("record", "", "append every telemetry sample to this binary flight-recorder file (implies -telemetry)")
 	verbose := flag.Bool("v", false, "enable debug logging")
 	flag.Parse()
 
@@ -82,15 +87,33 @@ func main() {
 		claimed = typ.Name
 	}
 
+	var store *telemetry.Store
+	if *telemetryOn || *recordOut != "" {
+		store = telemetry.NewStore()
+		if *recordOut != "" {
+			f, err := os.Create(*recordOut)
+			if err != nil {
+				fatalf("creating flight-recorder file: %v", err)
+			}
+			defer f.Close()
+			rec := telemetry.NewRecorder(f)
+			store.SetRecorder(rec)
+			defer rec.Flush()
+		}
+	}
 	var registry *obs.Registry
 	if *metricsAddr != "" {
 		registry = obs.NewRegistry()
-		admin, err := obs.StartAdmin(*metricsAddr, registry, nil)
+		var mounts []obs.Mount
+		if store != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/timeseries", Handler: store.Handler()})
+		}
+		admin, err := obs.StartAdmin(*metricsAddr, registry, nil, mounts...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer admin.Close()
-		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)", admin.Addr())
+		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /timeseries, /debug/pprof/)", admin.Addr())
 	}
 	var tracer *obs.Tracer
 	if *eventsOut != "" {
@@ -101,6 +124,12 @@ func main() {
 		defer f.Close()
 		tracer = obs.NewTracer(f, fmt.Sprintf("%s-%d", *jobID, os.Getpid()))
 		defer tracer.Flush()
+	}
+	if store != nil {
+		sampler := telemetry.StartSampler(telemetry.SamplerConfig{
+			Store: store, Registry: registry, Tracer: tracer,
+		})
+		defer sampler.Close()
 	}
 
 	clk := clock.Real{}
@@ -133,6 +162,7 @@ func main() {
 		Clock:         clk,
 		Metrics:       registry,
 		Tracer:        tracer,
+		Telemetry:     store,
 		Log:           logger,
 		ReconnectMin:  *reconnectMin,
 		ReconnectMax:  *reconnectMax,

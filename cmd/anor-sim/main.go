@@ -11,7 +11,11 @@
 //
 // With -runs > 1 a live progress/throughput line updates on stderr
 // (disable with -progress=false); -events streams dr_bid and sim_step
-// JSONL events. Neither changes any simulated number: observability is
+// JSONL events. With -telemetry ADDR the run serves /metrics,
+// /timeseries, and pprof so anor-top can attach live; -record FILE
+// streams every telemetry sample into a flight-recorder file replayable
+// with anor-top -replay, and -profile-dir rotates continuous CPU/heap
+// profiles. None of it changes any simulated number: observability is
 // strictly read-only against the deterministic sharded simulator.
 package main
 
@@ -35,6 +39,7 @@ import (
 	"repro/internal/sim"
 	"repro/internal/stats"
 	"repro/internal/sweep"
+	"repro/internal/telemetry"
 	"repro/internal/tracein"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -60,6 +65,9 @@ func main() {
 	eventsOut := flag.String("events", "", "stream structured JSONL events (dr_bid, sim_step) to this file; empty disables")
 	tracePath := flag.String("trace", "", "stream arrivals from a job trace (.csv or .jsonl) instead of the synthetic generator; -util and -scale are ignored")
 	eventDriven := flag.Bool("event-driven", true, "skip provably no-op per-second work and fast-forward idle intervals (results are bit-identical either way)")
+	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /timeseries, and pprof on this address so anor-top can attach live; empty disables")
+	recordOut := flag.String("record", "", "write every telemetry sample to this binary flight-recorder file (replayable with anor-top -replay)")
+	profileDir := flag.String("profile-dir", "", "rotate continuous CPU+heap profiles into this directory; empty disables")
 	flag.Parse()
 	if *runs < 1 {
 		log.Fatalf("anor-sim: -runs must be ≥ 1 (got %d)", *runs)
@@ -126,6 +134,46 @@ func main() {
 		defer f.Close()
 		tracer = obs.NewTracer(f, fmt.Sprintf("anor-sim-%d", os.Getpid()))
 		defer tracer.Flush()
+	}
+
+	// Telemetry: retained rollup series (sim series in virtual time,
+	// runtime health in wall time), optionally teed into a flight-recorder
+	// file and served as /timeseries for a live anor-top.
+	var store *telemetry.Store
+	var registry *obs.Registry
+	if *telemetryAddr != "" || *recordOut != "" {
+		store = telemetry.NewStore()
+		registry = obs.NewRegistry()
+		if *recordOut != "" {
+			f, err := os.Create(*recordOut)
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer f.Close()
+			rec := telemetry.NewRecorder(f)
+			store.SetRecorder(rec)
+			defer rec.Flush()
+		}
+		sampler := telemetry.StartSampler(telemetry.SamplerConfig{
+			Store: store, Registry: registry, Tracer: tracer,
+		})
+		defer sampler.Close()
+		if *telemetryAddr != "" {
+			admin, err := obs.StartAdmin(*telemetryAddr, registry, nil,
+				obs.Mount{Pattern: "/timeseries", Handler: store.Handler()})
+			if err != nil {
+				log.Fatal(err)
+			}
+			defer admin.Close()
+			log.Printf("anor-sim: telemetry on http://%s (/metrics, /timeseries, /debug/pprof/)", admin.Addr())
+		}
+	}
+	if *profileDir != "" {
+		prof, err := obs.StartProfiler(obs.ProfilerConfig{Dir: *profileDir})
+		if err != nil {
+			log.Fatal(err)
+		}
+		defer prof.Close()
 	}
 
 	bid := dr.Bid{AvgPower: units.Power(*avg), Reserve: units.Power(*reserve)}
@@ -214,6 +262,11 @@ func main() {
 
 	if *runs == 1 {
 		cfg := mkConfig(*seed, arrivals, *shards, "run0")
+		// Sim series carry virtual timestamps; only a single run records
+		// them (concurrent sweep runs would all stamp the same virtual
+		// seconds and collide in one store).
+		cfg.Telemetry = store
+		cfg.Metrics = registry
 		if *table != "" {
 			f, err := os.Create(*table)
 			if err != nil {
@@ -244,7 +297,7 @@ func main() {
 	runsDone := obs.NewCounter()
 	stopProgress := startProgress(*progress, *runs, stepCounter, runsDone)
 	results, err := sweep.Map(context.Background(), *runs,
-		sweep.Options{Workers: *parallel, OnRunDone: func(int) { runsDone.Inc() }},
+		sweep.Options{Workers: *parallel, OnRunDone: func(int) { runsDone.Inc() }, Telemetry: store},
 		func(_ context.Context, run int) (sim.Result, error) {
 			runSeed := sweep.DeriveSeed(*seed, run)
 			var arr []schedule.Arrival

@@ -1,0 +1,126 @@
+// Command anor-top is the live fleet dashboard: it polls the admin
+// endpoints (/timeseries rollup JSON plus /metrics) of any mix of
+// anord, anor-endpoint, and anor-sim processes and renders
+// power-vs-target, tracking error, queue depth, eviction/reconnect
+// counters, and decision-to-enforcement latency as terminal sparklines.
+//
+// Usage:
+//
+//	anor-top :9790 localhost:9791            # live, redrawn every -every
+//	anor-top -once :9790                     # one snapshot to stdout
+//	anor-top -replay run.rec                 # inspect a flight-recorder file
+//
+// Daemons serve the endpoints when started with -telemetry (anord,
+// anor-endpoint: on their -metrics address; anor-sim: on its -telemetry
+// address); -replay needs no live process at all and renders the same
+// dashboard from a file recorded with -record.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"log"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"repro/internal/fleetview"
+	"repro/internal/telemetry"
+)
+
+func main() {
+	once := flag.Bool("once", false, "render one snapshot to stdout and exit (no cursor control; safe for pipes)")
+	replay := flag.String("replay", "", "render a recorded flight-recorder file instead of polling live daemons")
+	every := flag.Duration("every", 2*time.Second, "poll/redraw interval in live mode")
+	step := flag.Int64("step", 0, "rollup resolution in seconds (0 = finest the daemon retains)")
+	last := flag.Int("last", 120, "buckets per series (0 = all retained)")
+	width := flag.Int("width", 100, "render width in columns")
+	flag.Parse()
+
+	if *replay != "" {
+		src := replaySource(*replay, *step, *last)
+		fleetview.Render(os.Stdout, []fleetview.Source{src}, *width)
+		if src.Err != nil {
+			os.Exit(1)
+		}
+		return
+	}
+
+	addrs := flag.Args()
+	if len(addrs) == 0 {
+		log.Fatal("anor-top: need at least one admin address (host:port) or -replay FILE")
+	}
+	clients := make([]*fleetview.Client, len(addrs))
+	for i, a := range addrs {
+		clients[i] = &fleetview.Client{Base: a}
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	if *once {
+		if !render(ctx, os.Stdout, clients, addrs, *step, *last, *width) {
+			os.Exit(1)
+		}
+		return
+	}
+	for {
+		fmt.Print("\x1b[H\x1b[2J") // home + clear: steady full-screen redraw
+		render(ctx, os.Stdout, clients, addrs, *step, *last, *width)
+		fmt.Printf("every %s — ctrl-c to quit\n", *every)
+		select {
+		case <-ctx.Done():
+			return
+		case <-time.After(*every):
+		}
+	}
+}
+
+// render polls every target and draws the dashboard, reporting whether
+// at least one target answered with a non-empty series set.
+func render(ctx context.Context, w *os.File, clients []*fleetview.Client, addrs []string, step int64, last, width int) bool {
+	sources := make([]fleetview.Source, len(clients))
+	ok := false
+	for i, c := range clients {
+		src := fleetview.Source{Name: addrs[i]}
+		snap, err := c.Timeseries(ctx, step, last)
+		if err != nil {
+			src.Err = err
+		} else {
+			src.Snap = snap
+			// /metrics enriches the panel but its absence is not fatal.
+			src.Prom, _ = c.Metrics(ctx)
+			if len(snap.Series) > 0 {
+				ok = true
+			}
+		}
+		sources[i] = src
+	}
+	fleetview.Render(w, sources, width)
+	return ok
+}
+
+// replaySource rebuilds a rollup store from a flight-recorder file and
+// snapshots it exactly as /timeseries would have served it, stamped at
+// the recording's final sample.
+func replaySource(path string, step int64, last int) fleetview.Source {
+	src := fleetview.Source{Name: path}
+	store, n, err := telemetry.ReplayFile(path)
+	if err != nil {
+		src.Err = err
+		return src
+	}
+	var end int64
+	for _, name := range store.Names() {
+		for _, p := range store.Series(name).Snapshot(0, 0) {
+			if p.T > end {
+				end = p.T
+			}
+		}
+	}
+	src.Snap = store.SnapshotAt(time.Unix(end, 0), "", step, last)
+	log.Printf("anor-top: replayed %d samples across %d series from %s", n, len(store.Names()), path)
+	return src
+}

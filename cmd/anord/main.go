@@ -8,7 +8,12 @@
 // text), /healthz, and the net/http/pprof suite, exposing rebudget-loop
 // duration, per-job allocated vs measured power, tracking error, and
 // connected-endpoint counts while the daemon runs. With -events it
-// streams structured budget-decision/cap-fan-out events as JSONL.
+// streams structured budget-decision/cap-fan-out events as JSONL. With
+// -telemetry it retains multi-resolution rollup series (1s/10s/60s) and
+// serves them as /timeseries JSON for anor-top; -record additionally
+// streams every sample into a binary flight-recorder file that anor-top
+// can replay offline, and -profile-dir rotates continuous CPU/heap
+// profiles.
 //
 // Usage:
 //
@@ -34,6 +39,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/schedule"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -55,6 +61,9 @@ func main() {
 	traceFlush := flag.Duration("trace-flush", 15*time.Second, "how often to flush the -trace CSV (crash safety)")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address (e.g. :9790); empty disables")
 	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
+	telemetryOn := flag.Bool("telemetry", false, "retain multi-resolution rollup series in memory and serve /timeseries on the -metrics address")
+	recordOut := flag.String("record", "", "append every telemetry sample to this binary flight-recorder file (implies -telemetry)")
+	profileDir := flag.String("profile-dir", "", "rotate continuous CPU+heap profiles into this directory; empty disables")
 	verbose := flag.Bool("v", false, "enable debug logging")
 	flag.Parse()
 
@@ -94,6 +103,31 @@ func main() {
 		defer f.Close()
 		tracer = obs.NewTracer(f, fmt.Sprintf("anord-%d", os.Getpid()))
 		defer tracer.Flush()
+	}
+	var store *telemetry.Store
+	if *telemetryOn || *recordOut != "" {
+		store = telemetry.NewStore()
+		if *recordOut != "" {
+			f, err := os.Create(*recordOut)
+			if err != nil {
+				fatalf("creating flight-recorder file: %v", err)
+			}
+			defer f.Close()
+			rec := telemetry.NewRecorder(f)
+			store.SetRecorder(rec)
+			defer rec.Flush()
+		}
+		sampler := telemetry.StartSampler(telemetry.SamplerConfig{
+			Store: store, Registry: registry, Tracer: tracer,
+		})
+		defer sampler.Close()
+	}
+	if *profileDir != "" {
+		prof, err := obs.StartProfiler(obs.ProfilerConfig{Dir: *profileDir, Log: logger})
+		if err != nil {
+			fatalf("%v", err)
+		}
+		defer prof.Close()
 	}
 
 	typeModels := map[string]perfmodel.Model{}
@@ -152,6 +186,7 @@ func main() {
 		WriteTimeout:     *writeTimeout,
 		Metrics:          registry,
 		Tracer:           tracer,
+		Telemetry:        store,
 		Reserve:          units.Power(*reserve),
 		Log:              logger,
 	})
@@ -161,12 +196,16 @@ func main() {
 
 	if *metricsAddr != "" {
 		registry.Gauge("anord_start_time_seconds", "Unix time anord started.").Set(float64(start.Unix()))
-		admin, err := obs.StartAdmin(*metricsAddr, registry, nil)
+		var mounts []obs.Mount
+		if store != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/timeseries", Handler: store.Handler()})
+		}
+		admin, err := obs.StartAdmin(*metricsAddr, registry, nil, mounts...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer admin.Close()
-		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /debug/pprof/)", admin.Addr())
+		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /timeseries, /debug/pprof/)", admin.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)

@@ -13,6 +13,7 @@ import (
 	"errors"
 	"math"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -21,6 +22,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/proto"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 )
@@ -79,6 +81,10 @@ type Config struct {
 	// Tracer, when non-nil, receives structured budget-decision and
 	// cap-fan-out events.
 	Tracer *obs.Tracer
+	// Telemetry, when non-nil, retains per-tick target/measured/tracking
+	// series in rollup rings — the data behind /timeseries and the flight
+	// recorder. Nil disables with no overhead.
+	Telemetry *telemetry.Store
 	// Reserve is the demand-response reserve used to normalize the
 	// tracking-error distribution; zero skips the relative histogram.
 	Reserve units.Power
@@ -107,6 +113,7 @@ type managerMetrics struct {
 	evictions    *obs.Counter
 	staleFalls   *obs.Counter
 	pings        *obs.Counter
+	measuredDist *obs.Histogram
 }
 
 func newManagerMetrics(r *obs.Registry) managerMetrics {
@@ -128,6 +135,25 @@ func newManagerMetrics(r *obs.Registry) managerMetrics {
 		evictions:    r.Counter("anord_endpoint_evictions_total", "Endpoints evicted for missing the heartbeat deadline or timing out a send."),
 		staleFalls:   r.Counter("anord_stale_model_fallbacks_total", "Rebudget job entries that fell back from a stale trained model to the precharacterized curve."),
 		pings:        r.Counter("anord_pings_sent_total", "Liveness ping probes sent to quiet endpoints."),
+		measuredDist: r.Histogram("anord_power_measured_watts_dist", "Distribution of measured cluster power across rebudget ticks.", obs.DefPowerBuckets),
+	}
+}
+
+// managerTelemetry holds the manager's retained-series handles; all nil
+// without a store.
+type managerTelemetry struct {
+	target    *telemetry.Series
+	measured  *telemetry.Series
+	trackErr  *telemetry.Series
+	endpoints *telemetry.Series
+}
+
+func newManagerTelemetry(st *telemetry.Store) managerTelemetry {
+	return managerTelemetry{
+		target:    st.Series("anord_power_target_watts"),
+		measured:  st.Series("anord_power_measured_watts"),
+		trackErr:  st.Series("anord_tracking_error_watts"),
+		endpoints: st.Series("anord_connected_endpoints"),
 	}
 }
 
@@ -157,6 +183,7 @@ type jobState struct {
 type Manager struct {
 	cfg Config
 	met managerMetrics
+	tel managerTelemetry
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
@@ -185,7 +212,12 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := cfg.DefaultModel.Validate(); err != nil {
 		return nil, errors.New("clustermgr: config requires a valid default model")
 	}
-	return &Manager{cfg: cfg, met: newManagerMetrics(cfg.Metrics), jobs: make(map[string]*jobState)}, nil
+	return &Manager{
+		cfg:  cfg,
+		met:  newManagerMetrics(cfg.Metrics),
+		tel:  newManagerTelemetry(cfg.Telemetry),
+		jobs: make(map[string]*jobState),
+	}, nil
 }
 
 // Tracking returns the recorder holding the manager's (time, target,
@@ -507,10 +539,17 @@ func (m *Manager) Tick() {
 	m.met.rebudgets.Inc()
 	m.met.target.Set(target.Watts())
 	m.met.measured.Set(measured.Watts())
+	m.met.measuredDist.Observe(measured.Watts())
 	absErr := math.Abs((measured - target).Watts())
 	m.met.trackErrW.Set(absErr)
 	if m.cfg.Reserve > 0 {
 		m.met.trackErrRel.Observe(absErr / m.cfg.Reserve.Watts())
+	}
+	if m.cfg.Telemetry != nil {
+		m.tel.target.Record(now, target.Watts())
+		m.tel.measured.Record(now, measured.Watts())
+		m.tel.trackErr.Record(now, absErr)
+		m.tel.endpoints.Record(now, float64(len(jobs)))
 	}
 	if m.met.rebudgetDur != nil {
 		m.met.rebudgetDur.Observe(time.Since(wallStart).Seconds())
@@ -519,16 +558,21 @@ func (m *Manager) Tick() {
 
 // Run executes the control loop until ctx is cancelled, then waits for all
 // connection handlers to finish (their connections must be closed by the
-// peers or the listener owner).
+// peers or the listener owner). The loop runs under a pprof label so
+// continuous CPU profiles attribute rebudget time to the control loop
+// rather than an anonymous goroutine.
 func (m *Manager) Run(ctx context.Context) error {
-	for {
-		select {
-		case <-ctx.Done():
-			return nil
-		case <-m.cfg.Clock.After(m.cfg.Period):
-			m.Tick()
+	pprof.Do(ctx, pprof.Labels("subsystem", "clustermgr", "loop", "rebudget"), func(ctx context.Context) {
+		for {
+			select {
+			case <-ctx.Done():
+				return
+			case <-m.cfg.Clock.After(m.cfg.Period):
+				m.Tick()
+			}
 		}
-	}
+	})
+	return nil
 }
 
 // Wait blocks until all connection handlers have exited.

@@ -14,6 +14,7 @@ import (
 	"context"
 	"errors"
 	"net"
+	"runtime/pprof"
 	"sync"
 	"time"
 
@@ -23,6 +24,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/proto"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -84,6 +86,11 @@ type Config struct {
 	// Tracer, when non-nil, receives structured epoch-batch, model-refit,
 	// and budget-received events.
 	Tracer *obs.Tracer
+	// Telemetry, when non-nil, retains per-sample power/cap/epoch-rate
+	// series under job-labeled names (endpoint_power_watts{job="..."}),
+	// so one store — and one flight recording — can carry a whole fleet
+	// of endpoints. Nil disables with no overhead.
+	Telemetry *telemetry.Store
 	// Log receives leveled diagnostics. Nil disables.
 	Log *obs.Logger
 }
@@ -106,6 +113,7 @@ type epMetrics struct {
 	disconns   *obs.Counter
 	failsafes  *obs.Counter
 	connected  *obs.Gauge
+	powerDist  *obs.Histogram
 }
 
 func newEpMetrics(r *obs.Registry, job string) epMetrics {
@@ -128,6 +136,26 @@ func newEpMetrics(r *obs.Registry, job string) epMetrics {
 		disconns:   r.CounterVec("endpoint_disconnects_total", "Cluster-manager connections lost to transport errors.", "job").With(job),
 		failsafes:  r.CounterVec("endpoint_failsafe_total", "Failsafe cap enforcements after exhausting the disconnected hold window.", "job").With(job),
 		connected:  r.GaugeVec("endpoint_connected", "1 while a cluster-manager connection is up, 0 while reconnecting.", "job").With(job),
+		powerDist:  r.HistogramVec("endpoint_power_watts_dist", "Distribution of job power across GEOPM samples.", obs.DefPowerBuckets, "job").With(job),
+	}
+}
+
+// epTelemetry holds the endpoint's retained-series handles, job-labeled
+// at construction; all nil without a store.
+type epTelemetry struct {
+	power *telemetry.Series
+	cap   *telemetry.Series
+	rate  *telemetry.Series
+}
+
+func newEpTelemetry(st *telemetry.Store, job string) epTelemetry {
+	if st == nil {
+		return epTelemetry{}
+	}
+	return epTelemetry{
+		power: st.Series(telemetry.Label("endpoint_power_watts", "job", job)),
+		cap:   st.Series(telemetry.Label("endpoint_cap_watts", "job", job)),
+		rate:  st.Series(telemetry.Label("endpoint_epoch_rate_hz", "job", job)),
 	}
 }
 
@@ -135,6 +163,7 @@ func newEpMetrics(r *obs.Registry, job string) epMetrics {
 type Endpoint struct {
 	cfg           Config
 	met           epMetrics
+	tel           epTelemetry
 	lastSampleSeq uint64
 	lastEpochs    int64
 	lastEpochTime time.Time
@@ -185,7 +214,11 @@ func New(cfg Config) (*Endpoint, error) {
 		cfg.FailsafeCap = workload.NodeMinCap
 	}
 	cfg.Log = cfg.Log.WithJob(cfg.JobID)
-	return &Endpoint{cfg: cfg, met: newEpMetrics(cfg.Metrics, cfg.JobID)}, nil
+	return &Endpoint{
+		cfg: cfg,
+		met: newEpMetrics(cfg.Metrics, cfg.JobID),
+		tel: newEpTelemetry(cfg.Telemetry, cfg.JobID),
+	}, nil
 }
 
 // Run services the cluster-manager link until ctx is cancelled. With a
@@ -196,6 +229,16 @@ func New(cfg Config) (*Endpoint, error) {
 // last received cap for HoldDuration, then failing safe to FailsafeCap
 // until the link returns.
 func (e *Endpoint) Run(ctx context.Context) error {
+	// The report loop runs under a pprof label so continuous profiles
+	// attribute per-job sampling/reporting time to this endpoint.
+	var err error
+	pprof.Do(ctx, pprof.Labels("subsystem", "endpointd", "job", e.cfg.JobID), func(ctx context.Context) {
+		err = e.run(ctx)
+	})
+	return err
+}
+
+func (e *Endpoint) run(ctx context.Context) error {
 	if e.cfg.Dial == nil {
 		e.met.connected.Set(1)
 		defer e.met.connected.Set(0)
@@ -413,12 +456,16 @@ func (e *Endpoint) tick(c *proto.Conn) error {
 func (e *Endpoint) observeSample(sample geopm.Sample) {
 	e.met.power.Set(sample.Power.Watts())
 	e.met.cap.Set(sample.PowerCap.Watts())
+	e.met.powerDist.Observe(sample.Power.Watts())
+	e.tel.power.Record(sample.Time, sample.Power.Watts())
+	e.tel.cap.Record(sample.Time, sample.PowerCap.Watts())
 
 	if delta := sample.EpochCount - e.lastEpochs; delta > 0 {
 		e.met.epochs.Add(uint64(delta))
 		if !e.lastEpochTime.IsZero() {
 			if span := sample.Time.Sub(e.lastEpochTime).Seconds(); span > 0 {
 				e.met.rate.Set(float64(delta) / span)
+				e.tel.rate.Record(sample.Time, float64(delta)/span)
 			}
 		}
 		if e.cfg.Tracer.Enabled() {

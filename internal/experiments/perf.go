@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"fmt"
+	"io"
 	"runtime"
 	"time"
 
@@ -9,6 +10,7 @@ import (
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/units"
 	"repro/internal/workload"
 )
@@ -36,6 +38,10 @@ type SimPerfConfig struct {
 	// FullStepping disables the event-driven stepper, measuring the
 	// recompute-everything-per-second baseline.
 	FullStepping bool
+	// Telemetry attaches a rollup store with a flight recorder (writing
+	// to a discarding sink) to every run, measuring the retained-
+	// telemetry overhead against an otherwise identical configuration.
+	Telemetry bool
 }
 
 // SimPerfResult is one simulator throughput measurement, the record
@@ -63,6 +69,9 @@ type SimPerfResult struct {
 	// EventDriven records whether the event-driven stepper was on.
 	// Results are bit-identical either way; only throughput moves.
 	EventDriven bool `json:"event_driven,omitempty"`
+	// Telemetry records whether a rollup store + flight recorder were
+	// attached for the measurement.
+	Telemetry bool `json:"telemetry,omitempty"`
 }
 
 // SimPerf measures tabular-simulator throughput: a 75%-utilization
@@ -118,6 +127,14 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 		Seed:         cfg.Seed,
 		VariationStd: 0.05,
 	}
+	if cfg.Telemetry {
+		// One store shared across warmup and every timed run, as a daemon
+		// or sweep would hold it: the warmup allocates the series and
+		// rings, the timed runs fold into them.
+		st := telemetry.NewStore()
+		st.SetRecorder(telemetry.NewRecorder(io.Discard))
+		simCfg.Telemetry = st
+	}
 
 	// Warmup run: faults in the binary and steadies the heap.
 	if _, err := sim.Run(simCfg); err != nil {
@@ -165,6 +182,7 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 				MaxProcs:      runtime.GOMAXPROCS(0),
 				Shards:        cfg.Shards,
 				EventDriven:   !cfg.FullStepping,
+				Telemetry:     cfg.Telemetry,
 			}
 		}
 	}

@@ -1,0 +1,85 @@
+package fleetview
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Client fetches one daemon's admin endpoints.
+type Client struct {
+	// Base is the admin address: "host:port" or a full http:// URL.
+	Base string
+	// HTTP overrides the transport; default is a 5 s-timeout client.
+	HTTP *http.Client
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 5 * time.Second}
+}
+
+func (c *Client) base() string {
+	b := c.Base
+	if !strings.Contains(b, "://") {
+		b = "http://" + b
+	}
+	return strings.TrimSuffix(b, "/")
+}
+
+func (c *Client) get(ctx context.Context, path string) (io.ReadCloser, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.base()+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.http().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		body, _ := io.ReadAll(io.LimitReader(resp.Body, 512))
+		resp.Body.Close()
+		return nil, fmt.Errorf("fleetview: GET %s%s: %s: %s", c.base(), path, resp.Status, strings.TrimSpace(string(body)))
+	}
+	return resp.Body, nil
+}
+
+// Timeseries fetches /timeseries at the given resolution step (0 =
+// finest) keeping at most last buckets per series (0 = all).
+func (c *Client) Timeseries(ctx context.Context, step int64, last int) (telemetry.SnapshotJSON, error) {
+	q := url.Values{}
+	if step > 0 {
+		q.Set("step", strconv.FormatInt(step, 10))
+	}
+	q.Set("last", strconv.Itoa(last))
+	body, err := c.get(ctx, "/timeseries?"+q.Encode())
+	if err != nil {
+		return telemetry.SnapshotJSON{}, err
+	}
+	defer body.Close()
+	var snap telemetry.SnapshotJSON
+	if err := json.NewDecoder(body).Decode(&snap); err != nil {
+		return telemetry.SnapshotJSON{}, fmt.Errorf("fleetview: decoding /timeseries: %w", err)
+	}
+	return snap, nil
+}
+
+// Metrics fetches and parses /metrics.
+func (c *Client) Metrics(ctx context.Context) (*PromMetrics, error) {
+	body, err := c.get(ctx, "/metrics")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	return ParseProm(body)
+}

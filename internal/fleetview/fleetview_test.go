@@ -1,0 +1,230 @@
+package fleetview
+
+import (
+	"math"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+func TestParsePromSamplesAndLabels(t *testing.T) {
+	page := `# HELP anord_caps_sent_total SetBudget messages pushed.
+# TYPE anord_caps_sent_total counter
+anord_caps_sent_total 42
+anord_job_measured_watts{job="j1"} 123.5
+anord_job_measured_watts{job="weird\"\\name\n"} 7
+go_heap_alloc_bytes 1.5e+06
+endpoint_cap_apply_seconds_bucket{job="j1",le="+Inf"} 3
+`
+	m, err := ParseProm(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("anord_caps_sent_total"); !ok || v != 42 {
+		t.Errorf("caps_sent = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("anord_job_measured_watts", "job", "j1"); !ok || v != 123.5 {
+		t.Errorf("j1 watts = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("anord_job_measured_watts", "job", "weird\"\\name\n"); !ok || v != 7 {
+		t.Errorf("escaped label lookup = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("go_heap_alloc_bytes"); !ok || v != 1.5e6 {
+		t.Errorf("heap = %v, %v", v, ok)
+	}
+	if v, ok := m.Value("endpoint_cap_apply_seconds_bucket", "job", "j1", "le", "+Inf"); !ok || !math.IsInf(v, 0) && v != 3 {
+		t.Errorf("inf bucket = %v, %v", v, ok)
+	}
+	if _, ok := m.Value("anord_job_measured_watts", "job", "nope"); ok {
+		t.Error("lookup with wrong label value matched")
+	}
+	if sum, n := m.Total("anord_job_measured_watts"); n != 2 || sum != 130.5 {
+		t.Errorf("Total = %v over %d children, want 130.5 over 2", sum, n)
+	}
+}
+
+func TestParsePromRejectsGarbage(t *testing.T) {
+	for _, page := range []string{
+		"name_without_value\n",
+		"bad{le=\"unterminated} 1\n",
+		"metric 12 34\n", // trailing timestamp: obs never writes one
+	} {
+		if _, err := ParseProm(strings.NewReader(page)); err == nil {
+			t.Errorf("ParseProm(%q) accepted garbage", page)
+		}
+	}
+}
+
+// TestPromQuantileInterpolates pins the cumulative-bucket interpolation
+// on a hand-checkable histogram: 10 observations ≤0.1, 10 more ≤1.
+func TestPromQuantileInterpolates(t *testing.T) {
+	page := `h_bucket{le="0.1"} 10
+h_bucket{le="1"} 20
+h_bucket{le="+Inf"} 20
+h_sum 10
+h_count 20
+`
+	m, err := ParseProm(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	p50, ok := m.Quantile("h", 0.50)
+	if !ok || p50 != 0.1 {
+		t.Errorf("p50 = %v, %v, want 0.1", p50, ok)
+	}
+	// rank 15 sits halfway through the (0.1, 1] bucket → 0.55.
+	p75, ok := m.Quantile("h", 0.75)
+	if !ok || math.Abs(p75-0.55) > 1e-12 {
+		t.Errorf("p75 = %v, %v, want 0.55", p75, ok)
+	}
+	if _, ok := m.Quantile("missing", 0.5); ok {
+		t.Error("quantile of a missing family reported ok")
+	}
+}
+
+// TestPromQuantileInfBucketClamps: mass in the open +Inf bucket cannot
+// be interpolated; the largest finite bound is the honest answer.
+func TestPromQuantileInfBucketClamps(t *testing.T) {
+	page := `h_bucket{le="0.5"} 1
+h_bucket{le="+Inf"} 10
+`
+	m, err := ParseProm(strings.NewReader(page))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p99, ok := m.Quantile("h", 0.99); !ok || p99 != 0.5 {
+		t.Errorf("p99 = %v, %v, want clamp to 0.5", p99, ok)
+	}
+}
+
+func TestSpark(t *testing.T) {
+	if got := Spark([]float64{0, 1, 2, 3, 4, 5, 6, 7}, 8); got != "▁▂▃▄▅▆▇█" {
+		t.Errorf("ramp = %q", got)
+	}
+	if got := Spark([]float64{5, 5, 5}, 8); got != "▅▅▅" {
+		t.Errorf("flat = %q", got)
+	}
+	if got := Spark([]float64{0, math.NaN(), 1}, 8); got != "▁ █" {
+		t.Errorf("nan = %q", got)
+	}
+	if got := Spark(nil, 8); got != "" {
+		t.Errorf("empty = %q", got)
+	}
+	// Downsampling always lands on exactly width runes.
+	long := make([]float64, 1000)
+	for i := range long {
+		long[i] = float64(i % 97)
+	}
+	if got := []rune(Spark(long, 40)); len(got) != 40 {
+		t.Errorf("downsampled width = %d, want 40", len(got))
+	}
+}
+
+// TestRenderTrackingPanel drives the renderer end to end from a real
+// rollup store plus a synthetic /metrics page and checks the derived
+// tracking-error row, counters, and latency lines all appear.
+func TestRenderTrackingPanel(t *testing.T) {
+	st := telemetry.NewStore()
+	base := time.Unix(1_700_000_000, 0)
+	for i := 0; i < 60; i++ {
+		at := base.Add(time.Duration(i) * time.Second)
+		st.Series("sim_power_target_watts").Record(at, 1000)
+		st.Series("sim_power_measured_watts").Record(at, 1000+float64(i%7))
+		st.Series("sim_queued_jobs").Record(at, float64(i/10))
+	}
+	prom := `anord_caps_sent_total 9
+endpoint_reconnects_total{job="j1"} 2
+endpoint_reconnects_total{job="j2"} 1
+obs_events_dropped_total 0
+anord_rebudget_duration_seconds_bucket{le="0.001"} 5
+anord_rebudget_duration_seconds_bucket{le="+Inf"} 5
+`
+	pm, err := ParseProm(strings.NewReader(prom))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var sb strings.Builder
+	Render(&sb, []Source{{
+		Name: "sim:9799",
+		Snap: st.SnapshotAt(base.Add(time.Minute), "", 0, 0),
+		Prom: pm,
+	}}, 100)
+	out := sb.String()
+	for _, want := range []string{
+		"sim:9799",
+		"sim_power_target_watts",
+		"sim_power_measured_watts",
+		"sim_tracking|err|",
+		"sim_queued_jobs",
+		"caps_sent=9",
+		"reconnects=3",
+		"events_dropped=0",
+		"rebudget p50=",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("rendered panel missing %q:\n%s", want, out)
+		}
+	}
+	if !strings.ContainsAny(out, "▁▂▃▄▅▆▇█") {
+		t.Errorf("no sparkline runes in panel:\n%s", out)
+	}
+}
+
+func TestRenderUnreachableAndEmptySources(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, []Source{
+		{Name: "down:1", Err: errTest},
+		{Name: "bare:2"},
+	}, 80)
+	out := sb.String()
+	if !strings.Contains(out, "unreachable: boom") {
+		t.Errorf("down source not reported:\n%s", out)
+	}
+	if !strings.Contains(out, "no series retained") {
+		t.Errorf("empty source not explained:\n%s", out)
+	}
+}
+
+var errTest = errorString("boom")
+
+type errorString string
+
+func (e errorString) Error() string { return string(e) }
+
+// TestClientFetchesAdminEndpoints spins a real obs admin handler with
+// the /timeseries mount and round-trips both endpoints through Client.
+func TestClientFetchesAdminEndpoints(t *testing.T) {
+	st := telemetry.NewStore()
+	now := time.Unix(1_700_000_100, 0)
+	st.Series("anord_power_target_watts").Record(now, 500)
+	reg := obs.NewRegistry()
+	reg.Counter("anord_caps_sent_total", "").Add(3)
+	srv := httptest.NewServer(obs.Handler(reg, nil, obs.Mount{Pattern: "/timeseries", Handler: st.Handler()}))
+	defer srv.Close()
+
+	c := &Client{Base: strings.TrimPrefix(srv.URL, "http://")}
+	snap, err := c.Timeseries(t.Context(), 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(snap.Series) != 1 || snap.Series[0].Name != "anord_power_target_watts" {
+		t.Fatalf("timeseries = %+v", snap.Series)
+	}
+	if snap.Series[0].Points[0].Last != 500 {
+		t.Fatalf("point = %+v", snap.Series[0].Points[0])
+	}
+	m, err := c.Metrics(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v, ok := m.Value("anord_caps_sent_total"); !ok || v != 3 {
+		t.Fatalf("caps_sent = %v, %v", v, ok)
+	}
+	if _, err := (&Client{Base: srv.URL + "/missing"}).Timeseries(t.Context(), 0, 0); err == nil {
+		t.Fatal("404 path reported no error")
+	}
+}

@@ -1,0 +1,65 @@
+package fleetview
+
+import (
+	"math"
+	"strings"
+)
+
+var sparkRunes = []rune("▁▂▃▄▅▆▇█")
+
+// Spark renders values as a unicode sparkline at most width runes wide,
+// min-max normalized. Longer inputs are downsampled by averaging equal
+// index ranges, so the line always spans the full series. NaNs render
+// as spaces; an all-equal series renders at half height so a flat
+// target line is still visible.
+func Spark(vals []float64, width int) string {
+	if len(vals) == 0 || width <= 0 {
+		return ""
+	}
+	if len(vals) > width {
+		down := make([]float64, width)
+		for i := range down {
+			lo, hi := i*len(vals)/width, (i+1)*len(vals)/width
+			var sum float64
+			n := 0
+			for _, v := range vals[lo:hi] {
+				if !math.IsNaN(v) {
+					sum += v
+					n++
+				}
+			}
+			if n == 0 {
+				down[i] = math.NaN()
+			} else {
+				down[i] = sum / float64(n)
+			}
+		}
+		vals = down
+	}
+	lo, hi := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if math.IsNaN(v) {
+			continue
+		}
+		lo, hi = math.Min(lo, v), math.Max(hi, v)
+	}
+	var sb strings.Builder
+	for _, v := range vals {
+		switch {
+		case math.IsNaN(v):
+			sb.WriteByte(' ')
+		case hi == lo:
+			sb.WriteRune(sparkRunes[len(sparkRunes)/2])
+		default:
+			idx := int((v - lo) / (hi - lo) * float64(len(sparkRunes)-1))
+			if idx < 0 {
+				idx = 0
+			}
+			if idx >= len(sparkRunes) {
+				idx = len(sparkRunes) - 1
+			}
+			sb.WriteRune(sparkRunes[idx])
+		}
+	}
+	return sb.String()
+}

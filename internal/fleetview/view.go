@@ -1,0 +1,185 @@
+package fleetview
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// Source is one dashboard panel: a daemon's (or recorded run's) rollup
+// snapshot plus, when live, its parsed /metrics page.
+type Source struct {
+	// Name labels the panel: the admin address or the replayed file.
+	Name string
+	// Snap is the /timeseries (or replayed flight-recorder) snapshot.
+	Snap telemetry.SnapshotJSON
+	// Prom is the parsed /metrics page; nil for replayed files.
+	Prom *PromMetrics
+	// Err, when non-nil, replaces the panel body (unreachable daemon).
+	Err error
+}
+
+// Render writes the dashboard for every source. Pure text: the caller
+// owns cursor control, so `-once` output pipes cleanly.
+func Render(w io.Writer, sources []Source, width int) {
+	if width < 40 {
+		width = 40
+	}
+	for _, src := range sources {
+		renderSource(w, src, width)
+	}
+}
+
+func renderSource(w io.Writer, src Source, width int) {
+	head := fmt.Sprintf("── %s ", src.Name)
+	if src.Err == nil && src.Snap.NowUnix != 0 {
+		head += fmt.Sprintf("(at %s) ", time.Unix(src.Snap.NowUnix, 0).UTC().Format("15:04:05"))
+	}
+	if pad := width - len([]rune(head)); pad > 0 {
+		head += strings.Repeat("─", pad)
+	}
+	fmt.Fprintln(w, head)
+	if src.Err != nil {
+		fmt.Fprintf(w, "  unreachable: %v\n\n", src.Err)
+		return
+	}
+	if len(src.Snap.Series) == 0 {
+		fmt.Fprintln(w, "  no series retained (run the daemon with -telemetry)")
+	}
+
+	nameW := 0
+	for _, s := range src.Snap.Series {
+		if n := len([]rune(s.Name)); n > nameW {
+			nameW = n
+		}
+	}
+	sparkW := width - nameW - 26
+	if sparkW < 10 {
+		sparkW = 10
+	}
+
+	rendered := map[string]bool{}
+	// Power tracking first: target vs measured vs derived |error|, the
+	// dashboard's reason to exist.
+	for _, prefix := range []string{"sim_", "anord_"} {
+		target, okT := findSeries(src.Snap, prefix+"power_target_watts")
+		measured, okM := findSeries(src.Snap, prefix+"power_measured_watts")
+		if !okT || !okM {
+			continue
+		}
+		rendered[target.Name], rendered[measured.Name] = true, true
+		renderSeries(w, target, nameW, sparkW)
+		renderSeries(w, measured, nameW, sparkW)
+		errs, last := trackingError(target, measured)
+		if len(errs) > 0 {
+			fmt.Fprintf(w, "  %-*s %-*s last %s\n", nameW, prefix+"tracking|err|",
+				sparkW, Spark(errs, sparkW), fmtVal(last))
+		}
+	}
+	for _, s := range src.Snap.Series {
+		if !rendered[s.Name] {
+			renderSeries(w, s, nameW, sparkW)
+		}
+	}
+	renderProm(w, src.Prom)
+	fmt.Fprintln(w)
+}
+
+func renderSeries(w io.Writer, s telemetry.SeriesJSON, nameW, sparkW int) {
+	vals := make([]float64, len(s.Points))
+	last := math.NaN()
+	for i, p := range s.Points {
+		vals[i] = p.Mean
+		last = p.Last
+	}
+	late := ""
+	if s.Late > 0 {
+		late = fmt.Sprintf(" late=%d", s.Late)
+	}
+	fmt.Fprintf(w, "  %-*s %-*s last %s%s\n", nameW, s.Name, sparkW, Spark(vals, sparkW), fmtVal(last), late)
+}
+
+func findSeries(snap telemetry.SnapshotJSON, name string) (telemetry.SeriesJSON, bool) {
+	for _, s := range snap.Series {
+		if s.Name == name && len(s.Points) > 0 {
+			return s, true
+		}
+	}
+	return telemetry.SeriesJSON{}, false
+}
+
+// trackingError aligns target and measured buckets by timestamp and
+// returns the |measured-target| series plus its most recent value.
+func trackingError(target, measured telemetry.SeriesJSON) ([]float64, float64) {
+	byT := make(map[int64]float64, len(target.Points))
+	for _, p := range target.Points {
+		byT[p.T] = p.Mean
+	}
+	var errs []float64
+	last := math.NaN()
+	for _, p := range measured.Points {
+		if t, ok := byT[p.T]; ok {
+			last = math.Abs(p.Mean - t)
+			errs = append(errs, last)
+		}
+	}
+	return errs, last
+}
+
+// renderProm adds the scrape-only facts: lifetime counters and latency
+// quantiles interpolated from the exposed histograms.
+func renderProm(w io.Writer, m *PromMetrics) {
+	if m == nil {
+		return
+	}
+	var counters []string
+	for _, c := range []struct{ label, name string }{
+		{"caps_sent", "anord_caps_sent_total"},
+		{"evictions", "anord_endpoint_evictions_total"},
+		{"caps_received", "endpoint_caps_received_total"},
+		{"reconnects", "endpoint_reconnects_total"},
+		{"disconnects", "endpoint_disconnects_total"},
+		{"failsafes", "endpoint_failsafe_total"},
+		{"events_dropped", "obs_events_dropped_total"},
+		{"sim_steps", "sim_steps_total"},
+	} {
+		if v, n := m.Total(c.name); n > 0 {
+			counters = append(counters, fmt.Sprintf("%s=%s", c.label, fmtVal(v)))
+		}
+	}
+	if len(counters) > 0 {
+		fmt.Fprintf(w, "  counters: %s\n", strings.Join(counters, "  "))
+	}
+	var lats []string
+	for _, h := range []struct{ label, family string }{
+		{"rebudget", "anord_rebudget_duration_seconds"},
+		{"decision→enforce", "endpoint_decision_to_apply_seconds"},
+		{"cap_apply", "endpoint_cap_apply_seconds"},
+		{"step", "sim_step_seconds"},
+	} {
+		p50, ok := m.Quantile(h.family, 0.50)
+		if !ok {
+			continue
+		}
+		p99, _ := m.Quantile(h.family, 0.99)
+		lats = append(lats, fmt.Sprintf("%s p50=%s p99=%s", h.label, fmtSeconds(p50), fmtSeconds(p99)))
+	}
+	if len(lats) > 0 {
+		fmt.Fprintf(w, "  latency:  %s\n", strings.Join(lats, "  "))
+	}
+}
+
+func fmtVal(v float64) string {
+	if math.IsNaN(v) {
+		return "-"
+	}
+	return fmt.Sprintf("%.4g", v)
+}
+
+func fmtSeconds(v float64) string {
+	return time.Duration(v * float64(time.Second)).Round(10 * time.Microsecond).String()
+}

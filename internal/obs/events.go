@@ -66,6 +66,7 @@ type Tracer struct {
 
 	count   atomic.Uint64
 	errored atomic.Uint64
+	dropped atomic.Uint64
 }
 
 // NewTracer returns a tracer writing JSONL events to w, stamping each
@@ -103,6 +104,9 @@ func (t *Tracer) Emit(e Event) {
 	}
 	t.mu.Lock()
 	if t.ring != nil {
+		if t.ringLen == len(t.ring) {
+			t.dropped.Add(1)
+		}
 		t.ring[t.ringNext] = e
 		t.ringNext = (t.ringNext + 1) % len(t.ring)
 		if t.ringLen < len(t.ring) {
@@ -124,6 +128,17 @@ func (t *Tracer) Count() uint64 {
 		return 0
 	}
 	return t.count.Load()
+}
+
+// Dropped returns how many events the ring sink overwrote before they
+// were ever read (0 on nil or writer-only tracers). A non-zero value
+// means the retained trace is truncated; the telemetry sampler exports
+// it as obs_events_dropped_total.
+func (t *Tracer) Dropped() uint64 {
+	if t == nil {
+		return 0
+	}
+	return t.dropped.Load()
 }
 
 // Errors returns how many events failed to encode (0 on nil).

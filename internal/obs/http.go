@@ -8,11 +8,22 @@ import (
 	"time"
 )
 
+// Mount attaches one extra handler to the admin mux — the seam other
+// packages use to publish endpoints (internal/telemetry mounts
+// /timeseries) without obs depending on them. Patterns follow
+// http.ServeMux rules; a Mount shadowing a built-in path panics like any
+// duplicate ServeMux registration would.
+type Mount struct {
+	Pattern string
+	Handler http.Handler
+}
+
 // Handler builds the admin HTTP handler: /metrics (Prometheus text,
 // including scrape-fresh Go runtime health gauges), /healthz (200 "ok"
-// or 503 with the health error), and the full net/http/pprof suite
-// under /debug/pprof/. healthz may be nil for an always-healthy daemon.
-func Handler(reg *Registry, healthz func() error) http.Handler {
+// or 503 with the health error), the full net/http/pprof suite under
+// /debug/pprof/, and any extra mounts. healthz may be nil for an
+// always-healthy daemon.
+func Handler(reg *Registry, healthz func() error, mounts ...Mount) http.Handler {
 	mux := http.NewServeMux()
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, _ *http.Request) {
 		CollectRuntime(reg)
@@ -34,6 +45,9 @@ func Handler(reg *Registry, healthz func() error) http.Handler {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	for _, m := range mounts {
+		mux.Handle(m.Pattern, m.Handler)
+	}
 	return mux
 }
 
@@ -46,12 +60,12 @@ type Admin struct {
 // StartAdmin listens on addr and serves the admin handler in the
 // background. The returned Admin reports the bound address (useful with
 // ":0") and shuts the server down on Close.
-func StartAdmin(addr string, reg *Registry, healthz func() error) (*Admin, error) {
+func StartAdmin(addr string, reg *Registry, healthz func() error, mounts ...Mount) (*Admin, error) {
 	ln, err := net.Listen("tcp", addr)
 	if err != nil {
 		return nil, fmt.Errorf("obs: admin listen on %s: %w", addr, err)
 	}
-	srv := &http.Server{Handler: Handler(reg, healthz), ReadHeaderTimeout: 5 * time.Second}
+	srv := &http.Server{Handler: Handler(reg, healthz, mounts...), ReadHeaderTimeout: 5 * time.Second}
 	go func() { _ = srv.Serve(ln) }()
 	return &Admin{srv: srv, ln: ln}, nil
 }

@@ -113,6 +113,14 @@ var DefLatencyBuckets = []float64{
 // (the paper's constraint is 0.30).
 var DefErrorBuckets = []float64{0.01, 0.025, 0.05, 0.1, 0.15, 0.2, 0.3, 0.5, 1, 2}
 
+// DefPowerBuckets suits power distributions in watts, from a single
+// capped node (~tens of W) up to fleet aggregates (~MW). Latency/error
+// buckets saturate instantly when fed watt-scale values — use these for
+// any histogram whose unit is watts.
+var DefPowerBuckets = []float64{
+	10, 25, 50, 100, 250, 500, 1e3, 2.5e3, 5e3, 1e4, 2.5e4, 5e4, 1e5, 2.5e5, 5e5, 1e6,
+}
+
 // NewHistogram returns a standalone histogram over the given bucket
 // upper bounds (sorted ascending; they are copied).
 func NewHistogram(bounds []float64) *Histogram {

@@ -1,0 +1,121 @@
+package obs
+
+import (
+	"net/http"
+	"net/http/httptest"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+	"time"
+)
+
+// TestTracerDroppedCountsRingOverwrites: a full ring overwriting unread
+// events must count every victim, and a ring that never wraps counts
+// none.
+func TestTracerDroppedCountsRingOverwrites(t *testing.T) {
+	tr := NewRing(4, "drop")
+	for i := 0; i < 4; i++ {
+		tr.Emit(Event{Type: EvSimStep})
+	}
+	if got := tr.Dropped(); got != 0 {
+		t.Fatalf("ring not yet wrapped, Dropped = %d", got)
+	}
+	for i := 0; i < 10; i++ {
+		tr.Emit(Event{Type: EvSimStep})
+	}
+	if got := tr.Dropped(); got != 10 {
+		t.Fatalf("Dropped = %d after 10 overwrites", got)
+	}
+	if got := len(tr.Events()); got != 4 {
+		t.Fatalf("ring retains %d events, want 4", got)
+	}
+	var nilTr *Tracer
+	if nilTr.Dropped() != 0 {
+		t.Fatal("nil tracer reported drops")
+	}
+}
+
+// TestHandlerExtraMounts: the admin mux must serve extra mounts next to
+// its own routes without disturbing them.
+func TestHandlerExtraMounts(t *testing.T) {
+	reg := NewRegistry()
+	reg.Counter("x_total", "").Add(1)
+	h := Handler(reg, nil, Mount{Pattern: "/timeseries", Handler: http.HandlerFunc(
+		func(w http.ResponseWriter, _ *http.Request) { w.Write([]byte("mounted")) })})
+	srv := httptest.NewServer(h)
+	defer srv.Close()
+
+	for path, want := range map[string]string{
+		"/timeseries": "mounted",
+		"/metrics":    "x_total 1",
+		"/healthz":    "ok",
+	} {
+		resp, err := http.Get(srv.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		body := make([]byte, 4096)
+		n, _ := resp.Body.Read(body)
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusOK || !strings.Contains(string(body[:n]), want) {
+			t.Errorf("GET %s = %d %q, want 200 containing %q", path, resp.StatusCode, body[:n], want)
+		}
+	}
+}
+
+// TestProfilerRotatesAndPrunes drives a short-period profiler long
+// enough to rotate several windows and checks files appear, prune keeps
+// the bound, and Close flushes the in-flight window.
+func TestProfilerRotatesAndPrunes(t *testing.T) {
+	dir := t.TempDir()
+	p, err := StartProfiler(ProfilerConfig{Dir: dir, Period: 50 * time.Millisecond, Keep: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(5 * time.Second)
+	for count(t, dir, "heap-") < 3 && time.Now().Before(deadline) {
+		time.Sleep(20 * time.Millisecond)
+	}
+	if err := p.Close(); err != nil {
+		t.Fatalf("profiler error: %v", err)
+	}
+	if got := count(t, dir, "cpu-"); got == 0 || got > 2 {
+		t.Errorf("%d cpu profiles on disk, want 1..2 (Keep=2)", got)
+	}
+	if got := count(t, dir, "heap-"); got == 0 || got > 2 {
+		t.Errorf("%d heap profiles on disk, want 1..2 (Keep=2)", got)
+	}
+	// The most recent heap snapshot must be a readable pprof file (gzip
+	// magic 0x1f 0x8b).
+	ents, _ := os.ReadDir(dir)
+	for _, e := range ents {
+		data, err := os.ReadFile(filepath.Join(dir, e.Name()))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(data) < 2 || data[0] != 0x1f || data[1] != 0x8b {
+			t.Errorf("%s is not a gzipped pprof profile", e.Name())
+		}
+	}
+
+	var nilP *Profiler
+	if err := nilP.Close(); err != nil {
+		t.Errorf("nil profiler Close = %v", err)
+	}
+}
+
+func count(t *testing.T, dir, prefix string) int {
+	t.Helper()
+	ents, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	n := 0
+	for _, e := range ents {
+		if strings.HasPrefix(e.Name(), prefix) {
+			n++
+		}
+	}
+	return n
+}

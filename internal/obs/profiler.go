@@ -1,0 +1,181 @@
+package obs
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"runtime"
+	"runtime/pprof"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// ProfilerConfig configures continuous profiling (see StartProfiler).
+type ProfilerConfig struct {
+	// Dir receives the rotated profiles, created if missing.
+	Dir string
+	// Period is one rotation: a CPU profile covering the whole window
+	// plus a heap snapshot at its end. Default 60 s.
+	Period time.Duration
+	// Keep bounds how many profiles of each kind are retained; older
+	// files are pruned at each rotation. Default 10, <0 keeps all.
+	Keep int
+	// Log, when non-nil, receives rotation errors as warnings.
+	Log *Logger
+}
+
+// Profiler continuously rotates CPU and heap profiles into a directory:
+// cpu-<unixms>.pprof (one per period, covering the period) and
+// heap-<unixms>.pprof (snapshot at each period end). This is the
+// "always-on profiling" answer to "where did the 100k-node run spend its
+// time" — after any incident the last Keep windows are on disk, ready
+// for `go tool pprof`, without having caught the process in the act via
+// /debug/pprof. Overhead is the usual CPU-profile sampling cost (~1-5%).
+type Profiler struct {
+	cfg  ProfilerConfig
+	stop chan struct{}
+	done sync.WaitGroup
+
+	mu  sync.Mutex
+	err error
+}
+
+// StartProfiler begins rotating profiles in the background. Returns an
+// error only when the directory cannot be created or the first CPU
+// profile cannot start (e.g. another profiler owns the singleton CPU
+// profile); later rotation errors are logged and sticky via Err. Close
+// stops profiling and flushes the in-flight window.
+func StartProfiler(cfg ProfilerConfig) (*Profiler, error) {
+	if cfg.Period <= 0 {
+		cfg.Period = time.Minute
+	}
+	if cfg.Keep == 0 {
+		cfg.Keep = 10
+	}
+	if err := os.MkdirAll(cfg.Dir, 0o755); err != nil {
+		return nil, fmt.Errorf("obs: profile dir: %w", err)
+	}
+	p := &Profiler{cfg: cfg, stop: make(chan struct{})}
+	f, err := p.startCPU()
+	if err != nil {
+		return nil, err
+	}
+	p.done.Add(1)
+	go p.loop(f)
+	return p, nil
+}
+
+func (p *Profiler) startCPU() (*os.File, error) {
+	name := filepath.Join(p.cfg.Dir, fmt.Sprintf("cpu-%d.pprof", time.Now().UnixMilli()))
+	f, err := os.Create(name)
+	if err != nil {
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	if err := pprof.StartCPUProfile(f); err != nil {
+		f.Close()
+		os.Remove(name)
+		return nil, fmt.Errorf("obs: cpu profile: %w", err)
+	}
+	return f, nil
+}
+
+func (p *Profiler) loop(cpu *os.File) {
+	defer p.done.Done()
+	t := time.NewTicker(p.cfg.Period)
+	defer t.Stop()
+	for {
+		select {
+		case <-t.C:
+			p.rotate(cpu)
+			f, err := p.startCPU()
+			if err != nil {
+				p.fail(err)
+				return
+			}
+			cpu = f
+		case <-p.stop:
+			p.rotate(cpu)
+			return
+		}
+	}
+}
+
+// rotate closes out the in-flight CPU window, snapshots the heap, and
+// prunes old files.
+func (p *Profiler) rotate(cpu *os.File) {
+	pprof.StopCPUProfile()
+	if err := cpu.Close(); err != nil {
+		p.fail(err)
+	}
+	name := filepath.Join(p.cfg.Dir, fmt.Sprintf("heap-%d.pprof", time.Now().UnixMilli()))
+	f, err := os.Create(name)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	runtime.GC() // heap profile reflects live objects after a fresh mark
+	if err := pprof.WriteHeapProfile(f); err != nil {
+		p.fail(err)
+	}
+	if err := f.Close(); err != nil {
+		p.fail(err)
+	}
+	p.prune("cpu-")
+	p.prune("heap-")
+}
+
+func (p *Profiler) prune(prefix string) {
+	if p.cfg.Keep < 0 {
+		return
+	}
+	ents, err := os.ReadDir(p.cfg.Dir)
+	if err != nil {
+		p.fail(err)
+		return
+	}
+	var names []string
+	for _, e := range ents {
+		if n := e.Name(); strings.HasPrefix(n, prefix) && strings.HasSuffix(n, ".pprof") {
+			names = append(names, n)
+		}
+	}
+	sort.Strings(names) // fixed-width unix-ms stamps sort chronologically
+	for len(names) > p.cfg.Keep {
+		if err := os.Remove(filepath.Join(p.cfg.Dir, names[0])); err != nil {
+			p.fail(err)
+		}
+		names = names[1:]
+	}
+}
+
+func (p *Profiler) fail(err error) {
+	p.cfg.Log.Warnf("profiler: %v", err)
+	p.mu.Lock()
+	if p.err == nil {
+		p.err = err
+	}
+	p.mu.Unlock()
+}
+
+// Err returns the first rotation error, if any.
+func (p *Profiler) Err() error {
+	if p == nil {
+		return nil
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.err
+}
+
+// Close stops profiling, flushing the in-flight CPU window and a final
+// heap snapshot. Safe on nil.
+func (p *Profiler) Close() error {
+	if p == nil {
+		return nil
+	}
+	close(p.stop)
+	p.done.Wait()
+	return p.Err()
+}

@@ -58,10 +58,19 @@ type engine struct {
 	bjobs []budget.Job
 	caps  []units.Power
 
-	// advanceFn is the progress-advance kernel bound once at
-	// construction; a function literal in the step path would allocate
-	// its closure every simulated second.
+	// advanceFn and measureFn are the progress-advance and measurement
+	// kernels bound once at construction; a function literal in the step
+	// path would allocate its closure every simulated second.
 	advanceFn func(lo, hi int)
+	measureFn func(lo, hi int)
+
+	// blockPower and blockBusy are the per-block partial reductions of
+	// the measurement kernel (see measure), reused across steps.
+	blockPower []units.Power
+	blockBusy  []int32
+	// measuredBusy is the busy-node count folded out of the last
+	// measurement pass, recorded as telemetry alongside the power sum.
+	measuredBusy int
 
 	shards int
 	// pool is the persistent multi-core shard runtime (nil when serial):
@@ -113,6 +122,7 @@ func newEngine(cfg Config, types map[string]workload.Type, scheduler *sched.Sche
 		e.freeRing[i] = int32(i)
 	}
 	e.advanceFn = e.advanceRange
+	e.measureFn = e.measureBlocks
 	e.pool = newShardPool(e.shards)
 	return e
 }
@@ -358,11 +368,24 @@ func (e *engine) applyCaps(jobBudget units.Power, now time.Time) (changed bool) 
 	return changed
 }
 
+// measureBlockNodes is the fixed width of one measurement reduction
+// block. Block boundaries depend only on this constant and the node
+// count — never on the shard count or GOMAXPROCS — so the re-associated
+// sum is identical at every parallelism setting. Clusters at or below
+// one block reduce in a single block, which is exactly the seed's serial
+// left-to-right sum, so every pinned small-cluster expectation is
+// byte-identical. A var only so the block-vs-serial oracle test can
+// shrink it enough to exercise multi-block merging on small clusters.
+var measureBlockNodes = 8192
+
 // measure settles each job's achieved per-node power (the cap, saturated
-// at the type's uncapped draw) and sums cluster power serially in node
-// index order — the same value sequence and order as the original
-// per-node engine, so the floating-point total is bit-identical and never
-// depends on the shard count.
+// at the type's uncapped draw) and reduces cluster power over fixed
+// 8192-node blocks: each block is summed serially in node-index order,
+// block work is distributed over the shard pool, and the block partials
+// are merged serially in block order. This replaces the serial O(nodes)
+// scan that dominated 100k-node steps. The same kernel folds out the
+// busy-node count per block (exact integers, order-free), so telemetry
+// gets power and busy from one pass.
 func (e *engine) measure() units.Power {
 	for _, slot := range e.order {
 		rj := &e.jobs[slot]
@@ -372,16 +395,48 @@ func (e *engine) measure() units.Power {
 		}
 		rj.power = p
 	}
-	var measured units.Power
-	for i := range e.nodes {
-		// Down nodes (jobIdx == downNode) draw nothing. Without a failure
-		// schedule every jobIdx is ≥ -1 and the additions here happen in
-		// exactly the old order, keeping fault-free runs byte-identical.
-		if idx := e.nodes[i].jobIdx; idx >= 0 {
-			measured += e.jobs[idx].power
-		} else if idx == idleNode {
-			measured += e.cfg.IdlePower
-		}
+	blocks := (len(e.nodes) + measureBlockNodes - 1) / measureBlockNodes
+	if cap(e.blockPower) < blocks {
+		e.blockPower = make([]units.Power, blocks)
+		e.blockBusy = make([]int32, blocks)
 	}
+	e.blockPower = e.blockPower[:blocks]
+	e.blockBusy = e.blockBusy[:blocks]
+	e.pool.run(blocks, e.measureFn)
+	var measured units.Power
+	busy := 0
+	for b := range e.blockPower {
+		measured += e.blockPower[b]
+		busy += int(e.blockBusy[b])
+	}
+	e.measuredBusy = busy
 	return measured
+}
+
+// measureBlocks is the sharded measurement kernel: it reduces the blocks
+// [lo, hi), each serially over its fixed node range, writing only this
+// range's partials.
+func (e *engine) measureBlocks(lo, hi int) {
+	for b := lo; b < hi; b++ {
+		start := b * measureBlockNodes
+		end := start + measureBlockNodes
+		if end > len(e.nodes) {
+			end = len(e.nodes)
+		}
+		var sum units.Power
+		var busy int32
+		for i := start; i < end; i++ {
+			// Down nodes (jobIdx == downNode) draw nothing. Without a
+			// failure schedule every jobIdx is ≥ -1 and the additions here
+			// happen in exactly the old per-node order within each block.
+			if idx := e.nodes[i].jobIdx; idx >= 0 {
+				sum += e.jobs[idx].power
+				busy++
+			} else if idx == idleNode {
+				sum += e.cfg.IdlePower
+			}
+		}
+		e.blockPower[b] = sum
+		e.blockBusy[b] = busy
+	}
 }

@@ -9,6 +9,7 @@ import (
 	"repro/internal/obs"
 	"repro/internal/schedule"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/workload"
 )
 
@@ -30,12 +31,16 @@ func TestObservabilityPreservesDeterminism(t *testing.T) {
 		cfg.TraceEvery = 1
 		cfg.Progress = obs.NewCounter()
 		cfg.RunID = "guard"
+		cfg.Telemetry = telemetry.NewStore()
 		got, err := Run(cfg)
 		if err != nil {
 			t.Fatalf("shards=%d: %v", shards, err)
 		}
 		if !reflect.DeepEqual(base, got) {
 			t.Errorf("shards=%d: observability changed the simulation result", shards)
+		}
+		if pts := cfg.Telemetry.Series("sim_power_measured_watts").Snapshot(0, 0); len(pts) == 0 {
+			t.Errorf("shards=%d: telemetry store retained no power series", shards)
 		}
 		if cfg.Progress.Value() == 0 {
 			t.Errorf("shards=%d: progress counter never advanced", shards)

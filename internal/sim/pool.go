@@ -1,6 +1,10 @@
 package sim
 
-import "sync"
+import (
+	"context"
+	"runtime/pprof"
+	"sync"
+)
 
 // shardPool is the persistent multi-core shard runtime: a fixed set of
 // long-lived worker goroutines driven through a reusable barrier, replacing
@@ -52,6 +56,10 @@ func newShardPool(workers int) *shardPool {
 // fixed share of [0, n), hit the barrier, sleep. Closing the wake channel
 // ends the loop.
 func (p *shardPool) work(i int) {
+	// Label the worker for CPU profiles so `go tool pprof` splits shard
+	// kernel time from the main step loop. Workers live for the whole
+	// run, so the label is set once, not per round.
+	pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(), pprof.Labels("subsystem", "sim", "goroutine", "shard-worker")))
 	for range p.wake[i] {
 		lo, hi := i*p.n/p.workers, (i+1)*p.n/p.workers
 		if lo < hi {

@@ -36,6 +36,7 @@ import (
 	"repro/internal/sched"
 	"repro/internal/schedule"
 	"repro/internal/stats"
+	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
 	"repro/internal/workload"
@@ -148,6 +149,13 @@ type Config struct {
 	// Share one counter across a sweep's runs and read it from another
 	// goroutine for a live throughput display.
 	Progress *obs.Counter
+	// Telemetry, when non-nil, receives one retained sample per simulated
+	// second for power target/measured, busy nodes, and running/queued
+	// jobs, stamped in virtual time — the series anor-top renders and the
+	// flight recorder persists. The per-node inputs are aggregated inside
+	// the sharded measurement kernel (see engine.measure), so enabling
+	// this adds no per-node work and ~0 allocations per step.
+	Telemetry *telemetry.Store
 	// RunID labels emitted events when one simulation is part of a
 	// multi-run sweep.
 	RunID string
@@ -156,17 +164,18 @@ type Config struct {
 // simMetrics holds the simulator's instruments; all nil without a
 // registry.
 type simMetrics struct {
-	stepDur    *obs.Histogram
-	steps      *obs.Counter
-	running    *obs.Gauge
-	queued     *obs.Gauge
-	busy       *obs.Gauge
-	target     *obs.Gauge
-	measured   *obs.Gauge
-	failures   *obs.Counter
-	recoveries *obs.Counter
-	requeues   *obs.Counter
-	downNodes  *obs.Gauge
+	stepDur      *obs.Histogram
+	measuredDist *obs.Histogram
+	steps        *obs.Counter
+	running      *obs.Gauge
+	queued       *obs.Gauge
+	busy         *obs.Gauge
+	target       *obs.Gauge
+	measured     *obs.Gauge
+	failures     *obs.Counter
+	recoveries   *obs.Counter
+	requeues     *obs.Counter
+	downNodes    *obs.Gauge
 }
 
 func newSimMetrics(r *obs.Registry) simMetrics {
@@ -174,17 +183,38 @@ func newSimMetrics(r *obs.Registry) simMetrics {
 		return simMetrics{}
 	}
 	return simMetrics{
-		stepDur:    r.Histogram("sim_step_seconds", "Wall-clock duration of one simulated second.", obs.DefLatencyBuckets),
-		steps:      r.Counter("sim_steps_total", "Simulated seconds advanced."),
-		running:    r.Gauge("sim_running_jobs", "Jobs currently running in the simulated cluster."),
-		queued:     r.Gauge("sim_queued_jobs", "Jobs currently queued in the simulated cluster."),
-		busy:       r.Gauge("sim_busy_nodes", "Nodes currently assigned to jobs."),
-		target:     r.Gauge("sim_power_target_watts", "Demand-response power target at the current step."),
-		measured:   r.Gauge("sim_power_measured_watts", "Measured cluster power at the current step."),
-		failures:   r.Counter("sim_node_failures_total", "Fail-stop node events applied."),
-		recoveries: r.Counter("sim_node_recoveries_total", "Node recovery events applied."),
-		requeues:   r.Counter("sim_job_requeues_total", "Jobs requeued after losing a node to a fail-stop."),
-		downNodes:  r.Gauge("sim_down_nodes", "Nodes currently failed out of the schedulable pool."),
+		stepDur:      r.Histogram("sim_step_seconds", "Wall-clock duration of one simulated second.", obs.DefLatencyBuckets),
+		measuredDist: r.Histogram("sim_power_measured_watts_dist", "Distribution of measured cluster power across simulated seconds.", obs.DefPowerBuckets),
+		steps:        r.Counter("sim_steps_total", "Simulated seconds advanced."),
+		running:      r.Gauge("sim_running_jobs", "Jobs currently running in the simulated cluster."),
+		queued:       r.Gauge("sim_queued_jobs", "Jobs currently queued in the simulated cluster."),
+		busy:         r.Gauge("sim_busy_nodes", "Nodes currently assigned to jobs."),
+		target:       r.Gauge("sim_power_target_watts", "Demand-response power target at the current step."),
+		measured:     r.Gauge("sim_power_measured_watts", "Measured cluster power at the current step."),
+		failures:     r.Counter("sim_node_failures_total", "Fail-stop node events applied."),
+		recoveries:   r.Counter("sim_node_recoveries_total", "Node recovery events applied."),
+		requeues:     r.Counter("sim_job_requeues_total", "Jobs requeued after losing a node to a fail-stop."),
+		downNodes:    r.Gauge("sim_down_nodes", "Nodes currently failed out of the schedulable pool."),
+	}
+}
+
+// simTelemetry holds the run's retained-series handles; all nil without
+// a store, so the per-step records are no-ops behind one nil check each.
+type simTelemetry struct {
+	target   *telemetry.Series
+	measured *telemetry.Series
+	busy     *telemetry.Series
+	running  *telemetry.Series
+	queued   *telemetry.Series
+}
+
+func newSimTelemetry(st *telemetry.Store) simTelemetry {
+	return simTelemetry{
+		target:   st.Series("sim_power_target_watts"),
+		measured: st.Series("sim_power_measured_watts"),
+		busy:     st.Series("sim_busy_nodes"),
+		running:  st.Series("sim_running_jobs"),
+		queued:   st.Series("sim_queued_jobs"),
 	}
 }
 
@@ -373,6 +403,7 @@ func Run(cfg Config) (Result, error) {
 	res.Tracking = make([]trace.Point, 0, horizonS+1)
 
 	met := newSimMetrics(cfg.Metrics)
+	tel := newSimTelemetry(cfg.Telemetry)
 	traceEvery := cfg.TraceEvery
 	if traceEvery <= 0 {
 		traceEvery = 60
@@ -500,6 +531,14 @@ func Run(cfg Config) (Result, error) {
 		// Observation only: nothing below feeds back into the simulation.
 		cfg.Progress.Inc()
 		met.steps.Inc()
+		met.measuredDist.Observe(measured.Watts())
+		if cfg.Telemetry != nil {
+			tel.target.Record(now, target.Watts())
+			tel.measured.Record(now, measured.Watts())
+			tel.busy.Record(now, float64(busy))
+			tel.running.Record(now, float64(len(e.order)))
+			tel.queued.Record(now, float64(scheduler.QueuedCount()))
+		}
 		if cfg.Metrics != nil {
 			met.running.Set(float64(len(e.order)))
 			met.queued.Set(float64(scheduler.QueuedCount()))
@@ -578,11 +617,20 @@ func Run(cfg Config) (Result, error) {
 						return Result{}, err
 					}
 				}
-				// Per-second counters still advance (the determinism guard
-				// ties them to simulated seconds); gauges would be set to
-				// the values they already hold, so they are skipped.
+				// Per-second counters, distributions, and retained series
+				// still advance (the determinism guard ties them to
+				// simulated seconds); gauges would be set to the values
+				// they already hold, so they are skipped.
 				cfg.Progress.Inc()
 				met.steps.Inc()
+				met.measuredDist.Observe(measured.Watts())
+				if cfg.Telemetry != nil {
+					tel.target.Record(rowNow, target.Watts())
+					tel.measured.Record(rowNow, measured.Watts())
+					tel.busy.Record(rowNow, 0)
+					tel.running.Record(rowNow, 0)
+					tel.queued.Record(rowNow, 0)
+				}
 				if cfg.Tracer.Enabled() && s%traceEvery == 0 {
 					cfg.Tracer.Emit(obs.Event{Type: obs.EvSimStep, TimeUnixNano: rowNow.UnixNano(), Run: cfg.RunID, Fields: obs.F{
 						"t_s": s, "running": 0, "queued": 0,

@@ -1,0 +1,224 @@
+package sim
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+	"time"
+
+	"repro/internal/dr"
+	"repro/internal/schedule"
+	"repro/internal/stats"
+	"repro/internal/telemetry"
+	"repro/internal/workload"
+)
+
+// blockTestConfig is a cluster wide enough to span several measurement
+// blocks once measureBlockNodes is shrunk, busy enough that the power
+// sum mixes job and idle terms.
+func blockTestConfig(t *testing.T, shards int) Config {
+	t.Helper()
+	types := workload.LongRunning()
+	arrivals, err := schedule.Generate(schedule.Config{
+		RNG: stats.NewRNG(23), Types: types,
+		Utilization: 0.8, TotalNodes: 96, Horizon: 10 * time.Minute,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return Config{
+		Nodes:        96,
+		Shards:       shards,
+		Types:        types,
+		Arrivals:     arrivals,
+		Bid:          dr.Bid{AvgPower: 96 * 180, Reserve: 96 * 60},
+		Signal:       dr.NewRandomWalk(23, 4*time.Second, 0.25, time.Hour),
+		Horizon:      10 * time.Minute,
+		Seed:         23,
+		VariationStd: 0.1,
+	}
+}
+
+// TestMeasureBlockReductionMatchesSerialSum pins the key property of the
+// blocked measurement: with one-node blocks the block merge IS the seed's
+// serial left-to-right sum, and a block width larger than the cluster
+// reduces in a single serially-summed block — both must produce the same
+// result, byte for byte. Any re-association bug in the kernel or the
+// merge shows up here.
+func TestMeasureBlockReductionMatchesSerialSum(t *testing.T) {
+	old := measureBlockNodes
+	defer func() { measureBlockNodes = old }()
+
+	measureBlockNodes = 1 // merge order = node order = the serial sum
+	serial, err := Run(blockTestConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	measureBlockNodes = 1 << 30 // whole cluster in one block
+	single, err := Run(blockTestConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(serial, single) {
+		t.Fatal("one-node blocks and a single whole-cluster block disagree; the block merge is not the serial sum")
+	}
+}
+
+// TestMeasureBlockReductionShardInvariant forces multi-block reduction
+// (7-node blocks over a 96-node cluster → 14 blocks) and checks the
+// result is bit-identical at every shard count: block boundaries depend
+// only on the block width, never on who computes them.
+func TestMeasureBlockReductionShardInvariant(t *testing.T) {
+	old := measureBlockNodes
+	defer func() { measureBlockNodes = old }()
+	measureBlockNodes = 7
+
+	base, err := Run(blockTestConfig(t, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, shards := range []int{2, 3, 8} {
+		got, err := Run(blockTestConfig(t, shards))
+		if err != nil {
+			t.Fatalf("shards=%d: %v", shards, err)
+		}
+		if !reflect.DeepEqual(base, got) {
+			t.Errorf("shards=%d: blocked measurement changed the result", shards)
+		}
+	}
+}
+
+// TestTelemetryRecordsVirtualTimeSeries checks the retained series'
+// shape: one sample per simulated second stamped in virtual time, with
+// measured power matching the run's Tracking series.
+func TestTelemetryRecordsVirtualTimeSeries(t *testing.T) {
+	cfg := smallConfig(t, 7, 0.1)
+	st := telemetry.NewStore(telemetry.Resolution{Step: 1, Buckets: 1 << 16}, telemetry.Resolution{Step: 60, Buckets: 1 << 10})
+	cfg.Telemetry = st
+	res, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pts := st.Series("sim_power_measured_watts").Snapshot(1, 0)
+	if len(pts) != len(res.Tracking) {
+		t.Fatalf("telemetry has %d samples, tracking has %d rows", len(pts), len(res.Tracking))
+	}
+	for i, p := range pts {
+		want := res.Tracking[i]
+		if p.T != want.Time.Unix() {
+			t.Fatalf("sample %d stamped %d, want virtual time %d", i, p.T, want.Time.Unix())
+		}
+		if p.Last != want.Measured.Watts() {
+			t.Fatalf("sample %d = %v W, want %v W", i, p.Last, want.Measured.Watts())
+		}
+		if p.Count != 1 {
+			t.Fatalf("sample %d count = %d, want exactly one record per simulated second", i, p.Count)
+		}
+	}
+	for _, name := range []string{"sim_power_target_watts", "sim_busy_nodes", "sim_running_jobs", "sim_queued_jobs"} {
+		if got := len(st.Series(name).Snapshot(1, 0)); got != len(res.Tracking) {
+			t.Errorf("series %s has %d samples, want %d", name, got, len(res.Tracking))
+		}
+	}
+}
+
+// TestTelemetryEventDrivenMatchesFullStepping holds the retained series
+// from an event-driven run (fast-forward bulk emission included) against
+// a full-stepping run second by second.
+func TestTelemetryEventDrivenMatchesFullStepping(t *testing.T) {
+	run := func(disable bool) *telemetry.Store {
+		types := workload.LongRunning()
+		// A sparse schedule with long quiet gaps so the event-driven run
+		// actually fast-forwards.
+		arrivals := []schedule.Arrival{
+			{JobID: "a", TypeName: types[0].Name, ClaimedType: types[0].Name, At: 0},
+			{JobID: "b", TypeName: types[0].Name, ClaimedType: types[0].Name, At: 8 * time.Minute},
+		}
+		st := telemetry.NewStore(telemetry.Resolution{Step: 1, Buckets: 1 << 16}, telemetry.Resolution{Step: 10, Buckets: 1 << 12})
+		cfg := Config{
+			Nodes: 32, Types: types, Arrivals: arrivals,
+			Bid:                dr.Bid{AvgPower: 32 * 180},
+			Signal:             dr.Constant(0),
+			Horizon:            10 * time.Minute,
+			Seed:               5,
+			Telemetry:          st,
+			DisableEventDriven: disable,
+		}
+		if _, err := Run(cfg); err != nil {
+			t.Fatal(err)
+		}
+		return st
+	}
+	full, fast := run(true), run(false)
+	for _, name := range full.Names() {
+		for _, step := range []int64{1, 10} {
+			want := full.Series(name).Snapshot(step, 0)
+			got := fast.Series(name).Snapshot(step, 0)
+			if !reflect.DeepEqual(want, got) {
+				t.Errorf("series %s step %ds: event-driven telemetry diverges from full stepping", name, step)
+			}
+		}
+	}
+}
+
+// TestTelemetryAllocsPerStep proves telemetry-enabled stepping stays ≈0
+// allocations per step — retained telemetry must be cheap enough to
+// leave on for million-step policy sweeps. The name matches the CI
+// perf-gate filter (AllocsPerStep) so regressions fail every pull
+// request. The store and its flight recorder are created once outside
+// the measured loop, mirroring how a daemon or sweep would hold them.
+func TestTelemetryAllocsPerStep(t *testing.T) {
+	allocsAt := func(h time.Duration) float64 {
+		cfg := steadyConfig(h, true)
+		st := telemetry.NewStore()
+		cfg.Telemetry = st
+		rec := telemetry.NewRecorder(&bytes.Buffer{})
+		st.SetRecorder(rec)
+		if _, err := Run(cfg); err != nil { // warm up series + ring allocation
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	shortH, longH := 30*time.Second, 120*time.Second
+	short, long := allocsAt(shortH), allocsAt(longH)
+	extraSteps := float64((4*120 + 1) - (4*30 + 1))
+	marginal := (long - short) / extraSteps
+	t.Logf("allocs: %v (short) → %v (long), %.4f per telemetry-enabled step", short, long, marginal)
+	if marginal > 0.5 {
+		t.Errorf("telemetry-enabled stepping = %.3f allocs per step, want ~0 (≤0.5)", marginal)
+	}
+}
+
+// TestTelemetryOffIsBitIdenticalToSeed pins that a telemetry-less config
+// still produces byte-identical results to one that never heard of the
+// field — i.e. the blocked measurement alone (the only hot-path change)
+// preserves the seed's outputs on clusters at or below one block. The
+// deep-equal against a second bare run guards against any hidden global
+// state; the cross-check against a telemetry-enabled run guards the
+// observational contract.
+func TestTelemetryOffIsBitIdenticalToSeed(t *testing.T) {
+	a, err := Run(smallConfig(t, 11, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(smallConfig(t, 11, 0.1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, b) {
+		t.Fatal("two identical bare runs diverge")
+	}
+	cfg := smallConfig(t, 11, 0.1)
+	cfg.Telemetry = telemetry.NewStore()
+	c, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(a, c) {
+		t.Fatal("enabling telemetry changed the simulation result")
+	}
+}

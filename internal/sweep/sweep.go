@@ -26,8 +26,13 @@ import (
 	"errors"
 	"fmt"
 	"runtime"
+	"runtime/pprof"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
 )
 
 // Options tune a sweep. The zero value is ready to use.
@@ -41,6 +46,11 @@ type Options struct {
 	// Runs skipped by fail-fast cancellation get no callback. Drives
 	// live progress displays without perturbing determinism.
 	OnRunDone func(run int)
+	// Telemetry, when non-nil, receives a sweep_runs_done sample
+	// (cumulative completed-run count, wall-clock stamped) as each run
+	// finishes, so anor-top can watch sweep progress live. Observation
+	// only: results never depend on it.
+	Telemetry *telemetry.Store
 }
 
 func (o Options) workers(n int) int {
@@ -107,12 +117,22 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 		cancel()
 	}
 
+	var doneRuns atomic.Int64
+	var doneSeries *telemetry.Series
+	if opts.Telemetry != nil {
+		doneSeries = opts.Telemetry.Series("sweep_runs_done")
+	}
+
 	jobs := make(chan int)
 	var wg sync.WaitGroup
 	for w := opts.workers(n); w > 0; w-- {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
+			// Label the worker once so continuous profiles attribute
+			// sweep run time to this pool rather than anonymous funcs.
+			pprof.SetGoroutineLabels(pprof.WithLabels(context.Background(),
+				pprof.Labels("subsystem", "sweep", "goroutine", "sweep-worker")))
 			for run := range jobs {
 				// Drop queued runs promptly once the sweep is failing
 				// or the caller gave up.
@@ -123,6 +143,7 @@ func Map[T any](ctx context.Context, n int, opts Options, fn func(ctx context.Co
 				if opts.OnRunDone != nil {
 					opts.OnRunDone(run)
 				}
+				doneSeries.Record(time.Now(), float64(doneRuns.Add(1)))
 				if err != nil {
 					fail(run, err)
 					continue

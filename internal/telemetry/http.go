@@ -1,0 +1,112 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http"
+	"strconv"
+	"strings"
+	"time"
+)
+
+// JSON shapes served by /timeseries and consumed by internal/fleetview
+// (cmd/anor-top). Field names are part of the endpoint contract.
+
+// PointJSON is one rollup bucket on the wire.
+type PointJSON struct {
+	T     int64   `json:"t"`
+	Min   float64 `json:"min"`
+	Mean  float64 `json:"mean"`
+	Max   float64 `json:"max"`
+	Last  float64 `json:"last"`
+	Count uint32  `json:"count"`
+}
+
+// SeriesJSON is one series at one resolution.
+type SeriesJSON struct {
+	Name   string      `json:"name"`
+	StepS  int64       `json:"step_s"`
+	Late   uint64      `json:"late,omitempty"`
+	Points []PointJSON `json:"points"`
+}
+
+// SnapshotJSON is the full /timeseries response.
+type SnapshotJSON struct {
+	NowUnix int64        `json:"now_unix"`
+	StepsS  []int64      `json:"steps_s"`
+	Series  []SeriesJSON `json:"series"`
+}
+
+func toPointsJSON(pts []Point) []PointJSON {
+	out := make([]PointJSON, len(pts))
+	for i, p := range pts {
+		out[i] = PointJSON{T: p.T, Min: p.Min, Mean: p.Mean(), Max: p.Max, Last: p.Last, Count: p.Count}
+	}
+	return out
+}
+
+// SnapshotAt renders the store at one resolution step (0 = finest),
+// keeping at most last buckets per series when last > 0 and only series
+// whose name has the given prefix when prefix != "". Series appear in
+// sorted name order so the output is deterministic. now stamps the
+// response; the store itself has no clock.
+func (st *Store) SnapshotAt(now time.Time, prefix string, step int64, last int) SnapshotJSON {
+	snap := SnapshotJSON{NowUnix: now.Unix(), Series: []SeriesJSON{}}
+	if st == nil {
+		return snap
+	}
+	for _, r := range st.res {
+		snap.StepsS = append(snap.StepsS, r.Step)
+	}
+	if step == 0 {
+		step = st.res[0].Step
+	}
+	for _, name := range st.Names() {
+		if prefix != "" && !strings.HasPrefix(name, prefix) {
+			continue
+		}
+		s := st.Series(name)
+		pts := s.Snapshot(step, last)
+		if pts == nil {
+			continue
+		}
+		snap.Series = append(snap.Series, SeriesJSON{Name: name, StepS: step, Late: s.Late(), Points: toPointsJSON(pts)})
+	}
+	return snap
+}
+
+// Handler serves the store as JSON. Query parameters: series (name
+// prefix filter), step (resolution in seconds, default finest), last
+// (max buckets per series, default 120, 0 = all). Served on the obs
+// admin mux at /timeseries. Nil-safe: a nil store serves empty
+// snapshots.
+func (st *Store) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		q := req.URL.Query()
+		step, err := parseIntParam(q.Get("step"), 0)
+		if err != nil {
+			http.Error(w, "bad step: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		last, err := parseIntParam(q.Get("last"), 120)
+		if err != nil {
+			http.Error(w, "bad last: "+err.Error(), http.StatusBadRequest)
+			return
+		}
+		snap := st.SnapshotAt(time.Now(), q.Get("series"), step, int(last))
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(snap)
+	})
+}
+
+func parseIntParam(s string, def int64) (int64, error) {
+	if s == "" {
+		return def, nil
+	}
+	v, err := strconv.ParseInt(s, 10, 64)
+	if err != nil || v < 0 {
+		return 0, strconv.ErrSyntax
+	}
+	return v, nil
+}

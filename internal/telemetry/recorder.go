@@ -1,0 +1,134 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+	"sync"
+)
+
+// Flight-recorder binary format ("ANORFRv1"): an 8-byte magic followed by
+// a stream of varint-packed records. Each record starts with a 1-byte
+// opcode:
+//
+//	0x01 series-def: uvarint series id, uvarint name length, name bytes.
+//	     Emitted once per series, before its first sample.
+//	0x02 sample: uvarint series id, zigzag-varint delta of the unix-seconds
+//	     timestamp against the previous sample record (any series), 8-byte
+//	     little-endian IEEE-754 value.
+//
+// Timestamps are delta-coded against a single running clock because the
+// recorder interleaves many series that advance together; steady 1 Hz
+// recording costs ~11 bytes per sample. The format is append-only and
+// crash-tolerant: a reader consumes whole records until EOF and treats a
+// torn tail as clean truncation.
+const (
+	recMagic     = "ANORFRv1"
+	opSeriesDef  = 0x01
+	opSample     = 0x02
+	maxNameBytes = 4096
+)
+
+// Recorder streams samples to w in the flight-recorder format. Safe for
+// concurrent use; errors are sticky (first write error wins, later calls
+// are no-ops) so hot paths never check per-record. Attach to a Store with
+// SetRecorder, or call Record directly.
+type Recorder struct {
+	mu      sync.Mutex
+	bw      *bufio.Writer
+	ids     map[string]uint64
+	lastT   int64
+	samples uint64
+	err     error
+	buf     [2 + 2*binary.MaxVarintLen64 + 8]byte
+}
+
+// NewRecorder wraps w and writes the format magic immediately. The caller
+// owns closing the underlying writer after Flush.
+func NewRecorder(w io.Writer) *Recorder {
+	r := &Recorder{bw: bufio.NewWriterSize(w, 1<<16), ids: make(map[string]uint64)}
+	if _, err := r.bw.WriteString(recMagic); err != nil {
+		r.err = err
+	}
+	return r
+}
+
+// Record appends one sample, emitting the series-def record first if this
+// is the series' first appearance.
+func (r *Recorder) Record(name string, sec int64, v float64) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err != nil {
+		return
+	}
+	id, ok := r.ids[name]
+	if !ok {
+		id = uint64(len(r.ids)) + 1
+		r.ids[name] = id
+		b := r.buf[:0]
+		b = append(b, opSeriesDef)
+		b = binary.AppendUvarint(b, id)
+		b = binary.AppendUvarint(b, uint64(len(name)))
+		if _, err := r.bw.Write(b); err != nil {
+			r.err = err
+			return
+		}
+		if _, err := r.bw.WriteString(name); err != nil {
+			r.err = err
+			return
+		}
+	}
+	b := r.buf[:0]
+	b = append(b, opSample)
+	b = binary.AppendUvarint(b, id)
+	b = binary.AppendVarint(b, sec-r.lastT)
+	b = binary.LittleEndian.AppendUint64(b, math.Float64bits(v))
+	if _, err := r.bw.Write(b); err != nil {
+		r.err = err
+		return
+	}
+	r.lastT = sec
+	r.samples++
+}
+
+// Flush drains buffered records to the underlying writer and returns the
+// sticky error, if any.
+func (r *Recorder) Flush() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	if r.err == nil {
+		r.err = r.bw.Flush()
+	}
+	return r.err
+}
+
+// Samples reports how many sample records were written.
+func (r *Recorder) Samples() uint64 {
+	if r == nil {
+		return 0
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.samples
+}
+
+// Err returns the sticky write error, if any.
+func (r *Recorder) Err() error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return r.err
+}
+
+// ErrBadMagic reports a stream that is not a flight recording.
+var ErrBadMagic = fmt.Errorf("telemetry: not a flight recording (bad magic, want %q)", recMagic)

@@ -1,0 +1,173 @@
+package telemetry
+
+import (
+	"bytes"
+	"errors"
+	"io"
+	"math"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+)
+
+// TestRecorderRoundTrip writes an interleaved multi-series stream and
+// replays it, checking every sample and the rebuilt rollups.
+func TestRecorderRoundTrip(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	type sample struct {
+		series string
+		t      int64
+		v      float64
+	}
+	in := []sample{
+		{"power", 100, 512.5},
+		{"queue", 100, 7},
+		{"power", 101, 498.25},
+		{"queue", 101, 6},
+		{"power", 99, -3.5}, // time moving backwards must survive zigzag coding
+		{"power", 1 << 40, math.Inf(1)},
+		{"power", 1<<40 + 1, math.MaxFloat64},
+	}
+	for _, s := range in {
+		rec.Record(s.series, s.t, s.v)
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatalf("flush: %v", err)
+	}
+	if rec.Samples() != uint64(len(in)) {
+		t.Fatalf("samples = %d, want %d", rec.Samples(), len(in))
+	}
+
+	rd, err := NewReader(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var out []sample
+	for {
+		s, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			break
+		}
+		if err != nil {
+			t.Fatalf("next: %v", err)
+		}
+		out = append(out, sample{s.Series, s.T, s.V})
+	}
+	if !reflect.DeepEqual(in, out) {
+		t.Fatalf("round trip mismatch:\n in  %+v\n out %+v", in, out)
+	}
+}
+
+func TestRecorderTeeAndReplayRebuildsStore(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "run.anorfr")
+	f, err := os.Create(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := NewStore(Resolution{1, 64}, Resolution{10, 16})
+	rec := NewRecorder(f)
+	st.SetRecorder(rec)
+	power := st.Series("sim_power_watts")
+	for sec := int64(0); sec < 30; sec++ {
+		power.RecordUnix(sec, 100+float64(sec))
+	}
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := f.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	replayed, n, err := ReplayFile(path, Resolution{1, 64}, Resolution{10, 16})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != 30 {
+		t.Fatalf("replayed %d samples, want 30", n)
+	}
+	want := power.Snapshot(1, 0)
+	got := replayed.Series("sim_power_watts").Snapshot(1, 0)
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("replayed rollups differ:\n got %+v\nwant %+v", got, want)
+	}
+	want10 := power.Snapshot(10, 0)
+	got10 := replayed.Series("sim_power_watts").Snapshot(10, 0)
+	if !reflect.DeepEqual(got10, want10) {
+		t.Fatalf("replayed 10s rollups differ:\n got %+v\nwant %+v", got10, want10)
+	}
+}
+
+// TestReaderTornTailIsCleanEOF truncates a recording at every byte
+// offset and checks the reader never errors or panics — a killed
+// process must leave a replayable file.
+func TestReaderTornTailIsCleanEOF(t *testing.T) {
+	var buf bytes.Buffer
+	rec := NewRecorder(&buf)
+	rec.Record("a", 1, 1.5)
+	rec.Record("b", 2, 2.5)
+	rec.Record("a", 3, 3.5)
+	if err := rec.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	full := buf.Bytes()
+	for cut := len(recMagic); cut <= len(full); cut++ {
+		rd, err := NewReader(bytes.NewReader(full[:cut]))
+		if err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		for {
+			if _, err := rd.Next(); err != nil {
+				if !errors.Is(err, io.EOF) {
+					t.Fatalf("cut %d: want clean EOF, got %v", cut, err)
+				}
+				break
+			}
+		}
+	}
+}
+
+func TestReaderRejectsBadMagicAndOpcode(t *testing.T) {
+	if _, err := NewReader(bytes.NewReader([]byte("NOTAFLIGHT"))); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("bad magic: %v", err)
+	}
+	if _, err := NewReader(bytes.NewReader(nil)); !errors.Is(err, ErrBadMagic) {
+		t.Fatalf("empty: %v", err)
+	}
+	stream := append([]byte(recMagic), 0x7f)
+	rd, err := NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("unknown opcode should be a structural error, got %v", err)
+	}
+	// A sample referencing an undefined series id is structural too.
+	stream = append([]byte(recMagic), opSample, 0x05, 0x00, 0, 0, 0, 0, 0, 0, 0, 0)
+	rd, err = NewReader(bytes.NewReader(stream))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rd.Next(); err == nil || errors.Is(err, io.EOF) {
+		t.Fatalf("undefined series id should be a structural error, got %v", err)
+	}
+}
+
+func TestRecorderStickyError(t *testing.T) {
+	rec := NewRecorder(failWriter{})
+	for i := 0; i < 100000; i++ { // enough to overflow the 64 KiB buffer and hit the writer
+		rec.Record("s", int64(i), float64(i))
+	}
+	if rec.Err() == nil {
+		t.Fatal("expected sticky write error")
+	}
+	if rec.Flush() == nil {
+		t.Fatal("flush should report the sticky error")
+	}
+}
+
+type failWriter struct{}
+
+func (failWriter) Write(p []byte) (int, error) { return 0, errors.New("disk gone") }

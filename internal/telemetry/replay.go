@@ -1,0 +1,126 @@
+package telemetry
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"os"
+)
+
+// RecordedSample is one decoded flight-recorder sample.
+type RecordedSample struct {
+	Series string
+	T      int64 // unix seconds
+	V      float64
+}
+
+// Reader streams samples out of a flight recording. A torn final record
+// (process killed mid-write) surfaces as io.EOF after the last whole
+// sample, so partial recordings replay cleanly.
+type Reader struct {
+	br    *bufio.Reader
+	names map[uint64]string
+	lastT int64
+}
+
+// NewReader checks the magic and returns a streaming reader.
+func NewReader(r io.Reader) (*Reader, error) {
+	br := bufio.NewReaderSize(r, 1<<16)
+	magic := make([]byte, len(recMagic))
+	if _, err := io.ReadFull(br, magic); err != nil || string(magic) != recMagic {
+		return nil, ErrBadMagic
+	}
+	return &Reader{br: br, names: make(map[uint64]string)}, nil
+}
+
+// Next returns the next sample, or io.EOF at (possibly torn) end of
+// stream. Structural corruption mid-stream returns a descriptive error.
+func (rd *Reader) Next() (RecordedSample, error) {
+	for {
+		op, err := rd.br.ReadByte()
+		if err != nil {
+			return RecordedSample{}, io.EOF
+		}
+		switch op {
+		case opSeriesDef:
+			id, err := binary.ReadUvarint(rd.br)
+			if err != nil {
+				return RecordedSample{}, io.EOF
+			}
+			n, err := binary.ReadUvarint(rd.br)
+			if err != nil {
+				return RecordedSample{}, io.EOF
+			}
+			if n == 0 || n > maxNameBytes {
+				return RecordedSample{}, fmt.Errorf("telemetry: series name length %d out of range", n)
+			}
+			name := make([]byte, n)
+			if _, err := io.ReadFull(rd.br, name); err != nil {
+				return RecordedSample{}, io.EOF
+			}
+			rd.names[id] = string(name)
+		case opSample:
+			id, err := binary.ReadUvarint(rd.br)
+			if err != nil {
+				return RecordedSample{}, io.EOF
+			}
+			dt, err := binary.ReadVarint(rd.br)
+			if err != nil {
+				return RecordedSample{}, io.EOF
+			}
+			var raw [8]byte
+			if _, err := io.ReadFull(rd.br, raw[:]); err != nil {
+				return RecordedSample{}, io.EOF
+			}
+			name, ok := rd.names[id]
+			if !ok {
+				return RecordedSample{}, fmt.Errorf("telemetry: sample references undefined series id %d", id)
+			}
+			rd.lastT += dt
+			return RecordedSample{Series: name, T: rd.lastT, V: math.Float64frombits(binary.LittleEndian.Uint64(raw[:]))}, nil
+		default:
+			return RecordedSample{}, fmt.Errorf("telemetry: unknown record opcode 0x%02x", op)
+		}
+	}
+}
+
+// Replay rebuilds a Store from a flight recording, rolling every recorded
+// sample through the given resolutions (DefaultResolutions when none).
+// Returns the store, the number of samples replayed, and the first
+// structural error (a torn tail is not an error).
+func Replay(r io.Reader, res ...Resolution) (*Store, uint64, error) {
+	rd, err := NewReader(r)
+	if err != nil {
+		return nil, 0, err
+	}
+	st := NewStore(res...)
+	var n uint64
+	var cur *Series
+	for {
+		s, err := rd.Next()
+		if errors.Is(err, io.EOF) {
+			return st, n, nil
+		}
+		if err != nil {
+			return st, n, err
+		}
+		if cur == nil || cur.Name() != s.Series {
+			cur = st.Series(s.Series)
+		}
+		cur.RecordUnix(s.T, s.V)
+		n++
+	}
+}
+
+// ReplayFile is Replay over a file path.
+func ReplayFile(path string, res ...Resolution) (*Store, uint64, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, 0, err
+	}
+	defer f.Close()
+	return Replay(f, res...)
+}

@@ -1,0 +1,92 @@
+package telemetry
+
+import (
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+)
+
+// SamplerConfig configures a background runtime-health sampler.
+type SamplerConfig struct {
+	// Store receives the sampled series; nil records nothing (the
+	// sampler still refreshes the registry gauges).
+	Store *Store
+	// Registry has its runtime gauges refreshed every tick and gains
+	// obs_events_dropped_total when Tracer is set. May be nil.
+	Registry *obs.Registry
+	// Tracer, when non-nil, has its ring-overwrite drop count bridged to
+	// the registry counter and the obs_events_dropped_total series.
+	Tracer *obs.Tracer
+	// Every is the sampling period; default 5 s.
+	Every time.Duration
+	// Now supplies timestamps (tests); default time.Now.
+	Now func() time.Time
+}
+
+// Sampler periodically refreshes the Go runtime health gauges
+// (obs.CollectRuntime) and records them into the telemetry store, so the
+// flight recorder captures goroutine/heap series even when nothing ever
+// scrapes /metrics — previously those gauges only moved at scrape time.
+// It also surfaces the event ring's silent drops as a real counter.
+type Sampler struct {
+	stop chan struct{}
+	done sync.WaitGroup
+}
+
+// StartSampler samples once immediately (so short-lived processes still
+// record a point) and then on every tick until Close.
+func StartSampler(cfg SamplerConfig) *Sampler {
+	if cfg.Every <= 0 {
+		cfg.Every = 5 * time.Second
+	}
+	if cfg.Now == nil {
+		cfg.Now = time.Now
+	}
+	s := &Sampler{stop: make(chan struct{})}
+	var lastDropped uint64
+	dropCounter := cfg.Registry.Counter("obs_events_dropped_total",
+		"Trace events overwritten unread by the bounded ring sink; non-zero means the retained trace is truncated.")
+	sample := func() {
+		obs.CollectRuntime(cfg.Registry)
+		now := cfg.Now()
+		if cfg.Registry != nil {
+			cfg.Store.Series("go_goroutines").Record(now, cfg.Registry.Gauge("go_goroutines", "").Value())
+			cfg.Store.Series("go_heap_alloc_bytes").Record(now, cfg.Registry.Gauge("go_heap_alloc_bytes", "").Value())
+		}
+		if cfg.Tracer != nil {
+			d := cfg.Tracer.Dropped()
+			dropCounter.Add(d - lastDropped)
+			lastDropped = d
+			cfg.Store.Series("obs_events_dropped_total").Record(now, float64(d))
+		}
+		// Keep any attached flight recording crash-tolerant and readable
+		// mid-run: at most one tick of samples sits in its buffer.
+		_ = cfg.Store.Flush()
+	}
+	sample()
+	s.done.Add(1)
+	go func() {
+		defer s.done.Done()
+		t := time.NewTicker(cfg.Every)
+		defer t.Stop()
+		for {
+			select {
+			case <-t.C:
+				sample()
+			case <-s.stop:
+				return
+			}
+		}
+	}()
+	return s
+}
+
+// Close stops the sampler. Safe on nil.
+func (s *Sampler) Close() {
+	if s == nil {
+		return
+	}
+	close(s.stop)
+	s.done.Wait()
+}

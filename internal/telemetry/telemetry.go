@@ -1,0 +1,336 @@
+// Package telemetry is the framework's retained-telemetry layer: named
+// time series held in fixed-memory multi-resolution rollup rings, a
+// binary flight-recorder file format with a streaming reader/replayer,
+// and a /timeseries JSON endpoint for live dashboards (cmd/anor-top).
+//
+// Where internal/obs answers "what is the value now" (point-in-time
+// /metrics scrapes) and "what happened" (unbounded JSONL event streams),
+// this package answers "what has the value been" — without a time-series
+// database and without unbounded memory. Each series rolls samples into
+// three resolutions (by default 1 s raw, 10 s, 60 s), every bucket
+// carrying min/mean/max/last/count, so a dashboard can show the last ten
+// minutes at full rate and the last eight hours coarsely from the same
+// fixed few tens of kilobytes per series.
+//
+// Everything is nil-safe in the obs style: a nil *Store hands out nil
+// *Series, and Record on a nil series is a no-op, so instrumented paths
+// pay one nil check when retained telemetry is off. Recording takes one
+// short per-series mutex hold and allocates nothing, which is what lets
+// the simulator record every virtual second at millions of steps per
+// wall-clock second; results stay bit-identical with telemetry on or off
+// because the store only ever observes values, never produces them.
+package telemetry
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Sample is one rollup bucket's aggregate.
+type Sample struct {
+	Min   float64
+	Max   float64
+	Sum   float64
+	Last  float64
+	Count uint32
+}
+
+// Mean returns Sum/Count (0 on an empty sample).
+func (s Sample) Mean() float64 {
+	if s.Count == 0 {
+		return 0
+	}
+	return s.Sum / float64(s.Count)
+}
+
+func (s *Sample) observe(v float64) {
+	if s.Count == 0 || v < s.Min {
+		s.Min = v
+	}
+	if s.Count == 0 || v > s.Max {
+		s.Max = v
+	}
+	s.Sum += v
+	s.Last = v
+	s.Count++
+}
+
+// Point is one bucket of a series snapshot: the bucket's start time and
+// its aggregate.
+type Point struct {
+	T int64 // bucket start, unix seconds
+	Sample
+}
+
+// Resolution describes one rollup ring: Step seconds per bucket, Buckets
+// retained buckets. Memory per series is the sum over resolutions of
+// Buckets × ~48 bytes, fixed at series creation.
+type Resolution struct {
+	Step    int64
+	Buckets int
+}
+
+// DefaultResolutions retains 10 minutes at 1 s, 1 hour at 10 s, and
+// 8 hours at 60 s — the shape the live dashboard renders.
+var DefaultResolutions = []Resolution{{Step: 1, Buckets: 600}, {Step: 10, Buckets: 360}, {Step: 60, Buckets: 480}}
+
+// ring is one resolution's circular bucket buffer. Buckets store their
+// start time explicitly, so quiet gaps occupy no space.
+type ring struct {
+	step int64
+	t    []int64
+	s    []Sample
+	head int // index of the newest bucket, valid when n > 0
+	n    int
+}
+
+func newRing(r Resolution) ring {
+	return ring{step: r.Step, t: make([]int64, r.Buckets), s: make([]Sample, r.Buckets)}
+}
+
+// bucketStart floors t to the ring's bucket boundary (correct for
+// negative times too, though the framework's clocks never produce them).
+func (r *ring) bucketStart(t int64) int64 {
+	return t - ((t%r.step)+r.step)%r.step
+}
+
+// observe folds v into the bucket containing time t. Buckets only move
+// forward: a sample older than the newest bucket reports false and is
+// dropped (the series counts those).
+func (r *ring) observe(t int64, v float64) bool {
+	bt := r.bucketStart(t)
+	if r.n > 0 {
+		cur := r.t[r.head]
+		if bt == cur {
+			r.s[r.head].observe(v)
+			return true
+		}
+		if bt < cur {
+			return false
+		}
+	}
+	r.head = (r.head + 1) % len(r.t)
+	if r.n < len(r.t) {
+		r.n++
+	}
+	r.t[r.head] = bt
+	r.s[r.head] = Sample{}
+	r.s[r.head].observe(v)
+	return true
+}
+
+// snapshot appends the ring's buckets oldest-first to dst, keeping at
+// most last buckets when last > 0.
+func (r *ring) snapshot(dst []Point, last int) []Point {
+	n := r.n
+	if last > 0 && last < n {
+		n = last
+	}
+	start := r.head - n + 1
+	if start < 0 {
+		start += len(r.t)
+	}
+	for i := 0; i < n; i++ {
+		k := (start + i) % len(r.t)
+		dst = append(dst, Point{T: r.t[k], Sample: r.s[k]})
+	}
+	return dst
+}
+
+// Series is one named time series: the same stream of (time, value)
+// observations rolled up at every configured resolution. All methods are
+// safe for concurrent use and no-op on a nil receiver.
+type Series struct {
+	name  string
+	store *Store
+
+	mu    sync.Mutex
+	rings []ring
+	late  uint64
+}
+
+// Name returns the series name ("" on nil).
+func (s *Series) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Record folds one observation stamped t into every resolution and tees
+// it to the store's flight recorder when one is attached. Timestamps may
+// be virtual (the simulator records its simulated clock); within one
+// series they should not move backwards by more than a bucket — older
+// samples are dropped and counted (Late).
+func (s *Series) Record(t time.Time, v float64) {
+	s.RecordUnix(t.Unix(), v)
+}
+
+// RecordUnix is Record with an already-converted unix-seconds stamp.
+func (s *Series) RecordUnix(sec int64, v float64) {
+	if s == nil {
+		return
+	}
+	s.mu.Lock()
+	for i := range s.rings {
+		if !s.rings[i].observe(sec, v) {
+			s.late++
+		}
+	}
+	s.mu.Unlock()
+	if rec := s.store.recorder(); rec != nil {
+		rec.Record(s.name, sec, v)
+	}
+}
+
+// Late reports dropped too-old observations (0 on nil).
+func (s *Series) Late() uint64 {
+	if s == nil {
+		return 0
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.late
+}
+
+// Snapshot returns the series' buckets at the given resolution step,
+// oldest-first, at most last buckets when last > 0. A step of 0 selects
+// the finest resolution. Unknown steps return nil, as does a nil series.
+func (s *Series) Snapshot(step int64, last int) []Point {
+	if s == nil {
+		return nil
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for i := range s.rings {
+		if step == 0 || s.rings[i].step == step {
+			return s.rings[i].snapshot(make([]Point, 0, s.rings[i].n), last)
+		}
+	}
+	return nil
+}
+
+// Steps lists the series' resolution steps in configuration order.
+func (s *Series) Steps() []int64 {
+	if s == nil {
+		return nil
+	}
+	out := make([]int64, len(s.rings))
+	for i := range s.rings {
+		out[i] = s.rings[i].step
+	}
+	return out
+}
+
+// Store holds named series sharing one resolution ladder and, optionally,
+// one flight recorder that every recorded sample is teed to. A nil
+// *Store is a valid no-op sink.
+type Store struct {
+	res []Resolution
+
+	mu     sync.RWMutex
+	series map[string]*Series
+	rec    *Recorder
+}
+
+// NewStore returns an empty store rolling up at the given resolutions
+// (DefaultResolutions when none are given). Steps must be positive and
+// strictly increasing; bucket counts must be positive.
+func NewStore(res ...Resolution) *Store {
+	if len(res) == 0 {
+		res = DefaultResolutions
+	}
+	for i, r := range res {
+		if r.Step <= 0 || r.Buckets <= 0 || (i > 0 && r.Step <= res[i-1].Step) {
+			panic("telemetry: resolutions must have positive buckets and strictly increasing positive steps")
+		}
+	}
+	return &Store{res: append([]Resolution(nil), res...), series: make(map[string]*Series)}
+}
+
+// Enabled reports whether the store retains anything (false on nil).
+func (st *Store) Enabled() bool { return st != nil }
+
+// Series returns the named series, creating it on first use. Returns nil
+// on a nil store; the nil series swallows records, so callers hold one
+// handle and never re-check.
+func (st *Store) Series(name string) *Series {
+	if st == nil {
+		return nil
+	}
+	st.mu.RLock()
+	s, ok := st.series[name]
+	st.mu.RUnlock()
+	if ok {
+		return s
+	}
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	if s, ok := st.series[name]; ok {
+		return s
+	}
+	s = &Series{name: name, store: st, rings: make([]ring, len(st.res))}
+	for i, r := range st.res {
+		s.rings[i] = newRing(r)
+	}
+	st.series[name] = s
+	return s
+}
+
+// Names returns all series names, sorted (nil on a nil store).
+func (st *Store) Names() []string {
+	if st == nil {
+		return nil
+	}
+	st.mu.RLock()
+	names := make([]string, 0, len(st.series))
+	for n := range st.series {
+		names = append(names, n)
+	}
+	st.mu.RUnlock()
+	sort.Strings(names)
+	return names
+}
+
+// Resolutions returns the store's resolution ladder.
+func (st *Store) Resolutions() []Resolution {
+	if st == nil {
+		return nil
+	}
+	return append([]Resolution(nil), st.res...)
+}
+
+// SetRecorder attaches a flight recorder; every subsequent Record on any
+// series is teed to it. Pass nil to detach.
+func (st *Store) SetRecorder(rec *Recorder) {
+	if st == nil {
+		return
+	}
+	st.mu.Lock()
+	st.rec = rec
+	st.mu.Unlock()
+}
+
+func (st *Store) recorder() *Recorder {
+	if st == nil {
+		return nil
+	}
+	st.mu.RLock()
+	rec := st.rec
+	st.mu.RUnlock()
+	return rec
+}
+
+// Flush drains the attached recorder's buffer to its writer, if one is
+// attached, bounding what a crash can lose. The sampler calls it every
+// tick, so a live recording stays readable while the daemon runs.
+func (st *Store) Flush() error {
+	return st.recorder().Flush()
+}
+
+// Label renders a prom-style labeled series name, name{key="value"}, the
+// convention the per-job daemons use so one store can hold many jobs.
+func Label(name, key, value string) string {
+	return name + "{" + key + `="` + value + `"}`
+}

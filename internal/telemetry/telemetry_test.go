@@ -1,0 +1,204 @@
+package telemetry
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"reflect"
+	"testing"
+	"time"
+)
+
+// TestRollupAcrossResolutionBoundaries records a known value pattern
+// across bucket boundaries and checks every resolution's aggregates.
+func TestRollupAcrossResolutionBoundaries(t *testing.T) {
+	st := NewStore(Resolution{1, 16}, Resolution{10, 8}, Resolution{60, 4})
+	s := st.Series("power")
+	// Two samples per second for 25 s spanning three 10 s buckets and a
+	// single 60 s bucket: values t and t+0.5 at second t.
+	for sec := int64(0); sec < 25; sec++ {
+		s.RecordUnix(sec, float64(sec))
+		s.RecordUnix(sec, float64(sec)+0.5)
+	}
+
+	raw := s.Snapshot(1, 0)
+	if len(raw) != 16 {
+		t.Fatalf("raw ring should be full at 16 buckets, got %d", len(raw))
+	}
+	// Oldest retained second is 25-16 = 9.
+	if raw[0].T != 9 || raw[15].T != 24 {
+		t.Fatalf("raw window = [%d, %d], want [9, 24]", raw[0].T, raw[15].T)
+	}
+	for i, p := range raw {
+		sec := float64(9 + i)
+		if p.Count != 2 || p.Min != sec || p.Max != sec+0.5 || p.Last != sec+0.5 || p.Mean() != sec+0.25 {
+			t.Fatalf("raw bucket %d = %+v, want count 2 min %g max %g", p.T, p, sec, sec+0.5)
+		}
+	}
+
+	mid := s.Snapshot(10, 0)
+	want10 := []Point{
+		{T: 0, Sample: Sample{Min: 0, Max: 9.5, Sum: 95, Last: 9.5, Count: 20}},
+		{T: 10, Sample: Sample{Min: 10, Max: 19.5, Sum: 295, Last: 19.5, Count: 20}},
+		{T: 20, Sample: Sample{Min: 20, Max: 24.5, Sum: 222.5, Last: 24.5, Count: 10}},
+	}
+	if !reflect.DeepEqual(mid, want10) {
+		t.Fatalf("10s rollup = %+v, want %+v", mid, want10)
+	}
+
+	coarse := s.Snapshot(60, 0)
+	want60 := []Point{{T: 0, Sample: Sample{Min: 0, Max: 24.5, Sum: 612.5, Last: 24.5, Count: 50}}}
+	if !reflect.DeepEqual(coarse, want60) {
+		t.Fatalf("60s rollup = %+v, want %+v", coarse, want60)
+	}
+}
+
+func TestRollupDropsLateSamplesAndCounts(t *testing.T) {
+	st := NewStore(Resolution{1, 4}, Resolution{10, 4})
+	s := st.Series("x")
+	s.RecordUnix(100, 1)
+	s.RecordUnix(99, 2) // older 1 s bucket: dropped there, folded into 10 s bucket [90,100)? no — 99 is in [90,100), current 10 s bucket is [100,110): dropped in both rings
+	s.RecordUnix(95, 3)
+	if got := s.Late(); got != 4 {
+		t.Fatalf("late = %d, want 4 (two samples dropped by both rings)", got)
+	}
+	if pts := s.Snapshot(1, 0); len(pts) != 1 || pts[0].Count != 1 {
+		t.Fatalf("raw ring should hold only the first sample, got %+v", pts)
+	}
+}
+
+func TestRollupGapsSkipBuckets(t *testing.T) {
+	st := NewStore(Resolution{1, 8})
+	s := st.Series("x")
+	s.RecordUnix(1, 1)
+	s.RecordUnix(5, 5) // 3-second quiet gap
+	pts := s.Snapshot(1, 0)
+	if len(pts) != 2 || pts[0].T != 1 || pts[1].T != 5 {
+		t.Fatalf("gap should occupy no buckets, got %+v", pts)
+	}
+}
+
+func TestSnapshotLastLimitsAndStepSelection(t *testing.T) {
+	st := NewStore(Resolution{1, 8}, Resolution{10, 2})
+	s := st.Series("x")
+	for sec := int64(0); sec < 6; sec++ {
+		s.RecordUnix(sec, float64(sec))
+	}
+	if pts := s.Snapshot(1, 2); len(pts) != 2 || pts[0].T != 4 || pts[1].T != 5 {
+		t.Fatalf("last=2 should keep newest two, got %+v", pts)
+	}
+	if pts := s.Snapshot(0, 1); len(pts) != 1 || pts[0].T != 5 {
+		t.Fatalf("step=0 should pick finest, got %+v", pts)
+	}
+	if pts := s.Snapshot(7, 0); pts != nil {
+		t.Fatalf("unknown step should return nil, got %+v", pts)
+	}
+}
+
+func TestNilStoreAndSeriesAreSafe(t *testing.T) {
+	var st *Store
+	if st.Enabled() {
+		t.Fatal("nil store reports enabled")
+	}
+	s := st.Series("x")
+	s.RecordUnix(1, 2)
+	s.Record(time.Now(), 3)
+	if s.Snapshot(0, 0) != nil || s.Late() != 0 || st.Names() != nil {
+		t.Fatal("nil series should be inert")
+	}
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/timeseries")
+	if err != nil || resp.StatusCode != 200 {
+		t.Fatalf("nil store handler: %v %v", err, resp)
+	}
+	var snap SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	resp.Body.Close()
+	if len(snap.Series) != 0 {
+		t.Fatalf("nil store should serve an empty snapshot, got %+v", snap)
+	}
+}
+
+// TestTimeseriesGoldenJSON pins the /timeseries wire format byte for
+// byte: anor-top and external consumers parse this shape.
+func TestTimeseriesGoldenJSON(t *testing.T) {
+	st := NewStore(Resolution{1, 8}, Resolution{10, 4})
+	now := time.Unix(1000, 0)
+	st.Series("sim_power_watts").RecordUnix(998, 40)
+	st.Series("sim_power_watts").RecordUnix(998, 60)
+	st.Series("sim_power_watts").RecordUnix(999, 55)
+	st.Series("sim_queue_depth").RecordUnix(999, 3)
+
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+	resp, err := srv.Client().Get(srv.URL + "/timeseries?step=1&last=120")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var got SnapshotJSON
+	if err := json.NewDecoder(resp.Body).Decode(&got); err != nil {
+		t.Fatalf("decode: %v", err)
+	}
+	got.NowUnix = now.Unix() // the handler stamps wall time; pin it for the golden compare
+
+	want := SnapshotJSON{
+		NowUnix: 1000,
+		StepsS:  []int64{1, 10},
+		Series: []SeriesJSON{
+			{Name: "sim_power_watts", StepS: 1, Points: []PointJSON{
+				{T: 998, Min: 40, Mean: 50, Max: 60, Last: 60, Count: 2},
+				{T: 999, Min: 55, Mean: 55, Max: 55, Last: 55, Count: 1},
+			}},
+			{Name: "sim_queue_depth", StepS: 1, Points: []PointJSON{
+				{T: 999, Min: 3, Mean: 3, Max: 3, Last: 3, Count: 1},
+			}},
+		},
+	}
+	gb, _ := json.Marshal(got)
+	wb, _ := json.Marshal(want)
+	if string(gb) != string(wb) {
+		t.Fatalf("golden mismatch\n got %s\nwant %s", gb, wb)
+	}
+}
+
+func TestTimeseriesQueryParams(t *testing.T) {
+	st := NewStore(Resolution{1, 8}, Resolution{10, 4})
+	st.Series("a_one").RecordUnix(5, 1)
+	st.Series("b_two").RecordUnix(5, 2)
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+
+	var snap SnapshotJSON
+	resp, err := srv.Client().Get(srv.URL + "/timeseries?series=a_&step=10")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if len(snap.Series) != 1 || snap.Series[0].Name != "a_one" || snap.Series[0].StepS != 10 {
+		t.Fatalf("prefix+step filter: %+v", snap.Series)
+	}
+
+	resp, err = srv.Client().Get(srv.URL + "/timeseries?step=nope")
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != 400 {
+		t.Fatalf("bad step should 400, got %d", resp.StatusCode)
+	}
+}
+
+func TestLabelFormatsPromStyle(t *testing.T) {
+	if got := Label("endpoint_power_watts", "job", "j1"); got != `endpoint_power_watts{job="j1"}` {
+		t.Fatalf("Label = %q", got)
+	}
+}
