@@ -87,6 +87,9 @@ func check() {
 	if !checkTelemetryBudget(repeats) {
 		failed = true
 	}
+	if !checkLedgerBudget(repeats) {
+		failed = true
+	}
 	if failed {
 		os.Exit(1)
 	}
@@ -117,6 +120,31 @@ func checkTelemetryBudget(repeats int) bool {
 		status = "FAIL"
 	}
 	fmt.Printf("check: telemetry alloc budget: %s (enabling telemetry: %.2f → %.2f allocs/step, limit +%.1f)\n",
+		status, off.AllocsPerStep, on.AllocsPerStep, allocSlack)
+	return status == "ok"
+}
+
+// checkLedgerBudget gates the energy-accounting overhead the same
+// self-relative way: the cell measured with the per-job ledger attached
+// must stay within allocSlack allocs/step of the ledger-off run.
+func checkLedgerBudget(repeats int) bool {
+	base := experiments.SimPerfConfig{Nodes: 1000, Repeats: repeats, Seed: *seed, MaxProcs: 4}
+	off, err := experiments.SimPerf(base)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withLed := base
+	withLed.Ledger = true
+	on, err := experiments.SimPerf(withLed)
+	if err != nil {
+		log.Fatal(err)
+	}
+	delta := on.AllocsPerStep - off.AllocsPerStep
+	status := "ok"
+	if delta > allocSlack {
+		status = "FAIL"
+	}
+	fmt.Printf("check: ledger alloc budget: %s (enabling accounting: %.2f → %.2f allocs/step, limit +%.1f)\n",
 		status, off.AllocsPerStep, on.AllocsPerStep, allocSlack)
 	return status == "ok"
 }

@@ -1,0 +1,38 @@
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"repro/internal/experiments"
+)
+
+// energy is the per-job energy accounting report: one deterministic
+// 1000-node run with the ledger attached, printed as a joules table
+// plus the conservation-audit line.
+func energy() {
+	cfg := experiments.EnergyConfig{Seed: *seed}
+	if *quick {
+		cfg.Nodes = 200
+		cfg.Horizon = 2 * time.Minute
+	}
+	snap, res, err := experiments.EnergyReport(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("energy accounting over %d tracked seconds (%d jobs done, %d unfinished):\n",
+		len(res.Tracking), len(res.Jobs), res.Unfinished)
+	audit := "audit ok (bit-exact)"
+	if !snap.Conserved {
+		audit = fmt.Sprintf("AUDIT BROKEN Δ=%dµJ errs=%d", snap.ConservationDeltaMicroJ, snap.Errors)
+	}
+	fmt.Printf("total %.0f J = jobs %.0f J + idle %.0f J — %s\n",
+		snap.TotalJoules, snap.JobsJoules, snap.IdleJoules, audit)
+	fmt.Printf("%-12s %-10s %5s %12s %9s %9s %7s %6s %9s\n",
+		"job", "type", "nodes", "joules", "avg W", "peak W", "thr s", "stint", "slowdown")
+	for _, j := range snap.Top(15) {
+		fmt.Printf("%-12s %-10s %5d %12.0f %9.1f %9.1f %7.0f %6d %9.2f\n",
+			j.ID, j.Type, j.Nodes, j.Joules, j.AvgWatts, j.PeakWatts, j.ThrottledS, j.Stints, j.Slowdown)
+	}
+}

@@ -17,6 +17,7 @@
 //	anor-bench qos       # §5.2 queue-trace wait/exec statistic
 //	anor-bench train     # AQA bid training (§4.4)
 //	anor-bench perf      # tabular-simulator throughput (see BENCH_sim.json)
+//	anor-bench energy    # per-job energy accounting report with conservation audit
 //	anor-bench check     # perf-regression gate against BENCH_sim.json (CI)
 //	anor-bench all       # everything above (perf and check excluded)
 package main
@@ -37,7 +38,7 @@ var (
 
 func main() {
 	flag.Usage = func() {
-		fmt.Fprintln(os.Stderr, "usage: anor-bench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fit|qos|train|perf|check|all}")
+		fmt.Fprintln(os.Stderr, "usage: anor-bench [flags] {fig3|fig4|fig5|fig6|fig7|fig8|fig9|fig10|fig11|fit|qos|train|perf|energy|check|all}")
 		flag.PrintDefaults()
 	}
 	flag.Parse()
@@ -51,7 +52,7 @@ func main() {
 		"fig6": fig6, "fig7": fig7, "fig8": fig8,
 		"fig9": fig9, "fig10": fig10, "fig11": fig11,
 		"fit": fit, "qos": qos, "train": train, "ablate": ablate, "hier": hierTable,
-		"perf": perf, "check": check,
+		"perf": perf, "energy": energy, "check": check,
 	}
 	if cmd == "all" {
 		for _, name := range []string{"fig3", "fit", "fig4", "fig5", "fig6", "fig7", "fig8", "fig9", "fig10", "fig11", "qos", "train", "ablate", "hier"} {

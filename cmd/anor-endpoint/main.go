@@ -9,7 +9,9 @@
 // rates, cap-application latency, and model-fit residuals; -events
 // streams epoch-batch/model-refit/cap-fan-out events as JSONL;
 // -telemetry retains job-labelled power/cap/epoch-rate rollup series as
-// /timeseries, and -record tees them into a flight-recorder file.
+// /timeseries, and -record tees them into a flight-recorder file. An
+// energy ledger accrues this job's joules from every sample, serves
+// /accounting on the -metrics address, and prints an energy line at exit.
 //
 // Usage:
 //
@@ -31,6 +33,7 @@ import (
 	"repro/internal/clock"
 	"repro/internal/endpointd"
 	"repro/internal/geopm"
+	"repro/internal/ledger"
 	"repro/internal/modeler"
 	"repro/internal/nodesim"
 	"repro/internal/obs"
@@ -101,6 +104,9 @@ func main() {
 			defer rec.Flush()
 		}
 	}
+	// The job-tier energy ledger: one account (this job) accrued from
+	// every telemetry sample, served as /accounting alongside /metrics.
+	led := ledger.New()
 	var registry *obs.Registry
 	if *metricsAddr != "" {
 		registry = obs.NewRegistry()
@@ -108,12 +114,14 @@ func main() {
 		if store != nil {
 			mounts = append(mounts, obs.Mount{Pattern: "/timeseries", Handler: store.Handler()})
 		}
+		mounts = append(mounts, obs.Mount{Pattern: "/accounting",
+			Handler: led.Handler(func() int64 { return time.Now().UnixMilli() })})
 		admin, err := obs.StartAdmin(*metricsAddr, registry, nil, mounts...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer admin.Close()
-		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /timeseries, /debug/pprof/)", admin.Addr())
+		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /timeseries, /accounting, /debug/pprof/)", admin.Addr())
 	}
 	var tracer *obs.Tracer
 	if *eventsOut != "" {
@@ -163,6 +171,7 @@ func main() {
 		Metrics:       registry,
 		Tracer:        tracer,
 		Telemetry:     store,
+		Ledger:        led,
 		Log:           logger,
 		ReconnectMin:  *reconnectMin,
 		ReconnectMax:  *reconnectMax,
@@ -217,5 +226,10 @@ func main() {
 	base := typ.BaseSeconds * *variation
 	if base > 0 && res.AppSeconds > 0 {
 		fmt.Printf("Slowdown vs uncapped: %.1f%%\n", 100*(res.AppSeconds/base-1))
+	}
+	acct := led.SnapshotAt(time.Now().UnixMilli())
+	for _, j := range acct.Jobs {
+		fmt.Printf("Energy: %.0f J (avg %.1f W, peak %.1f W, %.0f s throttled)\n",
+			j.Joules, j.AvgWatts, j.PeakWatts, j.ThrottledS)
 	}
 }

@@ -15,12 +15,17 @@
 // /timeseries, and pprof so anor-top can attach live; -record FILE
 // streams every telemetry sample into a flight-recorder file replayable
 // with anor-top -replay, and -profile-dir rotates continuous CPU/heap
-// profiles. None of it changes any simulated number: observability is
-// strictly read-only against the deterministic sharded simulator.
+// profiles. Single runs carry a per-job energy ledger (printed after the
+// run and served live as /accounting), and -slo RULES evaluates
+// declarative SLO rules over the virtual-time rollups, printing a
+// machine-readable slo-verdict: line. None of it changes any simulated
+// number: observability is strictly read-only against the deterministic
+// sharded simulator.
 package main
 
 import (
 	"context"
+	"encoding/json"
 	"flag"
 	"fmt"
 	"log"
@@ -33,10 +38,12 @@ import (
 	"repro/internal/budget"
 	"repro/internal/dr"
 	"repro/internal/faults"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/schedule"
 	"repro/internal/sim"
+	"repro/internal/slo"
 	"repro/internal/stats"
 	"repro/internal/sweep"
 	"repro/internal/telemetry"
@@ -68,12 +75,16 @@ func main() {
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /timeseries, and pprof on this address so anor-top can attach live; empty disables")
 	recordOut := flag.String("record", "", "write every telemetry sample to this binary flight-recorder file (replayable with anor-top -replay)")
 	profileDir := flag.String("profile-dir", "", "rotate continuous CPU+heap profiles into this directory; empty disables")
+	sloPath := flag.String("slo", "", "SLO rule file (JSON): rules are evaluated against the run's virtual-time rollups and the verdict prints as a machine-readable slo-verdict: line (single run)")
 	flag.Parse()
 	if *runs < 1 {
 		log.Fatalf("anor-sim: -runs must be ≥ 1 (got %d)", *runs)
 	}
 	if *table != "" && *runs > 1 {
 		log.Fatal("anor-sim: -table writes one run's state; use it with -runs=1")
+	}
+	if *sloPath != "" && *runs > 1 {
+		log.Fatal("anor-sim: -slo evaluates one run's virtual-time series; use it with -runs=1")
 	}
 
 	var failures []faults.NodeEvent
@@ -141,7 +152,15 @@ func main() {
 	// file and served as /timeseries for a live anor-top.
 	var store *telemetry.Store
 	var registry *obs.Registry
-	if *telemetryAddr != "" || *recordOut != "" {
+	// The energy ledger follows the telemetry rule: one run's virtual
+	// timeline per ledger (sweep runs would all stamp the same virtual
+	// milliseconds and collide), so only single runs carry one.
+	var led *ledger.Ledger
+	if *runs == 1 {
+		led = ledger.New()
+	}
+	var sloEngine *slo.Engine
+	if *telemetryAddr != "" || *recordOut != "" || *sloPath != "" {
 		store = telemetry.NewStore()
 		registry = obs.NewRegistry()
 		if *recordOut != "" {
@@ -154,18 +173,36 @@ func main() {
 			store.SetRecorder(rec)
 			defer rec.Flush()
 		}
+		if *sloPath != "" {
+			rules, err := slo.LoadFile(*sloPath)
+			if err != nil {
+				log.Fatal(err)
+			}
+			sloEngine = slo.NewEngine(store, rules, tracer)
+			if led != nil {
+				// A live /slo scrape mid-run evaluates at the virtual
+				// front the ledger has settled to, not wall time.
+				sloEngine.SetNow(func() time.Time { return time.UnixMilli(led.LastMs()) })
+			}
+		}
 		sampler := telemetry.StartSampler(telemetry.SamplerConfig{
 			Store: store, Registry: registry, Tracer: tracer,
 		})
 		defer sampler.Close()
 		if *telemetryAddr != "" {
-			admin, err := obs.StartAdmin(*telemetryAddr, registry, nil,
-				obs.Mount{Pattern: "/timeseries", Handler: store.Handler()})
+			mounts := []obs.Mount{{Pattern: "/timeseries", Handler: store.Handler()}}
+			if led != nil {
+				mounts = append(mounts, obs.Mount{Pattern: "/accounting", Handler: led.Handler(led.LastMs)})
+			}
+			if sloEngine != nil {
+				mounts = append(mounts, obs.Mount{Pattern: "/slo", Handler: sloEngine.Handler()})
+			}
+			admin, err := obs.StartAdmin(*telemetryAddr, registry, nil, mounts...)
 			if err != nil {
 				log.Fatal(err)
 			}
 			defer admin.Close()
-			log.Printf("anor-sim: telemetry on http://%s (/metrics, /timeseries, /debug/pprof/)", admin.Addr())
+			log.Printf("anor-sim: telemetry on http://%s (/metrics, /timeseries, /accounting, /debug/pprof/)", admin.Addr())
 		}
 	}
 	if *profileDir != "" {
@@ -267,6 +304,7 @@ func main() {
 		// seconds and collide in one store).
 		cfg.Telemetry = store
 		cfg.Metrics = registry
+		cfg.Ledger = led
 		if *table != "" {
 			f, err := os.Create(*table)
 			if err != nil {
@@ -283,6 +321,18 @@ func main() {
 			log.Fatal(err)
 		}
 		printRun(res)
+		printEnergy(led)
+		if sloEngine != nil {
+			// Pin evaluation to the run's virtual end so window math
+			// sees the same "now" the recorded series were stamped with.
+			end := time.UnixMilli(led.LastMs())
+			if n := len(res.Tracking); n > 0 {
+				end = res.Tracking[n-1].Time.Add(time.Second)
+			}
+			sloEngine.SetNow(func() time.Time { return end })
+			verdict, _ := json.Marshal(sloEngine.Evaluate(end))
+			fmt.Printf("slo-verdict: %s\n", verdict)
+		}
 		return
 	}
 
@@ -356,6 +406,25 @@ func startProgress(enabled bool, runs int, steps, runsDone *obs.Counter) func() 
 		}
 	}()
 	return func() { close(done); wg.Wait() }
+}
+
+// printEnergy reports the per-job energy accounting: the conservation
+// audit line plus the top consumers by joules.
+func printEnergy(led *ledger.Ledger) {
+	if led == nil {
+		return
+	}
+	a := led.SnapshotAt(led.LastMs())
+	audit := "audit ok"
+	if !a.Conserved {
+		audit = fmt.Sprintf("AUDIT BROKEN Δ=%dµJ errs=%d", a.ConservationDeltaMicroJ, a.Errors)
+	}
+	fmt.Printf("energy: total %.0f J (jobs %.0f J, idle %.0f J), %d requeues, %s\n",
+		a.TotalJoules, a.JobsJoules, a.IdleJoules, a.Requeues, audit)
+	for _, j := range a.Top(5) {
+		fmt.Printf("  %-14s %-10s %12.0f J  avg %7.1f W  peak %7.1f W  thr %5.0f s  n=%d\n",
+			j.ID, j.Type, j.Joules, j.AvgWatts, j.PeakWatts, j.ThrottledS, j.Nodes)
+	}
 }
 
 // printRun reports one simulation in full detail.

@@ -9,6 +9,12 @@
 //	anor-top :9790 localhost:9791            # live, redrawn every -every
 //	anor-top -once :9790                     # one snapshot to stdout
 //	anor-top -replay run.rec                 # inspect a flight-recorder file
+//	anor-top -series power :9790             # only series containing "power"
+//
+// Daemons running with an energy ledger (/accounting) or an SLO engine
+// (/slo, the -slo flag) additionally get a per-job energy panel and a
+// rule-verdict panel; replayed recordings derive the alert panel from
+// the recorded slo_fired series.
 //
 // Daemons serve the endpoints when started with -telemetry (anord,
 // anor-endpoint: on their -metrics address; anor-sim: on its -telemetry
@@ -37,10 +43,12 @@ func main() {
 	step := flag.Int64("step", 0, "rollup resolution in seconds (0 = finest the daemon retains)")
 	last := flag.Int("last", 120, "buckets per series (0 = all retained)")
 	width := flag.Int("width", 100, "render width in columns")
+	series := flag.String("series", "", "show only series whose name contains this substring")
 	flag.Parse()
 
 	if *replay != "" {
 		src := replaySource(*replay, *step, *last)
+		src.Snap = fleetview.Filter(src.Snap, *series)
 		fleetview.Render(os.Stdout, []fleetview.Source{src}, *width)
 		if src.Err != nil {
 			os.Exit(1)
@@ -61,14 +69,14 @@ func main() {
 	defer stop()
 
 	if *once {
-		if !render(ctx, os.Stdout, clients, addrs, *step, *last, *width) {
+		if !render(ctx, os.Stdout, clients, addrs, *step, *last, *width, *series) {
 			os.Exit(1)
 		}
 		return
 	}
 	for {
 		fmt.Print("\x1b[H\x1b[2J") // home + clear: steady full-screen redraw
-		render(ctx, os.Stdout, clients, addrs, *step, *last, *width)
+		render(ctx, os.Stdout, clients, addrs, *step, *last, *width, *series)
 		fmt.Printf("every %s — ctrl-c to quit\n", *every)
 		select {
 		case <-ctx.Done():
@@ -80,7 +88,7 @@ func main() {
 
 // render polls every target and draws the dashboard, reporting whether
 // at least one target answered with a non-empty series set.
-func render(ctx context.Context, w *os.File, clients []*fleetview.Client, addrs []string, step int64, last, width int) bool {
+func render(ctx context.Context, w *os.File, clients []*fleetview.Client, addrs []string, step int64, last, width int, series string) bool {
 	sources := make([]fleetview.Source, len(clients))
 	ok := false
 	for i, c := range clients {
@@ -89,9 +97,12 @@ func render(ctx context.Context, w *os.File, clients []*fleetview.Client, addrs 
 		if err != nil {
 			src.Err = err
 		} else {
-			src.Snap = snap
-			// /metrics enriches the panel but its absence is not fatal.
+			src.Snap = fleetview.Filter(snap, series)
+			// /metrics, /accounting, and /slo enrich the panel but a
+			// daemon not serving them is not down.
 			src.Prom, _ = c.Metrics(ctx)
+			src.Acct, _ = c.Accounting(ctx)
+			src.SLO, _ = c.SLO(ctx)
 			if len(snap.Series) > 0 {
 				ok = true
 			}

@@ -13,7 +13,10 @@
 // serves them as /timeseries JSON for anor-top; -record additionally
 // streams every sample into a binary flight-recorder file that anor-top
 // can replay offline, and -profile-dir rotates continuous CPU/heap
-// profiles.
+// profiles. A per-job energy ledger always runs, serving /accounting
+// (joules, watts, throttled seconds, and a conservation audit per job);
+// -slo RULES evaluates declarative SLO rules over the telemetry rollups,
+// serves the verdicts as /slo, and emits alert events on transitions.
 //
 // Usage:
 //
@@ -36,9 +39,11 @@ import (
 	"repro/internal/budget"
 	"repro/internal/clock"
 	"repro/internal/clustermgr"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/schedule"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 	"repro/internal/trace"
 	"repro/internal/units"
@@ -62,6 +67,7 @@ func main() {
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address (e.g. :9790); empty disables")
 	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
 	telemetryOn := flag.Bool("telemetry", false, "retain multi-resolution rollup series in memory and serve /timeseries on the -metrics address")
+	sloPath := flag.String("slo", "", "SLO rule file (JSON); evaluates rules over the -telemetry rollups, serves /slo on the -metrics address, and emits alert events")
 	recordOut := flag.String("record", "", "append every telemetry sample to this binary flight-recorder file (implies -telemetry)")
 	profileDir := flag.String("profile-dir", "", "rotate continuous CPU+heap profiles into this directory; empty disables")
 	verbose := flag.Bool("v", false, "enable debug logging")
@@ -129,6 +135,22 @@ func main() {
 		}
 		defer prof.Close()
 	}
+	var sloEngine *slo.Engine
+	if *sloPath != "" {
+		if store == nil {
+			fatalf("-slo needs -telemetry: rules evaluate over the rollup store")
+		}
+		rules, err := slo.LoadFile(*sloPath)
+		if err != nil {
+			fatalf("loading SLO rules: %v", err)
+		}
+		sloEngine = slo.NewEngine(store, rules, tracer)
+		logger.Infof("slo: %d rules loaded from %s", len(rules), *sloPath)
+	}
+	// The energy ledger is always on: attribution costs one map lookup
+	// per connected job per tick, and the shutdown audit line plus the
+	// /accounting endpoint are worth that even on small clusters.
+	led := ledger.New()
 
 	typeModels := map[string]perfmodel.Model{}
 	for _, t := range workload.Catalog() {
@@ -187,6 +209,7 @@ func main() {
 		Metrics:          registry,
 		Tracer:           tracer,
 		Telemetry:        store,
+		Ledger:           led,
 		Reserve:          units.Power(*reserve),
 		Log:              logger,
 	})
@@ -200,12 +223,17 @@ func main() {
 		if store != nil {
 			mounts = append(mounts, obs.Mount{Pattern: "/timeseries", Handler: store.Handler()})
 		}
+		mounts = append(mounts, obs.Mount{Pattern: "/accounting",
+			Handler: led.Handler(func() int64 { return time.Now().UnixMilli() })})
+		if sloEngine != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/slo", Handler: sloEngine.Handler()})
+		}
 		admin, err := obs.StartAdmin(*metricsAddr, registry, nil, mounts...)
 		if err != nil {
 			fatalf("%v", err)
 		}
 		defer admin.Close()
-		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /timeseries, /debug/pprof/)", admin.Addr())
+		logger.Infof("admin endpoint on http://%s (/metrics, /healthz, /timeseries, /accounting, /debug/pprof/)", admin.Addr())
 	}
 
 	ln, err := net.Listen("tcp", *listen)
@@ -223,6 +251,11 @@ func main() {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 	go mgr.Run(ctx)
+	if sloEngine != nil {
+		// Evaluate at the rebudget cadence: each verdict then reflects
+		// the telemetry the loop just produced.
+		go sloEngine.Run(ctx, *period)
+	}
 
 	// Flush the tracking series (and any event stream) periodically so a
 	// crash mid-experiment loses at most one flush interval, not the
@@ -259,6 +292,13 @@ func main() {
 	sum := trace.Summarize(pts, units.Power(*reserve))
 	logger.Infof("%d tracking points, mean |err| %s, P90 err %.1f%%, constraint ok=%v",
 		sum.Points, sum.MeanAbsErr, 100*sum.P90Err, sum.WithinConstraint)
+	acct := led.SnapshotAt(time.Now().UnixMilli())
+	logger.Infof("energy: total %.0f J (jobs %.0f J, idle %.0f J), %d jobs opened, %d requeues, conserved=%v",
+		acct.TotalJoules, acct.JobsJoules, acct.IdleJoules, acct.Opens, acct.Requeues, acct.Conserved)
+	if sloEngine != nil {
+		v := sloEngine.Evaluate(time.Now())
+		logger.Infof("slo: %d fired, %d ok, %d no-data", v.Fired, v.OK, v.NoData)
+	}
 	if *traceOut != "" {
 		if err := writeTraceCSV(*traceOut, pts); err != nil {
 			fatalf("%v", err)

@@ -20,6 +20,7 @@ import (
 	"repro/internal/endpointd"
 	"repro/internal/faults"
 	"repro/internal/geopm"
+	"repro/internal/ledger"
 	"repro/internal/modeler"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -50,7 +51,7 @@ type cluster struct {
 	ln  net.Listener
 }
 
-func startCluster(t *testing.T, ctx context.Context, heartbeat time.Duration) *cluster {
+func startCluster(t *testing.T, ctx context.Context, heartbeat time.Duration, led *ledger.Ledger) *cluster {
 	t.Helper()
 	reg := obs.NewRegistry()
 	mgr, err := clustermgr.NewManager(clustermgr.Config{
@@ -65,6 +66,7 @@ func startCluster(t *testing.T, ctx context.Context, heartbeat time.Duration) *c
 		HeartbeatTimeout: heartbeat,
 		WriteTimeout:     time.Second,
 		Metrics:          reg,
+		Ledger:           led,
 	})
 	if err != nil {
 		t.Fatal(err)
@@ -167,7 +169,7 @@ func cleanTailErr(t *testing.T) float64 {
 	t.Helper()
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
-	cl := startCluster(t, ctx, 0)
+	cl := startCluster(t, ctx, 0, nil)
 	defer cl.ln.Close()
 	reg := obs.NewRegistry()
 	addr := cl.ln.Addr().String()
@@ -194,7 +196,7 @@ func TestChaosEndToEnd(t *testing.T) {
 	ctx, cancel := context.WithCancel(context.Background())
 	defer cancel()
 	before := runtime.NumGoroutine()
-	cl := startCluster(t, ctx, 250*time.Millisecond)
+	cl := startCluster(t, ctx, 250*time.Millisecond, nil)
 	defer cl.ln.Close()
 	addr := cl.ln.Addr().String()
 

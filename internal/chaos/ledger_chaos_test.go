@@ -1,0 +1,109 @@
+package chaos
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/faults"
+	"repro/internal/ledger"
+	"repro/internal/obs"
+)
+
+// TestChaosLedgerConservation runs the energy ledger through the wire
+// chaos: seeded drops, mid-frame resets, and a partition force the
+// endpoints through disconnect/reconnect cycles, which on the manager
+// side means Detached closes, reopened residency stints, and the
+// reconnect-supersede race. Whatever the interleaving, attribution must
+// stay double-entry consistent: one record per job ID, zero accounting
+// errors, energy monotonically increasing, and the conservation
+// identity intact at every sample point and after full teardown.
+func TestChaosLedgerConservation(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	led := ledger.New()
+	cl := startCluster(t, ctx, 250*time.Millisecond, led)
+	defer cl.ln.Close()
+	addr := cl.ln.Addr().String()
+
+	freg := obs.NewRegistry()
+	in := faults.NewInjector(faults.Plan{
+		Seed:       7,
+		DropProb:   0.05,
+		ResetEvery: 30,
+		Partitions: []faults.Window{{From: 300 * time.Millisecond, To: 600 * time.Millisecond}},
+	}, nil, freg)
+	dial := in.WrapDial(func() (net.Conn, error) { return net.Dial("tcp", addr) })
+
+	ereg := obs.NewRegistry()
+	startEndpoint(t, ctx, ereg, "bt-1", "bt.D.81", 2, dial)
+	startEndpoint(t, ctx, ereg, "sp-1", "sp.D.81", 2, dial)
+	waitFor(t, "both jobs registered", func() bool { return cl.mgr.ActiveJobs() == 2 })
+
+	// Audit while the chaos plays out: every sample must conserve, never
+	// grow a duplicate record, and never lose energy already attributed.
+	reconnBT := ereg.CounterVec("endpoint_reconnects_total", "", "job").With("bt-1")
+	reconnSP := ereg.CounterVec("endpoint_reconnects_total", "", "job").With("sp-1")
+	var lastTotal float64
+	audit := func(when string) ledger.Snapshot {
+		snap := led.SnapshotAt(time.Now().UnixMilli())
+		if !snap.Conserved {
+			t.Fatalf("%s: conservation broken: Δ=%dµJ errors=%d", when, snap.ConservationDeltaMicroJ, snap.Errors)
+		}
+		if snap.Errors != 0 {
+			t.Fatalf("%s: %d accounting errors", when, snap.Errors)
+		}
+		if len(snap.Jobs) > 2 {
+			t.Fatalf("%s: %d job records for 2 job IDs", when, len(snap.Jobs))
+		}
+		if snap.TotalJoules < lastTotal {
+			t.Fatalf("%s: total energy went backwards: %.3f J after %.3f J", when, snap.TotalJoules, lastTotal)
+		}
+		lastTotal = snap.TotalJoules
+		return snap
+	}
+	deadline := time.Now().Add(15 * time.Second)
+	for reconnBT.Value()+reconnSP.Value() < 1 || in.Partitioned() || cl.mgr.ActiveJobs() != 2 {
+		if time.Now().After(deadline) {
+			t.Fatal("chaos never produced a reconnect with both jobs re-registered")
+		}
+		audit("mid-chaos")
+		time.Sleep(10 * time.Millisecond)
+	}
+
+	// Recovery: both jobs resident again, stints reflect the churn the
+	// wire actually caused (reconnects may supersede a live session, which
+	// inherits the open stint instead of starting a new one).
+	waitFor(t, "ledger sees both jobs resident", func() bool {
+		snap := led.SnapshotAt(time.Now().UnixMilli())
+		return snap.OpenJobs == 2
+	})
+	snap := audit("post-recovery")
+	if snap.Opens < 2 {
+		t.Fatalf("post-recovery: %d opens for 2 jobs", snap.Opens)
+	}
+
+	// Energy keeps accruing after the chaos clears.
+	waitFor(t, "energy accrues post-chaos", func() bool {
+		return led.SnapshotAt(time.Now().UnixMilli()).TotalJoules > snap.TotalJoules
+	})
+
+	// Full teardown closes every residency; the books must balance with
+	// nothing resident and opens matched by closes.
+	cancel()
+	cl.ln.Close()
+	cl.mgr.Wait()
+	final := audit("after teardown")
+	if final.OpenJobs != 0 {
+		t.Fatalf("after teardown: %d jobs still resident", final.OpenJobs)
+	}
+	if final.Closes != final.Opens {
+		t.Fatalf("after teardown: %d opens vs %d closes", final.Opens, final.Closes)
+	}
+	for _, j := range final.Jobs {
+		if j.Joules <= 0 {
+			t.Errorf("job %s attributed no energy through the chaos", j.ID)
+		}
+	}
+}

@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/clock"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/proto"
@@ -85,6 +86,13 @@ type Config struct {
 	// series in rollup rings — the data behind /timeseries and the flight
 	// recorder. Nil disables with no overhead.
 	Telemetry *telemetry.Store
+	// Ledger, when non-nil, receives per-job energy attribution: a record
+	// opens at Hello, accrues each job's last-reported power every tick
+	// (idle nodes accrue IdlePower), and closes as Detached when the
+	// endpoint deregisters. The ledger's internal double-entry identity is
+	// exact; against wall-clock power integrals it is tick-quantized.
+	// Nil disables with no overhead.
+	Ledger *ledger.Ledger
 	// Reserve is the demand-response reserve used to normalize the
 	// tracking-error distribution; zero skips the relative histogram.
 	Reserve units.Power
@@ -177,6 +185,10 @@ type jobState struct {
 	lastPing time.Time
 	// pingSeq sequences this endpoint's probes.
 	pingSeq uint64
+	// led is the job's energy-ledger account. It survives a
+	// reconnect-supersede: the fresh session inherits the handle so the
+	// job keeps one continuous record.
+	led ledger.Handle
 }
 
 // Manager is the cluster-tier power manager.
@@ -280,16 +292,29 @@ func (m *Manager) handleConn(c *proto.Conn) {
 	if mdl, ok := m.cfg.TypeModels[hello.TypeName]; ok {
 		believed = mdl
 	}
+	now := m.cfg.Clock.Now()
 	j := &jobState{
 		id:        hello.JobID,
 		nodes:     hello.Nodes,
 		conn:      c,
 		believed:  believed,
 		lastPower: m.cfg.IdlePower * units.Power(hello.Nodes),
-		lastSeen:  m.cfg.Clock.Now(),
+		lastSeen:  now,
 	}
 	m.mu.Lock()
 	old := m.jobs[hello.JobID]
+	if m.cfg.Ledger != nil {
+		if old != nil {
+			// The job's account is still open; the fresh session carries it
+			// forward rather than double-opening.
+			j.led = old.led
+		} else {
+			j.led = m.cfg.Ledger.Open(ledger.JobMeta{
+				ID: hello.JobID, Type: hello.TypeName, Nodes: hello.Nodes,
+				SubmitMs: now.UnixMilli(),
+			}, now.UnixMilli())
+		}
+	}
 	m.jobs[hello.JobID] = j
 	m.mu.Unlock()
 	if old != nil {
@@ -315,6 +340,9 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		m.mu.Unlock()
 		if !mine {
 			return
+		}
+		if m.cfg.Ledger != nil {
+			m.cfg.Ledger.Close(j.led, m.cfg.Clock.Now().UnixMilli(), ledger.Detached)
 		}
 		m.met.endpoints.Add(-1)
 		m.met.jobAlloc.Delete(hello.JobID)
@@ -401,6 +429,21 @@ func (m *Manager) snapshot(now time.Time) (jobs []budget.Job, conns map[string]*
 	return jobs, conns, busyNodes, measured
 }
 
+// ledgerAccrue folds the tick's power view into the energy ledger: each
+// registered job accrues its last-reported power until the next rate
+// change, idle nodes accrue IdlePower. A job is counted throttled while
+// its reported power has reached its allocated whole-job cap.
+func (m *Manager) ledgerAccrue(now time.Time, idleNodes int) {
+	ms := now.UnixMilli()
+	m.mu.Lock()
+	for _, j := range m.jobs {
+		throttled := j.lastCap > 0 && j.lastPower >= j.lastCap*units.Power(j.nodes)
+		m.cfg.Ledger.SetPower(j.led, ms, j.lastPower.Watts(), throttled)
+	}
+	m.mu.Unlock()
+	m.cfg.Ledger.SetIdle(ms, idleNodes, m.cfg.IdlePower.Watts())
+}
+
 // checkLiveness enforces the heartbeat deadline: endpoints quiet for more
 // than half the deadline are pinged, endpoints quiet past the full
 // deadline are evicted (connection closed; the handler deregisters and
@@ -476,6 +519,9 @@ func (m *Manager) Tick() {
 		idleNodes = 0
 	}
 	idleDraw := m.cfg.IdlePower * units.Power(idleNodes)
+	if m.cfg.Ledger != nil {
+		m.ledgerAccrue(now, idleNodes)
+	}
 
 	jobBudget := target - idleDraw
 	alloc := m.cfg.Budgeter.Allocate(jobs, jobBudget)

@@ -20,6 +20,7 @@ import (
 
 	"repro/internal/clock"
 	"repro/internal/geopm"
+	"repro/internal/ledger"
 	"repro/internal/modeler"
 	"repro/internal/obs"
 	"repro/internal/proto"
@@ -91,6 +92,13 @@ type Config struct {
 	// so one store — and one flight recording — can carry a whole fleet
 	// of endpoints. Nil disables with no overhead.
 	Telemetry *telemetry.Store
+	// Ledger, when non-nil, receives this job's energy attribution: a
+	// record opens when Run starts, accrues every fresh GEOPM sample's
+	// power at the sample's own timestamp, and closes as Detached when
+	// Run returns. This is the job-tier view — sample-resolution, no
+	// idle pool — complementing the cluster tier's tick-resolution
+	// accounting. Nil disables with no overhead.
+	Ledger *ledger.Ledger
 	// Log receives leveled diagnostics. Nil disables.
 	Log *obs.Logger
 }
@@ -168,6 +176,7 @@ type Endpoint struct {
 	lastEpochs    int64
 	lastEpochTime time.Time
 	lastRefits    int
+	led           ledger.Handle
 
 	// mu guards lastDecision, written by the receive goroutine and read
 	// by the report loop.
@@ -229,6 +238,13 @@ func New(cfg Config) (*Endpoint, error) {
 // last received cap for HoldDuration, then failing safe to FailsafeCap
 // until the link returns.
 func (e *Endpoint) Run(ctx context.Context) error {
+	if e.cfg.Ledger != nil {
+		ms := e.cfg.Clock.Now().UnixMilli()
+		e.led = e.cfg.Ledger.Open(ledger.JobMeta{
+			ID: e.cfg.JobID, Type: e.cfg.TypeName, Nodes: e.cfg.Nodes, SubmitMs: ms,
+		}, ms)
+		defer func() { e.cfg.Ledger.Close(e.led, e.cfg.Clock.Now().UnixMilli(), ledger.Detached) }()
+	}
 	// The report loop runs under a pprof label so continuous profiles
 	// attribute per-job sampling/reporting time to this endpoint.
 	var err error
@@ -459,6 +475,12 @@ func (e *Endpoint) observeSample(sample geopm.Sample) {
 	e.met.powerDist.Observe(sample.Power.Watts())
 	e.tel.power.Record(sample.Time, sample.Power.Watts())
 	e.tel.cap.Record(sample.Time, sample.PowerCap.Watts())
+	if e.cfg.Ledger != nil {
+		// The sample's PowerCap is per node; the job is throttled while
+		// its whole-job draw has reached the fanned-out cap.
+		throttled := sample.PowerCap > 0 && sample.Power >= sample.PowerCap*units.Power(e.cfg.Nodes)
+		e.cfg.Ledger.SetPower(e.led, sample.Time.UnixMilli(), sample.Power.Watts(), throttled)
+	}
 
 	if delta := sample.EpochCount - e.lastEpochs; delta > 0 {
 		e.met.epochs.Add(uint64(delta))

@@ -1,0 +1,104 @@
+package endpointd
+
+import (
+	"context"
+	"net"
+	"testing"
+	"time"
+
+	"repro/internal/geopm"
+	"repro/internal/ledger"
+	"repro/internal/proto"
+)
+
+// TestLedgerAccruesFromSamples checks the job-tier attribution: energy
+// integrates the GEOPM samples' power at the samples' own timestamps,
+// a whole-job draw at the fanned-out cap counts as throttled time, and
+// the account closes as Detached when Run returns.
+func TestLedgerAccruesFromSamples(t *testing.T) {
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	led := ledger.New()
+	cfg.Ledger = led
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cluster := proto.NewConn(b)
+	defer cluster.Close()
+
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	// Sample timestamps sit on their own scale, slightly ahead of the
+	// wall-clock Open, so intervals between them are exact.
+	base := time.Now().Add(2 * time.Second)
+	// 333 W under a roomy 280 W/node cap (2 nodes): not throttled.
+	cfg.GEOPM.WriteSample(geopm.Sample{EpochCount: 1, Power: 333, PowerCap: 280, Time: base})
+	awaitEpochs(t, cluster, 1)
+	// Three seconds later, 400 W against a 100 W/node cap: throttled.
+	cfg.GEOPM.WriteSample(geopm.Sample{EpochCount: 2, Power: 400, PowerCap: 100, Time: base.Add(3 * time.Second)})
+	awaitEpochs(t, cluster, 2)
+
+	at := base.Add(5 * time.Second).UnixMilli()
+	snap := led.SnapshotAt(at)
+	if !snap.Conserved || snap.LateSamples != 0 {
+		t.Fatalf("audit broken: delta=%d µJ, late=%d", snap.ConservationDeltaMicroJ, snap.LateSamples)
+	}
+	if len(snap.Jobs) != 1 {
+		t.Fatalf("jobs = %d, want 1", len(snap.Jobs))
+	}
+	je := snap.Jobs[0]
+	// 333 W × 3 s + 400 W × 2 s, the last 2 s throttled.
+	if je.ID != "job-1" || je.Joules != 333*3+400*2 || !je.Resident {
+		t.Fatalf("account = %+v, want resident 1799 J", je)
+	}
+	if je.ThrottledS != 2 || je.PeakWatts != 400 {
+		t.Errorf("throttled %v s (want 2), peak %v W (want 400)", je.ThrottledS, je.PeakWatts)
+	}
+
+	cancel()
+	// Drain the synchronous pipe until Goodbye so the endpoint's final
+	// sends cannot block its shutdown.
+	for {
+		env, err := cluster.Recv()
+		if err != nil {
+			t.Fatalf("connection errored before goodbye: %v", err)
+		}
+		if env.Kind == proto.KindGoodbye {
+			break
+		}
+	}
+	select {
+	case <-done:
+	case <-time.After(5 * time.Second):
+		t.Fatal("Run did not return after cancel")
+	}
+	snap = led.SnapshotAt(at)
+	if snap.Closes != 1 || snap.Jobs[0].Resident {
+		t.Fatalf("after Run: closes=%d resident=%v, want one detached close", snap.Closes, snap.Jobs[0].Resident)
+	}
+	if !snap.Conserved {
+		t.Fatalf("post-close audit broken: delta=%d µJ", snap.ConservationDeltaMicroJ)
+	}
+}
+
+// awaitEpochs drains model updates until one reports the given epoch
+// count, proving the endpoint has observed (and accounted) the sample.
+func awaitEpochs(t *testing.T, cluster *proto.Conn, epochs int64) {
+	t.Helper()
+	deadline := time.Now().Add(5 * time.Second)
+	for {
+		env, err := cluster.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Kind == proto.KindModelUpdate && env.ModelUpdate.Epochs == epochs {
+			return
+		}
+		if time.Now().After(deadline) {
+			t.Fatalf("no model update reporting %d epochs", epochs)
+		}
+	}
+}

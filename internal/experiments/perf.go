@@ -7,6 +7,7 @@ import (
 	"time"
 
 	"repro/internal/dr"
+	"repro/internal/ledger"
 	"repro/internal/schedule"
 	"repro/internal/sim"
 	"repro/internal/stats"
@@ -42,6 +43,9 @@ type SimPerfConfig struct {
 	// to a discarding sink) to every run, measuring the retained-
 	// telemetry overhead against an otherwise identical configuration.
 	Telemetry bool
+	// Ledger attaches a fresh per-job energy ledger to every run,
+	// measuring the accounting overhead the same way.
+	Ledger bool
 }
 
 // SimPerfResult is one simulator throughput measurement, the record
@@ -72,6 +76,8 @@ type SimPerfResult struct {
 	// Telemetry records whether a rollup store + flight recorder were
 	// attached for the measurement.
 	Telemetry bool `json:"telemetry,omitempty"`
+	// Ledger records whether the energy ledger was attached.
+	Ledger bool `json:"ledger,omitempty"`
 }
 
 // SimPerf measures tabular-simulator throughput: a 75%-utilization
@@ -136,8 +142,18 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 		simCfg.Telemetry = st
 	}
 
+	// A ledger spans one virtual timeline, so each run gets a fresh one;
+	// the per-run map setup is amortized over the run's steps like every
+	// other setup allocation.
+	run := func() (sim.Result, error) {
+		if cfg.Ledger {
+			simCfg.Ledger = ledger.New()
+		}
+		return sim.Run(simCfg)
+	}
+
 	// Warmup run: faults in the binary and steadies the heap.
-	if _, err := sim.Run(simCfg); err != nil {
+	if _, err := run(); err != nil {
 		return SimPerfResult{}, err
 	}
 
@@ -155,7 +171,7 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 		steps, runSteps := 0, 0
 		var elapsed time.Duration
 		for {
-			res, err := sim.Run(simCfg)
+			res, err := run()
 			if err != nil {
 				return SimPerfResult{}, err
 			}
@@ -183,6 +199,7 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 				Shards:        cfg.Shards,
 				EventDriven:   !cfg.FullStepping,
 				Telemetry:     cfg.Telemetry,
+				Ledger:        cfg.Ledger,
 			}
 		}
 	}

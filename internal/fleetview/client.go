@@ -11,6 +11,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ledger"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -82,4 +84,35 @@ func (c *Client) Metrics(ctx context.Context) (*PromMetrics, error) {
 	}
 	defer body.Close()
 	return ParseProm(body)
+}
+
+// Accounting fetches /accounting, the per-job energy ledger snapshot. A
+// daemon running without a ledger does not mount the endpoint; callers
+// treat the error as "panel absent", not as the daemon being down.
+func (c *Client) Accounting(ctx context.Context) (*ledger.Snapshot, error) {
+	body, err := c.get(ctx, "/accounting")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var snap ledger.Snapshot
+	if err := json.NewDecoder(body).Decode(&snap); err != nil {
+		return nil, fmt.Errorf("fleetview: decoding /accounting: %w", err)
+	}
+	return &snap, nil
+}
+
+// SLO fetches /slo, the rule engine's latest verdict summary. Absent —
+// like /accounting — on daemons running without -slo.
+func (c *Client) SLO(ctx context.Context) (*slo.Summary, error) {
+	body, err := c.get(ctx, "/slo")
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var sum slo.Summary
+	if err := json.NewDecoder(body).Decode(&sum); err != nil {
+		return nil, fmt.Errorf("fleetview: decoding /slo: %w", err)
+	}
+	return &sum, nil
 }

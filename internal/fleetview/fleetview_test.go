@@ -7,7 +7,9 @@ import (
 	"testing"
 	"time"
 
+	"repro/internal/ledger"
 	"repro/internal/obs"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -226,5 +228,118 @@ func TestClientFetchesAdminEndpoints(t *testing.T) {
 	}
 	if _, err := (&Client{Base: srv.URL + "/missing"}).Timeseries(t.Context(), 0, 0); err == nil {
 		t.Fatal("404 path reported no error")
+	}
+}
+
+func TestFilterKeepsMatchingSeries(t *testing.T) {
+	snap := telemetry.SnapshotJSON{Series: []telemetry.SeriesJSON{
+		{Name: "sim_power_watts"}, {Name: "sim_queued_jobs"}, {Name: "anord_power_target_watts"},
+	}}
+	got := Filter(snap, "power")
+	if len(got.Series) != 2 || got.Series[0].Name != "sim_power_watts" || got.Series[1].Name != "anord_power_target_watts" {
+		t.Fatalf("Filter(power) = %+v", got.Series)
+	}
+	if got := Filter(snap, ""); len(got.Series) != 3 {
+		t.Fatalf("empty filter dropped series: %+v", got.Series)
+	}
+	if got := Filter(snap, "nope"); len(got.Series) != 0 {
+		t.Fatalf("non-matching filter kept series: %+v", got.Series)
+	}
+}
+
+// TestRenderEmptySeriesShowsPlaceholder: a series with no points in the
+// window must say so rather than render a blank sparkline.
+func TestRenderEmptySeriesShowsPlaceholder(t *testing.T) {
+	var sb strings.Builder
+	Render(&sb, []Source{{
+		Name: "x",
+		Snap: telemetry.SnapshotJSON{NowUnix: 1, Series: []telemetry.SeriesJSON{
+			{Name: "sim_energy_total_joules", StepS: 1, Points: []telemetry.PointJSON{}},
+		}},
+	}}, 90)
+	if !strings.Contains(sb.String(), "(no data)") {
+		t.Errorf("empty series rendered without placeholder:\n%s", sb.String())
+	}
+}
+
+// TestRenderEnergyAndSLOPanels drives the new /accounting and /slo
+// panels, plus the replay-side alert derivation from slo_fired series.
+func TestRenderEnergyAndSLOPanels(t *testing.T) {
+	led := ledger.New()
+	h := led.Open(ledger.JobMeta{ID: "job-7", Type: "bt", Nodes: 2}, 0)
+	led.SetPower(h, 0, 500, true)
+	led.SetIdle(0, 3, 70)
+	acct := led.SnapshotAt(4000)
+
+	sum := &slo.Summary{Fired: 1, OK: 1, Rules: []slo.Verdict{
+		{Rule: "power-cap", Series: "sim_power_measured_watts", State: "fired", Buckets: 10, Violations: 4, Worst: 999, Threshold: 800, Op: "le"},
+		{Rule: "queue", Series: "sim_queued_jobs", State: "ok", Buckets: 10, Op: "le", Threshold: 5},
+	}}
+
+	var sb strings.Builder
+	Render(&sb, []Source{{Name: "d", Acct: &acct, SLO: sum}}, 100)
+	out := sb.String()
+	for _, want := range []string{
+		"energy:", "audit ok", "job-7", "avg 500W", "thr 4s",
+		"slo: 1 fired, 1 ok", "FIRED  power-cap", "ok     queue",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("panels missing %q:\n%s", want, out)
+		}
+	}
+
+	// Replay shape: no live /slo, alerts derived from recorded series.
+	sb.Reset()
+	Render(&sb, []Source{{Name: "replay", Snap: telemetry.SnapshotJSON{NowUnix: 1, Series: []telemetry.SeriesJSON{
+		{Name: `slo_fired{rule="power-cap"}`, StepS: 1, Points: []telemetry.PointJSON{
+			{T: 1, Max: 0, Last: 0, Count: 1}, {T: 2, Max: 1, Last: 1, Count: 1},
+		}},
+	}}}}, 100)
+	out = sb.String()
+	if !strings.Contains(out, "alerts (recorded):") || !strings.Contains(out, "FIRED power-cap") ||
+		!strings.Contains(out, "fired in 1/2 evaluations") {
+		t.Errorf("recorded alert panel wrong:\n%s", out)
+	}
+}
+
+// TestClientFetchesAccountingAndSLO round-trips the new admin endpoints
+// and checks their absence surfaces as an error, not a panic.
+func TestClientFetchesAccountingAndSLO(t *testing.T) {
+	led := ledger.New()
+	led.SetIdle(0, 4, 70)
+	st := telemetry.NewStore()
+	st.Series("v").RecordUnix(10, 1)
+	eng := slo.NewEngine(st, []slo.Rule{{Name: "r", Series: "v", Op: "le", Threshold: 5, WindowS: 1 << 30, Stat: "mean"}}, nil)
+	eng.SetNow(func() time.Time { return time.Unix(11, 0) })
+	srv := httptest.NewServer(obs.Handler(nil, nil,
+		obs.Mount{Pattern: "/accounting", Handler: led.Handler(func() int64 { return 3000 })},
+		obs.Mount{Pattern: "/slo", Handler: eng.Handler()},
+	))
+	defer srv.Close()
+
+	c := &Client{Base: strings.TrimPrefix(srv.URL, "http://")}
+	acct, err := c.Accounting(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if acct.IdleJoules != 4*70*3 || !acct.Conserved {
+		t.Fatalf("accounting = %+v", acct)
+	}
+	sum, err := c.SLO(t.Context())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK != 1 || len(sum.Rules) != 1 || sum.Rules[0].Rule != "r" {
+		t.Fatalf("slo = %+v", sum)
+	}
+
+	bare := httptest.NewServer(obs.Handler(nil, nil))
+	defer bare.Close()
+	cb := &Client{Base: strings.TrimPrefix(bare.URL, "http://")}
+	if _, err := cb.Accounting(t.Context()); err == nil {
+		t.Fatal("missing /accounting reported no error")
+	}
+	if _, err := cb.SLO(t.Context()); err == nil {
+		t.Fatal("missing /slo reported no error")
 	}
 }

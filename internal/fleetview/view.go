@@ -7,6 +7,8 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ledger"
+	"repro/internal/slo"
 	"repro/internal/telemetry"
 )
 
@@ -19,8 +21,31 @@ type Source struct {
 	Snap telemetry.SnapshotJSON
 	// Prom is the parsed /metrics page; nil for replayed files.
 	Prom *PromMetrics
+	// Acct is the /accounting energy ledger snapshot; nil when the
+	// daemon runs without a ledger (the panel is simply absent).
+	Acct *ledger.Snapshot
+	// SLO is the /slo verdict summary; nil without -slo. Replayed
+	// sources derive an alert panel from recorded slo_fired series
+	// instead.
+	SLO *slo.Summary
 	// Err, when non-nil, replaces the panel body (unreachable daemon).
 	Err error
+}
+
+// Filter returns snap keeping only series whose name contains substr;
+// an empty substr keeps everything. The anor-top -series flag.
+func Filter(snap telemetry.SnapshotJSON, substr string) telemetry.SnapshotJSON {
+	if substr == "" {
+		return snap
+	}
+	out := snap
+	out.Series = []telemetry.SeriesJSON{}
+	for _, s := range snap.Series {
+		if strings.Contains(s.Name, substr) {
+			out.Series = append(out.Series, s)
+		}
+	}
+	return out
 }
 
 // Render writes the dashboard for every source. Pure text: the caller
@@ -85,8 +110,87 @@ func renderSource(w io.Writer, src Source, width int) {
 			renderSeries(w, s, nameW, sparkW)
 		}
 	}
+	renderAcct(w, src.Acct)
+	if src.SLO != nil {
+		renderSLO(w, src.SLO)
+	} else {
+		renderRecordedAlerts(w, src.Snap)
+	}
 	renderProm(w, src.Prom)
 	fmt.Fprintln(w)
+}
+
+// renderAcct draws the /accounting panel: the conservation audit line
+// and the top energy consumers.
+func renderAcct(w io.Writer, a *ledger.Snapshot) {
+	if a == nil {
+		return
+	}
+	audit := "audit ok"
+	if !a.Conserved {
+		audit = fmt.Sprintf("AUDIT BROKEN Δ=%dµJ errs=%d", a.ConservationDeltaMicroJ, a.Errors)
+	}
+	fmt.Fprintf(w, "  energy: total=%sJ jobs=%sJ idle=%sJ  open=%d requeues=%d  %s\n",
+		fmtVal(a.TotalJoules), fmtVal(a.JobsJoules), fmtVal(a.IdleJoules), a.OpenJobs, a.Requeues, audit)
+	for _, j := range a.Top(5) {
+		state := "done"
+		switch {
+		case j.Resident:
+			state = "live"
+		case !j.Completed:
+			state = "gone"
+		}
+		fmt.Fprintf(w, "    %-16s %4s  %sJ  avg %sW  peak %sW  thr %ss  n=%d\n",
+			j.ID, state, fmtVal(j.Joules), fmtVal(j.AvgWatts), fmtVal(j.PeakWatts), fmtVal(j.ThrottledS), j.Nodes)
+	}
+}
+
+// renderSLO draws the live /slo panel: one verdict line per rule.
+func renderSLO(w io.Writer, s *slo.Summary) {
+	fmt.Fprintf(w, "  slo: %d fired, %d ok, %d no-data\n", s.Fired, s.OK, s.NoData)
+	for _, v := range s.Rules {
+		mark := "ok    "
+		switch v.State {
+		case "fired":
+			mark = "FIRED "
+		case "no_data":
+			mark = "nodata"
+		}
+		fmt.Fprintf(w, "    %s %-20s %s %s %s (worst %s, %d/%d buckets violating)\n",
+			mark, v.Rule, v.Series, v.Op, fmtVal(v.Threshold), fmtVal(v.Worst), v.Violations, v.Buckets)
+	}
+}
+
+// renderRecordedAlerts derives an alert panel from recorded
+// slo_fired{rule=...} series, so -replay shows which rules were firing
+// at the end of a recorded run without a live /slo endpoint.
+func renderRecordedAlerts(w io.Writer, snap telemetry.SnapshotJSON) {
+	var lines []string
+	for _, s := range snap.Series {
+		rule, ok := strings.CutPrefix(s.Name, `slo_fired{rule="`)
+		if !ok || len(s.Points) == 0 {
+			continue
+		}
+		rule = strings.TrimSuffix(rule, `"}`)
+		state := "ok"
+		if s.Points[len(s.Points)-1].Last > 0 {
+			state = "FIRED"
+		}
+		fired := 0
+		for _, p := range s.Points {
+			if p.Max > 0 {
+				fired++
+			}
+		}
+		lines = append(lines, fmt.Sprintf("    %-5s %-20s fired in %d/%d evaluations", state, rule, fired, len(s.Points)))
+	}
+	if len(lines) == 0 {
+		return
+	}
+	fmt.Fprintln(w, "  alerts (recorded):")
+	for _, l := range lines {
+		fmt.Fprintln(w, l)
+	}
 }
 
 func renderSeries(w io.Writer, s telemetry.SeriesJSON, nameW, sparkW int) {
@@ -100,7 +204,13 @@ func renderSeries(w io.Writer, s telemetry.SeriesJSON, nameW, sparkW int) {
 	if s.Late > 0 {
 		late = fmt.Sprintf(" late=%d", s.Late)
 	}
-	fmt.Fprintf(w, "  %-*s %-*s last %s%s\n", nameW, s.Name, sparkW, Spark(vals, sparkW), fmtVal(last), late)
+	spark := Spark(vals, sparkW)
+	if spark == "" {
+		// An empty sparkline is indistinguishable from a rendering bug;
+		// say what happened instead.
+		spark = "(no data)"
+	}
+	fmt.Fprintf(w, "  %-*s %-*s last %s%s\n", nameW, s.Name, sparkW, spark, fmtVal(last), late)
 }
 
 func findSeries(snap telemetry.SnapshotJSON, name string) (telemetry.SeriesJSON, bool) {

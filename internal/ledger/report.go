@@ -1,0 +1,102 @@
+package ledger
+
+import (
+	"encoding/json"
+	"net/http"
+	"sort"
+)
+
+// JSON shapes served by /accounting and consumed by internal/fleetview
+// (cmd/anor-top) and the anor-bench energy report. Field names are part
+// of the endpoint contract.
+
+// JobEnergy is one job's account in a snapshot.
+type JobEnergy struct {
+	ID    string `json:"id"`
+	Type  string `json:"type,omitempty"`
+	Nodes int    `json:"nodes"`
+	// Joules is total attributed energy across every residency stint.
+	Joules float64 `json:"joules"`
+	// AvgWatts is Joules over residency time (power while holding
+	// nodes, not over the sojourn).
+	AvgWatts  float64 `json:"avg_watts"`
+	PeakWatts float64 `json:"peak_watts"`
+	// ResidencyS is total seconds the job held nodes; ThrottledS is the
+	// subset spent pinned at a power cap below its uncapped maximum.
+	ResidencyS float64 `json:"residency_s"`
+	ThrottledS float64 `json:"throttled_s"`
+	// Stints counts residencies (1 + requeues/reconnects).
+	Stints    int  `json:"stints"`
+	Requeues  int  `json:"requeues,omitempty"`
+	Completed bool `json:"completed"`
+	Resident  bool `json:"resident,omitempty"`
+	// EnergyDelay is Joules × sojourn seconds (submit → end, queue time
+	// included); Slowdown is sojourn over the type's minimum runtime.
+	// Both zero when the submit time or minimum runtime is unknown.
+	EnergyDelay float64 `json:"energy_delay_js,omitempty"`
+	Slowdown    float64 `json:"slowdown,omitempty"`
+
+	SubmitMs     int64 `json:"submit_ms,omitempty"`
+	FirstStartMs int64 `json:"first_start_ms,omitempty"`
+	LastEndMs    int64 `json:"last_end_ms,omitempty"`
+}
+
+// Snapshot is a full ledger report: the double-entry totals, the
+// conservation verdict, and every job's account.
+type Snapshot struct {
+	AtMs    int64 `json:"at_ms"`
+	StartMs int64 `json:"start_ms"`
+	// TotalJoules is the aggregate entry (running sum of all open
+	// rates); JobsJoules + IdleJoules is the per-account entry. The two
+	// are maintained independently and must agree to the microjoule.
+	TotalJoules float64 `json:"total_joules"`
+	JobsJoules  float64 `json:"jobs_joules"`
+	IdleJoules  float64 `json:"idle_joules"`
+	TotalMicroJ int64   `json:"total_uj"`
+	JobsMicroJ  int64   `json:"jobs_uj"`
+	IdleMicroJ  int64   `json:"idle_uj"`
+	// ConservationDeltaMicroJ is TotalMicroJ − JobsMicroJ − IdleMicroJ,
+	// exactly zero for consistent bookkeeping; Conserved also requires
+	// zero accounting errors.
+	ConservationDeltaMicroJ int64 `json:"conservation_delta_uj"`
+	Conserved               bool  `json:"conserved"`
+
+	OpenJobs    int         `json:"open_jobs"`
+	IdleNodes   int         `json:"idle_nodes"`
+	Opens       int64       `json:"opens"`
+	Closes      int64       `json:"closes"`
+	Requeues    int64       `json:"requeues"`
+	LateSamples int64       `json:"late_samples,omitempty"`
+	Errors      int64       `json:"accounting_errors,omitempty"`
+	Jobs        []JobEnergy `json:"jobs"`
+}
+
+// Top returns the n highest-energy jobs, ties broken by ID, without
+// disturbing the snapshot's ID-sorted Jobs slice.
+func (s *Snapshot) Top(n int) []JobEnergy {
+	out := make([]JobEnergy, len(s.Jobs))
+	copy(out, s.Jobs)
+	sort.Slice(out, func(i, j int) bool {
+		if out[i].Joules != out[j].Joules {
+			return out[i].Joules > out[j].Joules
+		}
+		return out[i].ID < out[j].ID
+	})
+	if n > 0 && len(out) > n {
+		out = out[:n]
+	}
+	return out
+}
+
+// Handler serves the ledger as JSON, snapshotted at now() milliseconds
+// per request. Served on the obs admin mux at /accounting. Nil-safe: a
+// nil ledger serves empty, conserved snapshots.
+func (l *Ledger) Handler(now func() int64) http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		snap := l.SnapshotAt(now())
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(snap)
+	})
+}

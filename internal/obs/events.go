@@ -32,6 +32,9 @@ const (
 	EvDRBid = "dr_bid"
 	// EvSimStep is a simulator step snapshot (running/queued/power).
 	EvSimStep = "sim_step"
+	// EvAlert is an SLO rule transition (fired or resolved) from the
+	// declarative alerting engine (internal/slo).
+	EvAlert = "alert"
 )
 
 // Event is one structured trace record. Fields carries the

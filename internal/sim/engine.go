@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/budget"
+	"repro/internal/ledger"
 	"repro/internal/perfmodel"
 	"repro/internal/sched"
 	"repro/internal/units"
@@ -47,6 +48,10 @@ type engine struct {
 	freeRing []int32
 	freeHead int
 	freeLen  int
+
+	// ledH maps job-table slots to energy-ledger handles (engine_ledger.go);
+	// empty when no ledger is attached.
+	ledH []ledger.Handle
 
 	// doneFlags[k] reports whether order[k]'s job finished this step.
 	doneFlags []bool
@@ -182,6 +187,9 @@ func (e *engine) advanceAndComplete(now time.Time) (int, error) {
 		if err := e.scheduler.CompleteJob(rj.job, now); err != nil {
 			return 0, err
 		}
+		if e.cfg.Ledger != nil {
+			e.ledgerClose(slot, now, ledger.Completed)
+		}
 		for _, ni := range rj.nodes {
 			e.nodes[ni].jobIdx = -1
 			e.nodes[ni].progress = 0
@@ -243,6 +251,9 @@ func (e *engine) startJobs(now time.Time) (int, error) {
 			e.nodes[ni].progress = 0
 		}
 		e.orderInsert(slot)
+		if e.cfg.Ledger != nil {
+			e.ledgerOpen(slot, now)
+		}
 		started++
 	}
 	return started, nil

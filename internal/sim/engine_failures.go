@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"repro/internal/faults"
+	"repro/internal/ledger"
 )
 
 // Node fail-stop/recovery handling. Everything in this file runs serially
@@ -56,6 +57,9 @@ func (e *engine) failNode(ni int32, now time.Time) error {
 			return err
 		}
 		e.requeues++
+		if e.cfg.Ledger != nil {
+			e.ledgerClose(slot, now, ledger.Requeued)
+		}
 		for _, other := range rj.nodes {
 			o := &e.nodes[other]
 			o.progress = 0

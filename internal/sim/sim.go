@@ -31,6 +31,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/dr"
 	"repro/internal/faults"
+	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
 	"repro/internal/sched"
@@ -156,6 +157,18 @@ type Config struct {
 	// the sharded measurement kernel (see engine.measure), so enabling
 	// this adds no per-node work and ~0 allocations per step.
 	Telemetry *telemetry.Store
+	// Ledger, when non-nil, receives per-job energy attribution: jobs
+	// open when they bind nodes, close on completion (or requeue after a
+	// fail-stop), and carry their measured per-step power; idle nodes
+	// accrue to the ledger's idle pool. All ledger calls happen in the
+	// serial sections of the step loop in deterministic (job-ID) order,
+	// so ledger output is bit-identical at any Shards × GOMAXPROCS and
+	// attaching one changes no simulation result (ledger_test.go holds
+	// both invariants). Settlement is lazy — clean steps and fast-forward
+	// windows cost the ledger nothing — keeping attribution ~0 allocs per
+	// step. When Telemetry is also set, a cumulative
+	// sim_energy_total_joules series is recorded each simulated second.
+	Ledger *ledger.Ledger
 	// RunID labels emitted events when one simulation is part of a
 	// multi-run sweep.
 	RunID string
@@ -206,16 +219,24 @@ type simTelemetry struct {
 	busy     *telemetry.Series
 	running  *telemetry.Series
 	queued   *telemetry.Series
+	// energy is the cumulative attributed-energy series, created only
+	// when a ledger rides along so ledger-free stores keep their exact
+	// PR-7 series set.
+	energy *telemetry.Series
 }
 
-func newSimTelemetry(st *telemetry.Store) simTelemetry {
-	return simTelemetry{
+func newSimTelemetry(st *telemetry.Store, led *ledger.Ledger) simTelemetry {
+	tel := simTelemetry{
 		target:   st.Series("sim_power_target_watts"),
 		measured: st.Series("sim_power_measured_watts"),
 		busy:     st.Series("sim_busy_nodes"),
 		running:  st.Series("sim_running_jobs"),
 		queued:   st.Series("sim_queued_jobs"),
 	}
+	if st != nil && led != nil {
+		tel.energy = st.Series("sim_energy_total_joules")
+	}
+	return tel
 }
 
 // JobRecord summarizes one job's lifecycle.
@@ -403,7 +424,7 @@ func Run(cfg Config) (Result, error) {
 	res.Tracking = make([]trace.Point, 0, horizonS+1)
 
 	met := newSimMetrics(cfg.Metrics)
-	tel := newSimTelemetry(cfg.Telemetry)
+	tel := newSimTelemetry(cfg.Telemetry, cfg.Ledger)
 	traceEvery := cfg.TraceEvery
 	if traceEvery <= 0 {
 		traceEvery = 60
@@ -509,6 +530,12 @@ func Run(cfg Config) (Result, error) {
 		if dirty || capsChanged || !haveMeasured {
 			measured = e.measure()
 			haveMeasured = true
+			// Attribution settles only when the measurement could have
+			// moved: the ledger's rates are piecewise-constant between these
+			// points, so clean steps and fast-forward rows accrue implicitly.
+			if cfg.Ledger != nil {
+				e.ledgerSettle(now)
+			}
 		}
 		res.Tracking = append(res.Tracking, trace.Point{Time: now, Target: target, Measured: measured})
 		powerIntegral += measured.Watts()
@@ -538,6 +565,11 @@ func Run(cfg Config) (Result, error) {
 			tel.busy.Record(now, float64(busy))
 			tel.running.Record(now, float64(len(e.order)))
 			tel.queued.Record(now, float64(scheduler.QueuedCount()))
+			if tel.energy != nil {
+				// Cumulative energy through this second: an O(1) read of the
+				// settled total plus one pending rate × elapsed product.
+				tel.energy.Record(now, cfg.Ledger.TotalJoulesAt(now.UnixMilli()+1000))
+			}
 		}
 		if cfg.Metrics != nil {
 			met.running.Set(float64(len(e.order)))
@@ -630,6 +662,9 @@ func Run(cfg Config) (Result, error) {
 					tel.busy.Record(rowNow, 0)
 					tel.running.Record(rowNow, 0)
 					tel.queued.Record(rowNow, 0)
+					if tel.energy != nil {
+						tel.energy.Record(rowNow, cfg.Ledger.TotalJoulesAt(rowNow.UnixMilli()+1000))
+					}
 				}
 				if cfg.Tracer.Enabled() && s%traceEvery == 0 {
 					cfg.Tracer.Emit(obs.Event{Type: obs.EvSimStep, TimeUnixNano: rowNow.UnixNano(), Run: cfg.RunID, Fields: obs.F{
@@ -652,6 +687,13 @@ func Run(cfg Config) (Result, error) {
 		if err := logger.Error(); err != nil {
 			return Result{}, err
 		}
+	}
+	if cfg.Ledger != nil && len(res.Tracking) > 0 {
+		// The power integral sums a closed per-second series: the row at
+		// time T covers [T, T+1). Settle every account to the end of the
+		// last covered second so Σ(job energy) + idle energy spans exactly
+		// the integral's interval.
+		cfg.Ledger.FinishAt(res.Tracking[len(res.Tracking)-1].Time.Add(time.Second).UnixMilli())
 	}
 
 	res.Unfinished = len(e.order) + scheduler.QueuedCount()

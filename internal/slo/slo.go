@@ -1,0 +1,401 @@
+// Package slo evaluates declarative service-level objectives over the
+// retained telemetry rollups (internal/telemetry), turning chaos and
+// scenario runs into self-checking experiments: rules are data (a JSON
+// file shipped next to the run), evaluation is a pure read of the
+// rollup rings, and the outcome is a machine-readable verdict summary
+// plus `alert` events in the obs tracer — which the flight recorder
+// persists, so fired alerts are visible in anor-top -replay.
+//
+// A rule names a series (exact, or a prefix ending in '*' to pool
+// labeled series), a per-bucket statistic, a comparison the statistic
+// must satisfy, and an evaluation window. The burn rate is the fraction
+// of the window's buckets allowed to violate before the rule fires —
+// zero (the default) fires on any violation, 0.1 tolerates brief
+// excursions in up to 10% of buckets, the usual error-budget shape.
+//
+// Rules are JSON rather than YAML because the stack is stdlib-only by
+// policy; the schema is one flat object per rule, so the difference is
+// punctuation.
+package slo
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"os"
+	"strings"
+	"sync"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+// Rule is one declarative objective.
+type Rule struct {
+	// Name identifies the rule in verdicts, alert events, and the
+	// slo_fired telemetry series. Required, unique within a file.
+	Name string `json:"name"`
+	// Series is the telemetry series the rule watches: an exact name,
+	// or a prefix ending in '*' that pools every matching series (the
+	// shape labeled series like endpoint_power_watts{job="..."} need).
+	Series string `json:"series"`
+	// Stat is the per-bucket statistic compared against Threshold:
+	// "mean" (default), "min", "max", or "last".
+	Stat string `json:"stat,omitempty"`
+	// Op is the comparison each bucket must satisfy to be healthy:
+	// "lt", "le", "gt", or "ge" (bucket stat OP threshold). Required.
+	Op string `json:"op"`
+	// Threshold is the objective's boundary value.
+	Threshold float64 `json:"threshold"`
+	// WindowS is the evaluation window in seconds, ending at the
+	// evaluation instant. Required positive.
+	WindowS int64 `json:"window_s"`
+	// StepS selects the rollup resolution to read (0 = finest).
+	StepS int64 `json:"step_s,omitempty"`
+	// BurnRate is the fraction of window buckets allowed to violate
+	// before the rule fires; 0 fires on the first violating bucket.
+	BurnRate float64 `json:"burn_rate,omitempty"`
+}
+
+// ruleFile is the on-disk shape: {"rules": [...]} — or a bare array,
+// accepted for convenience.
+type ruleFile struct {
+	Rules []Rule `json:"rules"`
+}
+
+// Load parses and validates a rule file.
+func Load(r io.Reader) ([]Rule, error) {
+	data, err := io.ReadAll(r)
+	if err != nil {
+		return nil, err
+	}
+	var rules []Rule
+	trimmed := strings.TrimSpace(string(data))
+	if strings.HasPrefix(trimmed, "[") {
+		err = strictUnmarshal(data, &rules)
+	} else {
+		var f ruleFile
+		err = strictUnmarshal(data, &f)
+		rules = f.Rules
+	}
+	if err != nil {
+		return nil, fmt.Errorf("slo: parse rules: %w", err)
+	}
+	if len(rules) == 0 {
+		return nil, errors.New("slo: rule file defines no rules")
+	}
+	seen := map[string]bool{}
+	for i := range rules {
+		if err := validate(&rules[i]); err != nil {
+			return nil, fmt.Errorf("slo: rule %d (%q): %w", i, rules[i].Name, err)
+		}
+		if seen[rules[i].Name] {
+			return nil, fmt.Errorf("slo: duplicate rule name %q", rules[i].Name)
+		}
+		seen[rules[i].Name] = true
+	}
+	return rules, nil
+}
+
+// LoadFile is Load over a file path.
+func LoadFile(path string) ([]Rule, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	rules, err := Load(f)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return rules, nil
+}
+
+// strictUnmarshal rejects unknown fields so a typoed key fails loudly
+// instead of silently relaxing the objective.
+func strictUnmarshal(data []byte, v any) error {
+	dec := json.NewDecoder(strings.NewReader(string(data)))
+	dec.DisallowUnknownFields()
+	return dec.Decode(v)
+}
+
+func validate(r *Rule) error {
+	if r.Name == "" {
+		return errors.New("missing name")
+	}
+	if r.Series == "" {
+		return errors.New("missing series")
+	}
+	if r.Stat == "" {
+		r.Stat = "mean"
+	}
+	switch r.Stat {
+	case "mean", "min", "max", "last":
+	default:
+		return fmt.Errorf("unknown stat %q (want mean|min|max|last)", r.Stat)
+	}
+	switch r.Op {
+	case "lt", "le", "gt", "ge":
+	default:
+		return fmt.Errorf("unknown op %q (want lt|le|gt|ge)", r.Op)
+	}
+	if r.WindowS <= 0 {
+		return fmt.Errorf("window_s must be positive (got %d)", r.WindowS)
+	}
+	if r.StepS < 0 {
+		return fmt.Errorf("step_s must be non-negative (got %d)", r.StepS)
+	}
+	if r.BurnRate < 0 || r.BurnRate >= 1 {
+		return fmt.Errorf("burn_rate must be in [0, 1) (got %g)", r.BurnRate)
+	}
+	return nil
+}
+
+// Verdict is one rule's outcome at one evaluation.
+type Verdict struct {
+	Rule   string `json:"rule"`
+	Series string `json:"series"`
+	// State is "ok", "fired", or "no_data" (no buckets in window —
+	// neither passing nor firing).
+	State      string `json:"state"`
+	Buckets    int    `json:"buckets"`
+	Violations int    `json:"violations"`
+	// ViolationFrac is Violations/Buckets, the quantity compared
+	// against the burn rate.
+	ViolationFrac float64 `json:"violation_frac"`
+	// Worst is the most-violating bucket statistic observed in the
+	// window (largest for upper-bound objectives, smallest for
+	// lower-bound ones).
+	Worst     float64 `json:"worst"`
+	Threshold float64 `json:"threshold"`
+	Op        string  `json:"op"`
+}
+
+// Summary is one full evaluation: the machine-readable verdict CI and
+// scenario harnesses assert on.
+type Summary struct {
+	AtUnix int64     `json:"at_unix"`
+	Fired  int       `json:"fired"`
+	OK     int       `json:"ok"`
+	NoData int       `json:"no_data"`
+	Rules  []Verdict `json:"rules"`
+}
+
+// Engine evaluates a rule set against one telemetry store. Safe for
+// concurrent use; nil-safe (a nil engine evaluates to an empty summary).
+type Engine struct {
+	store  *telemetry.Store
+	rules  []Rule
+	tracer *obs.Tracer
+	now    func() time.Time
+
+	mu    sync.Mutex
+	fired map[string]bool
+	last  Summary
+	ran   bool
+}
+
+// NewEngine builds an engine over a store. The tracer may be nil
+// (alerts still appear in verdicts and the slo_fired series).
+func NewEngine(store *telemetry.Store, rules []Rule, tracer *obs.Tracer) *Engine {
+	return &Engine{store: store, rules: rules, tracer: tracer, now: time.Now, fired: map[string]bool{}}
+}
+
+// SetNow overrides the evaluation clock — the simulator pins it to
+// virtual time so windows align with virtually-stamped buckets.
+func (e *Engine) SetNow(now func() time.Time) {
+	if e != nil && now != nil {
+		e.now = now
+	}
+}
+
+// Rules returns the rule set (nil on a nil engine).
+func (e *Engine) Rules() []Rule {
+	if e == nil {
+		return nil
+	}
+	return e.rules
+}
+
+func statOf(p telemetry.Point, stat string) float64 {
+	switch stat {
+	case "min":
+		return p.Min
+	case "max":
+		return p.Max
+	case "last":
+		return p.Last
+	default:
+		return p.Mean()
+	}
+}
+
+func healthy(v float64, op string, threshold float64) bool {
+	switch op {
+	case "lt":
+		return v < threshold
+	case "le":
+		return v <= threshold
+	case "gt":
+		return v > threshold
+	default:
+		return v >= threshold
+	}
+}
+
+// upperBound reports whether the objective bounds the metric from
+// above (violations exceed it) — used to pick the "worst" direction.
+func upperBound(op string) bool { return op == "lt" || op == "le" }
+
+// Evaluate runs every rule over the window ending at at, records one
+// slo_fired{rule=...} sample per rule into the store (so verdict
+// history lands in the flight recorder), emits alert events on
+// fired/resolved transitions, and returns the summary.
+func (e *Engine) Evaluate(at time.Time) Summary {
+	if e == nil {
+		return Summary{}
+	}
+	sum := Summary{AtUnix: at.Unix(), Rules: make([]Verdict, 0, len(e.rules))}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	for _, r := range e.rules {
+		v := e.evalRule(r, at)
+		sum.Rules = append(sum.Rules, v)
+		switch v.State {
+		case "fired":
+			sum.Fired++
+		case "ok":
+			sum.OK++
+		default:
+			sum.NoData++
+		}
+		firedNow := v.State == "fired"
+		if e.store != nil && v.State != "no_data" {
+			val := 0.0
+			if firedNow {
+				val = 1
+			}
+			e.store.Series(telemetry.Label("slo_fired", "rule", r.Name)).Record(at, val)
+		}
+		if firedNow != e.fired[r.Name] && e.tracer.Enabled() {
+			state := "resolved"
+			if firedNow {
+				state = "fired"
+			}
+			e.tracer.Emit(obs.Event{Type: obs.EvAlert, TimeUnixNano: at.UnixNano(), Fields: obs.F{
+				"rule": r.Name, "state": state, "series": r.Series,
+				"violation_frac": v.ViolationFrac, "burn_rate": r.BurnRate,
+				"worst": v.Worst, "threshold": r.Threshold, "op": r.Op,
+			}})
+		}
+		e.fired[r.Name] = firedNow
+	}
+	e.last, e.ran = sum, true
+	return sum
+}
+
+func (e *Engine) evalRule(r Rule, at time.Time) Verdict {
+	v := Verdict{Rule: r.Name, Series: r.Series, Threshold: r.Threshold, Op: r.Op}
+	from := at.Unix() - r.WindowS
+	worstSet := false
+	for _, name := range e.matchSeries(r.Series) {
+		for _, p := range e.store.Series(name).Snapshot(r.StepS, 0) {
+			if p.T < from || p.T > at.Unix() {
+				continue
+			}
+			stat := statOf(p, r.Stat)
+			v.Buckets++
+			if !healthy(stat, r.Op, r.Threshold) {
+				v.Violations++
+			}
+			if !worstSet || (upperBound(r.Op) && stat > v.Worst) || (!upperBound(r.Op) && stat < v.Worst) {
+				v.Worst, worstSet = stat, true
+			}
+		}
+	}
+	if v.Buckets == 0 {
+		v.State = "no_data"
+		return v
+	}
+	v.ViolationFrac = float64(v.Violations) / float64(v.Buckets)
+	if v.Violations > 0 && v.ViolationFrac > r.BurnRate {
+		v.State = "fired"
+	} else {
+		v.State = "ok"
+	}
+	return v
+}
+
+// matchSeries resolves a rule's series reference against the store.
+func (e *Engine) matchSeries(ref string) []string {
+	if e.store == nil {
+		return nil
+	}
+	if !strings.HasSuffix(ref, "*") {
+		return []string{ref}
+	}
+	prefix := strings.TrimSuffix(ref, "*")
+	var out []string
+	for _, name := range e.store.Names() {
+		if strings.HasPrefix(name, prefix) {
+			out = append(out, name)
+		}
+	}
+	return out
+}
+
+// Last returns the most recent summary and whether one exists.
+func (e *Engine) Last() (Summary, bool) {
+	if e == nil {
+		return Summary{}, false
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.last, e.ran
+}
+
+// Run evaluates every interval until the context ends — the daemon
+// loop. One evaluation runs immediately so /slo has data before the
+// first full interval.
+func (e *Engine) Run(ctx context.Context, every time.Duration) {
+	if e == nil {
+		return
+	}
+	if every <= 0 {
+		every = 10 * time.Second
+	}
+	e.Evaluate(e.now())
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-ctx.Done():
+			return
+		case <-t.C:
+			e.Evaluate(e.now())
+		}
+	}
+}
+
+// Handler serves the engine's verdict as JSON at /slo: the last
+// summary when a periodic Run drives the engine, otherwise a fresh
+// evaluation at the engine's clock. Nil-safe.
+func (e *Engine) Handler() http.Handler {
+	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
+		var sum Summary
+		if e != nil {
+			var ok bool
+			if sum, ok = e.Last(); !ok {
+				sum = e.Evaluate(e.now())
+			}
+		}
+		w.Header().Set("Content-Type", "application/json")
+		enc := json.NewEncoder(w)
+		enc.SetIndent("", " ")
+		enc.Encode(sum)
+	})
+}

@@ -1,0 +1,197 @@
+package slo
+
+import (
+	"encoding/json"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"repro/internal/obs"
+	"repro/internal/telemetry"
+)
+
+func testStore(t *testing.T) *telemetry.Store {
+	t.Helper()
+	return telemetry.NewStore(telemetry.Resolution{Step: 1, Buckets: 1 << 12})
+}
+
+var t0 = time.Unix(1_700_000_000, 0)
+
+func TestLoadValidatesRules(t *testing.T) {
+	cases := []struct {
+		name    string
+		in      string
+		wantErr string
+	}{
+		{"object form", `{"rules":[{"name":"a","series":"s","op":"le","threshold":1,"window_s":60}]}`, ""},
+		{"array form", `[{"name":"a","series":"s","op":"le","threshold":1,"window_s":60}]`, ""},
+		{"empty", `{"rules":[]}`, "no rules"},
+		{"bad json", `{"rules":`, "parse rules"},
+		{"unknown field", `[{"name":"a","series":"s","op":"le","threshold":1,"window_s":60,"treshold":2}]`, "parse rules"},
+		{"missing name", `[{"series":"s","op":"le","threshold":1,"window_s":60}]`, "missing name"},
+		{"missing series", `[{"name":"a","op":"le","threshold":1,"window_s":60}]`, "missing series"},
+		{"bad op", `[{"name":"a","series":"s","op":"==","threshold":1,"window_s":60}]`, "unknown op"},
+		{"bad stat", `[{"name":"a","series":"s","stat":"p99","op":"le","threshold":1,"window_s":60}]`, "unknown stat"},
+		{"no window", `[{"name":"a","series":"s","op":"le","threshold":1}]`, "window_s"},
+		{"burn rate 1", `[{"name":"a","series":"s","op":"le","threshold":1,"window_s":60,"burn_rate":1}]`, "burn_rate"},
+		{"duplicate", `[{"name":"a","series":"s","op":"le","threshold":1,"window_s":60},{"name":"a","series":"s","op":"le","threshold":1,"window_s":60}]`, "duplicate"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			rules, err := Load(strings.NewReader(tc.in))
+			if tc.wantErr == "" {
+				if err != nil {
+					t.Fatalf("unexpected error: %v", err)
+				}
+				if len(rules) == 0 || rules[0].Stat != "mean" {
+					t.Fatalf("rules = %+v, want defaulted stat mean", rules)
+				}
+				return
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.wantErr) {
+				t.Fatalf("err = %v, want containing %q", err, tc.wantErr)
+			}
+		})
+	}
+}
+
+func TestEvaluateStatesAndBurnRate(t *testing.T) {
+	st := testStore(t)
+	s := st.Series("watts")
+	// 10 buckets: two of them (20%) violate an upper bound of 100.
+	for i := 0; i < 10; i++ {
+		v := 90.0
+		if i == 3 || i == 7 {
+			v = 150
+		}
+		s.Record(t0.Add(time.Duration(i)*time.Second), v)
+	}
+	at := t0.Add(9 * time.Second)
+	mk := func(burn float64) Rule {
+		return Rule{Name: "power", Series: "watts", Stat: "max", Op: "le", Threshold: 100, WindowS: 60, BurnRate: burn}
+	}
+	e := NewEngine(st, []Rule{mk(0)}, nil)
+	sum := e.Evaluate(at)
+	v := sum.Rules[0]
+	if v.State != "fired" || v.Buckets != 10 || v.Violations != 2 || v.Worst != 150 {
+		t.Fatalf("burn=0 verdict = %+v, want fired with 2/10 violations, worst 150", v)
+	}
+	// A 30% burn budget tolerates the same 20% violation fraction.
+	e = NewEngine(st, []Rule{mk(0.3)}, nil)
+	if got := e.Evaluate(at).Rules[0].State; got != "ok" {
+		t.Fatalf("burn=0.3 state = %s, want ok", got)
+	}
+	// An unknown series yields no_data, counted separately.
+	e = NewEngine(st, []Rule{{Name: "ghost", Series: "nope", Op: "le", Threshold: 1, WindowS: 60}}, nil)
+	sum = e.Evaluate(at)
+	if sum.NoData != 1 || sum.Rules[0].State != "no_data" {
+		t.Fatalf("ghost summary = %+v, want 1 no_data", sum)
+	}
+}
+
+func TestEvaluateWindowExcludesOldBuckets(t *testing.T) {
+	st := testStore(t)
+	s := st.Series("v")
+	s.Record(t0, 500)                     // violating, but outside the window
+	s.Record(t0.Add(100*time.Second), 10) // healthy, inside
+	e := NewEngine(st, []Rule{{Name: "r", Series: "v", Op: "le", Threshold: 100, WindowS: 30}}, nil)
+	sum := e.Evaluate(t0.Add(100 * time.Second))
+	if v := sum.Rules[0]; v.State != "ok" || v.Buckets != 1 {
+		t.Fatalf("verdict = %+v, want ok over exactly 1 bucket", v)
+	}
+}
+
+func TestEvaluateLowerBoundWorst(t *testing.T) {
+	st := testStore(t)
+	s := st.Series("v")
+	for i, val := range []float64{50, 5, 80} {
+		s.Record(t0.Add(time.Duration(i)*time.Second), val)
+	}
+	e := NewEngine(st, []Rule{{Name: "floor", Series: "v", Stat: "min", Op: "ge", Threshold: 10, WindowS: 60}}, nil)
+	v := e.Evaluate(t0.Add(3 * time.Second)).Rules[0]
+	if v.State != "fired" || v.Worst != 5 {
+		t.Fatalf("verdict = %+v, want fired with worst=5 (most-violating for a lower bound)", v)
+	}
+}
+
+func TestPrefixPoolsLabeledSeries(t *testing.T) {
+	st := testStore(t)
+	st.Series(telemetry.Label("endpoint_power_watts", "job", "a")).Record(t0, 50)
+	st.Series(telemetry.Label("endpoint_power_watts", "job", "b")).Record(t0, 500)
+	e := NewEngine(st, []Rule{{Name: "per-job", Series: "endpoint_power_watts*", Op: "le", Threshold: 100, WindowS: 60}}, nil)
+	v := e.Evaluate(t0.Add(time.Second)).Rules[0]
+	if v.Buckets != 2 || v.Violations != 1 || v.State != "fired" {
+		t.Fatalf("pooled verdict = %+v, want 1/2 violations fired", v)
+	}
+}
+
+func TestTransitionsEmitAlertEventsAndSeries(t *testing.T) {
+	st := testStore(t)
+	s := st.Series("v")
+	ring := obs.NewRing(16, "test")
+	e := NewEngine(st, []Rule{{Name: "r", Series: "v", Op: "le", Threshold: 100, WindowS: 5}}, ring)
+
+	s.Record(t0, 500)
+	e.Evaluate(t0.Add(time.Second)) // ok → fired
+	s.Record(t0.Add(10*time.Second), 10)
+	e.Evaluate(t0.Add(11 * time.Second)) // fired → resolved (old bucket aged out)
+	e.Evaluate(t0.Add(12 * time.Second)) // steady ok: no event
+
+	var states []string
+	for _, ev := range ring.Events() {
+		if ev.Type != obs.EvAlert {
+			continue
+		}
+		states = append(states, ev.Fields["state"].(string))
+		if ev.Fields["rule"].(string) != "r" {
+			t.Fatalf("alert names rule %v", ev.Fields["rule"])
+		}
+	}
+	if len(states) != 2 || states[0] != "fired" || states[1] != "resolved" {
+		t.Fatalf("alert states = %v, want [fired resolved]", states)
+	}
+	pts := st.Series(telemetry.Label("slo_fired", "rule", "r")).Snapshot(1, 0)
+	if len(pts) != 3 || pts[0].Last != 1 || pts[1].Last != 0 || pts[2].Last != 0 {
+		t.Fatalf("slo_fired series = %+v, want [1 0 0]", pts)
+	}
+}
+
+func TestHandlerServesLastOrFreshSummary(t *testing.T) {
+	st := testStore(t)
+	st.Series("v").Record(t0, 10)
+	e := NewEngine(st, []Rule{{Name: "r", Series: "v", Op: "le", Threshold: 100, WindowS: 1 << 30}}, nil)
+	e.SetNow(func() time.Time { return t0.Add(time.Second) })
+
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if ct := rec.Header().Get("Content-Type"); ct != "application/json" {
+		t.Fatalf("content-type = %q", ct)
+	}
+	var sum Summary
+	if err := json.Unmarshal(rec.Body.Bytes(), &sum); err != nil {
+		t.Fatal(err)
+	}
+	if sum.OK != 1 || len(sum.Rules) != 1 {
+		t.Fatalf("served summary = %+v", sum)
+	}
+}
+
+func TestNilEngineIsSafe(t *testing.T) {
+	var e *Engine
+	e.SetNow(nil)
+	if sum := e.Evaluate(t0); sum.Fired != 0 || len(sum.Rules) != 0 {
+		t.Fatalf("nil evaluate = %+v", sum)
+	}
+	if _, ok := e.Last(); ok {
+		t.Fatal("nil engine claims a summary")
+	}
+	if e.Rules() != nil {
+		t.Fatal("nil engine has rules")
+	}
+	rec := httptest.NewRecorder()
+	e.Handler().ServeHTTP(rec, httptest.NewRequest("GET", "/slo", nil))
+	if rec.Code != 200 {
+		t.Fatalf("nil handler status %d", rec.Code)
+	}
+}

@@ -78,18 +78,24 @@ func (st *Store) SnapshotAt(now time.Time, prefix string, step int64, last int) 
 // prefix filter), step (resolution in seconds, default finest), last
 // (max buckets per series, default 120, 0 = all). Served on the obs
 // admin mux at /timeseries. Nil-safe: a nil store serves empty
-// snapshots.
+// snapshots. Malformed parameters — non-integer, negative, or a step
+// matching no configured resolution — answer 400 with a JSON error
+// body; every response, success or error, is application/json.
 func (st *Store) Handler() http.Handler {
 	return http.HandlerFunc(func(w http.ResponseWriter, req *http.Request) {
 		q := req.URL.Query()
 		step, err := parseIntParam(q.Get("step"), 0)
 		if err != nil {
-			http.Error(w, "bad step: "+err.Error(), http.StatusBadRequest)
+			httpError(w, "bad step: must be a non-negative integer", http.StatusBadRequest)
+			return
+		}
+		if step != 0 && st != nil && !st.hasStep(step) {
+			httpError(w, "bad step: no "+strconv.FormatInt(step, 10)+"s resolution", http.StatusBadRequest)
 			return
 		}
 		last, err := parseIntParam(q.Get("last"), 120)
 		if err != nil {
-			http.Error(w, "bad last: "+err.Error(), http.StatusBadRequest)
+			httpError(w, "bad last: must be a non-negative integer", http.StatusBadRequest)
 			return
 		}
 		snap := st.SnapshotAt(time.Now(), q.Get("series"), step, int(last))
@@ -98,6 +104,24 @@ func (st *Store) Handler() http.Handler {
 		enc.SetIndent("", " ")
 		enc.Encode(snap)
 	})
+}
+
+// httpError answers one error as a JSON body, keeping the endpoint's
+// content type uniform for machine consumers.
+func httpError(w http.ResponseWriter, msg string, code int) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	json.NewEncoder(w).Encode(map[string]string{"error": msg})
+}
+
+// hasStep reports whether the store rolls up at this resolution.
+func (st *Store) hasStep(step int64) bool {
+	for _, r := range st.res {
+		if r.Step == step {
+			return true
+		}
+	}
+	return false
 }
 
 func parseIntParam(s string, def int64) (int64, error) {

@@ -4,6 +4,7 @@ import (
 	"encoding/json"
 	"net/http/httptest"
 	"reflect"
+	"strings"
 	"testing"
 	"time"
 )
@@ -194,6 +195,66 @@ func TestTimeseriesQueryParams(t *testing.T) {
 	resp.Body.Close()
 	if resp.StatusCode != 400 {
 		t.Fatalf("bad step should 400, got %d", resp.StatusCode)
+	}
+}
+
+// TestTimeseriesParamValidation pins the error contract: every response
+// is application/json, malformed or unknown-resolution parameters
+// answer 400 with a machine-readable {"error": ...} body, and valid
+// requests still succeed.
+func TestTimeseriesParamValidation(t *testing.T) {
+	st := NewStore(Resolution{1, 8}, Resolution{10, 4})
+	st.Series("a").RecordUnix(5, 1)
+	srv := httptest.NewServer(st.Handler())
+	defer srv.Close()
+
+	cases := []struct {
+		name    string
+		query   string
+		status  int
+		errPart string
+	}{
+		{"defaults", "", 200, ""},
+		{"explicit fine step", "?step=1", 200, ""},
+		{"explicit coarse step", "?step=10", 200, ""},
+		{"zero last", "?last=0", 200, ""},
+		{"non-integer step", "?step=nope", 400, "bad step"},
+		{"negative step", "?step=-1", 400, "bad step"},
+		{"float step", "?step=1.5", 400, "bad step"},
+		{"unknown resolution", "?step=7", 400, "no 7s resolution"},
+		{"non-integer last", "?last=many", 400, "bad last"},
+		{"negative last", "?last=-5", 400, "bad last"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			resp, err := srv.Client().Get(srv.URL + "/timeseries" + tc.query)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.status {
+				t.Fatalf("status = %d, want %d", resp.StatusCode, tc.status)
+			}
+			if ct := resp.Header.Get("Content-Type"); ct != "application/json" {
+				t.Fatalf("content-type = %q, want application/json", ct)
+			}
+			if tc.errPart == "" {
+				var snap SnapshotJSON
+				if err := json.NewDecoder(resp.Body).Decode(&snap); err != nil {
+					t.Fatalf("decode success body: %v", err)
+				}
+				return
+			}
+			var body struct {
+				Error string `json:"error"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&body); err != nil {
+				t.Fatalf("decode error body: %v", err)
+			}
+			if !strings.Contains(body.Error, tc.errPart) {
+				t.Fatalf("error = %q, want containing %q", body.Error, tc.errPart)
+			}
+		})
 	}
 }
 
