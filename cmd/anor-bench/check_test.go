@@ -68,8 +68,8 @@ func TestCompareBenchPassesWithinTolerance(t *testing.T) {
 
 // TestCompareBenchCrossMachineSpeedIsAdvisory pins the gate's noise
 // policy: wall-clock throughput from a different CPU (or a baseline that
-// predates CPU recording) downgrades to a note, while allocation growth
-// stays a hard failure — it is machine-independent.
+// predates CPU recording) downgrades to advisory notes, while allocation
+// growth stays a hard failure — it is machine-independent.
 func TestCompareBenchCrossMachineSpeedIsAdvisory(t *testing.T) {
 	base := baselineEntry()
 
@@ -77,15 +77,46 @@ func TestCompareBenchCrossMachineSpeedIsAdvisory(t *testing.T) {
 	if len(failures) != 0 {
 		t.Errorf("cross-CPU speed delta failed hard: %v", failures)
 	}
-	if len(notes) != 1 || !strings.Contains(notes[0], "advisory") {
+	if len(notes) != 2 || !strings.Contains(notes[0], "no comparable baseline") ||
+		!strings.Contains(notes[1], "steps/s dropped") {
 		t.Errorf("cross-CPU speed delta not noted: %v", notes)
 	}
 
 	noCPU := base
 	noCPU.CPU = ""
 	failures, notes = compareBench(measurement(30000, 0.10), "TestCPU v1", noCPU, 0.25, 0.5)
-	if len(failures) != 0 || len(notes) != 1 {
+	if len(failures) != 0 || len(notes) != 2 {
 		t.Errorf("unknown-CPU baseline: failures=%v notes=%v", failures, notes)
+	}
+}
+
+// TestCompareBenchAdvisoryWithoutComparableBaseline pins the explicit
+// signal: even with no speed regression at all, a baseline from a
+// different CPU or toolchain yields exactly one advisory note saying the
+// speed gate is not being enforced.
+func TestCompareBenchAdvisoryWithoutComparableBaseline(t *testing.T) {
+	base := baselineEntry()
+
+	// Same speed, different CPU: one advisory, no failures.
+	failures, notes := compareBench(measurement(80000, 0.10), "DifferentCPU", base, 0.25, 0.5)
+	if len(failures) != 0 {
+		t.Errorf("clean cross-CPU run failed: %v", failures)
+	}
+	if len(notes) != 1 || !strings.Contains(notes[0], "no comparable baseline") {
+		t.Errorf("missing no-comparable-baseline advisory: %v", notes)
+	}
+
+	// Different Go toolchain, same CPU: also not comparable.
+	oldGo := base
+	oldGo.GoVersion = "go1.0"
+	_, notes = compareBench(measurement(80000, 0.10), base.CPU, oldGo, 0.25, 0.5)
+	if len(notes) != 1 || !strings.Contains(notes[0], "no comparable baseline") {
+		t.Errorf("toolchain mismatch not advisory: %v", notes)
+	}
+
+	// Fully comparable baseline: silent.
+	if _, notes := compareBench(measurement(80000, 0.10), base.CPU, base, 0.25, 0.5); len(notes) != 0 {
+		t.Errorf("comparable in-tolerance run produced notes: %v", notes)
 	}
 }
 

@@ -72,6 +72,7 @@ func main() {
 	eventsOut := flag.String("events", "", "stream structured JSONL events (dr_bid, sim_step) to this file; empty disables")
 	tracePath := flag.String("trace", "", "stream arrivals from a job trace (.csv or .jsonl) instead of the synthetic generator; -util and -scale are ignored")
 	eventDriven := flag.Bool("event-driven", true, "skip provably no-op per-second work and fast-forward idle intervals (results are bit-identical either way)")
+	calendar := flag.Bool("calendar", true, "advance job progress via the closed-form completion calendar instead of per-node per-second updates (results are bit-identical either way)")
 	telemetryAddr := flag.String("telemetry", "", "serve /metrics, /timeseries, and pprof on this address so anor-top can attach live; empty disables")
 	recordOut := flag.String("record", "", "write every telemetry sample to this binary flight-recorder file (replayable with anor-top -replay)")
 	profileDir := flag.String("profile-dir", "", "rotate continuous CPU+heap profiles into this directory; empty disables")
@@ -222,6 +223,7 @@ func main() {
 			Bid:    dr.Bid{AvgPower: units.Power(*nodes) * workload.NodeTDP, Reserve: 0},
 			Signal: dr.Constant(0), Horizon: horizon, Seed: *seed, Shards: *shards,
 			DisableEventDriven: !*eventDriven,
+			DisableCalendar:    !*calendar,
 		}
 		if *tracePath != "" {
 			r := openTrace()
@@ -284,6 +286,7 @@ func main() {
 			TypeModels:         typeModels,
 			DefaultModel:       defaultModel,
 			DisableEventDriven: !*eventDriven,
+			DisableCalendar:    !*calendar,
 			TrackWarmup:        2 * time.Minute,
 			Tracer:             tracer,
 			Progress:           stepCounter,

@@ -39,6 +39,9 @@ type SimPerfConfig struct {
 	// FullStepping disables the event-driven stepper, measuring the
 	// recompute-everything-per-second baseline.
 	FullStepping bool
+	// DisableCalendar disables the completion calendar, measuring the
+	// per-step progress-advance oracle.
+	DisableCalendar bool
 	// Telemetry attaches a rollup store with a flight recorder (writing
 	// to a discarding sink) to every run, measuring the retained-
 	// telemetry overhead against an otherwise identical configuration.
@@ -125,6 +128,7 @@ func SimPerf(cfg SimPerfConfig) (SimPerfResult, error) {
 	simCfg := sim.Config{
 		Nodes: cfg.Nodes, Types: types, Weights: weights, Arrivals: arrivals,
 		Shards: cfg.Shards, DisableEventDriven: cfg.FullStepping,
+		DisableCalendar: cfg.DisableCalendar,
 		// Matches the BenchmarkSimStep bid (150 W/node average, 30 W/node
 		// reserve) so history entries and bench runs describe one workload.
 		Bid:          dr.Bid{AvgPower: units.Power(cfg.Nodes) * 150, Reserve: units.Power(cfg.Nodes) * 30},

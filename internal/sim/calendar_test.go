@@ -1,0 +1,309 @@
+package sim
+
+import (
+	"bytes"
+	"fmt"
+	"math"
+	"reflect"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/budget"
+	"repro/internal/dr"
+	"repro/internal/faults"
+	"repro/internal/ledger"
+	"repro/internal/perfmodel"
+	"repro/internal/stats"
+	"repro/internal/workload"
+)
+
+// naiveAdvance is the per-step kernel verbatim: up to n iterations of
+// "if p < 1 { p = fl(p + delta) }", stopping at a crossing or when the
+// addition stops moving p. The closed-form walker must match it bit for
+// bit on every input.
+func naiveAdvance(p, delta float64, n int64) (float64, int64, bool) {
+	var taken int64
+	for taken < n {
+		if p >= 1 {
+			return p, taken, true
+		}
+		next := p + delta
+		if next == p {
+			return p, taken, false
+		}
+		p = next
+		taken++
+	}
+	return p, taken, p >= 1
+}
+
+// TestAdvanceProgressMatchesNaive is the property suite for the calendar's
+// closed-form progress walker: across random starting points and deltas,
+// crafted half-ulp ties (the round-half-to-even case), frozen nodes whose
+// delta rounds away entirely, subnormal-grid deltas, and single-add
+// crossings, advanceProgress must return exactly what the serial loop
+// returns — same bits, same step count, same crossing flag.
+func TestAdvanceProgressMatchesNaive(t *testing.T) {
+	check := func(p, delta float64, n int64) {
+		t.Helper()
+		gp, gt, gc := advanceProgress(p, delta, n)
+		wp, wt, wc := naiveAdvance(p, delta, n)
+		if math.Float64bits(gp) != math.Float64bits(wp) || gt != wt || gc != wc {
+			t.Fatalf("advanceProgress(%v, %v, %d) = (%v, %d, %v), naive loop (%v, %d, %v)",
+				p, delta, n, gp, gt, gc, wp, wt, wc)
+		}
+	}
+
+	// The closed-form walker must also agree with itself when the step
+	// budget is split — the property that covers step counts far beyond
+	// what the naive loop can replay (a half-ulp delta needs ~2^53 adds to
+	// cross a binade).
+	split := func(p, delta float64, n1, n2 int64) {
+		t.Helper()
+		wp, wt, wc := advanceProgress(p, delta, n1+n2)
+		mid, t1, c1 := advanceProgress(p, delta, n1)
+		gp, gt, gc := mid, t1, c1
+		if !c1 {
+			var t2 int64
+			gp, t2, gc = advanceProgress(mid, delta, n2)
+			gt = t1 + t2
+		}
+		if math.Float64bits(gp) != math.Float64bits(wp) || gt != wt || gc != wc {
+			t.Fatalf("advanceProgress(%v, %v, %d+%d) split = (%v, %d, %v), whole (%v, %d, %v)",
+				p, delta, n1, n2, gp, gt, gc, wp, wt, wc)
+		}
+	}
+
+	// Crafted cases. Half-ulp ties: in the [0.5,1) binade one grid unit is
+	// 2^-53, so delta = (2A+1)·2^-54 has fractional part exactly ½ and
+	// exercises the two-phase even-index walk.
+	for _, a := range []int64{0, 1, 3, 1000} {
+		delta := math.Ldexp(float64(2*a+1), -54)
+		check(0.5, delta, 200000)
+		check(0.5+math.Ldexp(1, -53), delta, 200000) // odd starting index
+		check(0.75, delta, 12345)
+		split(0.5, delta, 1<<40, 1<<41)
+		split(0.5+math.Ldexp(1, -53), delta, 12345, 1<<52)
+	}
+	check(0.75, math.Ldexp(1, -55), 100)   // quarter-ulp: frozen immediately
+	check(0.9999999, 0.3, 100)             // crossing on the first add
+	check(1.0, 0.25, 100)                  // already crossed: no adds
+	check(5e-324, 5e-324, 200000)          // subnormal grid (walked per-step)
+	check(1e-300, 1e-320, 1000)            // tiny delta, tiny p
+	check(0.1, math.Ldexp(1, -1000), 1000) // delta far below p's ulp: frozen
+
+	// Random sweep across magnitudes. The naive loop caps the work, so n
+	// stays modest here; the crafted cases above cover the huge-n paths.
+	rng := stats.NewRNG(42)
+	for i := 0; i < 2000; i++ {
+		p := rng.Float64()
+		exp := -1 - int(rng.Float64()*60)
+		delta := rng.Float64() * math.Ldexp(1, exp)
+		n := int64(1 + rng.Float64()*50000)
+		check(p, delta, n)
+	}
+}
+
+// TestAddRepeatMatchesNaive holds the measurement kernel's repeated-sum
+// replay to the serial loop on wattage-scale values: k additions of a
+// per-node draw onto a block accumulator must produce identical bits.
+func TestAddRepeatMatchesNaive(t *testing.T) {
+	check := func(s, x float64, k int64) {
+		t.Helper()
+		got := addRepeat(s, x, k)
+		want := s
+		for i := int64(0); i < k; i++ {
+			want += x
+		}
+		if math.Float64bits(got) != math.Float64bits(want) {
+			t.Fatalf("addRepeat(%v, %v, %d) = %v (%#x), naive loop %v (%#x)",
+				s, x, k, got, math.Float64bits(got), want, math.Float64bits(want))
+		}
+	}
+
+	check(0, 0, 1000)     // idle run: +0.0 stays +0.0
+	check(0, 117.5, 1)    // single node
+	check(0, 117.5, 8192) // a full measurement block of one wattage
+	check(251.3, 83.2, 4096)
+	check(1e18, 1.0, 100) // x below s's ulp: frozen on the first add
+	check(0, 1e-12, 100000)
+
+	rng := stats.NewRNG(7)
+	for i := 0; i < 500; i++ {
+		s := rng.Float64() * 2e6 // up to ~a block of 8192 nodes at 250 W
+		x := rng.Float64() * 250
+		k := int64(1 + rng.Float64()*20000)
+		check(s, x, k)
+	}
+}
+
+// TestCalendarMatchesPerStep is the golden guard for the completion
+// calendar: across workload scenarios, fail-stop overlays, recap cadences
+// (the stepped signal's period sets how often caps — and therefore
+// calendar entries — are rebuilt), shard counts, and GOMAXPROCS, the
+// calendar engine must reproduce the per-step oracle exactly — deeply
+// equal Result, byte-identical TableLog, and a bit-identical, conserved
+// energy ledger.
+func TestCalendarMatchesPerStep(t *testing.T) {
+	models := map[string]perfmodel.Model{}
+	for _, typ := range workload.LongRunning() {
+		models[typ.Name] = typ.RelativeModel()
+	}
+	scenarios := []struct {
+		name   string
+		config func() Config
+	}{
+		{"walk", func() Config { return smallConfig(t, 3, 0.15) }},
+		{"fixed-target", func() Config {
+			c := smallConfig(t, 5, 0.1)
+			c.Bid.Reserve = 0
+			c.Signal = dr.Constant(0.7)
+			return c
+		}},
+		{"sine", func() Config {
+			c := smallConfig(t, 7, 0.1)
+			c.Signal = dr.Sine{Period: 3 * time.Minute, Amplitude: 0.8}
+			return c
+		}},
+		{"budgeter", func() Config {
+			c := smallConfig(t, 9, 0.1)
+			c.Budgeter = budget.EvenSlowdown{}
+			c.TypeModels = models
+			c.DefaultModel = workload.LeastSensitive().RelativeModel()
+			return c
+		}},
+		{"feedback", func() Config {
+			c := smallConfig(t, 11, 0.1)
+			c.Budgeter = budget.EvenSlowdown{}
+			c.TypeModels = models
+			c.DefaultModel = workload.LeastSensitive().RelativeModel()
+			c.FeedbackQoSExempt = true
+			c.QoSLimit = 0.5
+			c.ExemptFraction = 0.5
+			return c
+		}},
+		// Idle-heavy: the calendar must compose with the event-driven
+		// fast-forward across long quiet gaps.
+		{"sparse", func() Config { return sparseConfig(13) }},
+	}
+	failureOverlays := []struct {
+		name   string
+		events []faults.NodeEvent
+	}{
+		{"no-failures", nil},
+		{"fail-stop", []faults.NodeEvent{
+			{At: 3 * time.Minute, Node: 2, Kind: faults.KindFail},
+			{At: 6 * time.Minute, Node: 7, Kind: faults.KindFail},
+			{At: 9 * time.Minute, Node: 2, Kind: faults.KindRecover},
+			{At: 12 * time.Minute, Node: 11, Kind: faults.KindFail},
+			{At: 15 * time.Minute, Node: 7, Kind: faults.KindRecover},
+			{At: 18 * time.Minute, Node: 11, Kind: faults.KindRecover},
+		}},
+	}
+	cadences := []struct {
+		name   string
+		period time.Duration
+	}{{"recap-2s", 2 * time.Second}, {"recap-8s", 8 * time.Second}}
+
+	defer runtime.GOMAXPROCS(runtime.GOMAXPROCS(0))
+	for _, sc := range scenarios {
+		for _, fo := range failureOverlays {
+			for _, cad := range cadences {
+				base := sc.config()
+				base.Failures = fo.events
+				// Recap cadence only moves for stepped-walk signals; the
+				// fixed/sine cells keep their signal and simply repeat.
+				if _, stepped := base.Signal.(dr.Stepped); stepped {
+					base.Signal = dr.NewRandomWalk(base.Seed, cad.period, 0.25, time.Hour)
+				}
+
+				// Oracle: per-step progress advance, no calendar, no
+				// event-driven stepper, serial.
+				oracle := base
+				oracle.DisableCalendar = true
+				oracle.DisableEventDriven = true
+				oracle.Shards = 1
+				var wantLog bytes.Buffer
+				oracle.TableLog = &wantLog
+				wantLed := ledger.New()
+				oracle.Ledger = wantLed
+				want, err := Run(oracle)
+				if err != nil {
+					t.Fatalf("%s/%s/%s: oracle: %v", sc.name, fo.name, cad.name, err)
+				}
+				if len(want.Jobs) == 0 {
+					t.Fatalf("%s/%s/%s: degenerate scenario, no jobs completed", sc.name, fo.name, cad.name)
+				}
+				if sc.name == "walk" && fo.events != nil && want.Requeues == 0 {
+					t.Fatalf("%s/%s: failure schedule killed no running jobs; widen it", sc.name, fo.name)
+				}
+				wantSnap := wantLed.SnapshotAt(ledgerEndMs(want))
+				if !wantSnap.Conserved {
+					t.Fatalf("%s/%s/%s: oracle ledger conservation broken: delta=%d µJ",
+						sc.name, fo.name, cad.name, wantSnap.ConservationDeltaMicroJ)
+				}
+
+				for _, procs := range []int{1, 4} {
+					for _, shards := range []int{1, 3, 8} {
+						t.Run(fmt.Sprintf("%s/%s/%s/procs%d/shards%d", sc.name, fo.name, cad.name, procs, shards), func(t *testing.T) {
+							runtime.GOMAXPROCS(procs)
+							cfg := base
+							cfg.Shards = shards
+							var gotLog bytes.Buffer
+							cfg.TableLog = &gotLog
+							led := ledger.New()
+							cfg.Ledger = led
+							got, err := Run(cfg)
+							if err != nil {
+								t.Fatal(err)
+							}
+							if !reflect.DeepEqual(got, want) {
+								t.Error("calendar Result differs from per-step oracle")
+							}
+							if !bytes.Equal(gotLog.Bytes(), wantLog.Bytes()) {
+								t.Error("calendar TableLog byte stream differs from per-step oracle")
+							}
+							snap := led.SnapshotAt(ledgerEndMs(got))
+							if !snap.Conserved {
+								t.Errorf("ledger conservation broken: delta=%d µJ", snap.ConservationDeltaMicroJ)
+							}
+							if !reflect.DeepEqual(snap, wantSnap) {
+								t.Error("ledger snapshot differs from per-step oracle")
+							}
+						})
+					}
+				}
+			}
+		}
+	}
+}
+
+// TestCalendarAllocsPerStep pins the calendar's steady-state allocation
+// budget: with a stepped walk recapping jobs every few seconds — the
+// worst case for calendar churn, every recap rescheduling every job
+// through the heap's push/lazy-delete/compact cycle — the marginal cost
+// of an extra step must still be approximately zero allocations. The
+// name matches the CI perf-gate filter (AllocsPerStep).
+func TestCalendarAllocsPerStep(t *testing.T) {
+	allocsAt := func(h time.Duration) float64 {
+		cfg := steadyConfig(h, true)
+		cfg.Signal = dr.NewRandomWalk(21, 4*time.Second, 0.25, 2*time.Hour)
+		if _, err := Run(cfg); err != nil { // fail fast outside the measured loop
+			t.Fatal(err)
+		}
+		return testing.AllocsPerRun(3, func() {
+			if _, err := Run(cfg); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	shortH, longH := 30*time.Second, 120*time.Second
+	short, long := allocsAt(shortH), allocsAt(longH)
+	extraSteps := float64((4*120 + 1) - (4*30 + 1))
+	marginal := (long - short) / extraSteps
+	t.Logf("allocs: %v (short) → %v (long), %.4f per calendar step", short, long, marginal)
+	if marginal > 0.5 {
+		t.Errorf("calendar steady-state allocations = %.3f per step, want ~0 (≤0.5)", marginal)
+	}
+}

@@ -18,8 +18,8 @@ import (
 // hot loop performs no heap allocation and no string hashing.
 //
 //   - The job table (jobs) is a slot-reusing slice; a node refers to its
-//     job by slot index (nodeState.jobIdx), so the per-node loops are
-//     direct slice accesses.
+//     job by slot index (nodeJob), so the per-node loops are direct slice
+//     accesses.
 //   - order holds the running slots sorted by job ID, maintained
 //     incrementally: binary-search insert on start, in-place compaction on
 //     completion. Iterating order therefore visits jobs in exactly the
@@ -37,8 +37,18 @@ type engine struct {
 	types     map[string]workload.Type
 	scheduler *sched.Scheduler
 
-	nodes []nodeState
-	jobs  []runningJob
+	// Node tables, struct-of-arrays. Splitting the old nodeState struct
+	// into parallel slices keeps each kernel's working set to exactly the
+	// fields it reads: the measurement sweep streams nodeJob alone
+	// (4 B/node instead of the struct's padded 24 B), which at 100k+
+	// nodes is the difference between a cache-resident pass and a
+	// memory-bandwidth-bound one. Values and evaluation order are
+	// unchanged, so every float result is bit-identical to the
+	// array-of-structs layout.
+	nodeJob      []int32   // job-table slot per node; idleNode / downNode sentinels
+	nodeCoeff    []float64 // per-node performance-variation coefficient (§6.4)
+	nodeProgress []float64 // per-node progress, used only by the per-step oracle path
+	jobs         []runningJob
 	// freeSlots are job-table slots available for reuse.
 	freeSlots []int32
 	// order lists occupied job-table slots in ascending job-ID order.
@@ -73,6 +83,22 @@ type engine struct {
 	// the measurement kernel (see measure), reused across steps.
 	blockPower []units.Power
 	blockBusy  []int32
+	// nodePower maps a nodeJob value (offset by 2) to the wattage that
+	// node contributes: slot 0 is downNode (0 W), slot 1 is idleNode
+	// (idle power), slot s+2 is job slot s's settled per-node power.
+	// Rebuilt per measurement, it turns the kernel's per-node branch
+	// chain into one predictable table load (see measureBlocks).
+	nodePower []units.Power
+	// Per-block measurement cache (see measureBlocks). blockRuns[b] is
+	// block b's run-length encoding of nodeJob — valid while
+	// blockStale[b] is false, i.e. until an assignment in the block
+	// changes (blockTouch). blockDense[b] marks blocks too fragmented
+	// for run-length replay to pay off. blockW pins the block width the
+	// cache was built for.
+	blockRuns  [][]blockRun
+	blockStale []bool
+	blockDense []bool
+	blockW     int
 	// measuredBusy is the busy-node count folded out of the last
 	// measurement pass, recorded as telemetry alongside the power sum.
 	measuredBusy int
@@ -89,13 +115,18 @@ type engine struct {
 	nextFailure int
 	down        int
 	requeues    int
-}
 
-type nodeState struct {
-	// jobIdx is the node's job-table slot, -1 when idle.
-	jobIdx   int32
-	coeff    float64
-	progress float64
+	// Completion-calendar state (engine_calendar.go). calOn mirrors
+	// !cfg.DisableCalendar; cal holds per-slot closed-form progress
+	// state, calHeap the pending completion steps, calRescale the slots
+	// whose rate changed this step, and curStep the loop's current
+	// simulated second (set by Run before the engine phases).
+	calOn      bool
+	cal        []calJob
+	calHeap    []calEntry
+	calRescale []int32
+	calMaxStep int64
+	curStep    int64
 }
 
 // runningJob is one occupied job-table slot. Caps are uniform across a
@@ -114,22 +145,47 @@ type runningJob struct {
 
 func newEngine(cfg Config, types map[string]workload.Type, scheduler *sched.Scheduler, coeffs []float64) *engine {
 	e := &engine{
-		cfg:       cfg,
-		types:     types,
-		scheduler: scheduler,
-		nodes:     make([]nodeState, cfg.Nodes),
-		freeRing:  make([]int32, cfg.Nodes),
-		freeLen:   cfg.Nodes,
-		shards:    resolveShards(cfg.Shards, cfg.Nodes),
+		cfg:          cfg,
+		types:        types,
+		scheduler:    scheduler,
+		nodeJob:      make([]int32, cfg.Nodes),
+		nodeCoeff:    coeffs, // Run builds a fresh slice per call; take ownership
+		nodeProgress: make([]float64, cfg.Nodes),
+		freeRing:     make([]int32, cfg.Nodes),
+		freeLen:      cfg.Nodes,
+		shards:       resolveShards(cfg.Shards, cfg.Nodes),
+		calOn:        !cfg.DisableCalendar,
 	}
-	for i := range e.nodes {
-		e.nodes[i] = nodeState{jobIdx: -1, coeff: coeffs[i]}
+	for i := range e.nodeJob {
+		e.nodeJob[i] = idleNode
 		e.freeRing[i] = int32(i)
+	}
+	if e.calOn {
+		horizonS := int64(cfg.Horizon / time.Second)
+		e.calMaxStep = 4 * horizonS
+	}
+	e.blockW = measureBlockNodes
+	blocks := (cfg.Nodes + e.blockW - 1) / e.blockW
+	e.blockPower = make([]units.Power, blocks)
+	e.blockBusy = make([]int32, blocks)
+	e.blockRuns = make([][]blockRun, blocks)
+	e.blockStale = make([]bool, blocks)
+	e.blockDense = make([]bool, blocks)
+	for b := range e.blockStale {
+		e.blockStale[b] = true
 	}
 	e.advanceFn = e.advanceRange
 	e.measureFn = e.measureBlocks
 	e.pool = newShardPool(e.shards)
 	return e
+}
+
+// blockTouch marks a node's measurement block stale after its nodeJob
+// assignment changed, invalidating the block's cached run-length
+// encoding. O(1), called from every assignment site (start, completion,
+// fail-stop, recovery).
+func (e *engine) blockTouch(ni int32) {
+	e.blockStale[int(ni)/e.blockW] = true
 }
 
 // close releases the shard pool's workers. The engine must not step
@@ -191,8 +247,9 @@ func (e *engine) advanceAndComplete(now time.Time) (int, error) {
 			e.ledgerClose(slot, now, ledger.Completed)
 		}
 		for _, ni := range rj.nodes {
-			e.nodes[ni].jobIdx = -1
-			e.nodes[ni].progress = 0
+			e.nodeJob[ni] = idleNode
+			e.nodeProgress[ni] = 0
+			e.blockTouch(ni)
 			e.freePush(ni)
 		}
 		rj.job = nil
@@ -215,12 +272,18 @@ func (e *engine) advanceRange(lo, hi int) {
 		rate := progressRate(rj.typ, rj.cap)
 		done := true
 		for _, ni := range rj.nodes {
-			n := &e.nodes[ni]
-			if n.progress < 1 {
-				n.progress += n.coeff * rate
-			}
-			if n.progress < 1 {
-				done = false
+			if p := e.nodeProgress[ni]; p < 1 {
+				// The per-step increment is rounded on its own before the
+				// add (Go only fuses expressions without an intermediate
+				// assignment), pinning fl(p + fl(coeff·rate)) on every
+				// architecture — the exact sequence the completion
+				// calendar's closed form reproduces (engine_calendar.go).
+				d := e.nodeCoeff[ni] * rate
+				p += d
+				e.nodeProgress[ni] = p
+				if p < 1 {
+					done = false
+				}
 			}
 		}
 		e.doneFlags[k] = done
@@ -247,10 +310,14 @@ func (e *engine) startJobs(now time.Time) (int, error) {
 		for i := 0; i < j.Nodes; i++ {
 			ni := e.freePop()
 			rj.nodes = append(rj.nodes, ni)
-			e.nodes[ni].jobIdx = slot
-			e.nodes[ni].progress = 0
+			e.nodeJob[ni] = slot
+			e.nodeProgress[ni] = 0
+			e.blockTouch(ni)
 		}
 		e.orderInsert(slot)
+		if e.calOn {
+			e.calStart(slot)
+		}
 		if e.cfg.Ledger != nil {
 			e.ledgerOpen(slot, now)
 		}
@@ -345,6 +412,9 @@ func (e *engine) applyCaps(jobBudget units.Power, now time.Time) (changed bool) 
 			if e.jobs[slot].cap != cap {
 				e.jobs[slot].cap = cap
 				changed = true
+				if e.calOn {
+					e.calRescale = append(e.calRescale, slot)
+				}
 			}
 		}
 		return changed
@@ -374,6 +444,9 @@ func (e *engine) applyCaps(jobBudget units.Power, now time.Time) (changed bool) 
 		if rj.cap != cap {
 			rj.cap = cap
 			changed = true
+			if e.calOn {
+				e.calRescale = append(e.calRescale, slot)
+			}
 		}
 	}
 	return changed
@@ -406,13 +479,33 @@ func (e *engine) measure() units.Power {
 		}
 		rj.power = p
 	}
-	blocks := (len(e.nodes) + measureBlockNodes - 1) / measureBlockNodes
-	if cap(e.blockPower) < blocks {
+	// Refresh the per-slot power table the kernel indexes by nodeJob
+	// value. Freed slots keep stale powers here, but no node references
+	// a freed slot, so those entries are never loaded.
+	if cap(e.nodePower) < len(e.jobs)+2 {
+		e.nodePower = make([]units.Power, len(e.jobs)+2)
+	}
+	e.nodePower = e.nodePower[:len(e.jobs)+2]
+	e.nodePower[0] = 0 // down nodes draw nothing
+	e.nodePower[1] = e.cfg.IdlePower
+	for i := range e.jobs {
+		e.nodePower[i+2] = e.jobs[i].power
+	}
+	// The block-vs-serial oracle test moves measureBlockNodes between
+	// runs; rebuild the block cache if the width it was sized for moved.
+	if e.blockW != measureBlockNodes {
+		e.blockW = measureBlockNodes
+		blocks := (len(e.nodeJob) + e.blockW - 1) / e.blockW
 		e.blockPower = make([]units.Power, blocks)
 		e.blockBusy = make([]int32, blocks)
+		e.blockRuns = make([][]blockRun, blocks)
+		e.blockStale = make([]bool, blocks)
+		e.blockDense = make([]bool, blocks)
+		for b := range e.blockStale {
+			e.blockStale[b] = true
+		}
 	}
-	e.blockPower = e.blockPower[:blocks]
-	e.blockBusy = e.blockBusy[:blocks]
+	blocks := len(e.blockPower)
 	e.pool.run(blocks, e.measureFn)
 	var measured units.Power
 	busy := 0
@@ -424,30 +517,93 @@ func (e *engine) measure() units.Power {
 	return measured
 }
 
+// blockRun is one run of consecutive nodes sharing a nodeJob value in a
+// measurement block's run-length encoding.
+type blockRun struct {
+	idx   int32
+	count int32
+}
+
+// blockDenseLimit is the run count past which a block is considered too
+// fragmented for run-length replay (the closed-form walk costs more than
+// a plain add per node once runs shrink toward length one).
+func blockDenseLimit(width int) int { return width/8 + 1 }
+
 // measureBlocks is the sharded measurement kernel: it reduces the blocks
 // [lo, hi), each serially over its fixed node range, writing only this
 // range's partials.
+//
+// The power sum inside a block is a long chain of repeated additions of
+// a few distinct per-node wattages: the free ring hands out contiguous
+// node runs, so a block is typically a handful of (job, idle) stretches.
+// The kernel exploits that two ways. Membership (who runs where) changes
+// only at starts, completions, and fail-stop events, so each block's
+// run-length encoding — and its busy count, a pure function of
+// membership — is cached and reused until blockTouch marks the block
+// stale. And within a run, k additions of the same wattage reduce to the
+// calendar's exact closed form (addRepeat/binadeBatch), which reproduces
+// the serial fl(sum + x) chain bit-for-bit in O(binades crossed) instead
+// of O(k) — the accumulator only grows, so a whole block replays in
+// O(runs + log(total/ulp)) float operations. Down-node runs add nothing,
+// exactly like the original branch. Blocks fragmented past
+// blockDenseLimit fall back to the plain per-node loop (one table load
+// and add per node), which computes the identical sum. Every path
+// reduces in node-index order, so partials are bit-identical to the
+// original serial scan at any shard count.
 func (e *engine) measureBlocks(lo, hi int) {
+	nj := e.nodeJob
+	pw := e.nodePower
 	for b := lo; b < hi; b++ {
-		start := b * measureBlockNodes
-		end := start + measureBlockNodes
-		if end > len(e.nodes) {
-			end = len(e.nodes)
+		start := b * e.blockW
+		end := start + e.blockW
+		if end > len(nj) {
+			end = len(nj)
 		}
-		var sum units.Power
-		var busy int32
-		for i := start; i < end; i++ {
-			// Down nodes (jobIdx == downNode) draw nothing. Without a
-			// failure schedule every jobIdx is ≥ -1 and the additions here
-			// happen in exactly the old per-node order within each block.
-			if idx := e.nodes[i].jobIdx; idx >= 0 {
-				sum += e.jobs[idx].power
-				busy++
-			} else if idx == idleNode {
-				sum += e.cfg.IdlePower
+		if e.blockStale[b] {
+			limit := blockDenseLimit(end - start)
+			runs := e.blockRuns[b][:0]
+			var busy int32
+			dense := false
+			for i := start; i < end; {
+				v := nj[i]
+				j := i + 1
+				for j < end && nj[j] == v {
+					j++
+				}
+				if v >= 0 {
+					busy += int32(j - i)
+				}
+				if !dense {
+					runs = append(runs, blockRun{idx: v, count: int32(j - i)})
+					if len(runs) > limit {
+						dense = true // keep scanning for the busy count only
+					}
+				}
+				i = j
 			}
+			e.blockRuns[b] = runs
+			e.blockBusy[b] = busy
+			e.blockDense[b] = dense
+			e.blockStale[b] = false
 		}
-		e.blockPower[b] = sum
-		e.blockBusy[b] = busy
+		if e.blockDense[b] {
+			// A down node's +0.0 cannot change any partial bit: the
+			// accumulator starts at +0.0 and only ever adds non-negative
+			// wattages, so it is never -0.0, and x + 0.0 == x exactly.
+			var sum units.Power
+			for i := start; i < end; i++ {
+				sum += pw[nj[i]+2]
+			}
+			e.blockPower[b] = sum
+			continue
+		}
+		var sum float64
+		for _, r := range e.blockRuns[b] {
+			if r.idx == downNode {
+				continue
+			}
+			sum = addRepeat(sum, float64(pw[r.idx+2]), int64(r.count))
+		}
+		e.blockPower[b] = units.Power(sum)
 	}
 }

@@ -48,10 +48,9 @@ func (e *engine) applyFailures(t time.Duration, now time.Time) (failed, recovere
 // and requeued from scratch, the job's surviving nodes return to the free
 // ring, and the node itself leaves the schedulable pool.
 func (e *engine) failNode(ni int32, now time.Time) error {
-	n := &e.nodes[ni]
-	switch {
-	case n.jobIdx >= 0:
-		slot := n.jobIdx
+	switch idx := e.nodeJob[ni]; {
+	case idx >= 0:
+		slot := idx
 		rj := &e.jobs[slot]
 		if err := e.scheduler.Requeue(rj.job, now); err != nil {
 			return err
@@ -61,22 +60,26 @@ func (e *engine) failNode(ni int32, now time.Time) error {
 			e.ledgerClose(slot, now, ledger.Requeued)
 		}
 		for _, other := range rj.nodes {
-			o := &e.nodes[other]
-			o.progress = 0
+			e.nodeProgress[other] = 0
+			e.blockTouch(other)
 			if other == ni {
-				o.jobIdx = downNode
+				e.nodeJob[other] = downNode
 				continue
 			}
-			o.jobIdx = idleNode
+			e.nodeJob[other] = idleNode
 			e.freePush(other)
 		}
 		e.orderRemove(slot)
+		if e.calOn {
+			e.calDrop(slot)
+		}
 		rj.job = nil
 		rj.nodes = rj.nodes[:0]
 		e.freeSlots = append(e.freeSlots, slot)
-	case n.jobIdx == idleNode:
+	case idx == idleNode:
 		e.freeRemove(ni)
-		n.jobIdx = downNode
+		e.nodeJob[ni] = downNode
+		e.blockTouch(ni)
 	default:
 		return fmt.Errorf("sim: failure event fails node %d, which is already down", ni)
 	}
@@ -89,12 +92,12 @@ func (e *engine) failNode(ni int32, now time.Time) error {
 // performance-variation coefficient survives (it models the hardware,
 // not the boot).
 func (e *engine) recoverNode(ni int32) error {
-	n := &e.nodes[ni]
-	if n.jobIdx != downNode {
+	if e.nodeJob[ni] != downNode {
 		return fmt.Errorf("sim: recovery event recovers node %d, which is not down", ni)
 	}
-	n.jobIdx = idleNode
-	n.progress = 0
+	e.nodeJob[ni] = idleNode
+	e.nodeProgress[ni] = 0
+	e.blockTouch(ni)
 	e.freePush(ni)
 	e.down--
 	return e.scheduler.AdjustCapacity(+1)

@@ -45,6 +45,6 @@ func (e *engine) ledgerSettle(now time.Time) {
 		e.cfg.Ledger.SetPower(e.ledH[slot], ms,
 			rj.power.Watts()*float64(len(rj.nodes)), rj.power < rj.typ.PMax)
 	}
-	idle := len(e.nodes) - e.measuredBusy - e.down
+	idle := len(e.nodeJob) - e.measuredBusy - e.down
 	e.cfg.Ledger.SetIdle(ms, idle, e.cfg.IdlePower.Watts())
 }

@@ -26,6 +26,7 @@ import (
 	"fmt"
 	"io"
 	"strconv"
+	"sync"
 	"time"
 
 	"repro/internal/budget"
@@ -115,6 +116,18 @@ type Config struct {
 	// Results are bit-identical either way (eventdriven_test.go holds
 	// both against each other and the reference engine).
 	DisableEventDriven bool
+	// DisableCalendar forces per-step progress advancement: every busy
+	// node's progress is incremented every simulated second, the
+	// pre-calendar behaviour, retained as the oracle the calendar is
+	// tested against. By default the engine computes each job's
+	// completion second in closed form whenever its cap is set (start
+	// and every recap) and buckets it into a completion calendar, so the
+	// progress phase costs O(completions due this second) instead of
+	// O(busy nodes) and busy-but-quiet intervals fast-forward like idle
+	// ones. Results are bit-identical either way (calendar_test.go holds
+	// both paths against each other across scenarios, failure schedules,
+	// shard counts, and GOMAXPROCS).
+	DisableCalendar bool
 	// Failures is the node fail-stop/recovery schedule, sorted by time
 	// (ties by node index). A failing node kills whatever job it runs —
 	// the job is requeued from scratch, its other nodes freed — and
@@ -333,18 +346,7 @@ func Run(cfg Config) (Result, error) {
 		}
 	}
 
-	rng := stats.NewRNG(cfg.Seed)
-	coeffs := make([]float64, cfg.Nodes)
-	for i := range coeffs {
-		coeffs[i] = 1
-		if cfg.VariationStd > 0 {
-			c := rng.Normal(1, cfg.VariationStd)
-			if c < 0.1 {
-				c = 0.1
-			}
-			coeffs[i] = c
-		}
-	}
+	coeffs := variationCoeffs(cfg.Seed, cfg.VariationStd, cfg.Nodes)
 
 	scheduler, err := sched.New(cfg.Nodes, cfg.Weights)
 	if err != nil {
@@ -443,9 +445,16 @@ func Run(cfg Config) (Result, error) {
 	var lastJobBudget units.Power
 	var measured units.Power
 	haveBudget, haveMeasured := false, false
+	// Bind the progress phase once: the completion calendar pops due
+	// jobs off a heap; the per-step oracle touches every busy node.
+	advance := e.advanceAndComplete
+	if e.calOn {
+		advance = e.calendarAdvanceAndComplete
+	}
 
 	for t := 0; t <= maxS; t++ {
 		now := simEpoch.Add(time.Duration(t) * time.Second)
+		e.curStep = int64(t)
 		var stepStart time.Time
 		if met.stepDur != nil {
 			stepStart = time.Now()
@@ -473,7 +482,7 @@ func Run(cfg Config) (Result, error) {
 
 		// 1. Node update: advance progress at each node's current cap and
 		// complete jobs whose nodes all finished.
-		completed, err := e.advanceAndComplete(now)
+		completed, err := advance(now)
 		if err != nil {
 			return Result{}, err
 		}
@@ -522,6 +531,12 @@ func Run(cfg Config) (Result, error) {
 			capsChanged = e.applyCaps(jobBudget, now)
 		}
 		lastJobBudget, haveBudget = jobBudget, true
+		// Re-bucket every job whose rate changed this step — new starts
+		// and recapped jobs — now that the capping phase has settled their
+		// final caps for the second.
+		if e.calOn {
+			e.calFlushRescale()
+		}
 
 		// 5. Measure and record. The cluster power sum is a pure function
 		// of node→job assignments and per-job caps, so a clean step with
@@ -605,80 +620,105 @@ func Run(cfg Config) (Result, error) {
 			break
 		}
 
-		// 6. Event horizon: with nothing running and nothing queued, the
-		// cluster state cannot change before the next arrival, the next
-		// failure event, the next target change (known exactly for
-		// Stepped signals or a zero-reserve bid), or the horizon
-		// boundary. Every intervening second would record the same
-		// target and measurement, so emit those rows directly and jump
-		// simulated time to the horizon — quiet intervals cost O(1) per
-		// second instead of a full engine pass.
-		if eventDriven && len(e.order) == 0 && scheduler.QueuedCount() == 0 &&
-			(targetFixed || stepped != nil) && t < horizonS {
-			end := horizonS
-			if pendingOK {
-				if s := ceilSeconds(pending.At); s < end {
-					end = s
+		// 6. Event horizon: jump simulated time across seconds where the
+		// cluster state provably cannot change. With nothing running and
+		// nothing queued (the original idle fast-forward), nothing happens
+		// before the next arrival, failure, target change (known exactly
+		// for Stepped signals or a zero-reserve bid), or the horizon
+		// boundary, where the drain-stop check must run. With the
+		// completion calendar on, the same holds while jobs run: the
+		// calendar's earliest due step bounds the window, clean steps
+		// start nothing (startJobs needs a dirty step), and a constant
+		// busy/down split holds the job budget — and therefore every cap —
+		// fixed, so each intervening second would record the same row.
+		// Feedback runs re-cap against wall-clock QoS every second and
+		// never take the busy window. Every skipped second still emits its
+		// row, counters, and retained series, so output stays
+		// byte-identical to full stepping.
+		if eventDriven && (targetFixed || stepped != nil) {
+			clusterIdle := len(e.order) == 0 && scheduler.QueuedCount() == 0
+			if (clusterIdle && t < horizonS) ||
+				(!clusterIdle && e.calOn && !cfg.FeedbackQoSExempt && t < maxS) {
+				end := maxS + 1
+				if clusterIdle {
+					end = horizonS
 				}
-			}
-			if e.nextFailure < len(cfg.Failures) {
-				if s := ceilSeconds(cfg.Failures[e.nextFailure].At); s < end {
-					end = s
-				}
-			}
-			if !targetFixed {
-				if nc := stepped.NextChange(time.Duration(t) * time.Second); nc != dr.NeverChanges {
-					if s := ceilSeconds(nc); s < end {
+				if pendingOK {
+					if s := ceilSeconds(pending.At); s < end {
 						end = s
 					}
 				}
-			}
-			for s := t + 1; s < end; s++ {
-				rowNow := simEpoch.Add(time.Duration(s) * time.Second)
-				res.Tracking = append(res.Tracking, trace.Point{Time: rowNow, Target: target, Measured: measured})
-				powerIntegral += measured.Watts()
-				steps++
-				if logger != nil {
-					logRec[0] = strconv.Itoa(s)
-					logRec[1] = "0"
-					logRec[2] = "0"
-					logRec[3] = "0"
-					logRec[4] = strconv.FormatFloat(target.Watts(), 'f', 0, 64)
-					logRec[5] = strconv.FormatFloat(measured.Watts(), 'f', 0, 64)
-					if err := logger.Write(logRec[:]); err != nil {
-						return Result{}, err
+				if e.nextFailure < len(cfg.Failures) {
+					if s := ceilSeconds(cfg.Failures[e.nextFailure].At); s < end {
+						end = s
 					}
 				}
-				// Per-second counters, distributions, and retained series
-				// still advance (the determinism guard ties them to
-				// simulated seconds); gauges would be set to the values
-				// they already hold, so they are skipped.
-				cfg.Progress.Inc()
-				met.steps.Inc()
-				met.measuredDist.Observe(measured.Watts())
-				if cfg.Telemetry != nil {
-					tel.target.Record(rowNow, target.Watts())
-					tel.measured.Record(rowNow, measured.Watts())
-					tel.busy.Record(rowNow, 0)
-					tel.running.Record(rowNow, 0)
-					tel.queued.Record(rowNow, 0)
-					if tel.energy != nil {
-						tel.energy.Record(rowNow, cfg.Ledger.TotalJoulesAt(rowNow.UnixMilli()+1000))
+				if !targetFixed {
+					if nc := stepped.NextChange(time.Duration(t) * time.Second); nc != dr.NeverChanges {
+						if s := ceilSeconds(nc); s < end {
+							end = s
+						}
 					}
 				}
-				if cfg.Tracer.Enabled() && s%traceEvery == 0 {
-					cfg.Tracer.Emit(obs.Event{Type: obs.EvSimStep, TimeUnixNano: rowNow.UnixNano(), Run: cfg.RunID, Fields: obs.F{
-						"t_s": s, "running": 0, "queued": 0,
-						"busy_nodes": 0, "target_w": target.Watts(), "measured_w": measured.Watts(),
-					}})
-					sp := cfg.Tracer.StartSpanAt("sim_recap", obs.TraceContext{}, rowNow)
-					sp.Set("t_s", s).Set("jobs", 0).
-						Set("target_w", target.Watts()).Set("measured_w", measured.Watts())
-					sp.EndAt(rowNow.Add(time.Second))
+				// A stale heap top only shortens the window — the landing
+				// step pops it as a cheap clean step.
+				if len(e.calHeap) > 0 {
+					if s := int(e.calHeap[0].step); s < end {
+						end = s
+					}
 				}
-			}
-			if end-1 > t {
-				t = end - 1
+				running := len(e.order)
+				queuedN := scheduler.QueuedCount()
+				for s := t + 1; s < end; s++ {
+					rowNow := simEpoch.Add(time.Duration(s) * time.Second)
+					res.Tracking = append(res.Tracking, trace.Point{Time: rowNow, Target: target, Measured: measured})
+					powerIntegral += measured.Watts()
+					steps++
+					if s <= horizonS {
+						busyNodeSeconds += float64(busy)
+					}
+					if logger != nil {
+						logRec[0] = strconv.Itoa(s)
+						logRec[1] = strconv.Itoa(running)
+						logRec[2] = strconv.Itoa(queuedN)
+						logRec[3] = strconv.Itoa(busy)
+						logRec[4] = strconv.FormatFloat(target.Watts(), 'f', 0, 64)
+						logRec[5] = strconv.FormatFloat(measured.Watts(), 'f', 0, 64)
+						if err := logger.Write(logRec[:]); err != nil {
+							return Result{}, err
+						}
+					}
+					// Per-second counters, distributions, and retained series
+					// still advance (the determinism guard ties them to
+					// simulated seconds); gauges would be set to the values
+					// they already hold, so they are skipped.
+					cfg.Progress.Inc()
+					met.steps.Inc()
+					met.measuredDist.Observe(measured.Watts())
+					if cfg.Telemetry != nil {
+						tel.target.Record(rowNow, target.Watts())
+						tel.measured.Record(rowNow, measured.Watts())
+						tel.busy.Record(rowNow, float64(busy))
+						tel.running.Record(rowNow, float64(running))
+						tel.queued.Record(rowNow, float64(queuedN))
+						if tel.energy != nil {
+							tel.energy.Record(rowNow, cfg.Ledger.TotalJoulesAt(rowNow.UnixMilli()+1000))
+						}
+					}
+					if cfg.Tracer.Enabled() && s%traceEvery == 0 {
+						cfg.Tracer.Emit(obs.Event{Type: obs.EvSimStep, TimeUnixNano: rowNow.UnixNano(), Run: cfg.RunID, Fields: obs.F{
+							"t_s": s, "running": running, "queued": queuedN,
+							"busy_nodes": busy, "target_w": target.Watts(), "measured_w": measured.Watts(),
+						}})
+						sp := cfg.Tracer.StartSpanAt("sim_recap", obs.TraceContext{}, rowNow)
+						sp.Set("t_s", s).Set("jobs", running).
+							Set("target_w", target.Watts()).Set("measured_w", measured.Watts())
+						sp.EndAt(rowNow.Add(time.Second))
+					}
+				}
+				if end-1 > t {
+					t = end - 1
+				}
 			}
 		}
 	}
@@ -722,6 +762,47 @@ func Run(cfg Config) (Result, error) {
 		res.AvgPower = units.Power(powerIntegral / float64(steps))
 	}
 	return res, nil
+}
+
+// coeffMemo caches the most recent performance-variation draw. The
+// coefficients are a pure function of (Seed, VariationStd, Nodes) and the
+// engine only ever reads its coefficient table, so repeated runs of one
+// configuration — benchmark timing windows, equivalence matrices,
+// parameter sweeps varying anything else — share one slice instead of
+// re-deriving Nodes normal variates each run (the dominant setup cost at
+// 100k+ nodes). A single entry suffices: alternating configurations just
+// regenerate, landing exactly where the uncached code was.
+var coeffMemo struct {
+	sync.Mutex
+	seed  uint64
+	std   float64
+	nodes int
+	c     []float64
+}
+
+// variationCoeffs returns the per-node performance coefficients for a
+// configuration: normal(1, std) clamped below at 0.1, or all-ones when
+// std is 0. The returned slice is shared and must be treated read-only.
+func variationCoeffs(seed uint64, std float64, nodes int) []float64 {
+	coeffMemo.Lock()
+	defer coeffMemo.Unlock()
+	if coeffMemo.c != nil && coeffMemo.seed == seed && coeffMemo.std == std && coeffMemo.nodes == nodes {
+		return coeffMemo.c
+	}
+	rng := stats.NewRNG(seed)
+	coeffs := make([]float64, nodes)
+	for i := range coeffs {
+		coeffs[i] = 1
+		if std > 0 {
+			c := rng.Normal(1, std)
+			if c < 0.1 {
+				c = 0.1
+			}
+			coeffs[i] = c
+		}
+	}
+	coeffMemo.seed, coeffMemo.std, coeffMemo.nodes, coeffMemo.c = seed, std, nodes, coeffs
+	return coeffs
 }
 
 // ceilSeconds returns the first whole simulated second at or after offset

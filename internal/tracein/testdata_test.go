@@ -1,0 +1,91 @@
+package tracein
+
+import (
+	"path/filepath"
+	"testing"
+	"time"
+)
+
+// TestCheckedInSampleTraces parses the bounded trace samples under
+// testdata/ end to end — the same files the CI scale smoke streams
+// through anor-sim — and pins their invariants: full row counts, sorted
+// submits, bounded widths, and (for the CSV) deduplicated synthesized
+// types well below the row count.
+func TestCheckedInSampleTraces(t *testing.T) {
+	t.Run("pwa-sdsc-sp2-csv", func(t *testing.T) {
+		r, err := Open(filepath.Join("testdata", "pwa_sdsc_sp2_sample.csv"), Options{MaxNodes: 512})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		types := map[string]bool{}
+		var rows int
+		var prev time.Duration
+		maxNodes := 0
+		for {
+			a, typ, ok, err := r.Next()
+			if err != nil {
+				t.Fatalf("row %d: %v", rows+1, err)
+			}
+			if !ok {
+				break
+			}
+			rows++
+			if a.At < prev {
+				t.Fatalf("%s at %v precedes previous row at %v", a.JobID, a.At, prev)
+			}
+			prev = a.At
+			types[typ.Name] = true
+			if typ.Nodes > maxNodes {
+				maxNodes = typ.Nodes
+			}
+			if d := typ.BaseSeconds; d < 30 || d > 3600 {
+				t.Fatalf("%s: duration %v s outside the documented 30–3600 s menu", a.JobID, d)
+			}
+		}
+		if rows != 256 {
+			t.Fatalf("parsed %d rows, want 256", rows)
+		}
+		if maxNodes > 128 {
+			t.Fatalf("widest job uses %d nodes, documented bound is 128", maxNodes)
+		}
+		// The duration menu is quantized, so the (nodes, duration) shapes
+		// dedup far below one type per row.
+		if len(types) >= rows/2 {
+			t.Fatalf("synthesized %d types for %d rows; quantization is not deduplicating", len(types), rows)
+		}
+	})
+
+	t.Run("catalog-jsonl", func(t *testing.T) {
+		r, err := Open(filepath.Join("testdata", "catalog_sample.jsonl"), Options{})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer r.Close()
+		var rows, misclassified int
+		var prev time.Duration
+		for {
+			a, _, ok, err := r.Next()
+			if err != nil {
+				t.Fatalf("row %d: %v", rows+1, err)
+			}
+			if !ok {
+				break
+			}
+			rows++
+			if a.At < prev {
+				t.Fatalf("%s at %v precedes previous row at %v", a.JobID, a.At, prev)
+			}
+			prev = a.At
+			if a.ClaimedType != a.TypeName {
+				misclassified++
+			}
+		}
+		if rows != 64 {
+			t.Fatalf("parsed %d rows, want 64", rows)
+		}
+		if misclassified == 0 {
+			t.Fatal("sample has no misclassified rows; the claimed_type path is untested")
+		}
+	})
+}
