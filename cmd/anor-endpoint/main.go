@@ -57,6 +57,7 @@ func main() {
 	hold := flag.Duration("hold", 0, "hold the last cap this long while disconnected before the failsafe cap (default 3x report period)")
 	failsafeCap := flag.Float64("failsafe-cap", 0, "per-node failsafe cap in watts enforced after -hold expires disconnected (default: node minimum cap)")
 	readTimeout := flag.Duration("read-timeout", 0, "per-receive wire deadline; a silent cluster past it counts as a dropped link; 0 disables")
+	statePath := flag.String("state-file", "", "durable endpoint state file: persists the highest controller epoch and the last applied cap, which is re-imposed before the first dial after a restart; empty disables")
 	metricsAddr := flag.String("metrics", "", "serve /metrics, /healthz, and pprof on this address; empty disables")
 	eventsOut := flag.String("events", "", "stream structured JSONL events to this file; empty disables")
 	telemetryOn := flag.Bool("telemetry", false, "retain multi-resolution rollup series and serve /timeseries on the -metrics address")
@@ -179,6 +180,7 @@ func main() {
 		HoldDuration:  *hold,
 		FailsafeCap:   units.Power(*failsafeCap),
 		ReadTimeout:   *readTimeout,
+		StatePath:     *statePath,
 	})
 	if err != nil {
 		fatalf("%v", err)

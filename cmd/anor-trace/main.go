@@ -33,6 +33,7 @@ type summary struct {
 	Files          int            `json:"files"`
 	Events         map[string]int `json:"events"`
 	Malformed      int            `json:"malformed_lines"`
+	TornTails      int            `json:"torn_tails"`
 	Traces         int            `json:"traces"`
 	Spans          int            `json:"spans"`
 	CompleteChains int            `json:"complete_chains"`
@@ -48,7 +49,7 @@ type summary struct {
 func main() {
 	jsonOut := flag.Bool("json", false, "emit a machine-readable JSON summary instead of text")
 	dot := flag.String("dot", "", "write the trace(s) whose ID starts with this prefix as Graphviz DOT to stdout, instead of a summary")
-	strict := flag.Bool("strict", false, "exit 2 when any orphaned spans are found")
+	strict := flag.Bool("strict", false, "exit 2 on orphaned spans or malformed lines (torn final lines from a killed process are tolerated)")
 	topN := flag.Int("top", 5, "slowest chains to list in the text summary")
 	flag.Parse()
 	if flag.NArg() == 0 {
@@ -70,7 +71,7 @@ func main() {
 
 	mean, max, n := a.StalenessStats()
 	s := summary{
-		Files: flag.NArg(), Events: l.Events, Malformed: l.Malformed,
+		Files: flag.NArg(), Events: l.Events, Malformed: l.Malformed, TornTails: l.TornTails,
 		Traces: a.Traces, Spans: a.Spans,
 		CompleteChains: len(a.Chains), OrphanSpans: len(a.Orphans),
 		LatencyP50:    a.Latency.Quantile(0.50),
@@ -89,15 +90,15 @@ func main() {
 		printText(s, a, *topN)
 	}
 
-	if *strict && len(a.Orphans) > 0 {
-		fmt.Fprintf(os.Stderr, "anor-trace: %d orphaned spans (parents missing from input files)\n", len(a.Orphans))
+	if *strict && (len(a.Orphans) > 0 || l.Malformed > 0) {
+		fmt.Fprintf(os.Stderr, "anor-trace: %d orphaned spans, %d malformed lines\n", len(a.Orphans), l.Malformed)
 		os.Exit(2)
 	}
 }
 
 func printText(s summary, a *causal.Analysis, topN int) {
-	fmt.Printf("anor-trace: %d file(s), %d spans in %d traces (%d malformed lines skipped)\n",
-		s.Files, s.Spans, s.Traces, s.Malformed)
+	fmt.Printf("anor-trace: %d file(s), %d spans in %d traces (%d malformed lines skipped, %d torn tails)\n",
+		s.Files, s.Spans, s.Traces, s.Malformed, s.TornTails)
 	fmt.Printf("  complete decision→enforcement chains: %d\n", s.CompleteChains)
 	fmt.Printf("  orphaned spans (missing parents):     %d\n", s.OrphanSpans)
 	if s.CompleteChains > 0 {

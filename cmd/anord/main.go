@@ -39,6 +39,7 @@ import (
 	"repro/internal/budget"
 	"repro/internal/clock"
 	"repro/internal/clustermgr"
+	"repro/internal/durable"
 	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -70,6 +71,9 @@ func main() {
 	sloPath := flag.String("slo", "", "SLO rule file (JSON); evaluates rules over the -telemetry rollups, serves /slo on the -metrics address, and emits alert events")
 	recordOut := flag.String("record", "", "append every telemetry sample to this binary flight-recorder file (implies -telemetry)")
 	profileDir := flag.String("profile-dir", "", "rotate continuous CPU+heap profiles into this directory; empty disables")
+	stateDir := flag.String("state-dir", "", "durable control-plane state directory (WAL + snapshots): sessions, models, caps, and the energy ledger survive a crash and restart with a bumped fencing epoch; empty disables")
+	walFlush := flag.Duration("wal-flush", 50*time.Millisecond, "bounded-loss WAL fsync interval: a crash loses at most this window of journal records; 0 syncs every append")
+	snapshotEvery := flag.Duration("snapshot-every", 30*time.Second, "how often to write a compacting control-plane snapshot and prune old WAL segments")
 	verbose := flag.Bool("v", false, "enable debug logging")
 	flag.Parse()
 
@@ -152,6 +156,27 @@ func main() {
 	// /accounting endpoint are worth that even on small clusters.
 	led := ledger.New()
 
+	// Durable control plane: recover the previous generation's state (the
+	// ledger continues the recovered accounts rather than starting fresh)
+	// and journal this generation's changes under a bumped fencing epoch.
+	var dstore *durable.Store
+	var recovered *durable.ControlState
+	if *stateDir != "" {
+		s, rec, err := durable.Open(durable.Options{
+			Dir: *stateDir, FlushEvery: *walFlush, SnapshotEvery: *snapshotEvery,
+			Metrics: registry, Log: logger,
+		})
+		if err != nil {
+			fatalf("opening state dir: %v", err)
+		}
+		dstore, recovered = s, rec.State
+		led = rec.Ledger
+		defer dstore.Close()
+		logger.Infof("durable: epoch %d, recovered %d sessions / %d models / %d WAL records in %s (torn=%v corrupt=%d)",
+			rec.Epoch, rec.Sessions, rec.Models, rec.WALRecords,
+			time.Duration(rec.Duration), rec.TornTail, rec.Corrupt)
+	}
+
 	typeModels := map[string]perfmodel.Model{}
 	for _, t := range workload.Catalog() {
 		typeModels[t.Name] = t.RelativeModel()
@@ -210,6 +235,8 @@ func main() {
 		Tracer:           tracer,
 		Telemetry:        store,
 		Ledger:           led,
+		Store:            dstore,
+		Recovered:        recovered,
 		Reserve:          units.Power(*reserve),
 		Log:              logger,
 	})
@@ -227,6 +254,10 @@ func main() {
 			Handler: led.Handler(func() int64 { return time.Now().UnixMilli() })})
 		if sloEngine != nil {
 			mounts = append(mounts, obs.Mount{Pattern: "/slo", Handler: sloEngine.Handler()})
+		}
+		if dstore != nil {
+			mounts = append(mounts, obs.Mount{Pattern: "/durable",
+				Handler: dstore.StatusHandler(mgr.ControlState)})
 		}
 		admin, err := obs.StartAdmin(*metricsAddr, registry, nil, mounts...)
 		if err != nil {
@@ -286,7 +317,27 @@ func main() {
 	}
 
 	<-ctx.Done()
+	// Graceful drain: stop accepting, close every session (handlers
+	// journal byes and close ledger stints), then seal the durable state
+	// with a final flush + snapshot so the next generation recovers a
+	// clean image with nothing to replay.
 	ln.Close()
+	mgr.CloseSessions()
+	drained := make(chan struct{})
+	go func() { mgr.Wait(); close(drained) }()
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		logger.Warnf("session drain timed out after 5s")
+	}
+	if dstore != nil {
+		if err := dstore.Flush(); err != nil {
+			logger.Warnf("final WAL flush: %v", err)
+		}
+		if err := dstore.Snapshot(mgr.ControlState); err != nil {
+			logger.Warnf("final snapshot: %v", err)
+		}
+	}
 
 	pts := mgr.Tracking().Points()
 	sum := trace.Summarize(pts, units.Power(*reserve))

@@ -14,6 +14,7 @@ package causal
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -59,9 +60,13 @@ type Log struct {
 	// Events counts all parsed events by type.
 	Events map[string]int
 	// Malformed counts lines that failed to parse; the loader skips them
-	// rather than aborting, since JSONL files from a killed process can
-	// end mid-line.
+	// rather than aborting.
 	Malformed int
+	// TornTails counts files whose final line was cut mid-write — no
+	// trailing newline and unparseable. A process killed with SIGKILL
+	// leaves exactly this debris, so it is classified separately from
+	// Malformed: expected crash residue, not corruption.
+	TornTails int
 }
 
 // rawEvent mirrors obs.Event with the field payload kept raw so each
@@ -88,44 +93,61 @@ type updateFields struct {
 	Trace string `json:"trace"`
 }
 
-// Load parses one JSONL event stream into l (create with NewLog).
+// Load parses one JSONL event stream into l (create with NewLog). A
+// final line cut mid-write (no trailing newline, unparseable) counts as
+// a torn tail rather than a malformed line: that is the normal residue
+// of a process killed mid-flush.
 func (l *Log) Load(r io.Reader) error {
-	sc := bufio.NewScanner(r)
-	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
-	for sc.Scan() {
-		line := sc.Bytes()
-		if len(line) == 0 {
-			continue
+	br := bufio.NewReaderSize(r, 64*1024)
+	for {
+		line, err := br.ReadBytes('\n')
+		if err != nil && err != io.EOF {
+			return err
 		}
-		var ev rawEvent
-		if err := json.Unmarshal(line, &ev); err != nil {
-			l.Malformed++
-			continue
+		torn := err == io.EOF && len(line) > 0
+		if trimmed := bytes.TrimSpace(line); len(trimmed) > 0 {
+			if !l.parseLine(trimmed) {
+				if torn {
+					l.TornTails++
+				} else {
+					l.Malformed++
+				}
+			}
 		}
-		l.Events[ev.Type]++
-		switch ev.Type {
-		case obs.EvSpan:
-			var f spanFields
-			if err := json.Unmarshal(ev.Fields, &f); err != nil || f.Span == "" {
-				l.Malformed++
-				continue
-			}
-			l.Spans = append(l.Spans, Span{
-				Name: f.Name, TraceID: f.Trace, ID: f.Span, Parent: f.Parent,
-				Job: ev.Job, Run: ev.Run, StartNS: f.StartNS, DurNS: f.DurNS,
-			})
-		case obs.EvModelUpdate:
-			var f updateFields
-			if err := json.Unmarshal(ev.Fields, &f); err != nil {
-				l.Malformed++
-				continue
-			}
-			l.Updates = append(l.Updates, ModelUpdate{
-				Job: ev.Job, RecvNS: ev.TimeUnixNano, SampleNS: f.TsNS, TraceID: f.Trace,
-			})
+		if err == io.EOF {
+			return nil
 		}
 	}
-	return sc.Err()
+}
+
+// parseLine folds one JSONL event line into the log, reporting whether
+// it parsed.
+func (l *Log) parseLine(line []byte) bool {
+	var ev rawEvent
+	if err := json.Unmarshal(line, &ev); err != nil {
+		return false
+	}
+	l.Events[ev.Type]++
+	switch ev.Type {
+	case obs.EvSpan:
+		var f spanFields
+		if err := json.Unmarshal(ev.Fields, &f); err != nil || f.Span == "" {
+			return false
+		}
+		l.Spans = append(l.Spans, Span{
+			Name: f.Name, TraceID: f.Trace, ID: f.Span, Parent: f.Parent,
+			Job: ev.Job, Run: ev.Run, StartNS: f.StartNS, DurNS: f.DurNS,
+		})
+	case obs.EvModelUpdate:
+		var f updateFields
+		if err := json.Unmarshal(ev.Fields, &f); err != nil {
+			return false
+		}
+		l.Updates = append(l.Updates, ModelUpdate{
+			Job: ev.Job, RecvNS: ev.TimeUnixNano, SampleNS: f.TsNS, TraceID: f.Trace,
+		})
+	}
+	return true
 }
 
 // NewLog returns an empty log ready for Load.

@@ -219,3 +219,37 @@ not json at all
 		t.Fatalf("spans=%d sim_steps=%d, want 1 and 1", len(l.Spans), l.Events["sim_step"])
 	}
 }
+
+func TestLoadToleratesTornFinalLine(t *testing.T) {
+	full := `{"t_ns":1,"type":"span","fields":{"name":"rebudget","trace":"t","span":"s","start_ns":1,"dur_ns":2}}` + "\n" +
+		`{"t_ns":2,"type":"span","fields":{"name":"cap_apply","trace":"t","span":"s2","parent":"s","start_ns":3,"dur_ns":1}}` + "\n"
+	// Cut the stream at every offset into the final line: a SIGKILL can
+	// land mid-write anywhere. The cut line is a torn tail, never a
+	// malformed line, and everything before it still parses.
+	cutFrom := strings.Index(full, "cap_apply")
+	for cut := cutFrom; cut < len(full)-1; cut++ {
+		l := NewLog()
+		if err := l.Load(strings.NewReader(full[:cut])); err != nil {
+			t.Fatalf("cut %d: %v", cut, err)
+		}
+		if l.Malformed != 0 {
+			t.Fatalf("cut %d: torn tail misclassified as malformed", cut)
+		}
+		if l.TornTails != 1 {
+			t.Fatalf("cut %d: torn tails = %d, want 1", cut, l.TornTails)
+		}
+		if len(l.Spans) != 1 {
+			t.Fatalf("cut %d: spans = %d, want 1", cut, len(l.Spans))
+		}
+	}
+	// A final line that happens to be complete JSON but lacks the
+	// trailing newline parses normally: no tear, no loss.
+	l := NewLog()
+	if err := l.Load(strings.NewReader(strings.TrimSuffix(full, "\n"))); err != nil {
+		t.Fatal(err)
+	}
+	if l.TornTails != 0 || l.Malformed != 0 || len(l.Spans) != 2 {
+		t.Fatalf("newline-less complete tail: torn=%d malformed=%d spans=%d, want 0/0/2",
+			l.TornTails, l.Malformed, len(l.Spans))
+	}
+}

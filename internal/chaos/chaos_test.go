@@ -85,6 +85,12 @@ func startCluster(t *testing.T, ctx context.Context, heartbeat time.Duration, le
 // cap (a perfectly responsive job), so the manager's measured series
 // tracks its allocations.
 func startEndpoint(t *testing.T, ctx context.Context, reg *obs.Registry, job, typeName string, nodes int, dial func() (net.Conn, error)) *geopm.Endpoint {
+	return startDurableEndpoint(t, ctx, reg, job, typeName, nodes, dial, "")
+}
+
+// startDurableEndpoint is startEndpoint with an optional persisted state
+// file (cap + controller epoch restored across endpoint restarts).
+func startDurableEndpoint(t *testing.T, ctx context.Context, reg *obs.Registry, job, typeName string, nodes int, dial func() (net.Conn, error), statePath string) *geopm.Endpoint {
 	t.Helper()
 	gep := geopm.NewEndpoint()
 	mdl, err := modeler.New(modeler.Config{Default: workload.MustByName("is").Model()})
@@ -96,6 +102,7 @@ func startEndpoint(t *testing.T, ctx context.Context, reg *obs.Registry, job, ty
 		TypeName:      typeName,
 		Nodes:         nodes,
 		Dial:          dial,
+		StatePath:     statePath,
 		ReconnectMin:  5 * time.Millisecond,
 		ReconnectMax:  40 * time.Millisecond,
 		ReconnectSeed: 1,

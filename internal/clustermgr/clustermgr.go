@@ -19,6 +19,7 @@ import (
 
 	"repro/internal/budget"
 	"repro/internal/clock"
+	"repro/internal/durable"
 	"repro/internal/ledger"
 	"repro/internal/obs"
 	"repro/internal/perfmodel"
@@ -93,6 +94,25 @@ type Config struct {
 	// exact; against wall-clock power integrals it is tick-quantized.
 	// Nil disables with no overhead.
 	Ledger *ledger.Ledger
+	// Store, when non-nil, journals every control-plane state change —
+	// sessions, trained models, caps, measured rates, the DR bid — to
+	// the durable WAL, and Tick drives its bounded-loss flush and
+	// compaction cadences. Nil disables durability.
+	Store *durable.Store
+	// Recovered seeds the manager from the control-plane image a
+	// previous controller generation persisted: recovered sessions are
+	// re-adopted when their endpoints reconnect (trained model and last
+	// cap restored, ledger stint reopened on the same record).
+	Recovered *durable.ControlState
+	// Epoch is this controller generation's fencing epoch, stamped on
+	// every outbound SetBudget/Ping so endpoints can reject a superseded
+	// controller; a Hello carrying a higher epoch than ours proves this
+	// manager is itself stale and the registration is refused. Defaults
+	// to Store.Epoch(); zero (no store) disables fencing.
+	Epoch uint64
+	// Bid, when non-nil, is the demand-response bid recorded in the
+	// durable image so a restarted controller knows what it promised.
+	Bid *durable.BidState
 	// Reserve is the demand-response reserve used to normalize the
 	// tracking-error distribution; zero skips the relative histogram.
 	Reserve units.Power
@@ -122,6 +142,8 @@ type managerMetrics struct {
 	staleFalls   *obs.Counter
 	pings        *obs.Counter
 	measuredDist *obs.Histogram
+	fencedHellos *obs.Counter
+	adoptions    *obs.Counter
 }
 
 func newManagerMetrics(r *obs.Registry) managerMetrics {
@@ -144,6 +166,8 @@ func newManagerMetrics(r *obs.Registry) managerMetrics {
 		staleFalls:   r.Counter("anord_stale_model_fallbacks_total", "Rebudget job entries that fell back from a stale trained model to the precharacterized curve."),
 		pings:        r.Counter("anord_pings_sent_total", "Liveness ping probes sent to quiet endpoints."),
 		measuredDist: r.Histogram("anord_power_measured_watts_dist", "Distribution of measured cluster power across rebudget ticks.", obs.DefPowerBuckets),
+		fencedHellos: r.Counter("anord_superseded_hellos_total", "Hellos refused because they carried a higher controller epoch, proving this controller is superseded."),
+		adoptions:    r.Counter("anord_recovered_sessions_adopted_total", "Reconnecting endpoints re-seeded from a recovered session (model and cap restored)."),
 	}
 }
 
@@ -167,6 +191,7 @@ func newManagerTelemetry(st *telemetry.Store) managerTelemetry {
 
 type jobState struct {
 	id        string
+	typeName  string
 	nodes     int
 	conn      *proto.Conn
 	believed  perfmodel.Model
@@ -174,6 +199,8 @@ type jobState struct {
 	trained   bool
 	lastPower units.Power
 	lastCap   units.Power
+	// connectedMs is when this session registered (journal milliseconds).
+	connectedMs int64
 
 	// lastSeen is when any message last arrived on this connection;
 	// liveness eviction keys off it.
@@ -189,6 +216,14 @@ type jobState struct {
 	// reconnect-supersede: the fresh session inherits the handle so the
 	// job keeps one continuous record.
 	led ledger.Handle
+
+	// Journal dedup state: the last model / power rate / throttle flag
+	// written to the WAL, so steady-state ticks append nothing.
+	walModel     durable.ModelState
+	walModelSet  bool
+	walPowerMW   int64
+	walPowerSet  bool
+	walThrottled bool
 }
 
 // Manager is the cluster-tier power manager.
@@ -199,6 +234,16 @@ type Manager struct {
 
 	mu   sync.Mutex
 	jobs map[string]*jobState
+	// recovered holds sessions from a previous controller generation
+	// still waiting for their endpoints to reconnect and reclaim them.
+	recovered map[string]*durable.SessionState
+	// typeTrained remembers the freshest trained model per workload type
+	// (recovered + live), seeding jobs of a known type ahead of their
+	// own feedback when durability is on.
+	typeTrained map[string]durable.ModelState
+	// walIdle* dedup the journal's idle-rate records.
+	walIdleNodes int
+	walIdleSet   bool
 
 	rec trace.Recorder
 	wg  sync.WaitGroup
@@ -224,12 +269,27 @@ func NewManager(cfg Config) (*Manager, error) {
 	if err := cfg.DefaultModel.Validate(); err != nil {
 		return nil, errors.New("clustermgr: config requires a valid default model")
 	}
-	return &Manager{
-		cfg:  cfg,
-		met:  newManagerMetrics(cfg.Metrics),
-		tel:  newManagerTelemetry(cfg.Telemetry),
-		jobs: make(map[string]*jobState),
-	}, nil
+	if cfg.Store != nil && cfg.Epoch == 0 {
+		cfg.Epoch = cfg.Store.Epoch()
+	}
+	m := &Manager{
+		cfg:         cfg,
+		met:         newManagerMetrics(cfg.Metrics),
+		tel:         newManagerTelemetry(cfg.Telemetry),
+		jobs:        make(map[string]*jobState),
+		recovered:   make(map[string]*durable.SessionState),
+		typeTrained: make(map[string]durable.ModelState),
+	}
+	m.seedFromRecovered()
+	if m.cfg.Bid != nil {
+		// Journal the DR bid up front so a successor generation knows what
+		// this one promised even if it crashes before the first snapshot.
+		m.append(durable.Record{
+			Kind: durable.KindBid, AtMs: m.cfg.Clock.Now().UnixMilli(),
+			AvgW: m.cfg.Bid.AvgW, ReserveW: m.cfg.Bid.ReserveW,
+		})
+	}
+	return m, nil
 }
 
 // Tracking returns the recorder holding the manager's (time, target,
@@ -287,33 +347,72 @@ func (m *Manager) handleConn(c *proto.Conn) {
 	if err != nil || first.Kind != proto.KindHello {
 		return
 	}
+	if m.cfg.Epoch > 0 && first.Epoch > m.cfg.Epoch {
+		// The endpoint has already heard from a newer controller
+		// generation: this manager is the stale one. Refusing the
+		// registration (rather than adopting the endpoint) is the fence
+		// that keeps a superseded controller from steering the fleet.
+		m.met.fencedHellos.Inc()
+		m.cfg.Log.WithJob(first.Hello.JobID).Warnf(
+			"hello carries epoch %d > ours %d: this controller is superseded, refusing", first.Epoch, m.cfg.Epoch)
+		return
+	}
 	hello := *first.Hello
 	believed := m.cfg.DefaultModel
 	if mdl, ok := m.cfg.TypeModels[hello.TypeName]; ok {
 		believed = mdl
 	}
 	now := m.cfg.Clock.Now()
+	nowMs := now.UnixMilli()
 	j := &jobState{
-		id:        hello.JobID,
-		nodes:     hello.Nodes,
-		conn:      c,
-		believed:  believed,
-		lastPower: m.cfg.IdlePower * units.Power(hello.Nodes),
-		lastSeen:  now,
+		id:          hello.JobID,
+		typeName:    hello.TypeName,
+		nodes:       hello.Nodes,
+		conn:        c,
+		believed:    believed,
+		lastPower:   m.cfg.IdlePower * units.Power(hello.Nodes),
+		lastSeen:    now,
+		connectedMs: nowMs,
 	}
+	var adoptedCapW float64
+	var adopted bool
 	m.mu.Lock()
 	old := m.jobs[hello.JobID]
+	if old == nil {
+		adoptedCapW, adopted = m.adoptRecovered(j, nowMs)
+		if !j.trained && m.durableOn() && m.cfg.UseFeedback {
+			// A fresh job of a type another session already trained starts
+			// from that learned curve instead of the precharacterized one.
+			if ms, ok := m.typeTrained[hello.TypeName]; ok && ms.Valid() {
+				j.online = ms.Model()
+				j.trained = true
+				j.lastUpdate = msToTime(ms.UpdatedMs)
+				j.walModel, j.walModelSet = ms, true
+			}
+		}
+	}
 	if m.cfg.Ledger != nil {
 		if old != nil {
 			// The job's account is still open; the fresh session carries it
 			// forward rather than double-opening.
 			j.led = old.led
 		} else {
+			// For an adopted session the restored account already exists:
+			// Open resumes it, reopening the stint the crash closed.
 			j.led = m.cfg.Ledger.Open(ledger.JobMeta{
 				ID: hello.JobID, Type: hello.TypeName, Nodes: hello.Nodes,
-				SubmitMs: now.UnixMilli(),
-			}, now.UnixMilli())
+				SubmitMs: nowMs,
+			}, nowMs)
 		}
+	}
+	if old != nil {
+		// Supersede inherits the learned state along with the ledger
+		// handle so a TCP blip never resets training or the cap record.
+		j.online, j.trained, j.lastUpdate = old.online, old.trained, old.lastUpdate
+		j.lastCap = old.lastCap
+		j.connectedMs = old.connectedMs
+		j.walModel, j.walModelSet = old.walModel, old.walModelSet
+		j.walPowerMW, j.walPowerSet, j.walThrottled = old.walPowerMW, old.walPowerSet, old.walThrottled
 	}
 	m.jobs[hello.JobID] = j
 	m.mu.Unlock()
@@ -326,6 +425,22 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		_ = old.conn.Close()
 	} else {
 		m.met.endpoints.Add(1)
+		m.append(sessionRecord(durable.KindHello, j, nowMs))
+	}
+	if adopted {
+		m.met.adoptions.Inc()
+		m.cfg.Log.WithJob(hello.JobID).Infof("adopted recovered session: cap %.0f W restored", adoptedCapW)
+		if adoptedCapW > 0 {
+			// Re-impose the pre-crash cap immediately instead of waiting a
+			// full control period with the endpoint uncapped.
+			env := proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
+				JobID: hello.JobID, PowerCapWatts: adoptedCapW,
+			}, Epoch: m.cfg.Epoch}
+			if err := c.Send(env); err == nil {
+				m.met.capsSent.Inc()
+				m.met.jobAlloc.With(hello.JobID).Set(adoptedCapW)
+			}
+		}
 	}
 	m.cfg.Log.WithJob(hello.JobID).Infof("endpoint connected: type %q, %d nodes", hello.TypeName, hello.Nodes)
 
@@ -341,9 +456,11 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		if !mine {
 			return
 		}
+		byeMs := m.cfg.Clock.Now().UnixMilli()
 		if m.cfg.Ledger != nil {
-			m.cfg.Ledger.Close(j.led, m.cfg.Clock.Now().UnixMilli(), ledger.Detached)
+			m.cfg.Ledger.Close(j.led, byeMs, ledger.Detached)
 		}
+		m.append(sessionRecord(durable.KindBye, j, byeMs))
 		m.met.endpoints.Add(-1)
 		m.met.jobAlloc.Delete(hello.JobID)
 		m.met.jobPower.Delete(hello.JobID)
@@ -362,17 +479,34 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		switch env.Kind {
 		case proto.KindModelUpdate:
 			u := env.ModelUpdate
+			var journal *durable.Record
 			m.mu.Lock()
 			j.lastPower = units.Power(u.PowerWatts)
 			if u.Trained {
 				mdl := u.Model()
 				if mdl.Validate() == nil {
+					atMs := m.cfg.Clock.Now().UnixMilli()
 					j.online = mdl
 					j.trained = true
 					j.lastUpdate = m.cfg.Clock.Now()
+					if m.durableOn() {
+						ms := durable.ModelStateOf(mdl, atMs)
+						if !j.walModelSet || ms != j.walModel {
+							j.walModel, j.walModelSet = ms, true
+							m.typeTrained[j.typeName] = ms
+							msc := ms
+							journal = &durable.Record{
+								Kind: durable.KindModel, AtMs: atMs,
+								Job: j.id, Type: j.typeName, Model: &msc,
+							}
+						}
+					}
 				}
 			}
 			m.mu.Unlock()
+			if journal != nil {
+				m.append(*journal)
+			}
 			m.met.modelUpdates.Inc()
 			m.met.jobPower.With(hello.JobID).Set(u.PowerWatts)
 			// A traced update echoes the decision context the job last ran
@@ -396,7 +530,7 @@ func (m *Manager) handleConn(c *proto.Conn) {
 		case proto.KindPing:
 			// Answer the peer's probe; a send failure surfaces on the
 			// next Recv and tears the connection down normally.
-			_ = c.Send(proto.Envelope{Kind: proto.KindPong, Pong: ptr(proto.PongFor(*env.Ping))})
+			_ = c.Send(proto.Envelope{Kind: proto.KindPong, Pong: ptr(proto.PongFor(*env.Ping)), Epoch: m.cfg.Epoch})
 		case proto.KindGoodbye:
 			return
 		}
@@ -433,15 +567,37 @@ func (m *Manager) snapshot(now time.Time) (jobs []budget.Job, conns map[string]*
 // registered job accrues its last-reported power until the next rate
 // change, idle nodes accrue IdlePower. A job is counted throttled while
 // its reported power has reached its allocated whole-job cap.
-func (m *Manager) ledgerAccrue(now time.Time, idleNodes int) {
+// It returns the power-rate journal records the tick produced (rates
+// that changed since the last journaled value), to be appended after
+// m.mu is released.
+func (m *Manager) ledgerAccrue(now time.Time, idleNodes int) []durable.Record {
 	ms := now.UnixMilli()
+	var recs []durable.Record
 	m.mu.Lock()
 	for _, j := range m.jobs {
 		throttled := j.lastCap > 0 && j.lastPower >= j.lastCap*units.Power(j.nodes)
 		m.cfg.Ledger.SetPower(j.led, ms, j.lastPower.Watts(), throttled)
+		if m.durableOn() {
+			mw := quantMW(j.lastPower.Watts())
+			if !j.walPowerSet || mw != j.walPowerMW || throttled != j.walThrottled {
+				j.walPowerMW, j.walPowerSet, j.walThrottled = mw, true, throttled
+				recs = append(recs, durable.Record{
+					Kind: durable.KindPower, AtMs: ms,
+					Job: j.id, PowerW: j.lastPower.Watts(), Throttled: throttled,
+				})
+			}
+		}
+	}
+	if m.durableOn() && (!m.walIdleSet || idleNodes != m.walIdleNodes) {
+		m.walIdleNodes, m.walIdleSet = idleNodes, true
+		recs = append(recs, durable.Record{
+			Kind: durable.KindIdle, AtMs: ms,
+			Nodes: idleNodes, PowerW: m.cfg.IdlePower.Watts(),
+		})
 	}
 	m.mu.Unlock()
 	m.cfg.Ledger.SetIdle(ms, idleNodes, m.cfg.IdlePower.Watts())
+	return recs
 }
 
 // checkLiveness enforces the heartbeat deadline: endpoints quiet for more
@@ -483,7 +639,7 @@ func (m *Manager) checkLiveness(now time.Time) {
 		_ = p.conn.Close()
 	}
 	for _, p := range pings {
-		env := proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: p.seq, TimestampUnixNano: now.UnixNano()}}
+		env := proto.Envelope{Kind: proto.KindPing, Ping: &proto.Ping{Seq: p.seq, TimestampUnixNano: now.UnixNano()}, Epoch: m.cfg.Epoch}
 		if err := p.conn.Send(env); err != nil {
 			// A probe that cannot even be written marks the endpoint dead
 			// now rather than at the deadline.
@@ -520,7 +676,9 @@ func (m *Manager) Tick() {
 	}
 	idleDraw := m.cfg.IdlePower * units.Power(idleNodes)
 	if m.cfg.Ledger != nil {
-		m.ledgerAccrue(now, idleNodes)
+		for _, rec := range m.ledgerAccrue(now, idleNodes) {
+			m.append(rec)
+		}
 	}
 
 	jobBudget := target - idleDraw
@@ -551,7 +709,7 @@ func (m *Manager) Tick() {
 		sp.SetJob(j.ID).Set("cap_w", cap.Watts())
 		env := proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
 			JobID: j.ID, PowerCapWatts: cap.Watts(),
-		}, Trace: sp.Propagate()}
+		}, Trace: sp.Propagate(), Epoch: m.cfg.Epoch}
 		if err := conn.Send(env); err != nil {
 			// Close the connection so a wedged socket (send timed out)
 			// cannot wedge again next round: the handler's Recv fails and
@@ -564,11 +722,19 @@ func (m *Manager) Tick() {
 			continue
 		}
 		sp.EndAt(m.cfg.Clock.Now())
+		capChanged := false
 		m.mu.Lock()
 		if js, ok := m.jobs[j.ID]; ok {
+			capChanged = js.lastCap != cap
 			js.lastCap = cap
 		}
 		m.mu.Unlock()
+		if capChanged && m.durableOn() {
+			m.append(durable.Record{
+				Kind: durable.KindCap, AtMs: now.UnixMilli(),
+				Job: j.ID, CapW: cap.Watts(),
+			})
+		}
 		m.met.capsSent.Inc()
 		m.met.jobAlloc.With(j.ID).Set(cap.Watts())
 		if m.cfg.Tracer.Enabled() {
@@ -599,6 +765,11 @@ func (m *Manager) Tick() {
 	}
 	if m.met.rebudgetDur != nil {
 		m.met.rebudgetDur.Observe(time.Since(wallStart).Seconds())
+	}
+	if m.cfg.Store != nil {
+		// Drive the store's bounded-loss flush and compaction cadences off
+		// the control period; Maintain is cheap when nothing is due.
+		m.cfg.Store.Maintain(m.ControlState)
 	}
 }
 

@@ -1,0 +1,81 @@
+package durable
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+)
+
+// EndpointState is the job-tier daemon's durable sliver: the last cap it
+// applied (or the failsafe it fell back to) and the highest controller
+// epoch it has heard. A restarted endpoint re-applies the cap before its
+// first reconnect — the node is never uncapped while the daemon is down
+// and back up — and the epoch lets it fence a superseded controller that
+// kept its sockets across a failover.
+type EndpointState struct {
+	Epoch     uint64  `json:"epoch,omitempty"`
+	CapW      float64 `json:"cap_w,omitempty"`
+	Failsafed bool    `json:"failsafed,omitempty"`
+	UpdatedMs int64   `json:"updated_ms,omitempty"`
+}
+
+// LoadEndpointState reads the state file. A missing file is a clean
+// first start (zero state, nil error); a torn or corrupt file returns
+// the zero state and an error the caller may log — the endpoint then
+// behaves exactly like a first start.
+func LoadEndpointState(path string) (EndpointState, error) {
+	var st EndpointState
+	f, err := os.Open(path)
+	if err != nil {
+		if os.IsNotExist(err) {
+			return st, nil
+		}
+		return st, err
+	}
+	defer f.Close()
+	got := false
+	res, err := scanFrames(f, epMagic, func(payload []byte) error {
+		var loaded EndpointState
+		if err := json.Unmarshal(payload, &loaded); err != nil {
+			return err
+		}
+		st, got = loaded, true
+		return nil
+	})
+	if err != nil {
+		return EndpointState{}, err
+	}
+	if !got || res.torn || res.corrupt {
+		return EndpointState{}, fmt.Errorf("durable: endpoint state %s torn or corrupt", filepath.Base(path))
+	}
+	if !saneWatts(st.CapW) {
+		return EndpointState{}, fmt.Errorf("durable: endpoint state %s holds insane cap %v", filepath.Base(path), st.CapW)
+	}
+	return st, nil
+}
+
+// SaveEndpointState atomically replaces the state file (tmp + fsync +
+// rename), so a crash mid-save leaves the previous state intact.
+func SaveEndpointState(path string, st EndpointState) error {
+	payload, err := json.Marshal(st)
+	if err != nil {
+		return err
+	}
+	if dir := filepath.Dir(path); dir != "." {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return err
+		}
+	}
+	tmp := path + ".tmp"
+	if err := writeFileSync(tmp, appendFrame([]byte(epMagic), payload)); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	if err := os.Rename(tmp, path); err != nil {
+		os.Remove(tmp)
+		return err
+	}
+	syncDir(filepath.Dir(path))
+	return nil
+}

@@ -1,0 +1,73 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+func TestEndpointStateRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sub", "ep.state")
+	want := EndpointState{Epoch: 7, CapW: 92.5, Failsafed: true, UpdatedMs: 123456}
+	if err := SaveEndpointState(path, want); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadEndpointState(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != want {
+		t.Fatalf("round trip: got %+v, want %+v", got, want)
+	}
+	// Overwrite must replace, not append.
+	want2 := EndpointState{Epoch: 8, CapW: 80}
+	if err := SaveEndpointState(path, want2); err != nil {
+		t.Fatal(err)
+	}
+	if got, _ := LoadEndpointState(path); got != want2 {
+		t.Fatalf("overwrite: got %+v, want %+v", got, want2)
+	}
+}
+
+func TestEndpointStateMissingIsCleanStart(t *testing.T) {
+	got, err := LoadEndpointState(filepath.Join(t.TempDir(), "none.state"))
+	if err != nil || got != (EndpointState{}) {
+		t.Fatalf("missing file: got %+v, %v; want zero state, nil", got, err)
+	}
+}
+
+func TestEndpointStateCorruptIsZeroAndError(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "ep.state")
+	if err := SaveEndpointState(path, EndpointState{Epoch: 3, CapW: 90}); err != nil {
+		t.Fatal(err)
+	}
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range data {
+		mut := append([]byte(nil), data...)
+		mut[i] ^= 0x20
+		if err := os.WriteFile(path, mut, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		got, err := LoadEndpointState(path)
+		if err == nil && got != (EndpointState{Epoch: 3, CapW: 90}) {
+			t.Fatalf("flip %d: accepted altered state %+v", i, got)
+		}
+		if err != nil && got != (EndpointState{}) {
+			t.Fatalf("flip %d: error with non-zero state %+v", i, got)
+		}
+	}
+	// Truncations (torn writes) likewise never surface partial state.
+	for cut := 0; cut < len(data); cut++ {
+		if err := os.WriteFile(path, data[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if got, err := LoadEndpointState(path); err == nil && cut < len(data) {
+			if got != (EndpointState{}) {
+				t.Fatalf("cut %d: accepted partial state %+v", cut, got)
+			}
+		}
+	}
+}

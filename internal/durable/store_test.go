@@ -1,0 +1,274 @@
+package durable
+
+import (
+	"os"
+	"path/filepath"
+	"testing"
+	"time"
+
+	"repro/internal/perfmodel"
+	"repro/internal/units"
+)
+
+var testModel = perfmodel.Model{A: 0.42, B: -1.37, C: 1.95, PMin: units.Power(60), PMax: units.Power(120)}
+
+// seedStore writes a representative control-plane history: two sessions,
+// a trained model, caps, power/idle rates, and a DR bid.
+func seedStore(t *testing.T, s *Store) {
+	t.Helper()
+	recs := []Record{
+		{Kind: KindBid, AtMs: 1000, AvgW: 900, ReserveW: 50},
+		{Kind: KindHello, AtMs: 1000, Job: "bt-1", Type: "bt.D.81", Nodes: 2},
+		{Kind: KindHello, AtMs: 1100, Job: "sp-1", Type: "sp.D.81", Nodes: 2},
+		{Kind: KindIdle, AtMs: 1100, Nodes: 12, PowerW: 70},
+		{Kind: KindModel, AtMs: 1200, Job: "bt-1", Type: "bt.D.81", Model: ptrModel(ModelStateOf(testModel, 1200))},
+		{Kind: KindCap, AtMs: 1300, Job: "bt-1", CapW: 95},
+		{Kind: KindCap, AtMs: 1300, Job: "sp-1", CapW: 105},
+		{Kind: KindPower, AtMs: 1300, Job: "bt-1", PowerW: 190, Throttled: true},
+		{Kind: KindPower, AtMs: 1300, Job: "sp-1", PowerW: 210},
+		{Kind: KindPower, AtMs: 2300, Job: "bt-1", PowerW: 180, Throttled: true},
+	}
+	for _, r := range recs {
+		if err := s.Append(r); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func ptrModel(m ModelState) *ModelState { return &m }
+
+// expected energy at the crash boundary (LastMs = 2300):
+//
+//	bt-1: 190 W × 1.0 s                  = 190 J = 190e6 µJ
+//	sp-1: 210 W × 1.0 s                  = 210 J
+//	idle: 12 × 70 W × 1.2 s              = 1008 J
+func TestOpenRecoversStateAfterCrash(t *testing.T) {
+	dir := t.TempDir()
+	s1, rec1, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec1.Epoch != 1 || s1.Epoch() != 1 {
+		t.Fatalf("first generation epoch = %d, want 1", rec1.Epoch)
+	}
+	seedStore(t, s1)
+	// Crash: no Close, no final snapshot. The file handle stays open the
+	// way a SIGKILL'd process's does until the OS reaps it.
+
+	s2, rec2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	st := rec2.State
+	if rec2.Epoch != 2 {
+		t.Errorf("epoch after restart = %d, want 2", rec2.Epoch)
+	}
+	if rec2.Sessions != 2 {
+		t.Errorf("recovered %d sessions, want 2", rec2.Sessions)
+	}
+
+	bt := st.Sessions["bt-1"]
+	if bt == nil || bt.Open || bt.CapW != 95 || !bt.Trained {
+		t.Fatalf("bt-1 recovered wrong: %+v", bt)
+	}
+	if got := bt.Model.Model(); got != testModel {
+		t.Errorf("recovered model %+v != persisted %+v", got, testModel)
+	}
+	if tm, ok := st.TypeTrained["bt.D.81"]; !ok || tm.Model() != testModel {
+		t.Errorf("type-trained model not recovered: %+v", tm)
+	}
+	if sp := st.Sessions["sp-1"]; sp == nil || sp.CapW != 105 || sp.Trained {
+		t.Fatalf("sp-1 recovered wrong: %+v", sp)
+	}
+	if st.Bid == nil || st.Bid.AvgW != 900 || st.Bid.ReserveW != 50 {
+		t.Errorf("bid not recovered: %+v", st.Bid)
+	}
+
+	// Ledger: stints closed at the crash boundary, bit-exact totals.
+	snap := rec2.Ledger.SnapshotAt(st.LastMs)
+	if !snap.Conserved || snap.ConservationDeltaMicroJ != 0 {
+		t.Fatalf("recovered ledger not conserved: %+v", snap)
+	}
+	if snap.OpenJobs != 0 {
+		t.Errorf("open stints after crash boundary = %d, want 0", snap.OpenJobs)
+	}
+	wantTotal := int64(190e6 + 210e6 + 1008e6)
+	if snap.TotalMicroJ != wantTotal {
+		t.Errorf("recovered total = %d µJ, want %d", snap.TotalMicroJ, wantTotal)
+	}
+	for _, j := range snap.Jobs {
+		if j.Stints != 1 || j.Resident {
+			t.Errorf("job %s: stints=%d resident=%v, want closed single stint", j.ID, j.Stints, j.Resident)
+		}
+	}
+}
+
+// TestEpochMonotoneAcrossGenerations: each Open bumps the epoch by one,
+// even across crashes with no snapshot and empty generations.
+func TestEpochMonotoneAcrossGenerations(t *testing.T) {
+	dir := t.TempDir()
+	for want := uint64(1); want <= 5; want++ {
+		s, rec, err := Open(Options{Dir: dir})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if rec.Epoch != want {
+			t.Fatalf("generation %d: epoch %d", want, rec.Epoch)
+		}
+		if want%2 == 0 {
+			s.Close() // alternate clean shutdowns and crashes
+		}
+	}
+}
+
+// TestSnapshotCompacts: periodic snapshots prune old segments and
+// snapshots, and recovery from the compacted directory is identical.
+func TestSnapshotCompacts(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStore(t, s)
+	// Take several compaction points, handing Snapshot a consistent
+	// caller-built image each time (the manager's job in production).
+	for i := 0; i < 5; i++ {
+		img := newControlState()
+		img.Epoch = s.Epoch()
+		img.LastMs = 2300
+		img.Sessions["bt-1"] = &SessionState{Job: "bt-1", Type: "bt.D.81", Nodes: 2, CapW: 95}
+		if err := s.Snapshot(func() *ControlState { return img }); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s.Close()
+
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	segs, snaps := 0, 0
+	for _, e := range entries {
+		if _, ok := parseSeq(e.Name(), segPrefix, segSuffix); ok {
+			segs++
+		}
+		if _, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok {
+			snaps++
+		}
+	}
+	if snaps > keepSnaps {
+		t.Errorf("%d snapshots on disk, want ≤ %d", snaps, keepSnaps)
+	}
+	if segs > keepSnaps+1 {
+		t.Errorf("%d segments on disk after compaction, want ≤ %d", segs, keepSnaps+1)
+	}
+
+	s2, rec2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if got := rec2.State.Sessions["bt-1"]; got == nil || got.CapW != 95 {
+		t.Errorf("compacted recovery lost session: %+v", got)
+	}
+}
+
+// TestCorruptSnapshotFallsBack: damaging the newest snapshot must make
+// recovery fall back to the previous one plus WAL replay, not fail.
+func TestCorruptSnapshotFallsBack(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	seedStore(t, s)
+	img := newControlState()
+	img.Epoch = s.Epoch()
+	img.LastMs = 2300
+	img.Sessions["bt-1"] = &SessionState{Job: "bt-1", Nodes: 2, CapW: 95}
+	if err := s.Snapshot(func() *ControlState { return img }); err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+
+	// Find and trash the newest snapshot's payload bytes.
+	entries, _ := os.ReadDir(dir)
+	newest, newestSeq := "", uint64(0)
+	for _, e := range entries {
+		if seq, ok := parseSeq(e.Name(), snapPrefix, snapSuffix); ok && (newest == "" || seq > newestSeq) {
+			newest, newestSeq = e.Name(), seq
+		}
+	}
+	if newest == "" {
+		t.Fatal("no snapshot written")
+	}
+	path := filepath.Join(dir, newest)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	data[len(data)/2] ^= 0xFF
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	s2, rec2, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer s2.Close()
+	if rec2.Corrupt == 0 {
+		t.Error("corrupt snapshot not counted")
+	}
+	bt := rec2.State.Sessions["bt-1"]
+	if bt == nil || bt.CapW != 95 {
+		t.Fatalf("fallback recovery lost bt-1: %+v", bt)
+	}
+	snap := rec2.Ledger.SnapshotAt(rec2.State.LastMs)
+	if !snap.Conserved {
+		t.Errorf("fallback ledger not conserved: delta=%d errs=%d", snap.ConservationDeltaMicroJ, snap.Errors)
+	}
+}
+
+// TestBoundedLossFlush: with a large FlushEvery, appends buffer; Flush
+// makes them durable for the next generation.
+func TestBoundedLossFlush(t *testing.T) {
+	dir := t.TempDir()
+	s, _, err := Open(Options{Dir: dir, FlushEvery: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Kind: KindHello, AtMs: 500, Job: "j1", Nodes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Flush(); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Append(Record{Kind: KindHello, AtMs: 600, Job: "j2", Nodes: 1}); err != nil {
+		t.Fatal(err)
+	}
+	// Crash with j2 still buffered in this process: the bounded-loss
+	// contract means j2 may be lost but j1 must survive.
+	_, rec, err := Open(Options{Dir: dir})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rec.State.Sessions["j1"] == nil {
+		t.Error("flushed record lost")
+	}
+}
+
+func TestAppendAfterCloseFails(t *testing.T) {
+	s, _, err := Open(Options{Dir: t.TempDir()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	s.Close()
+	if err := s.Append(Record{Kind: KindHello, Job: "x", Nodes: 1}); err == nil {
+		t.Error("append after close succeeded")
+	}
+}

@@ -92,6 +92,14 @@ type Config struct {
 	// so one store — and one flight recording — can carry a whole fleet
 	// of endpoints. Nil disables with no overhead.
 	Telemetry *telemetry.Store
+	// StatePath, when non-empty, names the endpoint's durable state file:
+	// the highest controller epoch heard, the last applied per-node cap,
+	// and the failsafe flag, rewritten atomically on every change. On
+	// restart the recorded cap regime is re-applied to the GEOPM mailbox
+	// before the first dial, and the epoch fences SetBudget traffic from
+	// superseded controllers. Empty disables persistence and fencing
+	// storage (in-session fencing still applies).
+	StatePath string
 	// Ledger, when non-nil, receives this job's energy attribution: a
 	// record opens when Run starts, accrues every fresh GEOPM sample's
 	// power at the sample's own timestamp, and closes as Detached when
@@ -106,22 +114,24 @@ type Config struct {
 // epMetrics holds the endpoint's instruments, bound to the job label at
 // construction. Every field is nil — a no-op sink — without a registry.
 type epMetrics struct {
-	epochs     *obs.Counter
-	rate       *obs.Gauge
-	capApply   *obs.Histogram
-	decision   *obs.Histogram
-	capsRecv   *obs.Counter
-	updates    *obs.Counter
-	refits     *obs.Counter
-	r2         *obs.Gauge
-	residual   *obs.Gauge
-	power      *obs.Gauge
-	cap        *obs.Gauge
-	reconnects *obs.Counter
-	disconns   *obs.Counter
-	failsafes  *obs.Counter
-	connected  *obs.Gauge
-	powerDist  *obs.Histogram
+	epochs      *obs.Counter
+	rate        *obs.Gauge
+	capApply    *obs.Histogram
+	decision    *obs.Histogram
+	capsRecv    *obs.Counter
+	updates     *obs.Counter
+	refits      *obs.Counter
+	r2          *obs.Gauge
+	residual    *obs.Gauge
+	power       *obs.Gauge
+	cap         *obs.Gauge
+	reconnects  *obs.Counter
+	disconns    *obs.Counter
+	failsafes   *obs.Counter
+	connected   *obs.Gauge
+	powerDist   *obs.Histogram
+	fenced      *obs.Counter
+	capRestores *obs.Counter
 }
 
 func newEpMetrics(r *obs.Registry, job string) epMetrics {
@@ -129,22 +139,24 @@ func newEpMetrics(r *obs.Registry, job string) epMetrics {
 		return epMetrics{}
 	}
 	return epMetrics{
-		epochs:     r.CounterVec("endpoint_epochs_total", "Application epochs observed via GEOPM samples.", "job").With(job),
-		rate:       r.GaugeVec("endpoint_epoch_rate_hz", "Epoch completion rate over the last sample span.", "job").With(job),
-		capApply:   r.HistogramVec("endpoint_cap_apply_seconds", "Latency from SetBudget receipt to the GEOPM policy write.", obs.DefLatencyBuckets, "job").With(job),
-		decision:   r.HistogramVec("endpoint_decision_to_apply_seconds", "Latency from the cluster-tier budget decision to the GEOPM policy write, from propagated trace timestamps.", obs.DefLatencyBuckets, "job").With(job),
-		capsRecv:   r.CounterVec("endpoint_caps_received_total", "SetBudget messages received from the cluster tier.", "job").With(job),
-		updates:    r.CounterVec("endpoint_model_updates_sent_total", "Model updates reported to the cluster tier.", "job").With(job),
-		refits:     r.CounterVec("endpoint_model_refits_total", "Accepted online model re-fits.", "job").With(job),
-		r2:         r.GaugeVec("endpoint_model_r2", "R² of the latest accepted model fit.", "job").With(job),
-		residual:   r.GaugeVec("endpoint_model_fit_residual", "1 - R² of the latest accepted model fit.", "job").With(job),
-		power:      r.GaugeVec("endpoint_power_watts", "Job power from the latest GEOPM sample.", "job").With(job),
-		cap:        r.GaugeVec("endpoint_cap_watts", "Per-node cap from the latest GEOPM sample.", "job").With(job),
-		reconnects: r.CounterVec("endpoint_reconnects_total", "Successful re-dials to the cluster manager after a dropped link.", "job").With(job),
-		disconns:   r.CounterVec("endpoint_disconnects_total", "Cluster-manager connections lost to transport errors.", "job").With(job),
-		failsafes:  r.CounterVec("endpoint_failsafe_total", "Failsafe cap enforcements after exhausting the disconnected hold window.", "job").With(job),
-		connected:  r.GaugeVec("endpoint_connected", "1 while a cluster-manager connection is up, 0 while reconnecting.", "job").With(job),
-		powerDist:  r.HistogramVec("endpoint_power_watts_dist", "Distribution of job power across GEOPM samples.", obs.DefPowerBuckets, "job").With(job),
+		epochs:      r.CounterVec("endpoint_epochs_total", "Application epochs observed via GEOPM samples.", "job").With(job),
+		rate:        r.GaugeVec("endpoint_epoch_rate_hz", "Epoch completion rate over the last sample span.", "job").With(job),
+		capApply:    r.HistogramVec("endpoint_cap_apply_seconds", "Latency from SetBudget receipt to the GEOPM policy write.", obs.DefLatencyBuckets, "job").With(job),
+		decision:    r.HistogramVec("endpoint_decision_to_apply_seconds", "Latency from the cluster-tier budget decision to the GEOPM policy write, from propagated trace timestamps.", obs.DefLatencyBuckets, "job").With(job),
+		capsRecv:    r.CounterVec("endpoint_caps_received_total", "SetBudget messages received from the cluster tier.", "job").With(job),
+		updates:     r.CounterVec("endpoint_model_updates_sent_total", "Model updates reported to the cluster tier.", "job").With(job),
+		refits:      r.CounterVec("endpoint_model_refits_total", "Accepted online model re-fits.", "job").With(job),
+		r2:          r.GaugeVec("endpoint_model_r2", "R² of the latest accepted model fit.", "job").With(job),
+		residual:    r.GaugeVec("endpoint_model_fit_residual", "1 - R² of the latest accepted model fit.", "job").With(job),
+		power:       r.GaugeVec("endpoint_power_watts", "Job power from the latest GEOPM sample.", "job").With(job),
+		cap:         r.GaugeVec("endpoint_cap_watts", "Per-node cap from the latest GEOPM sample.", "job").With(job),
+		reconnects:  r.CounterVec("endpoint_reconnects_total", "Successful re-dials to the cluster manager after a dropped link.", "job").With(job),
+		disconns:    r.CounterVec("endpoint_disconnects_total", "Cluster-manager connections lost to transport errors.", "job").With(job),
+		failsafes:   r.CounterVec("endpoint_failsafe_total", "Failsafe cap enforcements after exhausting the disconnected hold window.", "job").With(job),
+		connected:   r.GaugeVec("endpoint_connected", "1 while a cluster-manager connection is up, 0 while reconnecting.", "job").With(job),
+		powerDist:   r.HistogramVec("endpoint_power_watts_dist", "Distribution of job power across GEOPM samples.", obs.DefPowerBuckets, "job").With(job),
+		fenced:      r.CounterVec("endpoint_fenced_total", "SetBudget messages dropped because they carried a stale controller epoch.", "job").With(job),
+		capRestores: r.CounterVec("endpoint_cap_restores_total", "Cap regimes re-applied from the persisted state file at startup.", "job").With(job),
 	}
 }
 
@@ -186,6 +198,11 @@ type Endpoint struct {
 	// cluster tier (and offline analysis) can close the decision →
 	// actuation → feedback loop.
 	lastDecision obs.TraceContext
+	// epoch is the highest controller-fencing epoch heard (also under
+	// mu); lastCapW/failsafed mirror the durable state file.
+	epoch     uint64
+	lastCapW  float64
+	failsafed bool
 }
 
 // New validates the configuration and constructs an endpoint daemon.
@@ -238,6 +255,7 @@ func New(cfg Config) (*Endpoint, error) {
 // last received cap for HoldDuration, then failing safe to FailsafeCap
 // until the link returns.
 func (e *Endpoint) Run(ctx context.Context) error {
+	e.restoreState()
 	if e.cfg.Ledger != nil {
 		ms := e.cfg.Clock.Now().UnixMilli()
 		e.led = e.cfg.Ledger.Open(ledger.JobMeta{
@@ -296,6 +314,10 @@ func (e *Endpoint) connect(ctx context.Context, rng *stats.RNG, first bool) (*pr
 			e.cfg.GEOPM.WritePolicy(geopm.Policy{PowerCap: e.cfg.FailsafeCap})
 			e.met.failsafes.Inc()
 			failsafed = true
+			e.mu.Lock()
+			e.failsafed = true
+			e.mu.Unlock()
+			e.persistState()
 			e.cfg.Log.Warnf("hold window %v expired, enforcing failsafe cap %.0f W/node",
 				e.cfg.HoldDuration, e.cfg.FailsafeCap.Watts())
 		}
@@ -337,7 +359,7 @@ func (e *Endpoint) runSession(ctx context.Context, c *proto.Conn) error {
 	c.SetTimeouts(e.cfg.ReadTimeout, 0)
 	if err := c.Send(proto.Envelope{Kind: proto.KindHello, Hello: &proto.Hello{
 		JobID: e.cfg.JobID, TypeName: e.cfg.TypeName, Nodes: e.cfg.Nodes,
-	}}); err != nil {
+	}, Epoch: e.curEpoch()}); err != nil {
 		c.Close()
 		return err
 	}
@@ -356,8 +378,14 @@ func (e *Endpoint) runSession(ctx context.Context, c *proto.Conn) error {
 			}
 			switch env.Kind {
 			case proto.KindSetBudget:
+				if e.noteEpoch(env.Epoch) {
+					e.cfg.Log.Warnf("dropping cap %.0f W from superseded controller (epoch %d < %d)",
+						env.SetBudget.PowerCapWatts, env.Epoch, e.curEpoch())
+					continue
+				}
 				e.applyBudget(env)
 			case proto.KindPing:
+				e.noteEpoch(env.Epoch)
 				pong := proto.PongFor(*env.Ping)
 				_ = c.Send(proto.Envelope{Kind: proto.KindPong, Pong: &pong})
 			}
@@ -424,7 +452,10 @@ func (e *Endpoint) applyBudget(env proto.Envelope) {
 
 	e.mu.Lock()
 	e.lastDecision = decision
+	e.lastCapW = env.SetBudget.PowerCapWatts
+	e.failsafed = false
 	e.mu.Unlock()
+	e.persistState()
 
 	e.cfg.Log.Debugf("budget received: %.0f W/node", env.SetBudget.PowerCapWatts)
 	if e.cfg.Tracer.Enabled() {

@@ -1,0 +1,92 @@
+// Endpoint-side durability and controller fencing.
+//
+// With Config.StatePath set, the daemon persists a tiny state file — the
+// highest controller epoch it has heard, the last applied per-node cap,
+// and whether it is failsafed — after every policy-affecting event. On
+// restart it re-applies that cap (or the failsafe) to the GEOPM mailbox
+// BEFORE the first dial, so a crashed-and-restarted endpoint never runs
+// uncapped while waiting for the controller. The persisted epoch rides
+// the Hello and fences SetBudget traffic from superseded controllers
+// after a failover.
+package endpointd
+
+import (
+	"repro/internal/durable"
+	"repro/internal/geopm"
+	"repro/internal/units"
+)
+
+// restoreState loads the persisted endpoint state and re-imposes the cap
+// regime it records. Called once at Run start, before any connection.
+func (e *Endpoint) restoreState() {
+	if e.cfg.StatePath == "" {
+		return
+	}
+	st, err := durable.LoadEndpointState(e.cfg.StatePath)
+	if err != nil {
+		e.cfg.Log.Warnf("state file unreadable (%v), starting clean", err)
+		return
+	}
+	e.mu.Lock()
+	e.epoch, e.lastCapW, e.failsafed = st.Epoch, st.CapW, st.Failsafed
+	e.mu.Unlock()
+	switch {
+	case st.Failsafed:
+		e.cfg.GEOPM.WritePolicy(geopm.Policy{PowerCap: e.cfg.FailsafeCap})
+		e.met.capRestores.Inc()
+		e.cfg.Log.Infof("restored failsafe cap %.0f W/node from state file (epoch %d)",
+			e.cfg.FailsafeCap.Watts(), st.Epoch)
+	case st.CapW > 0:
+		e.cfg.GEOPM.WritePolicy(geopm.Policy{PowerCap: units.Power(st.CapW)})
+		e.met.capRestores.Inc()
+		e.cfg.Log.Infof("restored cap %.0f W/node from state file (epoch %d)", st.CapW, st.Epoch)
+	}
+}
+
+// persistState writes the current epoch/cap/failsafe tuple, nil-safe and
+// best-effort: a write failure degrades durability, not control.
+func (e *Endpoint) persistState() {
+	if e.cfg.StatePath == "" {
+		return
+	}
+	e.mu.Lock()
+	st := durable.EndpointState{
+		Epoch: e.epoch, CapW: e.lastCapW, Failsafed: e.failsafed,
+		UpdatedMs: e.cfg.Clock.Now().UnixMilli(),
+	}
+	e.mu.Unlock()
+	if err := durable.SaveEndpointState(e.cfg.StatePath, st); err != nil {
+		e.cfg.Log.Warnf("state file write failed: %v", err)
+	}
+}
+
+// curEpoch returns the highest controller epoch heard so far.
+func (e *Endpoint) curEpoch() uint64 {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	return e.epoch
+}
+
+// noteEpoch folds one inbound envelope epoch into the fence. It returns
+// true when the sender is a superseded controller whose traffic must be
+// dropped: its epoch is non-zero and below the highest heard. Zero
+// epochs (unfenced controllers, old binaries) always pass.
+func (e *Endpoint) noteEpoch(epoch uint64) (stale bool) {
+	if epoch == 0 {
+		return false
+	}
+	e.mu.Lock()
+	switch {
+	case epoch < e.epoch:
+		e.mu.Unlock()
+		e.met.fenced.Inc()
+		return true
+	case epoch > e.epoch:
+		e.epoch = epoch
+		e.mu.Unlock()
+		e.persistState()
+		return false
+	}
+	e.mu.Unlock()
+	return false
+}

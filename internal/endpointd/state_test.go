@@ -1,0 +1,178 @@
+package endpointd
+
+import (
+	"context"
+	"net"
+	"path/filepath"
+	"testing"
+
+	"repro/internal/durable"
+	"repro/internal/obs"
+	"repro/internal/proto"
+	"repro/internal/units"
+)
+
+// TestRestoredCapAppliedBeforeFirstDial: a restarted endpoint re-imposes
+// the persisted cap on the GEOPM mailbox before its first connection
+// lands, so the job never runs uncapped during recovery, and its Hello
+// carries the persisted controller epoch.
+func TestRestoredCapAppliedBeforeFirstDial(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "endpoint.state")
+	if err := durable.SaveEndpointState(path, durable.EndpointState{
+		Epoch: 4, CapW: 88, UpdatedMs: 123,
+	}); err != nil {
+		t.Fatal(err)
+	}
+
+	serverConns := make(chan net.Conn, 4)
+	cfg := testConfig(t, nil)
+	cfg.Conn = nil
+	cfg.Dial = func() (net.Conn, error) {
+		a, b := net.Pipe()
+		serverConns <- b
+		return a, nil
+	}
+	cfg.StatePath = path
+	cfg.Metrics = obs.NewRegistry()
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	c := proto.NewConn(<-serverConns)
+	env, err := c.Recv()
+	if err != nil || env.Kind != proto.KindHello {
+		t.Fatalf("first message = %+v, %v", env, err)
+	}
+	if env.Epoch != 4 {
+		t.Fatalf("hello epoch = %d, want persisted 4", env.Epoch)
+	}
+	// The restored cap was written before the dial: policy seq 1 is it.
+	p, seq := cfg.GEOPM.ReadPolicy()
+	if seq != 1 || p.PowerCap != 88 {
+		t.Fatalf("policy = %+v seq %d, want restored 88 W at seq 1", p, seq)
+	}
+	restores := cfg.Metrics.CounterVec("endpoint_cap_restores_total", "", "job").With("job-1")
+	if restores.Value() != 1 {
+		t.Fatalf("cap restores = %d, want 1", restores.Value())
+	}
+
+	cancel()
+	go func() {
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+	<-done
+}
+
+// TestFailsafedStateRestoresFailsafeCap: an endpoint that crashed while
+// failsafed comes back failsafed, not at the stale pre-failsafe cap.
+func TestFailsafedStateRestoresFailsafeCap(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "endpoint.state")
+	if err := durable.SaveEndpointState(path, durable.EndpointState{
+		Epoch: 2, CapW: 100, Failsafed: true,
+	}); err != nil {
+		t.Fatal(err)
+	}
+	a, b := net.Pipe()
+	defer a.Close()
+	defer b.Close()
+	cfg := testConfig(t, proto.NewConn(a))
+	cfg.StatePath = path
+	cfg.FailsafeCap = units.Power(61)
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ep.restoreState()
+	p, seq := cfg.GEOPM.ReadPolicy()
+	if seq != 1 || p.PowerCap != 61 {
+		t.Fatalf("policy = %+v seq %d, want failsafe 61 W", p, seq)
+	}
+}
+
+// TestStaleControllerCapFenced: after a failover, SetBudget traffic
+// stamped with a superseded controller epoch is dropped; the newer
+// generation's caps apply and bump the persisted epoch.
+func TestStaleControllerCapFenced(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "endpoint.state")
+	a, b := net.Pipe()
+	cfg := testConfig(t, proto.NewConn(a))
+	cfg.StatePath = path
+	cfg.Metrics = obs.NewRegistry()
+	ep, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	done := make(chan error, 1)
+	go func() { done <- ep.Run(ctx) }()
+
+	c := proto.NewConn(b)
+	for {
+		env, err := c.Recv()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if env.Kind == proto.KindHello {
+			break
+		}
+	}
+	drain := make(chan struct{})
+	go func() {
+		defer close(drain)
+		for {
+			if _, err := c.Recv(); err != nil {
+				return
+			}
+		}
+	}()
+
+	send := func(capW float64, epoch uint64) {
+		t.Helper()
+		if err := c.Send(proto.Envelope{Kind: proto.KindSetBudget, SetBudget: &proto.SetBudget{
+			JobID: "job-1", PowerCapWatts: capW,
+		}, Epoch: epoch}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	policyCap := func() units.Power {
+		p, _ := cfg.GEOPM.ReadPolicy()
+		return p.PowerCap
+	}
+
+	// Epoch 2 applies, then epoch 3 (the failover successor) applies.
+	send(80, 2)
+	waitFor(t, func() bool { return policyCap() == 80 })
+	send(100, 3)
+	waitFor(t, func() bool { return policyCap() == 100 })
+
+	// The superseded epoch-2 controller keeps talking: dropped.
+	send(55, 2)
+	fenced := cfg.Metrics.CounterVec("endpoint_fenced_total", "", "job").With("job-1")
+	waitFor(t, func() bool { return fenced.Value() == 1 })
+	if got := policyCap(); got != 100 {
+		t.Fatalf("policy cap after stale SetBudget = %v, want 100 unchanged", got)
+	}
+	// Unfenced traffic (epoch 0, an old binary) still applies.
+	send(90, 0)
+	waitFor(t, func() bool { return policyCap() == 90 })
+
+	// The highest epoch heard was persisted for the next restart.
+	waitFor(t, func() bool {
+		st, err := durable.LoadEndpointState(path)
+		return err == nil && st.Epoch == 3 && st.CapW == 90
+	})
+
+	cancel()
+	<-drain
+	<-done
+}

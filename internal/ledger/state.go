@@ -1,0 +1,184 @@
+// Durable state export/restore for the ledger.
+//
+// The durable control plane (internal/durable) snapshots a running
+// ledger into its WAL checkpoint and rebuilds an equivalent ledger on
+// restart, so energy accounting — including the conservation identity
+// Σ(per-job) + idle ≡ total — survives a controller crash bit-exactly.
+// State is a plain serializable mirror of every internal accumulator;
+// restoring it and continuing must be indistinguishable from never
+// having stopped, so the export is a field-for-field dump with no
+// re-derivation on either side.
+package ledger
+
+import "sort"
+
+// JobState mirrors one job record. All energy fields are integer
+// microjoules / milliwatts / milliseconds, exactly as accumulated.
+type JobState struct {
+	ID       string `json:"id"`
+	Type     string `json:"type,omitempty"`
+	Nodes    int    `json:"nodes,omitempty"`
+	Stints   int    `json:"stints,omitempty"`
+	Requeues int    `json:"requeues,omitempty"`
+
+	Resident  bool `json:"resident,omitempty"`
+	Throttled bool `json:"throttled,omitempty"`
+	Completed bool `json:"completed,omitempty"`
+
+	MicroJ      int64 `json:"uj,omitempty"`
+	RateMW      int64 `json:"rate_mw,omitempty"`
+	SettledMs   int64 `json:"settled_ms,omitempty"`
+	PeakMW      int64 `json:"peak_mw,omitempty"`
+	ResidencyMs int64 `json:"residency_ms,omitempty"`
+	ThrottledMs int64 `json:"throttled_ms,omitempty"`
+
+	SubmitMs     int64 `json:"submit_ms,omitempty"`
+	MinTimeMs    int64 `json:"min_time_ms,omitempty"`
+	FirstStartMs int64 `json:"first_start_ms,omitempty"`
+	LastEndMs    int64 `json:"last_end_ms,omitempty"`
+}
+
+// State is a complete serializable ledger image.
+type State struct {
+	Started bool  `json:"started,omitempty"`
+	StartMs int64 `json:"start_ms,omitempty"`
+
+	TotalMicroJ    int64 `json:"total_uj,omitempty"`
+	TotalRateMW    int64 `json:"total_rate_mw,omitempty"`
+	TotalSettledMs int64 `json:"total_settled_ms,omitempty"`
+
+	IdleMicroJ    int64 `json:"idle_uj,omitempty"`
+	IdleRateMW    int64 `json:"idle_rate_mw,omitempty"`
+	IdleSettledMs int64 `json:"idle_settled_ms,omitempty"`
+	IdleNodes     int   `json:"idle_nodes,omitempty"`
+
+	Opens       int64 `json:"opens,omitempty"`
+	Closes      int64 `json:"closes,omitempty"`
+	Requeues    int64 `json:"requeues,omitempty"`
+	LateSamples int64 `json:"late_samples,omitempty"`
+	Errors      int64 `json:"errors,omitempty"`
+
+	Jobs []JobState `json:"jobs,omitempty"`
+}
+
+// ExportState settles every account through atMs and dumps the ledger.
+// Jobs appear in ascending ID order so exports of equivalent ledgers are
+// byte-comparable.
+func (l *Ledger) ExportState(atMs int64) State {
+	if l == nil {
+		return State{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	l.settleTotal(atMs)
+	l.settleIdle(atMs)
+	st := State{
+		Started: l.started, StartMs: l.startMs,
+		TotalMicroJ: l.totalUJ, TotalRateMW: l.totalRateMW, TotalSettledMs: l.totalSettledMs,
+		IdleMicroJ: l.idleUJ, IdleRateMW: l.idleRateMW, IdleSettledMs: l.idleSettledMs,
+		IdleNodes: l.idleNodes,
+		Opens:     l.opens, Closes: l.closes, Requeues: l.requeues,
+		LateSamples: l.lateSamples, Errors: l.accountingErrs,
+		Jobs: make([]JobState, 0, len(l.recs)),
+	}
+	for i := range l.recs {
+		r := &l.recs[i]
+		l.settleRec(r, atMs)
+		st.Jobs = append(st.Jobs, JobState{
+			ID: r.id, Type: r.typeName, Nodes: int(r.nodes),
+			Stints: int(r.stints), Requeues: int(r.requeues),
+			Resident: r.resident, Throttled: r.throttled, Completed: r.completed,
+			MicroJ: r.uj, RateMW: r.rateMW, SettledMs: r.settledMs,
+			PeakMW: r.peakMW, ResidencyMs: r.residencyMs, ThrottledMs: r.throttledMs,
+			SubmitMs: r.submitMs, MinTimeMs: r.minTimeMs,
+			FirstStartMs: r.firstStartMs, LastEndMs: r.lastEndMs,
+		})
+	}
+	sort.Slice(st.Jobs, func(i, j int) bool { return st.Jobs[i].ID < st.Jobs[j].ID })
+	return st
+}
+
+// Restore rebuilds a ledger from an exported State. Every accumulator is
+// restored verbatim; a duplicate job ID (possible only in a corrupted
+// image) keeps the last occurrence addressable and counts an accounting
+// error rather than failing.
+func Restore(st State) *Ledger {
+	l := New()
+	l.started = st.Started
+	l.startMs = st.StartMs
+	l.totalUJ, l.totalRateMW, l.totalSettledMs = st.TotalMicroJ, st.TotalRateMW, st.TotalSettledMs
+	l.idleUJ, l.idleRateMW, l.idleSettledMs = st.IdleMicroJ, st.IdleRateMW, st.IdleSettledMs
+	l.idleNodes = st.IdleNodes
+	l.opens, l.closes, l.requeues = st.Opens, st.Closes, st.Requeues
+	l.lateSamples, l.accountingErrs = st.LateSamples, st.Errors
+	l.recs = make([]record, 0, len(st.Jobs))
+	for _, j := range st.Jobs {
+		if _, dup := l.byID[j.ID]; dup {
+			l.accountingErrs++
+		}
+		idx := int32(len(l.recs))
+		l.recs = append(l.recs, record{
+			id: j.ID, typeName: j.Type, nodes: int32(j.Nodes),
+			stints: int32(j.Stints), requeues: int32(j.Requeues),
+			resident: j.Resident, throttled: j.Throttled, completed: j.Completed,
+			uj: j.MicroJ, rateMW: j.RateMW, settledMs: j.SettledMs,
+			peakMW: j.PeakMW, residencyMs: j.ResidencyMs, throttledMs: j.ThrottledMs,
+			submitMs: j.SubmitMs, minTimeMs: j.MinTimeMs,
+			firstStartMs: j.FirstStartMs, lastEndMs: j.LastEndMs,
+		})
+		l.byID[j.ID] = idx
+	}
+	return l
+}
+
+// Handle returns the handle for a job already known to the ledger (from
+// a restored State or an earlier Open), or the invalid zero Handle.
+func (l *Ledger) Handle(id string) Handle {
+	if l == nil {
+		return Handle{}
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	idx, ok := l.byID[id]
+	if !ok {
+		return Handle{}
+	}
+	return Handle{idx: idx + 1}
+}
+
+// CloseAllResidents closes every open residency at atMs — the crash
+// boundary: when a new controller generation replays the WAL, stints
+// that were open when the previous generation died are closed at the
+// last settled instant and reopened when their endpoints reconnect.
+// Returns how many residencies were closed.
+func (l *Ledger) CloseAllResidents(atMs int64, reason CloseReason) int {
+	if l == nil {
+		return 0
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	n := 0
+	l.settleTotal(atMs)
+	for i := range l.recs {
+		r := &l.recs[i]
+		if !r.resident {
+			continue
+		}
+		l.settleRec(r, atMs)
+		l.totalRateMW -= r.rateMW
+		r.rateMW = 0
+		r.resident = false
+		r.throttled = false
+		r.lastEndMs = atMs
+		switch reason {
+		case Completed:
+			r.completed = true
+		case Requeued:
+			r.requeues++
+			l.requeues++
+		}
+		l.closes++
+		n++
+	}
+	return n
+}

@@ -1,0 +1,105 @@
+package ledger
+
+import (
+	"reflect"
+	"testing"
+)
+
+func TestExportRestoreRoundTrip(t *testing.T) {
+	l := New()
+	h1 := l.Open(JobMeta{ID: "bt-1", Type: "bt.D.81", Nodes: 2, SubmitMs: 500, MinTimeS: 10}, 1000)
+	h2 := l.Open(JobMeta{ID: "sp-1", Type: "sp.D.81", Nodes: 4}, 1200)
+	l.SetIdle(1200, 10, 70.25)
+	l.SetPower(h1, 1500, 190.125, true)
+	l.SetPower(h2, 1500, 412.5, false)
+	l.SetPower(h1, 2500, 180, true)
+	l.Close(h2, 3000, Requeued)
+
+	st := l.ExportState(3500)
+	restored := Restore(st)
+
+	// The restored ledger must snapshot identically...
+	a, b := l.SnapshotAt(3500), restored.SnapshotAt(3500)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("snapshots diverge after restore:\n%+v\n%+v", a, b)
+	}
+	if !b.Conserved || b.ConservationDeltaMicroJ != 0 {
+		t.Fatalf("restored ledger not conserved: %+v", b)
+	}
+
+	// ...and must keep evolving identically: resolve handles by ID on the
+	// restored side and continue both with the same operations.
+	cont := func(l *Ledger, h1, h2 Handle) {
+		l.SetPower(h1, 4000, 175.5, false)
+		l.Open(JobMeta{ID: "sp-1", Type: "sp.D.81", Nodes: 4}, 4200)
+		l.SetPower(l.Handle("sp-1"), 4300, 400, false)
+		l.SetIdle(4500, 8, 70.25)
+		l.Close(h1, 5000, Completed)
+	}
+	cont(l, h1, h2)
+	cont(restored, restored.Handle("bt-1"), restored.Handle("sp-1"))
+	a, b = l.SnapshotAt(6000), restored.SnapshotAt(6000)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("continued snapshots diverge:\n%+v\n%+v", a, b)
+	}
+	if b.ConservationDeltaMicroJ != 0 {
+		t.Fatalf("continued restored ledger broke conservation: %d", b.ConservationDeltaMicroJ)
+	}
+}
+
+func TestHandleLookup(t *testing.T) {
+	l := New()
+	if l.Handle("nope").Valid() {
+		t.Error("handle for unknown job is valid")
+	}
+	h := l.Open(JobMeta{ID: "j", Nodes: 1}, 100)
+	if got := l.Handle("j"); got != h {
+		t.Errorf("Handle(j) = %+v, want %+v", got, h)
+	}
+	var nilLedger *Ledger
+	if nilLedger.Handle("j").Valid() {
+		t.Error("nil ledger returned valid handle")
+	}
+}
+
+func TestCloseAllResidents(t *testing.T) {
+	l := New()
+	h1 := l.Open(JobMeta{ID: "a", Nodes: 1}, 0)
+	h2 := l.Open(JobMeta{ID: "b", Nodes: 1}, 0)
+	l.SetPower(h1, 0, 100, false)
+	l.SetPower(h2, 0, 50, false)
+	l.SetIdle(0, 2, 10)
+	l.Close(h2, 1000, Completed)
+
+	if n := l.CloseAllResidents(2000, Detached); n != 1 {
+		t.Fatalf("closed %d residents, want 1", n)
+	}
+	snap := l.SnapshotAt(2000)
+	if snap.OpenJobs != 0 {
+		t.Errorf("%d jobs still open", snap.OpenJobs)
+	}
+	// a: 100 W × 2 s, b: 50 W × 1 s, idle: 20 W × 2 s.
+	if want := int64(100e3*2000 + 50e3*1000 + 20e3*2000); snap.TotalMicroJ != want {
+		t.Errorf("total = %d µJ, want %d", snap.TotalMicroJ, want)
+	}
+	if snap.ConservationDeltaMicroJ != 0 || !snap.Conserved {
+		t.Errorf("conservation broken after CloseAllResidents: %+v", snap)
+	}
+	// Idempotent on an all-closed ledger.
+	if n := l.CloseAllResidents(3000, Detached); n != 0 {
+		t.Errorf("second close-all closed %d", n)
+	}
+	var nilLedger *Ledger
+	if nilLedger.CloseAllResidents(0, Detached) != 0 {
+		t.Error("nil ledger closed residents")
+	}
+}
+
+func TestExportRestoreEmptyAndNil(t *testing.T) {
+	var nilLedger *Ledger
+	st := nilLedger.ExportState(100)
+	restored := Restore(st)
+	if snap := restored.SnapshotAt(100); !snap.Conserved {
+		t.Errorf("restored empty ledger not conserved")
+	}
+}

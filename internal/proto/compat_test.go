@@ -115,3 +115,37 @@ func TestTraceContextRoundTrip(t *testing.T) {
 		t.Errorf("untraced envelope leaks trace field: %s", raw)
 	}
 }
+
+// TestEpochRoundTrip pins the wire shape of the fencing epoch: carried
+// bit-exact when set, elided entirely at zero so unfenced deployments
+// emit frames byte-identical to the previous protocol revision.
+func TestEpochRoundTrip(t *testing.T) {
+	var buf rwBuffer
+	c := NewConn(&buf)
+	env := Envelope{Kind: KindSetBudget, Epoch: 7,
+		SetBudget: &SetBudget{JobID: "j1", PowerCapWatts: 150}}
+	if err := c.Send(env); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.Recv()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Epoch != 7 {
+		t.Errorf("epoch after round trip = %d, want 7", got.Epoch)
+	}
+
+	raw, err := json.Marshal(Envelope{Kind: KindHello, Hello: &Hello{JobID: "j1", Nodes: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if bytes.Contains(raw, []byte("epoch")) {
+		t.Errorf("unfenced envelope leaks epoch field: %s", raw)
+	}
+
+	// An old peer's envelope (no epoch key) decodes to epoch zero.
+	old, err := recvFromBytes(frame(t, []byte(`{"kind":"ping","ping":{"seq":3}}`)))
+	if err != nil || old.Epoch != 0 {
+		t.Fatalf("old-peer envelope: %+v, %v", old, err)
+	}
+}

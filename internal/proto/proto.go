@@ -139,7 +139,14 @@ func PongFor(p Ping) Pong { return Pong{Seq: p.Seq, TimestampUnixNano: p.Timesta
 // compatible: old peers ignore it, Validate accepts its absence, and
 // senders without tracing omit it entirely.
 type Envelope struct {
-	Kind        Kind              `json:"kind"`
+	Kind Kind `json:"kind"`
+	// Epoch is the sender's controller-fencing epoch: bumped every time
+	// a controller generation starts, carried on Hello (the endpoint's
+	// highest epoch heard) and on SetBudget/Ping (the controller's own),
+	// so either side can reject traffic from a superseded controller
+	// after a failover. Zero means unfenced (durability disabled) and is
+	// elided from the wire, keeping old and new binaries interoperable.
+	Epoch       uint64            `json:"epoch,omitempty"`
 	Trace       *obs.TraceContext `json:"trace,omitempty"`
 	Hello       *Hello            `json:"hello,omitempty"`
 	ModelUpdate *ModelUpdate      `json:"model_update,omitempty"`
